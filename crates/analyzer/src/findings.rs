@@ -1,0 +1,222 @@
+//! Per-domain report assembly: the walker's record analysis combined with
+//! the MX / DMARC / deprecated-RR lookups the crawler performs per domain
+//! (§4.1: "we collect the following information per domain: SPF record,
+//! DMARC record, MX record").
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use spf_core::dmarc::{self, DmarcLookup};
+use spf_dns::{RecordType, Resolver};
+use spf_types::DomainName;
+
+use crate::taxonomy::{primary_class, ErrorClass};
+use crate::walker::{FetchOutcome, RecordAnalysis, Walker};
+
+/// The paper's headline permissiveness threshold: 34.7 % of domains allow
+/// more than 100,000 IPv4 addresses.
+pub const LAX_IP_THRESHOLD: u64 = 100_000;
+
+/// Everything the study records about one scanned domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainReport {
+    /// The scanned domain.
+    pub domain: DomainName,
+    /// The domain has at least one MX record.
+    pub has_mx: bool,
+    /// A (single, syntactically fetchable) SPF record was found.
+    pub has_spf: bool,
+    /// A `_dmarc` TXT record exists.
+    pub has_dmarc: bool,
+    /// The DMARC record parsed successfully.
+    pub dmarc_valid: bool,
+    /// The domain still publishes the deprecated SPF RR (type 99).
+    pub uses_deprecated_spf_rr: bool,
+    /// The root TXT fetch failed transiently — excluded from the error
+    /// analysis like the paper's 1,179 DNS errors.
+    pub dns_transient: bool,
+    /// Full record analysis when an SPF record was found (also present
+    /// for fetch failures that still carry error information).
+    pub record: Option<Arc<RecordAnalysis>>,
+    /// The single Figure 2 class assigned to this domain, if erroneous.
+    pub primary_error: Option<ErrorClass>,
+}
+
+impl DomainReport {
+    /// Number of authorized IPv4 addresses (0 when no SPF record).
+    pub fn allowed_ip_count(&self) -> u64 {
+        self.record.as_ref().map(|r| r.allowed_ip_count()).unwrap_or(0)
+    }
+
+    /// The paper's "lax configuration" predicate (>100,000 allowed IPs).
+    pub fn is_lax(&self) -> bool {
+        self.has_spf && self.allowed_ip_count() > LAX_IP_THRESHOLD
+    }
+
+    /// The domain has any SPF error (Figure 2 membership).
+    pub fn has_error(&self) -> bool {
+        self.primary_error.is_some()
+    }
+
+    /// §5.1: SPF record without MX — half of these are deliberate deny-all
+    /// records, the rest likely misconfigurations.
+    pub fn spf_without_mx(&self) -> bool {
+        self.has_spf && !self.has_mx
+    }
+}
+
+/// Run the full per-domain collection: SPF walk + MX + DMARC + type-99.
+pub fn analyze_domain<R: Resolver>(walker: &Walker<R>, domain: &DomainName) -> DomainReport {
+    let resolver = walker.resolver();
+
+    let has_mx = matches!(resolver.query(domain, RecordType::Mx), Ok(rrs) if !rrs.is_empty());
+    let uses_deprecated_spf_rr =
+        matches!(resolver.query(domain, RecordType::Spf), Ok(rrs) if !rrs.is_empty());
+
+    let (has_dmarc, dmarc_valid) = match dmarc::query_dmarc(resolver, domain) {
+        DmarcLookup::Found(_) => (true, true),
+        DmarcLookup::Invalid(_) => (true, false),
+        DmarcLookup::NotFound | DmarcLookup::TempError => (false, false),
+    };
+
+    let record = walker.analyze(domain);
+    let (has_spf, dns_transient) = match &record.fetch {
+        FetchOutcome::Found => (true, false),
+        FetchOutcome::Timeout => (false, true),
+        FetchOutcome::MultipleSpfRecords { .. } => (false, false),
+        _ => (false, false),
+    };
+
+    // Error classification: only domains whose own record was analyzable
+    // (or that publish multiple records) enter the Figure 2 population;
+    // transient failures are excluded like the paper's DNS errors.
+    let primary_error = if dns_transient {
+        None
+    } else if matches!(record.fetch, FetchOutcome::MultipleSpfRecords { .. }) {
+        // Multiple records at the scanned domain itself make the policy
+        // unusable; the paper folds these into record-not-found.
+        Some(ErrorClass::RecordNotFound)
+    } else if has_spf {
+        primary_class(&record.errors)
+    } else {
+        None
+    };
+
+    DomainReport {
+        domain: domain.clone(),
+        has_mx,
+        has_spf,
+        has_dmarc,
+        dmarc_valid,
+        uses_deprecated_spf_rr,
+        dns_transient,
+        record: Some(record),
+        primary_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_dns::{ZoneResolver, ZoneStore};
+    use std::net::Ipv4Addr;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn setup() -> (Arc<ZoneStore>, Walker<ZoneResolver>) {
+        let store = Arc::new(ZoneStore::new());
+        let walker = Walker::new(ZoneResolver::new(Arc::clone(&store)));
+        (store, walker)
+    }
+
+    #[test]
+    fn full_report_for_clean_domain() {
+        let (s, w) = setup();
+        let d = dom("good.example");
+        s.add_txt(&d, "v=spf1 mx -all");
+        s.add_mx(&d, 10, &dom("mx.good.example"));
+        s.add_a(&dom("mx.good.example"), Ipv4Addr::new(192, 0, 2, 1));
+        s.add_txt(&d.prepend_label("_dmarc").unwrap(), "v=DMARC1; p=reject");
+        let r = analyze_domain(&w, &d);
+        assert!(r.has_spf && r.has_mx && r.has_dmarc && r.dmarc_valid);
+        assert!(!r.has_error());
+        assert_eq!(r.allowed_ip_count(), 1);
+        assert!(!r.is_lax());
+        assert!(!r.uses_deprecated_spf_rr);
+    }
+
+    #[test]
+    fn lax_domain_detected() {
+        let (s, w) = setup();
+        let d = dom("lax.example");
+        s.add_txt(&d, "v=spf1 ip4:10.0.0.0/14 -all"); // 262,144 addresses
+        let r = analyze_domain(&w, &d);
+        assert!(r.is_lax());
+        assert_eq!(r.allowed_ip_count(), 1 << 18);
+    }
+
+    #[test]
+    fn spf_without_mx() {
+        let (s, w) = setup();
+        let d = dom("nomx.example");
+        s.add_txt(&d, "v=spf1 -all");
+        let r = analyze_domain(&w, &d);
+        assert!(r.spf_without_mx());
+        assert!(r.record.as_ref().unwrap().is_deny_all_only);
+    }
+
+    #[test]
+    fn deprecated_rr_flag() {
+        let (s, w) = setup();
+        let d = dom("old.example");
+        s.add_txt(&d, "v=spf1 -all");
+        s.add_spf_type99(&d, "v=spf1 -all");
+        let r = analyze_domain(&w, &d);
+        assert!(r.uses_deprecated_spf_rr);
+    }
+
+    #[test]
+    fn invalid_dmarc_detected() {
+        let (s, w) = setup();
+        let d = dom("baddmarc.example");
+        s.add_txt(&d, "v=spf1 -all");
+        s.add_txt(&d.prepend_label("_dmarc").unwrap(), "v=DMARC1; rua=mailto:x@y.z");
+        let r = analyze_domain(&w, &d);
+        assert!(r.has_dmarc);
+        assert!(!r.dmarc_valid);
+    }
+
+    #[test]
+    fn transient_failure_excluded_from_errors() {
+        let (s, w) = setup();
+        let d = dom("flaky.example");
+        s.add_txt(&d, "v=spf1 -all");
+        s.set_fault(&d, spf_dns::ZoneFault::Timeout);
+        let r = analyze_domain(&w, &d);
+        assert!(r.dns_transient);
+        assert!(!r.has_spf);
+        assert_eq!(r.primary_error, None);
+    }
+
+    #[test]
+    fn multiple_records_at_root_is_error() {
+        let (s, w) = setup();
+        let d = dom("twice.example");
+        s.add_txt(&d, "v=spf1 -all");
+        s.add_txt(&d, "v=spf1 mx -all");
+        let r = analyze_domain(&w, &d);
+        assert!(!r.has_spf);
+        assert_eq!(r.primary_error, Some(ErrorClass::RecordNotFound));
+    }
+
+    #[test]
+    fn primary_error_assigned() {
+        let (s, w) = setup();
+        let d = dom("err.example");
+        s.add_txt(&d, "v=spf1 include:gone.example -all");
+        let r = analyze_domain(&w, &d);
+        assert_eq!(r.primary_error, Some(ErrorClass::RecordNotFound));
+    }
+}

@@ -1,0 +1,95 @@
+//! `check_host()` latency — what a receiving MTA pays per message, and
+//! the lookup-accounting ablation from DESIGN.md §5 (global-recursive
+//! counting, as the paper's checkdmarc does, vs per-record counting).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf_core::{check_host, EvalContext, EvalPolicy, LookupAccounting};
+use spf_dns::{ZoneResolver, ZoneStore};
+use spf_types::DomainName;
+use std::hint::black_box;
+
+fn dom(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+fn world() -> Arc<ZoneStore> {
+    let store = Arc::new(ZoneStore::new());
+    // Flat direct record.
+    store.add_txt(&dom("flat.example"), "v=spf1 ip4:192.0.2.0/24 -all");
+    // Provider include (one level).
+    store.add_txt(&dom("customer.example"), "v=spf1 include:spf.provider.example -all");
+    store.add_txt(
+        &dom("spf.provider.example"),
+        "v=spf1 ip4:198.51.100.0/24 ip4:203.0.113.0/24 -all",
+    );
+    // Nine-deep include chain (stays within the 10-lookup limit).
+    for i in 0..9 {
+        let name = dom(&format!("chain{i}.example"));
+        let next = format!("chain{}.example", i + 1);
+        store.add_txt(&name, &format!("v=spf1 include:{next} -all"));
+    }
+    store.add_txt(&dom("chain9.example"), "v=spf1 ip4:10.1.2.3 -all");
+    // a/mx resolution.
+    store.add_txt(&dom("amx.example"), "v=spf1 a mx -all");
+    store.add_a(&dom("amx.example"), "192.0.2.77".parse().unwrap());
+    store.add_mx(&dom("amx.example"), 10, &dom("mx.amx.example"));
+    store.add_a(&dom("mx.amx.example"), "192.0.2.78".parse().unwrap());
+    // Macro exists.
+    store.add_txt(&dom("macro.example"), "v=spf1 exists:%{ir}.allow.macro.example -all");
+    store.add_a(&dom("3.2.0.192.allow.macro.example"), "127.0.0.2".parse().unwrap());
+    store
+}
+
+fn bench_check_host(c: &mut Criterion) {
+    let store = world();
+    let resolver = ZoneResolver::new(store);
+    let policy = EvalPolicy::default();
+    let mut group = c.benchmark_group("check_host");
+    let cases = [
+        ("flat_pass", "192.0.2.7", "flat.example"),
+        ("flat_fail", "203.0.113.99", "flat.example"),
+        ("provider_include", "198.51.100.20", "customer.example"),
+        ("deep_chain_9", "10.1.2.3", "chain0.example"),
+        ("a_mx_resolution", "192.0.2.78", "amx.example"),
+        ("macro_exists", "192.0.2.3", "macro.example"),
+    ];
+    for (name, ip, domain) in cases {
+        let ctx = EvalContext::mail_from(ip.parse().unwrap(), "alice", dom(domain));
+        let d = dom(domain);
+        group.bench_function(name, |b| {
+            b.iter(|| check_host(black_box(&resolver), black_box(&ctx), black_box(&d), &policy))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: global-recursive vs per-record lookup accounting on a chain
+/// that the global budget rejects and the per-record budget allows.
+fn bench_accounting_ablation(c: &mut Criterion) {
+    let store = Arc::new(ZoneStore::new());
+    for i in 0..12 {
+        let name = dom(&format!("p{i}.example"));
+        let next = format!("p{}.example", i + 1);
+        store.add_txt(&name, &format!("v=spf1 include:{next} -all"));
+    }
+    store.add_txt(&dom("p12.example"), "v=spf1 ip4:10.0.0.1 -all");
+    let resolver = ZoneResolver::new(store);
+    let ctx = EvalContext::mail_from("10.0.0.1".parse().unwrap(), "alice", dom("p0.example"));
+    let d = dom("p0.example");
+    let mut group = c.benchmark_group("lookup_accounting");
+    for (name, accounting) in [
+        ("global_recursive", LookupAccounting::GlobalRecursive),
+        ("per_record", LookupAccounting::PerRecord),
+    ] {
+        let policy = EvalPolicy { accounting, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter(|| check_host(black_box(&resolver), &ctx, &d, &policy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_host, bench_accounting_ablation);
+criterion_main!(benches);

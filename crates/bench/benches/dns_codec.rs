@@ -1,0 +1,75 @@
+//! RFC 1035 codec throughput and the name-compression ablation from
+//! DESIGN.md §5: how much smaller and how much slower compressed encoding
+//! is on a realistic SPF answer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf_dns::{
+    decode, encode, encode_uncompressed, Message, Question, RecordData, RecordType,
+    ResourceRecord, TxtData,
+};
+use spf_types::DomainName;
+use std::hint::black_box;
+
+fn dom(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+fn spf_response() -> Message {
+    let q = Message::query(7, Question::new(dom("example.com"), RecordType::Txt));
+    Message::response(
+        &q,
+        spf_dns::Rcode::NoError,
+        vec![ResourceRecord::new(
+            dom("example.com"),
+            RecordData::Txt(TxtData::from_text(
+                "v=spf1 include:spf.protection.outlook.com include:_spf.google.com \
+                 ip4:192.0.2.0/24 ~all",
+            )),
+        )],
+    )
+}
+
+/// An MX answer with many same-suffix names: compression's best case.
+fn mx_response() -> Message {
+    let q = Message::query(8, Question::new(dom("big.example.com"), RecordType::Mx));
+    let answers = (0..10u16)
+        .map(|i| {
+            ResourceRecord::new(
+                dom("big.example.com"),
+                RecordData::Mx {
+                    preference: i,
+                    exchange: dom(&format!("mx{i}.mail.big.example.com")),
+                },
+            )
+        })
+        .collect();
+    Message::response(&q, spf_dns::Rcode::NoError, answers)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_codec");
+    for (name, msg) in [("spf_txt", spf_response()), ("mx_10", mx_response())] {
+        group.bench_function(format!("encode_compressed/{name}"), |b| {
+            b.iter(|| encode(black_box(&msg)).unwrap())
+        });
+        group.bench_function(format!("encode_uncompressed/{name}"), |b| {
+            b.iter(|| encode_uncompressed(black_box(&msg)).unwrap())
+        });
+        let bytes = encode(&msg).unwrap();
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| decode(black_box(&bytes)).unwrap())
+        });
+        // Report the size win once per target (visible with --nocapture).
+        let plain = encode_uncompressed(&msg).unwrap();
+        eprintln!(
+            "[dns_codec] {name}: compressed {}B vs uncompressed {}B ({:.0} % saved)",
+            bytes.len(),
+            plain.len(),
+            (1.0 - bytes.len() as f64 / plain.len() as f64) * 100.0
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

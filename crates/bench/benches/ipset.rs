@@ -1,0 +1,90 @@
+//! Ipv4Set arithmetic — the engine behind Figure 5 and Table 4 — and the
+//! representation ablation from DESIGN.md §5: interval arithmetic vs
+//! naive address enumeration. Enumeration is only feasible up to small
+//! blocks (a /16 is already 65k inserts; a /8 would be 16M), which is
+//! exactly why the analyzer needs the interval set.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spf_netsim::AddressAllocator;
+use spf_types::{Ipv4Cidr, Ipv4Set};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+/// The 20 Table 4 allowed-IP counts.
+const PROVIDER_SIZES: [u64; 20] = [
+    491_520, 328_960, 1_088_784, 505_104, 4_358, 22_528, 4_608, 220_672, 1_049, 264, 64_512, 2,
+    36_312, 4_358, 6_209, 26_112, 5_120, 10_492, 87_040, 15,
+];
+
+fn provider_sets() -> Vec<Ipv4Set> {
+    let mut alloc = AddressAllocator::new(Ipv4Addr::new(16, 0, 0, 0), 4);
+    PROVIDER_SIZES
+        .iter()
+        .map(|&size| alloc.alloc_mail_style(size).into_iter().collect())
+        .collect()
+}
+
+fn bench_union(c: &mut Criterion) {
+    let sets = provider_sets();
+    let mut group = c.benchmark_group("ipset");
+    group.bench_function("union_20_providers", |b| {
+        b.iter(|| {
+            let mut acc = Ipv4Set::new();
+            for s in &sets {
+                acc.union_with(black_box(s));
+            }
+            acc.address_count()
+        })
+    });
+    group.bench_function("count_after_union", |b| {
+        let mut acc = Ipv4Set::new();
+        for s in &sets {
+            acc.union_with(s);
+        }
+        b.iter(|| black_box(&acc).address_count())
+    });
+    group.bench_function("contains_probe", |b| {
+        let mut acc = Ipv4Set::new();
+        for s in &sets {
+            acc.union_with(s);
+        }
+        let probes: Vec<Ipv4Addr> =
+            (0..256u32).map(|i| Ipv4Addr::from(0x1000_0000 + i * 65_537)).collect();
+        b.iter(|| probes.iter().filter(|p| acc.contains(**p)).count())
+    });
+    group.finish();
+}
+
+/// Ablation: inserting a /16 as one interval vs 65,536 single addresses.
+fn bench_representation_ablation(c: &mut Criterion) {
+    let block: Ipv4Cidr = "10.20.0.0/16".parse().unwrap();
+    let mut group = c.benchmark_group("ipset_representation");
+    group.bench_function("interval_insert_slash16", |b| {
+        b.iter_batched(
+            Ipv4Set::new,
+            |mut set| {
+                set.insert_cidr(black_box(&block));
+                set.address_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.sample_size(10);
+    group.bench_function("naive_enumerate_slash16", |b| {
+        let (lo, hi) = block.range_u32();
+        b.iter_batched(
+            Ipv4Set::new,
+            |mut set| {
+                for v in lo..=hi {
+                    set.insert_addr(Ipv4Addr::from(v));
+                }
+                set.address_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_union, bench_representation_ablation);
+criterion_main!(benches);

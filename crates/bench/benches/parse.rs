@@ -1,0 +1,63 @@
+//! Parser throughput: the crawl parses one record per SPF domain, so
+//! `parse_lenient` dominates the classification pipeline behind
+//! Figures 2/3. Includes the strict/lenient comparison and the
+//! record-detection predicate that filters TXT records.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const CORPUS: &[(&str, &str)] = &[
+    ("deny_all", "v=spf1 -all"),
+    ("provider_include", "v=spf1 include:spf.protection.outlook.com -all"),
+    ("paper_example", "v=spf1 +mx a:puffin.example.com/28 -all"),
+    (
+        "many_ip4",
+        "v=spf1 ip4:192.0.2.0/24 ip4:198.51.100.0/24 ip4:203.0.113.0/24 \
+         ip4:10.0.0.0/8 ip4:172.16.0.0/12 ip4:192.168.0.0/16 ~all",
+    ),
+    (
+        "macro_heavy",
+        "v=spf1 exists:%{ir}.%{v}._spf.%{d2} include:%{d2}.trusted.example redirect=%{d}",
+    ),
+    ("syntax_error_mix", "v=spf1 ipv4:1.2.3.4 ip4: 5.6.7.8 v=spf1 -al"),
+    (
+        "long_provider",
+        // A websitewelcome-scale record: dozens of blocks.
+        "v=spf1 ip4:16.0.0.1 ip4:16.0.0.2 ip4:16.0.0.3 ip4:16.0.1.0/24 ip4:16.0.2.0/24 \
+         ip4:16.4.0.0/16 ip4:16.8.0.0/14 ip4:17.0.0.0/15 ip4:17.2.0.0/16 ip4:17.3.0.0/19 \
+         ip4:17.3.32.0/20 ip4:17.3.48.0/21 ip4:17.3.56.0/25 ip4:17.3.56.128/28 -all",
+    ),
+];
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for (name, record) in CORPUS {
+        group.bench_function(format!("lenient/{name}"), |b| {
+            b.iter(|| spf_core::parse_lenient(black_box(record)))
+        });
+    }
+    group.bench_function("strict/paper_example", |b| {
+        b.iter(|| spf_core::parse(black_box("v=spf1 +mx a:puffin.example.com/28 -all")))
+    });
+    group.bench_function("is_spf_record", |b| {
+        b.iter_batched(
+            || CORPUS.iter().map(|(_, r)| *r).collect::<Vec<_>>(),
+            |records| records.iter().map(|r| spf_core::is_spf_record(black_box(r))).count(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_dmarc(c: &mut Criterion) {
+    c.bench_function("parse/dmarc_full", |b| {
+        b.iter(|| {
+            spf_core::parse_dmarc(black_box(
+                "v=DMARC1; p=reject; sp=quarantine; rua=mailto:agg@x.example; pct=50; adkim=s",
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_dmarc);
+criterion_main!(benches);

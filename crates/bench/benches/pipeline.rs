@@ -1,0 +1,131 @@
+//! End-to-end experiment pipelines under measurement — one bench per
+//! table/figure family (see DESIGN.md §4's bench-target column) plus the
+//! record-cache ablation: the paper stresses that their cache collapses
+//! repeated provider lookups; `crawl_adoption/cache_off` quantifies the
+//! DNS load without it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spf_analyzer::{analyze_domain, Walker};
+use spf_crawler::{crawl, include_ecosystem, CrawlConfig, ScanAggregates};
+use spf_dns::{VirtualClock, ZoneResolver};
+use spf_netsim::{Population, PopulationConfig, Scale};
+use spf_notify::{apply_remediation, Campaign, CampaignConfig, FixRates};
+use std::hint::black_box;
+
+const BENCH_SCALE: u64 = 20_000; // ≈641 domains: fast enough per iteration
+const SEED: u64 = 0x5bf1_2023;
+
+fn population() -> Population {
+    Population::build(PopulationConfig { scale: Scale { denominator: BENCH_SCALE }, seed: SEED })
+}
+
+/// Table 1 / Figure 1: the crawl that measures adoption — with the shared
+/// record cache (paper design) and without it (ablation).
+fn bench_crawl_adoption(c: &mut Criterion) {
+    let pop = population();
+    let mut group = c.benchmark_group("crawl_adoption");
+    group.sample_size(10);
+    group.bench_function("cache_on", |b| {
+        b.iter(|| {
+            let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
+            let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+            ScanAggregates::compute(&out.reports).with_spf
+        })
+    });
+    group.bench_function("cache_off", |b| {
+        b.iter(|| {
+            // A fresh walker per domain defeats the cache entirely.
+            pop.domains
+                .iter()
+                .map(|d| {
+                    let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
+                    analyze_domain(&walker, d).has_spf as u64
+                })
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+/// Figures 2/3: classifying one erroneous domain of each class.
+fn bench_analyze_errors(c: &mut Criterion) {
+    let pop = population();
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
+    // Warm the provider cache, then find one domain per error class.
+    let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+    let error_domains: Vec<_> = out
+        .reports
+        .iter()
+        .filter(|r| r.has_error())
+        .map(|r| r.domain.clone())
+        .take(16)
+        .collect();
+    assert!(!error_domains.is_empty());
+    c.bench_function("analyze_errors/classify_16_domains", |b| {
+        b.iter(|| {
+            let fresh = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
+            error_domains.iter().map(|d| analyze_domain(&fresh, d).has_error() as u64).sum::<u64>()
+        })
+    });
+}
+
+/// Table 4 / Figure 5: recursive authorized-IP counting per domain.
+fn bench_ip_counting(c: &mut Criterion) {
+    let pop = population();
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
+    let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+    c.bench_function("ip_counting/ecosystem", |b| {
+        b.iter(|| include_ecosystem(black_box(&out.reports), &walker).len())
+    });
+    c.bench_function("ip_counting/cdf", |b| {
+        let agg = ScanAggregates::compute(&out.reports);
+        b.iter(|| spf_report::Cdf::new(agg.allowed_ip_counts.clone()).fraction_above(100_000))
+    });
+}
+
+/// Table 2: campaign + remediation + rescan.
+fn bench_notify_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("notify_campaign");
+    group.sample_size(10);
+    group.bench_function("campaign_remediate_rescan", |b| {
+        b.iter_batched(
+            || {
+                let pop = population();
+                let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
+                let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+                (pop, out.reports)
+            },
+            |(pop, reports)| {
+                let clock = Arc::new(VirtualClock::new());
+                let mut campaign = Campaign::new(CampaignConfig::default(), clock);
+                let outcome = campaign.run(&reports);
+                apply_remediation(&pop.store, &reports, &FixRates::default(), SEED);
+                let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
+                let rescan = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+                (outcome.sent, ScanAggregates::compute(&rescan.reports).total_errors())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+/// The population generator itself (world-building cost).
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_population");
+    group.sample_size(10);
+    group.bench_function("scale_1_to_20000", |b| b.iter(population));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crawl_adoption,
+    bench_analyze_errors,
+    bench_ip_counting,
+    bench_notify_campaign,
+    bench_generate
+);
+criterion_main!(benches);

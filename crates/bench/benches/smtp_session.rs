@@ -1,0 +1,62 @@
+//! Table 5's transport cost: a full spoof attempt is one TCP SMTP session
+//! (connect, EHLO, XCLIENT, MAIL, RCPT, DATA, QUIT) against the receiving
+//! MTA with its SPF gate — this bench measures that session end to end,
+//! plus the case-study harness as a whole.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf_dns::{ZoneResolver, ZoneStore};
+use spf_netsim::{build_hosting, Scale};
+use spf_smtp::{run_case_study, MtaConfig, SmtpClient, SmtpServer};
+use spf_types::DomainName;
+
+fn bench_session(c: &mut Criterion) {
+    let store = Arc::new(ZoneStore::new());
+    let victim = DomainName::parse("victim.example").unwrap();
+    store.add_txt(&victim, "v=spf1 ip4:198.51.100.7 -all");
+    let server =
+        SmtpServer::spawn(Arc::new(ZoneResolver::new(Arc::clone(&store))), MtaConfig::default())
+            .unwrap();
+    let addr = server.addr();
+    let mut group = c.benchmark_group("smtp_session");
+    group.sample_size(30);
+    group.bench_function("full_session_spf_pass", |b| {
+        b.iter(|| {
+            let mut client = SmtpClient::connect(addr).unwrap();
+            client.ehlo("web.hosting.example").unwrap();
+            client.xclient("198.51.100.7".parse().unwrap()).unwrap();
+            client.mail_from("ceo@victim.example").unwrap();
+            client.rcpt_to("us@receiver.example").unwrap();
+            client.data("Subject: hi\n\nbody").unwrap();
+            client.quit().unwrap();
+        })
+    });
+    group.bench_function("rejected_session_spf_fail", |b| {
+        b.iter(|| {
+            let mut client = SmtpClient::connect(addr).unwrap();
+            client.ehlo("attacker.example").unwrap();
+            client.xclient("203.0.113.9".parse().unwrap()).unwrap();
+            let reply = client.mail_from("ceo@victim.example").unwrap();
+            assert_eq!(reply.code, 550);
+            client.quit().unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_case_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case_study");
+    group.sample_size(10);
+    group.bench_function("table5_five_providers", |b| {
+        b.iter(|| {
+            let world = build_hosting(Scale { denominator: 10_000 });
+            let resolver = Arc::new(ZoneResolver::new(Arc::clone(&world.store)));
+            run_case_study(&world, resolver).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session, bench_case_study);
+criterion_main!(benches);

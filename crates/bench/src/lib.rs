@@ -1,0 +1,17 @@
+//! # spf-bench — experiment regeneration pipelines and criterion benches
+//!
+//! [`experiments`] holds one pipeline per table/figure of the paper; the
+//! `repro` binary (workspace root) drives them and writes EXPERIMENTS.md,
+//! while the criterion benches in `benches/` measure the building blocks
+//! (parser, evaluator, IP-set arithmetic, DNS codec, crawl, SMTP) and the
+//! ablations called out in DESIGN.md §5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    extras, figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8, prepare,
+    table1, table2, table3, table4, table5, Repro,
+};

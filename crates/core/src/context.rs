@@ -1,0 +1,127 @@
+//! Evaluation context and result types for `check_host()` (RFC 7208 §2.6,
+//! §4.1).
+
+use std::fmt;
+use std::net::IpAddr;
+
+use serde::{Deserialize, Serialize};
+use spf_types::DomainName;
+
+/// The outcome of an SPF evaluation (RFC 7208 §2.6).
+///
+/// The paper stresses two defaults that surprise operators: a matching
+/// mechanism without qualifier yields [`SpfResult::Pass`], and a record
+/// with *no* matching mechanism and no `all` yields [`SpfResult::Neutral`]
+/// — not `Fail`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpfResult {
+    /// No SPF record (or no valid domain) — no policy statement at all.
+    None,
+    /// The record makes no assertion about this host.
+    Neutral,
+    /// The host is authorized.
+    Pass,
+    /// The host is explicitly not authorized.
+    Fail,
+    /// The host is not authorized, but the policy is advisory.
+    SoftFail,
+    /// A transient DNS error interrupted evaluation.
+    TempError,
+    /// The record is invalid or exceeded processing limits.
+    PermError,
+}
+
+impl SpfResult {
+    /// Does a receiving MTA treat this as an authorization to deliver?
+    /// Only `pass` authorizes; `none`/`neutral` "MUST be treated exactly
+    /// alike" (neither authorizes), and `softfail` is advisory.
+    pub fn authorizes(self) -> bool {
+        matches!(self, SpfResult::Pass)
+    }
+}
+
+impl fmt::Display for SpfResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpfResult::None => "none",
+            SpfResult::Neutral => "neutral",
+            SpfResult::Pass => "pass",
+            SpfResult::Fail => "fail",
+            SpfResult::SoftFail => "softfail",
+            SpfResult::TempError => "temperror",
+            SpfResult::PermError => "permerror",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The per-message inputs to `check_host()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalContext {
+    /// The connecting SMTP client address.
+    pub ip: IpAddr,
+    /// The MAIL FROM local-part (`postmaster` when MAIL FROM is empty).
+    pub sender_local: String,
+    /// The MAIL FROM domain (falls back to the HELO domain).
+    pub sender_domain: DomainName,
+    /// The HELO/EHLO identity.
+    pub helo: DomainName,
+    /// The receiving host name (for `%{r}` in explanations).
+    pub receiver: Option<DomainName>,
+}
+
+impl EvalContext {
+    /// Context for a MAIL FROM check of `local@domain` from `ip`.
+    pub fn mail_from(ip: IpAddr, local: &str, domain: DomainName) -> Self {
+        EvalContext {
+            ip,
+            sender_local: local.to_string(),
+            sender_domain: domain.clone(),
+            helo: domain,
+            receiver: None,
+        }
+    }
+
+    /// The full sender identity `local-part@domain` (`%{s}`).
+    pub fn sender(&self) -> String {
+        format!("{}@{}", self.sender_local, self.sender_domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_rfc() {
+        assert_eq!(SpfResult::None.to_string(), "none");
+        assert_eq!(SpfResult::TempError.to_string(), "temperror");
+        assert_eq!(SpfResult::PermError.to_string(), "permerror");
+    }
+
+    #[test]
+    fn only_pass_authorizes() {
+        assert!(SpfResult::Pass.authorizes());
+        for r in [
+            SpfResult::None,
+            SpfResult::Neutral,
+            SpfResult::Fail,
+            SpfResult::SoftFail,
+            SpfResult::TempError,
+            SpfResult::PermError,
+        ] {
+            assert!(!r.authorizes(), "{r} must not authorize");
+        }
+    }
+
+    #[test]
+    fn sender_identity() {
+        let ctx = EvalContext::mail_from(
+            "192.0.2.3".parse().unwrap(),
+            "strong-bad",
+            DomainName::parse("email.example.com").unwrap(),
+        );
+        assert_eq!(ctx.sender(), "strong-bad@email.example.com");
+        assert_eq!(ctx.helo.as_str(), "email.example.com");
+    }
+}

@@ -1,0 +1,1114 @@
+//! `check_host()` — the RFC 7208 §4 evaluation algorithm.
+//!
+//! This is what a receiving MTA runs when an email arrives, and what the
+//! paper's case study exercises end-to-end: given a connecting IP and a
+//! sender domain, walk the domain's SPF record (recursing through
+//! `include`/`redirect`), enforce the 10-lookup and 2-void-lookup limits
+//! of §4.6.4, and produce one of the seven [`SpfResult`]s.
+//!
+//! Two details the paper leans on are modelled explicitly:
+//!
+//! * **Lookup accounting.** RFC 7208 is "not totally clear" (§5.3 of the
+//!   paper) on whether lookups inside an included record count against the
+//!   caller's budget. `checkdmarc` — and therefore the study — counts them
+//!   *globally during recursion*; [`LookupAccounting::GlobalRecursive`]
+//!   reproduces that, and [`LookupAccounting::PerRecord`] provides the
+//!   lenient alternative as an ablation knob (DESIGN.md §5).
+//! * **Early termination.** Exceeding the limit only matters if evaluation
+//!   is still running; "the SPF check can be successful if a result is
+//!   returned within the first 10 lookups" — which is exactly how this
+//!   evaluator behaves, and why the *analyzer* (which explores the whole
+//!   record) reports more lookup-limit errors than live mail flow sees.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use spf_dns::{DnsError, RecordData, RecordType, Resolver};
+use spf_types::{
+    DomainName, DualCidr, Ipv4Cidr, Ipv6Cidr, MacroString, Mechanism, Modifier, Qualifier,
+    SpfRecord, Term, MAX_DNS_LOOKUPS, MAX_VOID_LOOKUPS,
+};
+
+use crate::context::{EvalContext, SpfResult};
+use crate::macroexpand::expand_domain;
+use crate::parse::{self, SyntaxError};
+
+/// How DNS-querying terms are counted against the §4.6.4 limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LookupAccounting {
+    /// One global budget across the whole recursive evaluation — the
+    /// `checkdmarc` reading used by the paper.
+    GlobalRecursive,
+    /// Each record gets its own budget (lenient reading some MTAs use;
+    /// ablation only).
+    PerRecord,
+}
+
+/// Evaluation limits and switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalPolicy {
+    /// Maximum DNS-querying terms (RFC: 10).
+    pub max_dns_lookups: usize,
+    /// Maximum void lookups (RFC: 2).
+    pub max_void_lookups: usize,
+    /// Recursion depth guard (beyond loop detection; RFC has no number,
+    /// real resolvers cap around 10–20).
+    pub max_recursion_depth: usize,
+    /// Lookup accounting strategy.
+    pub accounting: LookupAccounting,
+    /// Whether to fetch and expand the `exp=` explanation on `fail`.
+    pub fetch_explanation: bool,
+}
+
+impl Default for EvalPolicy {
+    fn default() -> Self {
+        EvalPolicy {
+            max_dns_lookups: MAX_DNS_LOOKUPS,
+            max_void_lookups: MAX_VOID_LOOKUPS,
+            max_recursion_depth: 20,
+            accounting: LookupAccounting::GlobalRecursive,
+            fetch_explanation: false,
+        }
+    }
+}
+
+/// Why an evaluation ended in `permerror`/`temperror` (or `none`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalProblem {
+    /// The initial domain has no SPF record.
+    NoRecord,
+    /// More than one `v=spf1` TXT record at one name.
+    MultipleRecords {
+        /// The offending domain.
+        domain: DomainName,
+        /// How many SPF records were found.
+        count: usize,
+    },
+    /// A record failed to parse.
+    Syntax {
+        /// The offending domain.
+        domain: DomainName,
+        /// The first syntax error.
+        error: SyntaxError,
+    },
+    /// The 10-lookup limit was exceeded.
+    TooManyLookups {
+        /// Lookups counted when the limit tripped.
+        used: usize,
+    },
+    /// The 2-void-lookup limit was exceeded.
+    TooManyVoidLookups {
+        /// Void lookups counted when the limit tripped.
+        used: usize,
+    },
+    /// An `include` chain revisited a domain.
+    IncludeLoop {
+        /// The revisited domain.
+        domain: DomainName,
+    },
+    /// A `redirect` chain revisited a domain.
+    RedirectLoop {
+        /// The revisited domain.
+        domain: DomainName,
+    },
+    /// An included/redirected domain had no usable SPF record
+    /// ("record not found" in the paper's taxonomy).
+    RecordNotFound {
+        /// The domain whose record was missing.
+        domain: DomainName,
+        /// What the DNS said.
+        cause: RecordNotFoundCause,
+    },
+    /// A transient DNS error interrupted evaluation.
+    DnsTransient {
+        /// The domain being queried.
+        domain: DomainName,
+    },
+    /// A macro expansion produced an invalid domain.
+    BadExpansion {
+        /// The text that failed.
+        text: String,
+    },
+    /// Recursion exceeded the policy depth guard.
+    TooDeep,
+    /// An internal MX mechanism listed more than 10 exchanges.
+    TooManyMxRecords {
+        /// The domain whose MX RRset was oversized.
+        domain: DomainName,
+    },
+}
+
+/// Sub-causes of a missing record, matching Figure 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordNotFoundCause {
+    /// The name resolves but publishes no SPF record.
+    NoSpfRecord,
+    /// The name publishes multiple SPF records.
+    MultipleSpfRecords,
+    /// NXDOMAIN.
+    DomainNotFound,
+    /// NOERROR with an empty answer section.
+    EmptyResult,
+    /// The query timed out (a `temperror`, tracked for Figure 3).
+    DnsTimeout,
+}
+
+/// The full outcome of a `check_host()` run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The RFC 7208 result.
+    pub result: SpfResult,
+    /// DNS-querying terms consumed (global across recursion).
+    pub dns_lookups: usize,
+    /// Void lookups observed.
+    pub void_lookups: usize,
+    /// The textual form of the directive that matched, if any.
+    pub matched_directive: Option<String>,
+    /// The domain whose record produced the final result (differs from the
+    /// queried domain after redirects).
+    pub final_domain: DomainName,
+    /// Failure detail for `temperror`/`permerror`/`none`.
+    pub problem: Option<EvalProblem>,
+    /// The expanded `exp=` text, when the policy requested it and the
+    /// result is `fail`.
+    pub explanation: Option<String>,
+}
+
+/// Evaluate `check_host(ip, domain, sender)` against `resolver`.
+pub fn check_host<R: Resolver + ?Sized>(
+    resolver: &R,
+    ctx: &EvalContext,
+    domain: &DomainName,
+    policy: &EvalPolicy,
+) -> Evaluation {
+    let mut state = EvalState {
+        resolver,
+        ctx,
+        policy,
+        lookups: 0,
+        void_lookups: 0,
+        stack: Vec::new(),
+        matched: None,
+        final_domain: domain.clone(),
+        explanation_source: None,
+    };
+    let outcome = state.eval_domain(domain, 0, true);
+    let (result, problem) = match outcome {
+        Ok(r) => (r, None),
+        Err(p) => (problem_result(&p), Some(p)),
+    };
+    let explanation = if result == SpfResult::Fail && policy.fetch_explanation {
+        state.fetch_explanation()
+    } else {
+        None
+    };
+    Evaluation {
+        result,
+        dns_lookups: state.lookups,
+        void_lookups: state.void_lookups,
+        matched_directive: state.matched,
+        final_domain: state.final_domain,
+        problem,
+        explanation,
+    }
+}
+
+/// Which result a problem maps to.
+fn problem_result(p: &EvalProblem) -> SpfResult {
+    match p {
+        EvalProblem::NoRecord => SpfResult::None,
+        EvalProblem::DnsTransient { .. } => SpfResult::TempError,
+        EvalProblem::RecordNotFound { cause: RecordNotFoundCause::DnsTimeout, .. } => {
+            SpfResult::TempError
+        }
+        _ => SpfResult::PermError,
+    }
+}
+
+struct EvalState<'a, R: ?Sized> {
+    resolver: &'a R,
+    ctx: &'a EvalContext,
+    policy: &'a EvalPolicy,
+    lookups: usize,
+    void_lookups: usize,
+    stack: Vec<DomainName>,
+    matched: Option<String>,
+    final_domain: DomainName,
+    explanation_source: Option<(DomainName, MacroString)>,
+}
+
+impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
+    /// Fetch + select the SPF record for a domain per RFC 7208 §4.5.
+    fn fetch_record(
+        &mut self,
+        domain: &DomainName,
+    ) -> Result<SpfRecord, FetchFailure> {
+        let answers = match self.resolver.query(domain, RecordType::Txt) {
+            Ok(a) => a,
+            Err(DnsError::NxDomain) => {
+                self.count_void();
+                return Err(FetchFailure::NxDomain);
+            }
+            Err(e) if e.is_transient() => return Err(FetchFailure::Transient),
+            Err(_) => return Err(FetchFailure::Transient),
+        };
+        let spf_texts: Vec<String> = answers
+            .iter()
+            .filter_map(|rr| match &rr.data {
+                RecordData::Txt(t) => {
+                    let joined = t.joined();
+                    parse::is_spf_record(&joined).then_some(joined)
+                }
+                _ => None,
+            })
+            .collect();
+        match spf_texts.len() {
+            0 => {
+                if answers.is_empty() {
+                    self.count_void();
+                    Err(FetchFailure::EmptyAnswer)
+                } else {
+                    Err(FetchFailure::NoSpfRecord)
+                }
+            }
+            1 => match parse::parse(&spf_texts[0]) {
+                Ok(record) => Ok(record),
+                Err(error) => Err(FetchFailure::Syntax(error)),
+            },
+            n => Err(FetchFailure::Multiple(n)),
+        }
+    }
+
+    fn count_void(&mut self) {
+        self.void_lookups += 1;
+    }
+
+    fn check_void_budget(&self) -> Result<(), EvalProblem> {
+        if self.void_lookups > self.policy.max_void_lookups {
+            Err(EvalProblem::TooManyVoidLookups { used: self.void_lookups })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charge one DNS-querying term against the budget.
+    fn charge_lookup(&mut self, local_counter: &mut usize) -> Result<(), EvalProblem> {
+        self.lookups += 1;
+        *local_counter += 1;
+        let used = match self.policy.accounting {
+            LookupAccounting::GlobalRecursive => self.lookups,
+            LookupAccounting::PerRecord => *local_counter,
+        };
+        if used > self.policy.max_dns_lookups {
+            Err(EvalProblem::TooManyLookups { used: self.lookups })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn eval_domain(
+        &mut self,
+        domain: &DomainName,
+        depth: usize,
+        initial: bool,
+    ) -> Result<SpfResult, EvalProblem> {
+        if depth > self.policy.max_recursion_depth {
+            return Err(EvalProblem::TooDeep);
+        }
+        self.final_domain = domain.clone();
+        let record = match self.fetch_record(domain) {
+            Ok(r) => r,
+            Err(FetchFailure::Transient) => {
+                return Err(EvalProblem::DnsTransient { domain: domain.clone() })
+            }
+            Err(FetchFailure::NxDomain) => {
+                self.check_void_budget()?;
+                return if initial {
+                    Err(EvalProblem::NoRecord)
+                } else {
+                    Err(EvalProblem::RecordNotFound {
+                        domain: domain.clone(),
+                        cause: RecordNotFoundCause::DomainNotFound,
+                    })
+                };
+            }
+            Err(FetchFailure::EmptyAnswer) => {
+                self.check_void_budget()?;
+                return if initial {
+                    Err(EvalProblem::NoRecord)
+                } else {
+                    Err(EvalProblem::RecordNotFound {
+                        domain: domain.clone(),
+                        cause: RecordNotFoundCause::EmptyResult,
+                    })
+                };
+            }
+            Err(FetchFailure::NoSpfRecord) => {
+                return if initial {
+                    Err(EvalProblem::NoRecord)
+                } else {
+                    Err(EvalProblem::RecordNotFound {
+                        domain: domain.clone(),
+                        cause: RecordNotFoundCause::NoSpfRecord,
+                    })
+                };
+            }
+            Err(FetchFailure::Multiple(count)) => {
+                return Err(EvalProblem::MultipleRecords { domain: domain.clone(), count })
+            }
+            Err(FetchFailure::Syntax(error)) => {
+                return Err(EvalProblem::Syntax { domain: domain.clone(), error })
+            }
+        };
+
+        self.stack.push(domain.clone());
+        let result = self.eval_record(&record, domain, depth);
+        self.stack.pop();
+        result
+    }
+
+    fn eval_record(
+        &mut self,
+        record: &SpfRecord,
+        domain: &DomainName,
+        depth: usize,
+    ) -> Result<SpfResult, EvalProblem> {
+        // Remember exp= for explanation fetching (original record only).
+        if depth == 0 && self.explanation_source.is_none() {
+            for m in record.modifiers() {
+                if let Modifier::Exp { domain: exp } = m {
+                    self.explanation_source = Some((domain.clone(), exp.clone()));
+                }
+            }
+        }
+
+        let mut local_counter = 0usize;
+        let mut saw_all = false;
+        for term in &record.terms {
+            match term {
+                Term::Directive(directive) => {
+                    if matches!(directive.mechanism, Mechanism::All) {
+                        saw_all = true;
+                    }
+                    if directive.mechanism.counts_as_dns_lookup() {
+                        self.charge_lookup(&mut local_counter)?;
+                    }
+                    let matched = self.matches(&directive.mechanism, domain, depth)?;
+                    self.check_void_budget()?;
+                    if matched {
+                        self.matched = Some(directive.to_string());
+                        self.final_domain = domain.clone();
+                        return Ok(qualifier_result(directive.qualifier));
+                    }
+                }
+                Term::Modifier(_) => {}
+            }
+        }
+
+        // No mechanism matched: take redirect if present (ignored when an
+        // `all` directive exists anywhere in the record, RFC 7208 §6.1).
+        if !saw_all {
+            if let Some(target) = record.redirect() {
+                self.charge_lookup(&mut local_counter)?;
+                let target_domain = expand_domain(target, self.ctx, domain, None)
+                    .map_err(|_| EvalProblem::BadExpansion { text: target.to_string() })?;
+                if self.stack.contains(&target_domain) {
+                    return Err(EvalProblem::RedirectLoop { domain: target_domain });
+                }
+                return match self.eval_domain(&target_domain, depth + 1, false) {
+                    // RFC 7208 §6.1: if the redirect target has no record,
+                    // the result is permerror.
+                    Err(EvalProblem::NoRecord) => Err(EvalProblem::RecordNotFound {
+                        domain: target_domain,
+                        cause: RecordNotFoundCause::NoSpfRecord,
+                    }),
+                    other => other,
+                };
+            }
+        }
+        Ok(SpfResult::Neutral)
+    }
+
+    fn matches(
+        &mut self,
+        mechanism: &Mechanism,
+        domain: &DomainName,
+        depth: usize,
+    ) -> Result<bool, EvalProblem> {
+        match mechanism {
+            Mechanism::All => Ok(true),
+            Mechanism::Ip4 { cidr } => Ok(match self.ctx.ip {
+                IpAddr::V4(v4) => cidr.contains(v4),
+                IpAddr::V6(_) => false,
+            }),
+            Mechanism::Ip6 { cidr } => Ok(match self.ctx.ip {
+                IpAddr::V6(v6) => cidr.contains(v6),
+                IpAddr::V4(_) => false,
+            }),
+            Mechanism::A { domain: target, cidr } => {
+                let name = self.target_domain(target.as_ref(), domain)?;
+                self.address_match(&name, cidr)
+            }
+            Mechanism::Mx { domain: target, cidr } => {
+                let name = self.target_domain(target.as_ref(), domain)?;
+                let exchanges = match self.resolver.query(&name, RecordType::Mx) {
+                    Ok(rrs) => {
+                        if rrs.is_empty() {
+                            self.count_void();
+                        }
+                        rrs
+                    }
+                    Err(DnsError::NxDomain) => {
+                        self.count_void();
+                        Vec::new()
+                    }
+                    Err(e) if e.is_transient() => {
+                        return Err(EvalProblem::DnsTransient { domain: name })
+                    }
+                    Err(_) => Vec::new(),
+                };
+                let mut names: Vec<DomainName> = exchanges
+                    .iter()
+                    .filter_map(|rr| match &rr.data {
+                        RecordData::Mx { exchange, .. } => Some(exchange.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                // RFC 7208 §4.6.4: evaluating an MX mechanism across more
+                // than 10 exchange names is a permerror.
+                if names.len() > 10 {
+                    return Err(EvalProblem::TooManyMxRecords { domain: name });
+                }
+                names.dedup();
+                for exchange in names {
+                    if self.address_match(&exchange, cidr)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Mechanism::Ptr { domain: target } => {
+                let scope = self.target_domain(target.as_ref(), domain)?;
+                self.ptr_match(&scope)
+            }
+            Mechanism::Exists { domain: target } => {
+                let name = expand_domain(target, self.ctx, domain, None)
+                    .map_err(|_| EvalProblem::BadExpansion { text: target.to_string() })?;
+                // `exists` always queries A, even for IPv6 senders.
+                match self.resolver.query(&name, RecordType::A) {
+                    Ok(rrs) if !rrs.is_empty() => Ok(true),
+                    Ok(_) => {
+                        self.count_void();
+                        Ok(false)
+                    }
+                    Err(DnsError::NxDomain) => {
+                        self.count_void();
+                        Ok(false)
+                    }
+                    Err(e) if e.is_transient() => {
+                        Err(EvalProblem::DnsTransient { domain: name })
+                    }
+                    Err(_) => Ok(false),
+                }
+            }
+            Mechanism::Include { domain: target } => {
+                let target_domain = expand_domain(target, self.ctx, domain, None)
+                    .map_err(|_| EvalProblem::BadExpansion { text: target.to_string() })?;
+                if self.stack.contains(&target_domain) {
+                    return Err(EvalProblem::IncludeLoop { domain: target_domain });
+                }
+                match self.eval_domain(&target_domain, depth + 1, false) {
+                    // RFC 7208 §5.2 result table.
+                    Ok(SpfResult::Pass) => Ok(true),
+                    Ok(SpfResult::Fail | SpfResult::SoftFail | SpfResult::Neutral) => Ok(false),
+                    Ok(SpfResult::TempError) => {
+                        Err(EvalProblem::DnsTransient { domain: target_domain })
+                    }
+                    Ok(SpfResult::None | SpfResult::PermError) | Err(EvalProblem::NoRecord) => {
+                        Err(EvalProblem::RecordNotFound {
+                            domain: target_domain,
+                            cause: RecordNotFoundCause::NoSpfRecord,
+                        })
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Resolve the effective target of a/mx/ptr: explicit (macro-expanded)
+    /// argument or the current domain.
+    fn target_domain(
+        &mut self,
+        target: Option<&MacroString>,
+        domain: &DomainName,
+    ) -> Result<DomainName, EvalProblem> {
+        match target {
+            None => Ok(domain.clone()),
+            Some(ms) => expand_domain(ms, self.ctx, domain, None)
+                .map_err(|_| EvalProblem::BadExpansion { text: ms.to_string() }),
+        }
+    }
+
+    /// A/AAAA lookup + dual-CIDR match against the sending IP.
+    fn address_match(&mut self, name: &DomainName, cidr: &DualCidr) -> Result<bool, EvalProblem> {
+        match self.ctx.ip {
+            IpAddr::V4(v4) => {
+                let rrs = match self.resolver.query(name, RecordType::A) {
+                    Ok(rrs) => {
+                        if rrs.is_empty() {
+                            self.count_void();
+                        }
+                        rrs
+                    }
+                    Err(DnsError::NxDomain) => {
+                        self.count_void();
+                        return Ok(false);
+                    }
+                    Err(e) if e.is_transient() => {
+                        return Err(EvalProblem::DnsTransient { domain: name.clone() })
+                    }
+                    Err(_) => return Ok(false),
+                };
+                for rr in rrs {
+                    if let RecordData::A(addr) = rr.data {
+                        let net = Ipv4Cidr::new(addr, cidr.v4).expect("prefix validated at parse");
+                        if net.contains(v4) {
+                            return Ok(true);
+                        }
+                    }
+                }
+                Ok(false)
+            }
+            IpAddr::V6(v6) => {
+                let rrs = match self.resolver.query(name, RecordType::Aaaa) {
+                    Ok(rrs) => {
+                        if rrs.is_empty() {
+                            self.count_void();
+                        }
+                        rrs
+                    }
+                    Err(DnsError::NxDomain) => {
+                        self.count_void();
+                        return Ok(false);
+                    }
+                    Err(e) if e.is_transient() => {
+                        return Err(EvalProblem::DnsTransient { domain: name.clone() })
+                    }
+                    Err(_) => return Ok(false),
+                };
+                for rr in rrs {
+                    if let RecordData::Aaaa(addr) = rr.data {
+                        let net = Ipv6Cidr::new(addr, cidr.v6).expect("prefix validated at parse");
+                        if net.contains(v6) {
+                            return Ok(true);
+                        }
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// The deprecated `ptr` mechanism (RFC 7208 §5.5): reverse-map the IP,
+    /// validate each candidate name forward, match if a validated name is
+    /// within `scope`. DNS errors make the mechanism not match (never
+    /// temperror), and at most 10 names are inspected.
+    fn ptr_match(&mut self, scope: &DomainName) -> Result<bool, EvalProblem> {
+        let reverse_name = match self.ctx.ip {
+            IpAddr::V4(v4) => {
+                let o = v4.octets();
+                DomainName::parse(&format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0]))
+                    .expect("reverse name valid")
+            }
+            IpAddr::V6(v6) => {
+                let mut nibbles = Vec::with_capacity(32);
+                for o in v6.octets().iter().rev() {
+                    nibbles.push(format!("{:x}", o & 0xF));
+                    nibbles.push(format!("{:x}", o >> 4));
+                }
+                DomainName::parse(&format!("{}.ip6.arpa", nibbles.join(".")))
+                    .expect("reverse name valid")
+            }
+        };
+        let ptrs = match self.resolver.query(&reverse_name, RecordType::Ptr) {
+            Ok(rrs) => rrs,
+            Err(_) => {
+                self.count_void();
+                return Ok(false);
+            }
+        };
+        if ptrs.is_empty() {
+            self.count_void();
+            return Ok(false);
+        }
+        for rr in ptrs.iter().take(10) {
+            let RecordData::Ptr(candidate) = &rr.data else { continue };
+            // Forward-validate the candidate.
+            let validated = match self.ctx.ip {
+                IpAddr::V4(v4) => match self.resolver.query(candidate, RecordType::A) {
+                    Ok(rrs) => rrs.iter().any(|rr| matches!(rr.data, RecordData::A(a) if a == v4)),
+                    Err(_) => false,
+                },
+                IpAddr::V6(v6) => match self.resolver.query(candidate, RecordType::Aaaa) {
+                    Ok(rrs) => {
+                        rrs.iter().any(|rr| matches!(rr.data, RecordData::Aaaa(a) if a == v6))
+                    }
+                    Err(_) => false,
+                },
+            };
+            if validated && candidate.is_subdomain_of(scope) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Fetch and expand the `exp=` explanation after a `fail`.
+    fn fetch_explanation(&mut self) -> Option<String> {
+        let (record_domain, exp_spec) = self.explanation_source.clone()?;
+        let exp_domain = expand_domain(&exp_spec, self.ctx, &record_domain, None).ok()?;
+        let answers = self.resolver.query(&exp_domain, RecordType::Txt).ok()?;
+        let text = answers.iter().find_map(|rr| match &rr.data {
+            RecordData::Txt(t) => Some(t.joined()),
+            _ => None,
+        })?;
+        Some(crate::macroexpand::expand_explain_text(&text, self.ctx, &record_domain))
+    }
+}
+
+enum FetchFailure {
+    Transient,
+    NxDomain,
+    EmptyAnswer,
+    NoSpfRecord,
+    Multiple(usize),
+    Syntax(SyntaxError),
+}
+
+fn qualifier_result(q: Qualifier) -> SpfResult {
+    match q {
+        Qualifier::Pass => SpfResult::Pass,
+        Qualifier::Fail => SpfResult::Fail,
+        Qualifier::SoftFail => SpfResult::SoftFail,
+        Qualifier::Neutral => SpfResult::Neutral,
+    }
+}
+
+/// Convenience: evaluate with an `Arc<dyn Resolver>`.
+pub fn check_host_dyn(
+    resolver: &Arc<dyn Resolver>,
+    ctx: &EvalContext,
+    domain: &DomainName,
+    policy: &EvalPolicy,
+) -> Evaluation {
+    check_host(resolver.as_ref(), ctx, domain, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_dns::{ZoneResolver, ZoneStore};
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn ctx(ip: &str) -> EvalContext {
+        EvalContext::mail_from(ip.parse().unwrap(), "alice", dom("example.com"))
+    }
+
+    fn eval(store: &Arc<ZoneStore>, ip: &str, domain: &str) -> Evaluation {
+        let resolver = ZoneResolver::new(Arc::clone(store));
+        check_host(&resolver, &ctx(ip), &dom(domain), &EvalPolicy::default())
+    }
+
+    fn store() -> Arc<ZoneStore> {
+        Arc::new(ZoneStore::new())
+    }
+
+    #[test]
+    fn paper_example_record() {
+        // v=spf1 +mx a:puffin.example.com/28 -all  (§2.1 of the paper)
+        let s = store();
+        s.add_txt(&dom("example.com"), "v=spf1 +mx a:puffin.example.com/28 -all");
+        s.add_mx(&dom("example.com"), 10, &dom("mail.example.com"));
+        s.add_a(&dom("mail.example.com"), Ipv4Addr::new(192, 0, 2, 1));
+        s.add_a(&dom("puffin.example.com"), Ipv4Addr::new(203, 0, 113, 64));
+
+        // MX host passes.
+        assert_eq!(eval(&s, "192.0.2.1", "example.com").result, SpfResult::Pass);
+        // Anything in puffin's /28 passes (203.0.113.64/28 covers .64-.79).
+        assert_eq!(eval(&s, "203.0.113.79", "example.com").result, SpfResult::Pass);
+        // Outside the /28 fails.
+        assert_eq!(eval(&s, "203.0.113.80", "example.com").result, SpfResult::Fail);
+        assert_eq!(eval(&s, "198.51.100.99", "example.com").result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn no_record_gives_none() {
+        let s = store();
+        s.add_a(&dom("nospf.example"), Ipv4Addr::new(1, 2, 3, 4));
+        let e = eval(&s, "1.2.3.4", "nospf.example");
+        assert_eq!(e.result, SpfResult::None);
+        assert_eq!(e.problem, Some(EvalProblem::NoRecord));
+    }
+
+    #[test]
+    fn nxdomain_gives_none() {
+        let s = store();
+        let e = eval(&s, "1.2.3.4", "missing.example");
+        assert_eq!(e.result, SpfResult::None);
+    }
+
+    #[test]
+    fn default_result_is_neutral_not_fail() {
+        // The paper's §2.1 warning: no matching mechanism, no all ⇒ neutral.
+        let s = store();
+        s.add_txt(&dom("lax.example"), "v=spf1 ip4:10.0.0.0/8");
+        let e = eval(&s, "192.0.2.55", "lax.example");
+        assert_eq!(e.result, SpfResult::Neutral);
+        assert_eq!(e.problem, None);
+    }
+
+    #[test]
+    fn implicit_pass_qualifier() {
+        let s = store();
+        s.add_txt(&dom("d.example"), "v=spf1 ip4:192.0.2.0/24 -all");
+        let e = eval(&s, "192.0.2.200", "d.example");
+        assert_eq!(e.result, SpfResult::Pass);
+        assert_eq!(e.matched_directive.as_deref(), Some("ip4:192.0.2.0/24"));
+    }
+
+    #[test]
+    fn all_qualifiers() {
+        let cases = [
+            ("v=spf1 -all", SpfResult::Fail),
+            ("v=spf1 ~all", SpfResult::SoftFail),
+            ("v=spf1 ?all", SpfResult::Neutral),
+            ("v=spf1 +all", SpfResult::Pass),
+            ("v=spf1 all", SpfResult::Pass),
+        ];
+        for (record, expected) in cases {
+            let s = store();
+            s.add_txt(&dom("q.example"), record);
+            assert_eq!(eval(&s, "198.51.100.1", "q.example").result, expected, "{record}");
+        }
+    }
+
+    #[test]
+    fn include_pass_matches() {
+        let s = store();
+        s.add_txt(&dom("customer.example"), "v=spf1 include:_spf.provider.example -all");
+        s.add_txt(&dom("_spf.provider.example"), "v=spf1 ip4:198.51.100.0/24 -all");
+        assert_eq!(eval(&s, "198.51.100.42", "customer.example").result, SpfResult::Pass);
+        assert_eq!(eval(&s, "203.0.113.1", "customer.example").result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn include_fail_does_not_deny() {
+        // §2.1: "it is not possible to deny any or all IP addresses with
+        // the include mechanism" — an included -all does NOT fail the host.
+        let s = store();
+        s.add_txt(&dom("customer.example"), "v=spf1 include:deny.example ip4:203.0.113.5 -all");
+        s.add_txt(&dom("deny.example"), "v=spf1 -all");
+        assert_eq!(eval(&s, "203.0.113.5", "customer.example").result, SpfResult::Pass);
+    }
+
+    #[test]
+    fn include_missing_record_is_permerror() {
+        let s = store();
+        s.add_txt(&dom("broken.example"), "v=spf1 include:gone.example -all");
+        let e = eval(&s, "198.51.100.1", "broken.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::RecordNotFound { .. })));
+    }
+
+    #[test]
+    fn include_loop_detected() {
+        let s = store();
+        s.add_txt(&dom("a.example"), "v=spf1 include:b.example -all");
+        s.add_txt(&dom("b.example"), "v=spf1 include:a.example -all");
+        let e = eval(&s, "198.51.100.1", "a.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::IncludeLoop { .. })));
+    }
+
+    #[test]
+    fn self_include_loop_detected() {
+        // 71.6 % of include loops are direct self-inclusion (§5.3).
+        let s = store();
+        s.add_txt(&dom("selfie.example"), "v=spf1 include:selfie.example -all");
+        let e = eval(&s, "198.51.100.1", "selfie.example");
+        assert!(matches!(e.problem, Some(EvalProblem::IncludeLoop { domain }) if domain == dom("selfie.example")));
+    }
+
+    #[test]
+    fn redirect_takes_over() {
+        let s = store();
+        s.add_txt(&dom("front.example"), "v=spf1 redirect=back.example");
+        s.add_txt(&dom("back.example"), "v=spf1 ip4:192.0.2.0/24 -all");
+        assert_eq!(eval(&s, "192.0.2.9", "front.example").result, SpfResult::Pass);
+        // Unlike include, a redirect's fail IS final.
+        assert_eq!(eval(&s, "203.0.113.9", "front.example").result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn redirect_loop_detected() {
+        let s = store();
+        s.add_txt(&dom("r1.example"), "v=spf1 redirect=r2.example");
+        s.add_txt(&dom("r2.example"), "v=spf1 redirect=r1.example");
+        let e = eval(&s, "198.51.100.1", "r1.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::RedirectLoop { .. })));
+    }
+
+    #[test]
+    fn redirect_ignored_when_all_present() {
+        let s = store();
+        s.add_txt(&dom("mixed.example"), "v=spf1 redirect=other.example ~all");
+        // other.example would pass this IP, but ~all wins because redirect
+        // is ignored when all is present.
+        s.add_txt(&dom("other.example"), "v=spf1 +all");
+        assert_eq!(eval(&s, "198.51.100.1", "mixed.example").result, SpfResult::SoftFail);
+    }
+
+    #[test]
+    fn redirect_to_missing_record_is_permerror() {
+        let s = store();
+        s.add_txt(&dom("r.example"), "v=spf1 redirect=void.example");
+        let e = eval(&s, "198.51.100.1", "r.example");
+        assert_eq!(e.result, SpfResult::PermError);
+    }
+
+    #[test]
+    fn multiple_spf_records_is_permerror() {
+        let s = store();
+        s.add_txt(&dom("twice.example"), "v=spf1 -all");
+        s.add_txt(&dom("twice.example"), "v=spf1 mx -all");
+        let e = eval(&s, "198.51.100.1", "twice.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::MultipleRecords { count: 2, .. })));
+    }
+
+    #[test]
+    fn non_spf_txt_records_ignored() {
+        let s = store();
+        s.add_txt(&dom("d.example"), "google-site-verification=abc123");
+        s.add_txt(&dom("d.example"), "v=spf1 -all");
+        assert_eq!(eval(&s, "198.51.100.1", "d.example").result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn syntax_error_is_permerror() {
+        let s = store();
+        s.add_txt(&dom("typo.example"), "v=spf1 ipv4:192.0.2.1 -all");
+        let e = eval(&s, "198.51.100.1", "typo.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::Syntax { .. })));
+    }
+
+    #[test]
+    fn lookup_limit_enforced_globally() {
+        let s = store();
+        // Chain of 12 includes; the 11th lookup must trip the limit.
+        for i in 0..12 {
+            let name = dom(&format!("c{i}.example"));
+            let next = format!("c{}.example", i + 1);
+            s.add_txt(&name, &format!("v=spf1 include:{next} -all"));
+        }
+        s.add_txt(&dom("c12.example"), "v=spf1 ip4:10.0.0.1 -all");
+        let e = eval(&s, "10.0.0.1", "c0.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::TooManyLookups { .. })));
+        assert!(e.dns_lookups >= 10);
+    }
+
+    #[test]
+    fn ten_lookups_exactly_is_fine() {
+        let s = store();
+        for i in 0..9 {
+            let name = dom(&format!("k{i}.example"));
+            let next = format!("k{}.example", i + 1);
+            s.add_txt(&name, &format!("v=spf1 include:{next} -all"));
+        }
+        s.add_txt(&dom("k9.example"), "v=spf1 mx -all");
+        s.add_mx(&dom("k9.example"), 10, &dom("mx.k9.example"));
+        s.add_a(&dom("mx.k9.example"), Ipv4Addr::new(10, 0, 0, 9));
+        // 9 includes + 1 mx = 10 lookups: allowed.
+        let e = eval(&s, "10.0.0.9", "k0.example");
+        assert_eq!(e.result, SpfResult::Pass);
+        assert_eq!(e.dns_lookups, 10);
+    }
+
+    #[test]
+    fn early_match_before_limit_passes() {
+        // The paper: "The SPF check can be successful if a result is
+        // returned within the first 10 lookups."
+        let s = store();
+        let mut terms = vec!["v=spf1".to_string(), "ip4:10.1.1.1".to_string()];
+        for i in 0..14 {
+            terms.push(format!("include:x{i}.example"));
+        }
+        terms.push("-all".to_string());
+        s.add_txt(&dom("early.example"), &terms.join(" "));
+        for i in 0..14 {
+            s.add_txt(&dom(&format!("x{i}.example")), "v=spf1 ip4:172.16.0.1 -all");
+        }
+        // Matching IP hits ip4 before any include is evaluated.
+        assert_eq!(eval(&s, "10.1.1.1", "early.example").result, SpfResult::Pass);
+        // Non-matching IP walks the includes and trips the limit.
+        assert_eq!(eval(&s, "198.51.100.1", "early.example").result, SpfResult::PermError);
+    }
+
+    #[test]
+    fn per_record_accounting_is_lenient() {
+        let s = store();
+        for i in 0..12 {
+            let name = dom(&format!("p{i}.example"));
+            let next = format!("p{}.example", i + 1);
+            s.add_txt(&name, &format!("v=spf1 include:{next} -all"));
+        }
+        s.add_txt(&dom("p12.example"), "v=spf1 ip4:10.0.0.1 -all");
+        let resolver = ZoneResolver::new(Arc::clone(&s));
+        let policy = EvalPolicy { accounting: LookupAccounting::PerRecord, ..Default::default() };
+        let e = check_host(&resolver, &ctx("10.0.0.1"), &dom("p0.example"), &policy);
+        // Each record uses only 1 lookup locally, so the chain completes
+        // (12 includes across p0..p11).
+        assert_eq!(e.result, SpfResult::Pass);
+        assert_eq!(e.dns_lookups, 12);
+    }
+
+    #[test]
+    fn void_lookup_limit() {
+        let s = store();
+        // Three a-mechanisms pointing at names that exist with no A records
+        // produce three void lookups; limit is 2.
+        s.add_txt(&dom("v.example"), "v=spf1 a:v1.example a:v2.example a:v3.example -all");
+        for n in ["v1.example", "v2.example", "v3.example"] {
+            s.add_txt(&dom(n), "placeholder"); // exists, but no A record
+        }
+        let e = eval(&s, "198.51.100.1", "v.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::TooManyVoidLookups { .. })));
+    }
+
+    #[test]
+    fn two_void_lookups_allowed() {
+        let s = store();
+        s.add_txt(&dom("v2.example"), "v=spf1 a:w1.example a:w2.example ip4:10.0.0.5 -all");
+        for n in ["w1.example", "w2.example"] {
+            s.add_txt(&dom(n), "placeholder");
+        }
+        let e = eval(&s, "10.0.0.5", "v2.example");
+        assert_eq!(e.result, SpfResult::Pass);
+        assert_eq!(e.void_lookups, 2);
+    }
+
+    #[test]
+    fn temperror_on_timeout() {
+        let s = store();
+        s.add_txt(&dom("t.example"), "v=spf1 include:slow.example -all");
+        s.add_txt(&dom("slow.example"), "v=spf1 -all");
+        s.set_fault(&dom("slow.example"), spf_dns::ZoneFault::Timeout);
+        let e = eval(&s, "198.51.100.1", "t.example");
+        assert_eq!(e.result, SpfResult::TempError);
+    }
+
+    #[test]
+    fn mx_with_too_many_exchanges_is_permerror() {
+        let s = store();
+        s.add_txt(&dom("many.example"), "v=spf1 mx -all");
+        for i in 0..11 {
+            s.add_mx(&dom("many.example"), 10, &dom(&format!("mx{i}.many.example")));
+        }
+        let e = eval(&s, "198.51.100.1", "many.example");
+        assert_eq!(e.result, SpfResult::PermError);
+        assert!(matches!(e.problem, Some(EvalProblem::TooManyMxRecords { .. })));
+    }
+
+    #[test]
+    fn exists_mechanism_with_macro() {
+        let s = store();
+        s.add_txt(&dom("e.example"), "v=spf1 exists:%{ir}.allow.e.example -all");
+        // Authorize exactly 192.0.2.3 by publishing 3.2.0.192.allow.e.example.
+        s.add_a(&dom("3.2.0.192.allow.e.example"), Ipv4Addr::new(127, 0, 0, 2));
+        assert_eq!(eval(&s, "192.0.2.3", "e.example").result, SpfResult::Pass);
+        assert_eq!(eval(&s, "192.0.2.4", "e.example").result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn ptr_mechanism_validates_forward() {
+        let s = store();
+        s.add_txt(&dom("p.example"), "v=spf1 ptr -all");
+        // 192.0.2.7 reverse-maps to mail.p.example which forward-maps back.
+        s.add_reverse_v4(Ipv4Addr::new(192, 0, 2, 7), &dom("mail.p.example"));
+        s.add_a(&dom("mail.p.example"), Ipv4Addr::new(192, 0, 2, 7));
+        assert_eq!(eval(&s, "192.0.2.7", "p.example").result, SpfResult::Pass);
+
+        // 192.0.2.8 reverse-maps to a name that does NOT forward-validate.
+        s.add_reverse_v4(Ipv4Addr::new(192, 0, 2, 8), &dom("fake.p.example"));
+        s.add_a(&dom("fake.p.example"), Ipv4Addr::new(203, 0, 113, 1));
+        assert_eq!(eval(&s, "192.0.2.8", "p.example").result, SpfResult::Fail);
+
+        // 192.0.2.9 validates but belongs to another domain: no match.
+        s.add_reverse_v4(Ipv4Addr::new(192, 0, 2, 9), &dom("mail.other.example"));
+        s.add_a(&dom("mail.other.example"), Ipv4Addr::new(192, 0, 2, 9));
+        assert_eq!(eval(&s, "192.0.2.9", "p.example").result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn ipv6_sender_against_ip6_mechanism() {
+        let s = store();
+        s.add_txt(&dom("six.example"), "v=spf1 ip6:2001:db8::/32 -all");
+        let resolver = ZoneResolver::new(Arc::clone(&s));
+        let c = EvalContext::mail_from("2001:db8::1".parse().unwrap(), "bob", dom("six.example"));
+        let e = check_host(&resolver, &c, &dom("six.example"), &EvalPolicy::default());
+        assert_eq!(e.result, SpfResult::Pass);
+        // An ip4 mechanism never matches a v6 sender.
+        let s2 = store();
+        s2.add_txt(&dom("four.example"), "v=spf1 ip4:0.0.0.0/0 -all");
+        let r2 = ZoneResolver::new(Arc::clone(&s2));
+        let e2 = check_host(&r2, &c, &dom("four.example"), &EvalPolicy::default());
+        assert_eq!(e2.result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn dual_cidr_aaaa_match() {
+        let s = store();
+        s.add_txt(&dom("dual.example"), "v=spf1 a:host.dual.example//64 -all");
+        s.add_aaaa(&dom("host.dual.example"), "2001:db8:1:2::1".parse().unwrap());
+        let resolver = ZoneResolver::new(Arc::clone(&s));
+        let c = EvalContext::mail_from(
+            "2001:db8:1:2:ffff::9".parse().unwrap(),
+            "bob",
+            dom("dual.example"),
+        );
+        let e = check_host(&resolver, &c, &dom("dual.example"), &EvalPolicy::default());
+        assert_eq!(e.result, SpfResult::Pass);
+    }
+
+    #[test]
+    fn explanation_fetched_on_fail() {
+        let s = store();
+        s.add_txt(&dom("x.example"), "v=spf1 exp=why.x.example -all");
+        s.add_txt(&dom("why.x.example"), "%{i} is not allowed to send for %{d}");
+        let resolver = ZoneResolver::new(Arc::clone(&s));
+        let policy = EvalPolicy { fetch_explanation: true, ..Default::default() };
+        let e = check_host(&resolver, &ctx("192.0.2.3"), &dom("x.example"), &policy);
+        assert_eq!(e.result, SpfResult::Fail);
+        assert_eq!(e.explanation.as_deref(), Some("192.0.2.3 is not allowed to send for x.example"));
+    }
+
+    #[test]
+    fn final_domain_tracks_redirect() {
+        let s = store();
+        s.add_txt(&dom("a.example"), "v=spf1 redirect=b.example");
+        s.add_txt(&dom("b.example"), "v=spf1 -all");
+        let e = eval(&s, "198.51.100.1", "a.example");
+        assert_eq!(e.final_domain, dom("b.example"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Evaluator edge cases beyond the RFC vectors: recursion guards,
+//! macro-targeted includes, degenerate zones and policy knobs.
+
+use std::sync::Arc;
+
+use spf_core::{check_host, EvalContext, EvalPolicy, EvalProblem, SpfResult};
+use spf_dns::{ZoneResolver, ZoneStore};
+use spf_types::DomainName;
+
+fn dom(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+fn eval_with(
+    store: &Arc<ZoneStore>,
+    ip: &str,
+    domain: &str,
+    policy: &EvalPolicy,
+) -> spf_core::Evaluation {
+    let resolver = ZoneResolver::new(Arc::clone(store));
+    let d = dom(domain);
+    let ctx = EvalContext::mail_from(ip.parse().unwrap(), "alice", d.clone());
+    check_host(&resolver, &ctx, &d, policy)
+}
+
+#[test]
+fn recursion_depth_guard_fires_before_stack_overflow() {
+    let store = Arc::new(ZoneStore::new());
+    // A redirect chain longer than the depth guard but shorter than the
+    // lookup budget would allow if the limit were raised.
+    for i in 0..30 {
+        store.add_txt(
+            &dom(&format!("r{i}.example")),
+            &format!("v=spf1 redirect=r{}.example", i + 1),
+        );
+    }
+    store.add_txt(&dom("r30.example"), "v=spf1 -all");
+    let policy = EvalPolicy { max_dns_lookups: 100, max_recursion_depth: 8, ..Default::default() };
+    let e = eval_with(&store, "192.0.2.1", "r0.example", &policy);
+    assert_eq!(e.result, SpfResult::PermError);
+    assert_eq!(e.problem, Some(EvalProblem::TooDeep));
+}
+
+#[test]
+fn include_with_macro_target_resolves_per_sender() {
+    let store = Arc::new(ZoneStore::new());
+    store.add_txt(&dom("macro.example"), "v=spf1 include:%{d1}.zones.example -all");
+    // %{d1} of macro.example is "example".
+    store.add_txt(&dom("example.zones.example"), "v=spf1 ip4:192.0.2.55 -all");
+    let e = eval_with(&store, "192.0.2.55", "macro.example", &EvalPolicy::default());
+    assert_eq!(e.result, SpfResult::Pass);
+}
+
+#[test]
+fn mx_with_duplicate_exchanges_counts_once() {
+    let store = Arc::new(ZoneStore::new());
+    store.add_txt(&dom("dup.example"), "v=spf1 mx -all");
+    // Same exchange at several preferences: still one address lookup set,
+    // and well under the 10-exchange limit.
+    for pref in [10, 20, 30] {
+        store.add_mx(&dom("dup.example"), pref, &dom("mx.dup.example"));
+    }
+    store.add_a(&dom("mx.dup.example"), "198.51.100.4".parse().unwrap());
+    let e = eval_with(&store, "198.51.100.4", "dup.example", &EvalPolicy::default());
+    assert_eq!(e.result, SpfResult::Pass);
+}
+
+#[test]
+fn empty_record_body_is_neutral() {
+    let store = Arc::new(ZoneStore::new());
+    store.add_txt(&dom("bare.example"), "v=spf1");
+    let e = eval_with(&store, "192.0.2.1", "bare.example", &EvalPolicy::default());
+    assert_eq!(e.result, SpfResult::Neutral);
+    assert_eq!(e.dns_lookups, 0);
+}
+
+#[test]
+fn lookup_budget_zero_rejects_any_lookup_term() {
+    let store = Arc::new(ZoneStore::new());
+    store.add_txt(&dom("one.example"), "v=spf1 mx -all");
+    store.add_mx(&dom("one.example"), 10, &dom("mx.one.example"));
+    store.add_a(&dom("mx.one.example"), "192.0.2.9".parse().unwrap());
+    let policy = EvalPolicy { max_dns_lookups: 0, ..Default::default() };
+    let e = eval_with(&store, "192.0.2.9", "one.example", &policy);
+    assert_eq!(e.result, SpfResult::PermError);
+    assert!(matches!(e.problem, Some(EvalProblem::TooManyLookups { .. })));
+}
+
+#[test]
+fn include_of_record_with_only_modifiers() {
+    let store = Arc::new(ZoneStore::new());
+    store.add_txt(&dom("outer.example"), "v=spf1 include:mods.example ip4:10.0.0.1 -all");
+    // The included record has no mechanisms at all → evaluates neutral →
+    // include does not match → continue.
+    store.add_txt(&dom("mods.example"), "v=spf1 unknown=modifier");
+    let e = eval_with(&store, "10.0.0.1", "outer.example", &EvalPolicy::default());
+    assert_eq!(e.result, SpfResult::Pass);
+}
+
+#[test]
+fn ip4_mechanism_boundary_addresses() {
+    let store = Arc::new(ZoneStore::new());
+    store.add_txt(&dom("edge.example"), "v=spf1 ip4:192.0.2.0/31 ip4:255.255.255.255 -all");
+    for (ip, expected) in [
+        ("192.0.2.0", SpfResult::Pass),
+        ("192.0.2.1", SpfResult::Pass),
+        ("192.0.2.2", SpfResult::Fail),
+        ("255.255.255.255", SpfResult::Pass),
+        ("0.0.0.0", SpfResult::Fail),
+    ] {
+        assert_eq!(
+            eval_with(&store, ip, "edge.example", &EvalPolicy::default()).result,
+            expected,
+            "{ip}"
+        );
+    }
+}
+
+#[test]
+fn evaluation_counts_are_reported_faithfully() {
+    let store = Arc::new(ZoneStore::new());
+    store.add_txt(
+        &dom("counting.example"),
+        "v=spf1 a:gone1.example a:gone2.example include:sub.example -all",
+    );
+    store.add_txt(&dom("sub.example"), "v=spf1 ip4:203.0.113.5 -all");
+    let e = eval_with(&store, "203.0.113.5", "counting.example", &EvalPolicy::default());
+    assert_eq!(e.result, SpfResult::Pass);
+    // a + a + include = 3 lookup terms; two NXDOMAIN voids.
+    assert_eq!(e.dns_lookups, 3);
+    assert_eq!(e.void_lookups, 2);
+    assert_eq!(e.matched_directive.as_deref(), Some("include:sub.example"));
+}
+
+#[test]
+fn helo_context_constructor_defaults() {
+    let d = dom("mail.example.org");
+    let ctx = EvalContext::mail_from("192.0.2.1".parse().unwrap(), "", d.clone());
+    // Empty local part is preserved (callers normalize to postmaster per
+    // RFC 7208 §2.4 before constructing if desired).
+    assert_eq!(ctx.sender(), "@mail.example.org");
+    assert_eq!(ctx.helo, d);
+}

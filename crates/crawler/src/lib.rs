@@ -1,0 +1,22 @@
+//! # spf-crawler — the scan pipeline of Section 4.1
+//!
+//! Drives the full measurement: a worker pool crawls a ranked domain list
+//! through the shared, memoizing [`spf_analyzer::Walker`], then
+//! [`ScanAggregates`] distills every population-level count the paper
+//! reports (adoption, error classes, permissiveness) and
+//! [`include_ecosystem`] builds the per-include view behind Table 4 and
+//! Figures 4/7/8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod crawl;
+pub mod ecosystem;
+
+pub use aggregate::{ScanAggregates, LARGE_RANGE_MAX_PREFIX};
+pub use crawl::{crawl, CrawlConfig, CrawlOutput};
+pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
+
+/// Re-export of the analyzer's lax-authorization threshold (100,000 IPs).
+pub use spf_analyzer::LAX_IP_THRESHOLD;

@@ -1,0 +1,698 @@
+//! RFC 1035 wire-format codec: message header, name compression,
+//! resource-record encoding/decoding.
+//!
+//! This gives the DNS substrate a real network representation — the UDP
+//! name server and client resolver in [`crate::udp`] speak this format,
+//! and the integration tests drive the whole SPF pipeline over actual
+//! sockets. Name compression is optional at encode time so the
+//! `dns_codec` bench can quantify its payoff (DESIGN.md §5).
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, BytesMut};
+use spf_types::DomainName;
+
+use crate::record::{Question, RecordData, RecordType, ResourceRecord, TxtData};
+
+/// Maximum size of a classic UDP DNS message (RFC 1035 §4.2.1).
+pub const MAX_UDP_PAYLOAD: usize = 512;
+
+/// Response codes (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// The query was malformed.
+    FormErr,
+    /// Server failure — the paper's crawler maps this to `temperror`.
+    ServFail,
+    /// Name does not exist — maps to `permerror` contexts / void lookups.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused.
+    Refused,
+}
+
+impl Rcode {
+    /// The 4-bit wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    /// Decode a 4-bit wire value, defaulting unknown codes to ServFail.
+    pub fn from_code(code: u8) -> Rcode {
+        match code {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            _ => Rcode::ServFail,
+        }
+    }
+}
+
+/// Decoded message header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction ID, echoed by the server.
+    pub id: u16,
+    /// True for responses.
+    pub is_response: bool,
+    /// Opcode (0 = standard query; the only one we use).
+    pub opcode: u8,
+    /// Authoritative answer.
+    pub authoritative: bool,
+    /// Truncation flag: set when a response exceeded the UDP limit.
+    pub truncated: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Recursion available.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Header {
+    /// A standard query header.
+    pub fn query(id: u16) -> Self {
+        Header {
+            id,
+            is_response: false,
+            opcode: 0,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+        }
+    }
+
+    /// A response header answering `query` with `rcode`.
+    pub fn response_to(query: &Header, rcode: Rcode) -> Self {
+        Header {
+            id: query.id,
+            is_response: true,
+            opcode: query.opcode,
+            authoritative: true,
+            truncated: false,
+            recursion_desired: query.recursion_desired,
+            recursion_available: false,
+            rcode,
+        }
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Header.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authorities: Vec<ResourceRecord>,
+    /// Additional section.
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// A single-question query message.
+    pub fn query(id: u16, question: Question) -> Self {
+        Message {
+            header: Header::query(id),
+            questions: vec![question],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// A response to `query` carrying `answers`.
+    pub fn response(query: &Message, rcode: Rcode, answers: Vec<ResourceRecord>) -> Self {
+        Message {
+            header: Header::response_to(&query.header, rcode),
+            questions: query.questions.clone(),
+            answers,
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+}
+
+/// Errors from the wire codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes while decoding.
+    Truncated,
+    /// A label exceeded 63 octets or a name 255 octets.
+    NameTooLong,
+    /// A compression pointer chain looped or pointed forward.
+    BadPointer,
+    /// An unsupported or malformed record was encountered.
+    BadRecord {
+        /// What was malformed.
+        reason: &'static str,
+    },
+    /// The label bytes were not valid presentation characters.
+    BadLabel,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::NameTooLong => write!(f, "name exceeds RFC 1035 limits"),
+            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::BadRecord { reason } => write!(f, "malformed record: {reason}"),
+            WireError::BadLabel => write!(f, "invalid label bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Message encoder with optional name compression.
+pub struct Encoder {
+    buf: BytesMut,
+    compress: bool,
+    /// Offsets of previously written names, keyed by their textual suffix.
+    name_offsets: HashMap<String, u16>,
+}
+
+impl Encoder {
+    /// A compressing encoder (the default for the UDP server).
+    pub fn new() -> Self {
+        Encoder { buf: BytesMut::with_capacity(512), compress: true, name_offsets: HashMap::new() }
+    }
+
+    /// An encoder that never emits compression pointers; used by the
+    /// `dns_codec` ablation bench.
+    pub fn without_compression() -> Self {
+        Encoder { buf: BytesMut::with_capacity(512), compress: false, name_offsets: HashMap::new() }
+    }
+
+    /// Encode a full message to bytes.
+    pub fn encode(mut self, msg: &Message) -> Result<Vec<u8>, WireError> {
+        self.put_header(&msg.header, msg)?;
+        for q in &msg.questions {
+            self.put_name(&q.name)?;
+            self.buf.put_u16(q.rtype.code());
+            self.buf.put_u16(1); // class IN
+        }
+        for rr in msg.answers.iter().chain(&msg.authorities).chain(&msg.additionals) {
+            self.put_record(rr)?;
+        }
+        Ok(self.buf.to_vec())
+    }
+
+    fn put_header(&mut self, h: &Header, msg: &Message) -> Result<(), WireError> {
+        self.buf.put_u16(h.id);
+        let mut flags: u16 = 0;
+        if h.is_response {
+            flags |= 1 << 15;
+        }
+        flags |= (h.opcode as u16 & 0xF) << 11;
+        if h.authoritative {
+            flags |= 1 << 10;
+        }
+        if h.truncated {
+            flags |= 1 << 9;
+        }
+        if h.recursion_desired {
+            flags |= 1 << 8;
+        }
+        if h.recursion_available {
+            flags |= 1 << 7;
+        }
+        flags |= h.rcode.code() as u16;
+        self.buf.put_u16(flags);
+        let counts = [
+            msg.questions.len(),
+            msg.answers.len(),
+            msg.authorities.len(),
+            msg.additionals.len(),
+        ];
+        for c in counts {
+            let c: u16 = c.try_into().map_err(|_| WireError::BadRecord { reason: "section too large" })?;
+            self.buf.put_u16(c);
+        }
+        Ok(())
+    }
+
+    fn put_name(&mut self, name: &DomainName) -> Result<(), WireError> {
+        let labels: Vec<&str> = name.labels().collect();
+        for i in 0..labels.len() {
+            let suffix = labels[i..].join(".");
+            if self.compress {
+                if let Some(&offset) = self.name_offsets.get(&suffix) {
+                    self.buf.put_u16(0xC000 | offset);
+                    return Ok(());
+                }
+                // Only offsets addressable by a 14-bit pointer can be reused.
+                if self.buf.len() <= 0x3FFF {
+                    self.name_offsets.insert(suffix, self.buf.len() as u16);
+                }
+            }
+            let label = labels[i];
+            if label.len() > 63 {
+                return Err(WireError::NameTooLong);
+            }
+            self.buf.put_u8(label.len() as u8);
+            self.buf.put_slice(label.as_bytes());
+        }
+        self.buf.put_u8(0);
+        Ok(())
+    }
+
+    fn put_record(&mut self, rr: &ResourceRecord) -> Result<(), WireError> {
+        self.put_name(&rr.name)?;
+        self.buf.put_u16(rr.record_type().code());
+        self.buf.put_u16(1); // class IN
+        self.buf.put_u32(rr.ttl);
+        // Reserve rdlength, fill in after writing rdata.
+        let len_pos = self.buf.len();
+        self.buf.put_u16(0);
+        let rdata_start = self.buf.len();
+        match &rr.data {
+            RecordData::A(a) => self.buf.put_slice(&a.octets()),
+            RecordData::Aaaa(a) => self.buf.put_slice(&a.octets()),
+            RecordData::Mx { preference, exchange } => {
+                self.buf.put_u16(*preference);
+                self.put_name(exchange)?;
+            }
+            RecordData::Txt(t) | RecordData::Spf(t) => {
+                for s in t.strings() {
+                    // Strings from lossy wire decoding can exceed 255
+                    // bytes in memory; re-split them at UTF-8 boundaries.
+                    let bytes = s.as_bytes();
+                    let mut start = 0;
+                    loop {
+                        let mut end = (start + 255).min(bytes.len());
+                        while end > start && end < bytes.len() && bytes[end] & 0xC0 == 0x80 {
+                            end -= 1;
+                        }
+                        self.buf.put_u8((end - start) as u8);
+                        self.buf.put_slice(&bytes[start..end]);
+                        if end == bytes.len() {
+                            break;
+                        }
+                        start = end;
+                    }
+                }
+            }
+            RecordData::Ptr(d) | RecordData::Ns(d) | RecordData::Cname(d) => self.put_name(d)?,
+        }
+        let rdlen = (self.buf.len() - rdata_start) as u16;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+        Ok(())
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder::new()
+    }
+}
+
+/// Encode a message with compression enabled.
+pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
+    Encoder::new().encode(msg)
+}
+
+/// Encode a message without compression (ablation path).
+pub fn encode_uncompressed(msg: &Message) -> Result<Vec<u8>, WireError> {
+    Encoder::without_compression().encode(msg)
+}
+
+/// Decode a full message from bytes.
+pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    dec.message()
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn message(&mut self) -> Result<Message, WireError> {
+        let header_raw = self.take(12)?;
+        let mut h = &header_raw[..];
+        let id = h.get_u16();
+        let flags = h.get_u16();
+        let qdcount = h.get_u16();
+        let ancount = h.get_u16();
+        let nscount = h.get_u16();
+        let arcount = h.get_u16();
+        let header = Header {
+            id,
+            is_response: flags & (1 << 15) != 0,
+            opcode: ((flags >> 11) & 0xF) as u8,
+            authoritative: flags & (1 << 10) != 0,
+            truncated: flags & (1 << 9) != 0,
+            recursion_desired: flags & (1 << 8) != 0,
+            recursion_available: flags & (1 << 7) != 0,
+            rcode: Rcode::from_code((flags & 0xF) as u8),
+        };
+        let mut questions = Vec::with_capacity(qdcount as usize);
+        for _ in 0..qdcount {
+            let name = self.name()?;
+            let raw = self.take(4)?;
+            let mut r = &raw[..];
+            let tcode = r.get_u16();
+            let _class = r.get_u16();
+            let rtype = RecordType::from_code(tcode)
+                .ok_or(WireError::BadRecord { reason: "unknown question type" })?;
+            questions.push(Question::new(name, rtype));
+        }
+        let mut sections = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, count) in [ancount, nscount, arcount].into_iter().enumerate() {
+            for _ in 0..count {
+                sections[i].push(self.record()?);
+            }
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message { header, questions, answers, authorities, additionals })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn name(&mut self) -> Result<DomainName, WireError> {
+        let (name, next) = read_name_at(self.bytes, self.pos)?;
+        self.pos = next;
+        Ok(name)
+    }
+
+    fn record(&mut self) -> Result<ResourceRecord, WireError> {
+        let name = self.name()?;
+        let raw = self.take(10)?;
+        let mut r = &raw[..];
+        let tcode = r.get_u16();
+        let _class = r.get_u16();
+        let ttl = r.get_u32();
+        let rdlen = r.get_u16() as usize;
+        let rdata_start = self.pos;
+        let rdata = self.take(rdlen)?;
+        let rtype = RecordType::from_code(tcode)
+            .ok_or(WireError::BadRecord { reason: "unknown record type" })?;
+        let data = match rtype {
+            RecordType::A => {
+                if rdata.len() != 4 {
+                    return Err(WireError::BadRecord { reason: "A rdata length" });
+                }
+                RecordData::A(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]))
+            }
+            RecordType::Aaaa => {
+                if rdata.len() != 16 {
+                    return Err(WireError::BadRecord { reason: "AAAA rdata length" });
+                }
+                let mut o = [0u8; 16];
+                o.copy_from_slice(rdata);
+                RecordData::Aaaa(Ipv6Addr::from(o))
+            }
+            RecordType::Mx => {
+                if rdata.len() < 3 {
+                    return Err(WireError::BadRecord { reason: "MX rdata length" });
+                }
+                let preference = u16::from_be_bytes([rdata[0], rdata[1]]);
+                // Exchange name may contain a compression pointer into the
+                // full message, so decode against the whole buffer.
+                let (exchange, _) = read_name_at(self.bytes, rdata_start + 2)?;
+                RecordData::Mx { preference, exchange }
+            }
+            RecordType::Txt | RecordType::Spf => {
+                let mut strings = Vec::new();
+                let mut p = 0;
+                while p < rdata.len() {
+                    let len = rdata[p] as usize;
+                    p += 1;
+                    if p + len > rdata.len() {
+                        return Err(WireError::BadRecord { reason: "TXT char-string length" });
+                    }
+                    strings.push(String::from_utf8_lossy(&rdata[p..p + len]).into_owned());
+                    p += len;
+                }
+                if strings.is_empty() {
+                    strings.push(String::new());
+                }
+                let txt = TxtData::from_decoded(strings);
+                if rtype == RecordType::Txt {
+                    RecordData::Txt(txt)
+                } else {
+                    RecordData::Spf(txt)
+                }
+            }
+            RecordType::Ptr | RecordType::Ns | RecordType::Cname => {
+                let (target, _) = read_name_at(self.bytes, rdata_start)?;
+                match rtype {
+                    RecordType::Ptr => RecordData::Ptr(target),
+                    RecordType::Ns => RecordData::Ns(target),
+                    _ => RecordData::Cname(target),
+                }
+            }
+        };
+        Ok(ResourceRecord { name, ttl, data })
+    }
+}
+
+/// Read a (possibly compressed) name starting at `pos`; returns the name
+/// and the position just after it in the *linear* stream (pointers do not
+/// advance the linear position beyond the 2 pointer bytes).
+fn read_name_at(bytes: &[u8], mut pos: usize) -> Result<(DomainName, usize), WireError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut jumps = 0usize;
+    let mut after: Option<usize> = None;
+    let mut total_len = 0usize;
+    loop {
+        let len_byte = *bytes.get(pos).ok_or(WireError::Truncated)?;
+        if len_byte & 0xC0 == 0xC0 {
+            let second = *bytes.get(pos + 1).ok_or(WireError::Truncated)?;
+            let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+            if after.is_none() {
+                after = Some(pos + 2);
+            }
+            // Pointers must point strictly backwards; cap the chain to
+            // guard against loops in hostile input.
+            if target >= pos {
+                return Err(WireError::BadPointer);
+            }
+            jumps += 1;
+            if jumps > 64 {
+                return Err(WireError::BadPointer);
+            }
+            pos = target;
+            continue;
+        }
+        if len_byte & 0xC0 != 0 {
+            return Err(WireError::BadLabel);
+        }
+        pos += 1;
+        if len_byte == 0 {
+            break;
+        }
+        let len = len_byte as usize;
+        if len > 63 {
+            return Err(WireError::NameTooLong);
+        }
+        let raw = bytes.get(pos..pos + len).ok_or(WireError::Truncated)?;
+        total_len += len + 1;
+        if total_len > 255 {
+            return Err(WireError::NameTooLong);
+        }
+        let label = std::str::from_utf8(raw).map_err(|_| WireError::BadLabel)?;
+        labels.push(label.to_string());
+        pos += len;
+    }
+    if labels.is_empty() {
+        // The root name; we don't use it as an owner, but decode defensively.
+        return Err(WireError::BadRecord { reason: "root owner name" });
+    }
+    let name = DomainName::parse(&labels.join(".")).map_err(|_| WireError::BadLabel)?;
+    Ok((name, after.unwrap_or(pos)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TxtData;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let q = Message::query(0x1234, Question::new(dom("example.com"), RecordType::Txt));
+        Message::response(
+            &q,
+            Rcode::NoError,
+            vec![
+                ResourceRecord::new(
+                    dom("example.com"),
+                    RecordData::Txt(TxtData::from_text("v=spf1 include:_spf.example.com -all")),
+                ),
+                ResourceRecord::new(
+                    dom("mail.example.com"),
+                    RecordData::A("192.0.2.10".parse().unwrap()),
+                ),
+                ResourceRecord::new(
+                    dom("example.com"),
+                    RecordData::Mx { preference: 10, exchange: dom("mail.example.com") },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let msg = Message::query(7, Question::new(dom("_spf.google.com"), RecordType::Txt));
+        let bytes = encode(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn response_round_trip_with_compression() {
+        let msg = sample_response();
+        let bytes = encode(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn response_round_trip_without_compression() {
+        let msg = sample_response();
+        let bytes = encode_uncompressed(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let msg = sample_response();
+        let compressed = encode(&msg).unwrap();
+        let plain = encode_uncompressed(&msg).unwrap();
+        assert!(
+            compressed.len() < plain.len(),
+            "compression should shrink: {} vs {}",
+            compressed.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn long_txt_round_trips_multiple_char_strings() {
+        let long = "v=spf1 ".to_string() + &"ip4:198.51.100.0/24 ".repeat(30) + "~all";
+        let msg = Message::response(
+            &Message::query(1, Question::new(dom("big.example"), RecordType::Txt)),
+            Rcode::NoError,
+            vec![ResourceRecord::new(dom("big.example"), RecordData::Txt(TxtData::from_text(&long)))],
+        );
+        let bytes = encode(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        match &back.answers[0].data {
+            RecordData::Txt(t) => {
+                assert!(t.strings().len() > 1);
+                assert_eq!(t.joined(), long);
+            }
+            other => panic!("unexpected rdata {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_header_round_trips() {
+        let q = Message::query(9, Question::new(dom("missing.example"), RecordType::A));
+        let resp = Message::response(&q, Rcode::NxDomain, vec![]);
+        let back = decode(&encode(&resp).unwrap()).unwrap();
+        assert_eq!(back.header.rcode, Rcode::NxDomain);
+        assert!(back.header.is_response);
+        assert!(back.answers.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let msg = sample_response();
+        let bytes = encode(&msg).unwrap();
+        for cut in [0, 5, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Header + a question whose name is a pointer to itself.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&[0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]);
+        bytes.extend_from_slice(&[0xC0, 12]); // pointer to its own offset
+        bytes.extend_from_slice(&[0, 16, 0, 1]);
+        assert_eq!(decode(&bytes), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn deprecated_spf_type_round_trips() {
+        let msg = Message::response(
+            &Message::query(3, Question::new(dom("old.example"), RecordType::Spf)),
+            Rcode::NoError,
+            vec![ResourceRecord::new(
+                dom("old.example"),
+                RecordData::Spf(TxtData::from_text("v=spf1 mx -all")),
+            )],
+        );
+        let back = decode(&encode(&msg).unwrap()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn mx_exchange_uses_compression_pointer() {
+        // The MX exchange repeats the owner suffix; with compression the
+        // encoded form must still decode to the same exchange name.
+        let msg = Message::response(
+            &Message::query(4, Question::new(dom("example.org"), RecordType::Mx)),
+            Rcode::NoError,
+            vec![ResourceRecord::new(
+                dom("example.org"),
+                RecordData::Mx { preference: 5, exchange: dom("mx1.example.org") },
+            )],
+        );
+        let bytes = encode(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        match &back.answers[0].data {
+            RecordData::Mx { preference, exchange } => {
+                assert_eq!(*preference, 5);
+                assert_eq!(exchange, &dom("mx1.example.org"));
+            }
+            other => panic!("unexpected rdata {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_flag_bits() {
+        let mut h = Header::query(42);
+        h.truncated = true;
+        let msg = Message { header: h, questions: vec![], answers: vec![], authorities: vec![], additionals: vec![] };
+        let back = decode(&encode(&msg).unwrap()).unwrap();
+        assert!(back.header.truncated);
+        assert!(back.header.recursion_desired);
+        assert!(!back.header.is_response);
+        assert_eq!(back.header.id, 42);
+    }
+}

@@ -1,0 +1,296 @@
+//! In-memory authoritative zone data.
+//!
+//! The [`ZoneStore`] is the substrate standing in for "the DNS of the
+//! Internet": the netsim crate publishes millions of synthetic records into
+//! it, and the crawler/analyzer resolve against it — either in-process via
+//! [`crate::resolver::ZoneResolver`] or over real UDP via
+//! [`crate::udp::UdpNameServer`].
+//!
+//! Besides record data, a name can carry a [`ZoneFault`], which reproduces
+//! the DNS-level failures the paper observed inside SPF evaluations
+//! (timeouts → `temperror`, NXDOMAIN and empty answers → void lookups).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use spf_types::DomainName;
+
+use crate::record::{Question, RecordData, RecordType, ResourceRecord, TxtData};
+
+/// A simulated per-name DNS failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoneFault {
+    /// The server never answers; resolvers observe a timeout
+    /// (`temperror` in SPF terms).
+    Timeout,
+    /// The server answers SERVFAIL.
+    ServFail,
+    /// The server refuses the query.
+    Refused,
+}
+
+/// Outcome of an authoritative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// NOERROR with answer records.
+    Records(Vec<ResourceRecord>),
+    /// NOERROR but the name owns no records of the asked type
+    /// (a "void lookup" of the empty-answer kind when it happens inside
+    /// SPF processing).
+    NoRecords,
+    /// The name does not exist at all.
+    NxDomain,
+    /// A configured failure.
+    Fault(ZoneFault),
+}
+
+#[derive(Default)]
+struct ZoneInner {
+    records: HashMap<DomainName, HashMap<RecordType, Vec<ResourceRecord>>>,
+    faults: HashMap<DomainName, ZoneFault>,
+}
+
+/// Thread-safe in-memory zone data for the whole simulated Internet.
+///
+/// ```
+/// use spf_dns::{ZoneStore, RecordType, LookupOutcome};
+/// use spf_types::DomainName;
+///
+/// let store = ZoneStore::new();
+/// let name = DomainName::parse("example.com").unwrap();
+/// store.add_txt(&name, "v=spf1 -all");
+/// match store.lookup(&name, RecordType::Txt) {
+///     LookupOutcome::Records(rrs) => assert_eq!(rrs.len(), 1),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// assert_eq!(store.lookup(&name, RecordType::Mx), LookupOutcome::NoRecords);
+/// ```
+#[derive(Default)]
+pub struct ZoneStore {
+    inner: RwLock<ZoneInner>,
+}
+
+impl ZoneStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ZoneStore::default()
+    }
+
+    /// Insert a fully formed record.
+    pub fn add_record(&self, rr: ResourceRecord) {
+        let mut inner = self.inner.write();
+        inner
+            .records
+            .entry(rr.name.clone())
+            .or_default()
+            .entry(rr.record_type())
+            .or_default()
+            .push(rr);
+    }
+
+    /// Add a TXT record with the given text (split into char-strings).
+    pub fn add_txt(&self, name: &DomainName, text: &str) {
+        self.add_record(ResourceRecord::new(name.clone(), RecordData::Txt(TxtData::from_text(text))));
+    }
+
+    /// Add a record of the deprecated SPF type 99.
+    pub fn add_spf_type99(&self, name: &DomainName, text: &str) {
+        self.add_record(ResourceRecord::new(name.clone(), RecordData::Spf(TxtData::from_text(text))));
+    }
+
+    /// Add an A record.
+    pub fn add_a(&self, name: &DomainName, addr: std::net::Ipv4Addr) {
+        self.add_record(ResourceRecord::new(name.clone(), RecordData::A(addr)));
+    }
+
+    /// Add an AAAA record.
+    pub fn add_aaaa(&self, name: &DomainName, addr: std::net::Ipv6Addr) {
+        self.add_record(ResourceRecord::new(name.clone(), RecordData::Aaaa(addr)));
+    }
+
+    /// Add an MX record.
+    pub fn add_mx(&self, name: &DomainName, preference: u16, exchange: &DomainName) {
+        self.add_record(ResourceRecord::new(
+            name.clone(),
+            RecordData::Mx { preference, exchange: exchange.clone() },
+        ));
+    }
+
+    /// Add a PTR record (owner should be the in-addr.arpa name).
+    pub fn add_ptr(&self, name: &DomainName, target: &DomainName) {
+        self.add_record(ResourceRecord::new(name.clone(), RecordData::Ptr(target.clone())));
+    }
+
+    /// Register the reverse-mapping PTR for an IPv4 address.
+    pub fn add_reverse_v4(&self, addr: std::net::Ipv4Addr, target: &DomainName) {
+        let o = addr.octets();
+        let rev = DomainName::parse(&format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0]))
+            .expect("reverse name is always valid");
+        self.add_ptr(&rev, target);
+    }
+
+    /// Register a name that exists in the DNS but owns no records at all —
+    /// queries return NOERROR with an empty answer ("Empty Result" in the
+    /// paper's Figure 3).
+    pub fn add_empty_name(&self, name: &DomainName) {
+        self.inner.write().records.entry(name.clone()).or_default();
+    }
+
+    /// Configure a failure mode for a name (applies to all record types).
+    pub fn set_fault(&self, name: &DomainName, fault: ZoneFault) {
+        self.inner.write().faults.insert(name.clone(), fault);
+    }
+
+    /// Remove all records and faults for a name. Used by the remediation
+    /// model when an operator "fixes" a record.
+    pub fn remove_name(&self, name: &DomainName) {
+        let mut inner = self.inner.write();
+        inner.records.remove(name);
+        inner.faults.remove(name);
+    }
+
+    /// Replace the TXT records of a name with a single new text.
+    pub fn replace_txt(&self, name: &DomainName, text: &str) {
+        {
+            let mut inner = self.inner.write();
+            if let Some(types) = inner.records.get_mut(name) {
+                types.remove(&RecordType::Txt);
+            }
+        }
+        self.add_txt(name, text);
+    }
+
+    /// Authoritative lookup.
+    pub fn lookup(&self, name: &DomainName, rtype: RecordType) -> LookupOutcome {
+        let inner = self.inner.read();
+        if let Some(&fault) = inner.faults.get(name) {
+            return LookupOutcome::Fault(fault);
+        }
+        match inner.records.get(name) {
+            None => LookupOutcome::NxDomain,
+            Some(types) => match types.get(&rtype) {
+                Some(rrs) if !rrs.is_empty() => LookupOutcome::Records(rrs.clone()),
+                _ => LookupOutcome::NoRecords,
+            },
+        }
+    }
+
+    /// Lookup by question.
+    pub fn lookup_question(&self, q: &Question) -> LookupOutcome {
+        self.lookup(&q.name, q.rtype)
+    }
+
+    /// True if the name owns any record (of any type).
+    pub fn name_exists(&self, name: &DomainName) -> bool {
+        self.inner.read().records.contains_key(name)
+    }
+
+    /// Total number of names in the store.
+    pub fn name_count(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// Total number of records in the store.
+    pub fn record_count(&self) -> usize {
+        self.inner
+            .read()
+            .records
+            .values()
+            .flat_map(|t| t.values())
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// The joined TXT strings of every TXT record at `name`, in insertion
+    /// order. Convenience for tests and the analyzer's multi-record check.
+    pub fn txt_strings(&self, name: &DomainName) -> Vec<String> {
+        match self.lookup(name, RecordType::Txt) {
+            LookupOutcome::Records(rrs) => rrs
+                .iter()
+                .filter_map(|rr| match &rr.data {
+                    RecordData::Txt(t) => Some(t.joined()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn nxdomain_vs_no_records() {
+        let store = ZoneStore::new();
+        let name = dom("exists.example");
+        store.add_a(&name, Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(store.lookup(&name, RecordType::Txt), LookupOutcome::NoRecords);
+        assert_eq!(store.lookup(&dom("missing.example"), RecordType::Txt), LookupOutcome::NxDomain);
+    }
+
+    #[test]
+    fn multiple_records_of_same_type() {
+        let store = ZoneStore::new();
+        let name = dom("multi.example");
+        store.add_txt(&name, "v=spf1 -all");
+        store.add_txt(&name, "v=spf1 +all");
+        match store.lookup(&name, RecordType::Txt) {
+            LookupOutcome::Records(rrs) => assert_eq!(rrs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(store.txt_strings(&name).len(), 2);
+    }
+
+    #[test]
+    fn faults_override_records() {
+        let store = ZoneStore::new();
+        let name = dom("flaky.example");
+        store.add_txt(&name, "v=spf1 -all");
+        store.set_fault(&name, ZoneFault::Timeout);
+        assert_eq!(store.lookup(&name, RecordType::Txt), LookupOutcome::Fault(ZoneFault::Timeout));
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let store = ZoneStore::new();
+        let name = dom("fixme.example");
+        store.add_txt(&name, "v=spf1 ipv4:1.2.3.4 -all");
+        store.replace_txt(&name, "v=spf1 ip4:1.2.3.4 -all");
+        assert_eq!(store.txt_strings(&name), vec!["v=spf1 ip4:1.2.3.4 -all"]);
+        store.remove_name(&name);
+        assert_eq!(store.lookup(&name, RecordType::Txt), LookupOutcome::NxDomain);
+    }
+
+    #[test]
+    fn reverse_v4_owner_name() {
+        let store = ZoneStore::new();
+        store.add_reverse_v4(Ipv4Addr::new(192, 0, 2, 7), &dom("mail.example.com"));
+        let rev = dom("7.2.0.192.in-addr.arpa");
+        match store.lookup(&rev, RecordType::Ptr) {
+            LookupOutcome::Records(rrs) => match &rrs[0].data {
+                RecordData::Ptr(t) => assert_eq!(t, &dom("mail.example.com")),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let store = ZoneStore::new();
+        store.add_a(&dom("a.example"), Ipv4Addr::new(1, 1, 1, 1));
+        store.add_a(&dom("a.example"), Ipv4Addr::new(1, 1, 1, 2));
+        store.add_txt(&dom("b.example"), "hello");
+        assert_eq!(store.name_count(), 2);
+        assert_eq!(store.record_count(), 3);
+        assert!(store.name_exists(&dom("a.example")));
+        assert!(!store.name_exists(&dom("c.example")));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the RFC 1035 codec: decoding must never panic on
+//! arbitrary bytes (the server feeds it raw network input), and every
+//! well-formed message must round-trip both with and without compression.
+
+use proptest::prelude::*;
+use spf_dns::{
+    decode, encode, encode_uncompressed, Message, Question, RecordData, RecordType,
+    ResourceRecord, TxtData,
+};
+use spf_types::DomainName;
+
+fn arb_domain() -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec("[a-z][a-z0-9-]{0,14}[a-z0-9]", 1..4).prop_map(|labels| {
+        DomainName::parse(&labels.join(".")).expect("generated labels valid")
+    })
+}
+
+fn arb_record_type() -> impl Strategy<Value = RecordType> {
+    prop_oneof![
+        Just(RecordType::A),
+        Just(RecordType::Aaaa),
+        Just(RecordType::Mx),
+        Just(RecordType::Txt),
+        Just(RecordType::Ptr),
+        Just(RecordType::Ns),
+        Just(RecordType::Cname),
+        Just(RecordType::Spf),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = ResourceRecord> {
+    (arb_domain(), 0u32..86_400).prop_flat_map(|(name, ttl)| {
+        prop_oneof![
+            any::<u32>().prop_map({
+                let name = name.clone();
+                move |v| ResourceRecord { name: name.clone(), ttl, data: RecordData::A(v.into()) }
+            }),
+            any::<u128>().prop_map({
+                let name = name.clone();
+                move |v| {
+                    ResourceRecord { name: name.clone(), ttl, data: RecordData::Aaaa(v.into()) }
+                }
+            }),
+            (any::<u16>(), arb_domain()).prop_map({
+                let name = name.clone();
+                move |(preference, exchange)| ResourceRecord {
+                    name: name.clone(),
+                    ttl,
+                    data: RecordData::Mx { preference, exchange },
+                }
+            }),
+            "[ -~]{0,600}".prop_map({
+                let name = name.clone();
+                move |text| ResourceRecord {
+                    name: name.clone(),
+                    ttl,
+                    data: RecordData::Txt(TxtData::from_text(&text)),
+                }
+            }),
+            arb_domain().prop_map({
+                let name = name.clone();
+                move |target| {
+                    ResourceRecord { name: name.clone(), ttl, data: RecordData::Ptr(target) }
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_domain(),
+        arb_record_type(),
+        proptest::collection::vec(arb_record(), 0..6),
+    )
+        .prop_map(|(id, qname, qtype, answers)| {
+            let query = Message::query(id, Question::new(qname, qtype));
+            Message::response(&query, spf_dns::Rcode::NoError, answers)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes); // must return, never panic
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutated_valid_messages(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        let mut bytes = encode(&msg).unwrap();
+        for (idx, value) in flips {
+            if !bytes.is_empty() {
+                let i = idx.index(bytes.len());
+                bytes[i] ^= value;
+            }
+        }
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn round_trip_compressed(msg in arb_message()) {
+        let bytes = encode(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn round_trip_uncompressed(msg in arb_message()) {
+        let bytes = encode_uncompressed(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn compression_never_grows_the_message(msg in arb_message()) {
+        let compressed = encode(&msg).unwrap().len();
+        let plain = encode_uncompressed(&msg).unwrap().len();
+        prop_assert!(compressed <= plain);
+    }
+}

@@ -1,0 +1,39 @@
+//! # spf-netsim — the synthetic Internet the study is re-run against
+//!
+//! The paper measured the live DNS of 12.8M Tranco domains; this crate
+//! generates the closest synthetic equivalent: a ranked population whose
+//! cohort composition embeds the paper's published marginals (adoption,
+//! error classes and causes, include ecosystem, CIDR distributions) so
+//! that *re-measuring the population through the real pipeline* reproduces
+//! every table and figure. See DESIGN.md §2 for the substitution argument
+//! and `population::cohort_table` for the calibration arithmetic.
+//!
+//! * [`scale`] — deterministic 1:N scaling with largest-remainder
+//!   apportionment;
+//! * [`blocks`] — disjoint aligned CIDR allocation and exact-count
+//!   decomposition;
+//! * [`providers`] — Table 4's top-20 includes, fat includes (Figure 4),
+//!   the multi-record target, the Table 3 long tail;
+//! * [`population`] — the cohort-calibrated domain population;
+//! * [`hosting`] — the five-provider case-study world (Table 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod hosting;
+pub mod population;
+pub mod providers;
+pub mod scale;
+
+pub use blocks::AddressAllocator;
+pub use hosting::{build_hosting, HostingProvider, HostingWorld, SPOOFABLE_TOTAL_FULL};
+pub use population::{
+    Population, PopulationConfig, DEPRECATED_RR_FULL, TOP_DMARC_FULL, TOP_SEGMENT_FULL,
+    TOP_SPF_FULL, TOTAL_DOMAINS_FULL, WITH_DMARC_FULL, WITH_MX_FULL, WITH_SPF_FULL,
+};
+pub use providers::{
+    build_providers, ProviderEntry, ProviderSpec, ProviderWorld, FAT_INCLUDE_COUNT_FULL,
+    TABLE3_INCLUDE_COLUMN, TABLE4,
+};
+pub use scale::{apportion, Scale};

@@ -1,0 +1,187 @@
+//! Plain-text rendering: aligned tables (Tables 1–5), horizontal bar
+//! charts (Figures 2/3/6/7) and series dumps (Figure 5's CDF) — the
+//! repro harness prints the same rows and series the paper reports.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{Cdf, Histogram};
+
+/// A renderable table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each must have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Build a table; panics if a row width mismatches the headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns (first column left, rest right).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let line_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "=".repeat(line_len));
+        let mut header_line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                header_line.push_str("  ");
+            }
+            if i == 0 {
+                let _ = write!(header_line, "{h:<width$}", width = widths[i]);
+            } else {
+                let _ = write!(header_line, "{h:>width$}", width = widths[i]);
+            }
+        }
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{}", "-".repeat(line_len));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(line, "{cell:<width$}", width = widths[i]);
+                } else {
+                    let _ = write!(line, "{cell:>width$}", width = widths[i]);
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+/// Render a histogram as a horizontal ASCII bar chart (Figures 2/3/6/7).
+pub fn render_bars(title: &str, histogram: &Histogram, max_width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let peak = histogram.peak().map(|(_, c)| *c).unwrap_or(0).max(1);
+    let label_width =
+        histogram.buckets.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, count) in &histogram.buckets {
+        let bar_len = ((*count as f64 / peak as f64) * max_width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {label:<label_width$} |{} {count}",
+            "#".repeat(bar_len),
+        );
+    }
+    out
+}
+
+/// Render a CDF sampled at powers of two (Figure 5).
+pub fn render_cdf(title: &str, cdf: &Cdf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "  {:>6}  {:>12}  {:>8}", "x", "(= 2^k)", "CDF");
+    for (exp, frac) in cdf.power_of_two_series() {
+        // Only print rows where something happens, plus the anchors.
+        let _ = writeln!(out, "  {:>6}  {:>12}  {:>7.4}", format!("2^{exp}"), 1u64 << exp.min(32), frac);
+    }
+    out
+}
+
+/// Format a count with thousands separators, paper-style (`2 456 916`).
+pub fn fmt_count(n: u64) -> String {
+    let raw = n.to_string();
+    let bytes = raw.as_bytes();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal (`56.5 %`).
+pub fn fmt_percent(fraction: f64) -> String {
+    format!("{:.1} %", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Table X: demo", &["Study", "SPF", "DM."]);
+        t.push_row(vec!["Our study".into(), "60.2 %".into(), "22.6 %".into()]);
+        t.push_row(vec!["Gojmerac et al.".into(), "36.7 %".into(), "0.5 %".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Table X: demo"));
+        assert!(rendered.contains("Our study"));
+        // Right-aligned numeric columns line up:
+        let lines: Vec<&str> = rendered.lines().collect();
+        let a = lines.iter().find(|l| l.contains("60.2")).unwrap();
+        let b = lines.iter().find(|l| l.contains("36.7")).unwrap();
+        assert_eq!(a.find("60.2"), b.find("36.7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn bars_scale_to_peak() {
+        let h = Histogram::new(vec![("big".into(), 100), ("small".into(), 50)]);
+        let out = render_bars("Figure Y", &h, 10);
+        assert!(out.contains("##########")); // the peak
+        assert!(out.contains("#####")); // half
+        assert!(out.contains("100"));
+    }
+
+    #[test]
+    fn cdf_render_has_33_rows() {
+        let cdf = Cdf::new(vec![1, 1000, 1 << 20]);
+        let out = render_cdf("Figure 5", &cdf);
+        assert_eq!(out.lines().count(), 2 + 33);
+        assert!(out.contains("2^20"));
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(2_456_916), "2,456,916");
+        assert_eq!(fmt_count(12_823_598), "12,823,598");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(fmt_percent(0.565), "56.5 %");
+        assert_eq!(fmt_percent(0.029), "2.9 %");
+    }
+}

@@ -1,0 +1,127 @@
+//! A minimal SMTP client — the sending side of the case study (both the
+//! direct-SMTP-from-web-space method and the provider-MTA relay are
+//! client sessions against the receiving MTA).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{IpAddr, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::codec::Reply;
+
+/// Errors from a client session.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply could not be parsed.
+    BadReply {
+        /// The raw line.
+        line: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::BadReply { line } => write!(f, "unparsable reply {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected SMTP client.
+pub struct SmtpClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// The server banner received on connect.
+    pub banner: Reply,
+}
+
+impl SmtpClient {
+    /// Connect and read the banner.
+    pub fn connect(addr: SocketAddr) -> Result<SmtpClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let banner = read_reply(&mut reader)?;
+        Ok(SmtpClient { writer, reader, banner })
+    }
+
+    fn command(&mut self, line: &str) -> Result<Reply, ClientError> {
+        write!(self.writer, "{line}\r\n")?;
+        self.writer.flush()?;
+        read_reply(&mut self.reader)
+    }
+
+    /// Send `EHLO`.
+    pub fn ehlo(&mut self, domain: &str) -> Result<Reply, ClientError> {
+        self.command(&format!("EHLO {domain}"))
+    }
+
+    /// Declare the simulated client address (server must trust XCLIENT).
+    pub fn xclient(&mut self, addr: IpAddr) -> Result<Reply, ClientError> {
+        self.command(&format!("XCLIENT ADDR={addr}"))
+    }
+
+    /// Send `MAIL FROM`.
+    pub fn mail_from(&mut self, path: &str) -> Result<Reply, ClientError> {
+        self.command(&format!("MAIL FROM:<{path}>"))
+    }
+
+    /// Send `RCPT TO`.
+    pub fn rcpt_to(&mut self, path: &str) -> Result<Reply, ClientError> {
+        self.command(&format!("RCPT TO:<{path}>"))
+    }
+
+    /// Send the message body via `DATA`, dot-stuffing as required.
+    pub fn data(&mut self, body: &str) -> Result<Reply, ClientError> {
+        let reply = self.command("DATA")?;
+        if reply.code != 354 {
+            return Ok(reply);
+        }
+        for line in body.lines() {
+            if line.starts_with('.') {
+                write!(self.writer, ".{line}\r\n")?;
+            } else {
+                write!(self.writer, "{line}\r\n")?;
+            }
+        }
+        write!(self.writer, ".\r\n")?;
+        self.writer.flush()?;
+        read_reply(&mut self.reader)
+    }
+
+    /// Send `QUIT`.
+    pub fn quit(&mut self) -> Result<Reply, ClientError> {
+        self.command("QUIT")
+    }
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Result<Reply, ClientError> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Reply::parse(&line).ok_or(ClientError::BadReply { line })
+}
+
+#[cfg(test)]
+mod tests {
+    // The client is exercised end-to-end in `server.rs` and `spoof.rs`
+    // tests; here only the pure helpers are covered.
+    use crate::codec::Reply;
+
+    #[test]
+    fn reply_parse_handles_multiline_markers() {
+        let r = Reply::parse("250-mx.receiver.example greets you").unwrap();
+        assert_eq!(r.code, 250);
+        assert_eq!(r.text, "mx.receiver.example greets you");
+    }
+}

@@ -1,0 +1,414 @@
+//! A receiving MTA with an SPF gate at `MAIL FROM`.
+//!
+//! This is the "our site" end of the case study: the paper sent spoofed
+//! mails to themselves and "examined how the emails are received on our
+//! site and whether they pass the SPF checks". The server runs real
+//! `check_host()` against its resolver for every `MAIL FROM`, stamps the
+//! result into the stored message (Received-SPF style) and — depending on
+//! policy — rejects on `fail`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use spf_core::{check_host, received_spf_header, EvalContext, EvalPolicy, SpfResult};
+use spf_dns::Resolver;
+use spf_types::DomainName;
+
+use crate::codec::{Command, Reply};
+
+/// How the gate treats each SPF outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpfEnforcement {
+    /// Reject `fail` at MAIL FROM (550); accept everything else.
+    RejectFail,
+    /// Accept everything, only annotate the result (monitoring mode).
+    MarkOnly,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct MtaConfig {
+    /// The server's own hostname (used in the banner and `%{r}`).
+    pub hostname: String,
+    /// SPF enforcement policy.
+    pub enforcement: SpfEnforcement,
+    /// Honour `XCLIENT ADDR=` from connecting clients. The spoofing
+    /// harness needs this to carry the simulated source address across a
+    /// loopback socket; production servers only enable it for trusted
+    /// proxies.
+    pub trust_xclient: bool,
+}
+
+impl Default for MtaConfig {
+    fn default() -> Self {
+        MtaConfig {
+            hostname: "mx.receiver.example".into(),
+            enforcement: SpfEnforcement::RejectFail,
+            trust_xclient: true,
+        }
+    }
+}
+
+/// A message the server accepted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceivedMessage {
+    /// Envelope sender.
+    pub mail_from: String,
+    /// Envelope recipients.
+    pub rcpt_to: Vec<String>,
+    /// Message body.
+    pub body: String,
+    /// The (possibly XCLIENT-declared) client address.
+    pub client_ip: IpAddr,
+    /// The SPF verdict computed at MAIL FROM.
+    pub spf_result: SpfResult,
+}
+
+/// A running receiving MTA.
+pub struct SmtpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    received: Arc<Mutex<Vec<ReceivedMessage>>>,
+}
+
+impl SmtpServer {
+    /// Bind to 127.0.0.1 on an ephemeral port and serve connections, using
+    /// `resolver` for SPF checks.
+    pub fn spawn<R: Resolver + 'static>(
+        resolver: Arc<R>,
+        config: MtaConfig,
+    ) -> std::io::Result<SmtpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let t_shutdown = Arc::clone(&shutdown);
+        let t_received = Arc::clone(&received);
+        let handle = std::thread::Builder::new().name("smtp-server".into()).spawn(move || {
+            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+            while !t_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let resolver = Arc::clone(&resolver);
+                        let config = config.clone();
+                        let received = Arc::clone(&t_received);
+                        sessions.push(
+                            std::thread::Builder::new()
+                                .name("smtp-session".into())
+                                .spawn(move || {
+                                    let _ = serve_session(stream, peer, resolver, config, received);
+                                })
+                                .expect("spawn session"),
+                        );
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for s in sessions {
+                let _ = s.join();
+            }
+        })?;
+        Ok(SmtpServer { addr, shutdown, handle: Some(handle), received })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Messages accepted so far.
+    pub fn received(&self) -> Vec<ReceivedMessage> {
+        self.received.lock().clone()
+    }
+}
+
+impl Drop for SmtpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct SessionState {
+    client_ip: IpAddr,
+    helo: Option<String>,
+    mail_from: Option<String>,
+    spf_result: Option<SpfResult>,
+    spf_header: Option<String>,
+    rcpt_to: Vec<String>,
+}
+
+fn serve_session<R: Resolver>(
+    stream: TcpStream,
+    peer: SocketAddr,
+    resolver: Arc<R>,
+    config: MtaConfig,
+    received: Arc<Mutex<Vec<ReceivedMessage>>>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let send = |w: &mut TcpStream, reply: Reply| -> std::io::Result<()> {
+        write!(w, "{reply}\r\n")?;
+        w.flush()
+    };
+    send(&mut writer, Reply::new(220, format!("{} ESMTP", config.hostname)))?;
+
+    let mut state = SessionState {
+        client_ip: peer.ip(),
+        helo: None,
+        mail_from: None,
+        spf_result: None,
+        spf_header: None,
+        rcpt_to: Vec::new(),
+    };
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        match Command::parse(&line) {
+            Command::Helo { domain } | Command::Ehlo { domain } => {
+                state.helo = Some(domain);
+                send(&mut writer, Reply::new(250, config.hostname.clone()))?;
+            }
+            Command::XClient { addr } => {
+                if config.trust_xclient {
+                    state.client_ip = addr;
+                    send(&mut writer, Reply::new(220, "XCLIENT accepted"))?;
+                } else {
+                    send(&mut writer, Reply::new(550, "XCLIENT not trusted"))?;
+                }
+            }
+            cmd @ Command::MailFrom { .. } => {
+                let Command::MailFrom { path } = &cmd else { unreachable!() };
+                let (verdict, header) = match cmd.sender_parts() {
+                    Some((local, domain)) => {
+                        let helo = state
+                            .helo
+                            .as_deref()
+                            .and_then(|h| DomainName::parse(h).ok())
+                            .unwrap_or_else(|| domain.clone());
+                        let ctx = EvalContext {
+                            ip: state.client_ip,
+                            sender_local: local,
+                            sender_domain: domain.clone(),
+                            helo,
+                            receiver: DomainName::parse(&config.hostname).ok(),
+                        };
+                        let eval =
+                            check_host(resolver.as_ref(), &ctx, &domain, &EvalPolicy::default());
+                        let header = received_spf_header(&eval, &ctx);
+                        (eval.result, Some(header))
+                    }
+                    // Null sender / unparsable domain → none.
+                    None => (SpfResult::None, None),
+                };
+                if verdict == SpfResult::Fail
+                    && config.enforcement == SpfEnforcement::RejectFail
+                {
+                    send(
+                        &mut writer,
+                        Reply::new(550, format!("5.7.23 SPF check failed ({verdict})")),
+                    )?;
+                    continue;
+                }
+                state.mail_from = Some(path.clone());
+                state.spf_result = Some(verdict);
+                state.spf_header = header;
+                state.rcpt_to.clear();
+                send(&mut writer, Reply::new(250, format!("OK spf={verdict}")))?;
+            }
+            Command::RcptTo { path } => {
+                if state.mail_from.is_none() {
+                    send(&mut writer, Reply::new(503, "need MAIL first"))?;
+                } else {
+                    state.rcpt_to.push(path);
+                    send(&mut writer, Reply::new(250, "OK"))?;
+                }
+            }
+            Command::Data => {
+                if state.rcpt_to.is_empty() {
+                    send(&mut writer, Reply::new(503, "need RCPT first"))?;
+                    continue;
+                }
+                send(&mut writer, Reply::new(354, "end with <CRLF>.<CRLF>"))?;
+                let mut body = String::new();
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        return Ok(());
+                    }
+                    let stripped = line.trim_end_matches(['\r', '\n']);
+                    if stripped == "." {
+                        break;
+                    }
+                    // Dot-unstuffing (RFC 5321 §4.5.2).
+                    body.push_str(stripped.strip_prefix('.').unwrap_or(stripped));
+                    body.push('\n');
+                }
+                // Prepend the Received-SPF header the way an MTA stamps
+                // accepted mail (RFC 7208 §9.1).
+                let stored_body = match &state.spf_header {
+                    Some(h) => format!("{h}\n{body}"),
+                    None => body,
+                };
+                received.lock().push(ReceivedMessage {
+                    mail_from: state.mail_from.clone().unwrap_or_default(),
+                    rcpt_to: state.rcpt_to.clone(),
+                    body: stored_body,
+                    client_ip: state.client_ip,
+                    spf_result: state.spf_result.unwrap_or(SpfResult::None),
+                });
+                state.mail_from = None;
+                state.rcpt_to.clear();
+                send(&mut writer, Reply::new(250, "OK message accepted"))?;
+            }
+            Command::Rset => {
+                state.mail_from = None;
+                state.spf_result = None;
+                state.rcpt_to.clear();
+                send(&mut writer, Reply::new(250, "OK"))?;
+            }
+            Command::Noop => send(&mut writer, Reply::new(250, "OK"))?,
+            Command::Quit => {
+                send(&mut writer, Reply::new(221, "bye"))?;
+                return Ok(());
+            }
+            Command::Unknown { .. } => {
+                send(&mut writer, Reply::new(500, "command unrecognized"))?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SmtpClient;
+    use spf_dns::{ZoneResolver, ZoneStore};
+    use std::net::Ipv4Addr;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn world() -> Arc<ZoneStore> {
+        let store = Arc::new(ZoneStore::new());
+        store.add_txt(&dom("good.example"), "v=spf1 ip4:198.51.100.7 -all");
+        store
+    }
+
+    fn server(store: &Arc<ZoneStore>) -> SmtpServer {
+        SmtpServer::spawn(
+            Arc::new(ZoneResolver::new(Arc::clone(store))),
+            MtaConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_mail_from_authorized_ip() {
+        let store = world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("webhost.example").unwrap();
+        client.xclient(Ipv4Addr::new(198, 51, 100, 7).into()).unwrap();
+        let reply = client.mail_from("ceo@good.example").unwrap();
+        assert!(reply.is_positive(), "{reply}");
+        assert!(reply.text.contains("spf=pass"));
+        client.rcpt_to("victim@receiver.example").unwrap();
+        client.data("Subject: hi\n\nhello").unwrap();
+        client.quit().unwrap();
+        let msgs = server.received();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].spf_result, SpfResult::Pass);
+        assert_eq!(msgs[0].mail_from, "ceo@good.example");
+        assert_eq!(msgs[0].client_ip, IpAddr::from(Ipv4Addr::new(198, 51, 100, 7)));
+    }
+
+    #[test]
+    fn rejects_mail_from_unauthorized_ip() {
+        let store = world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("attacker.example").unwrap();
+        client.xclient(Ipv4Addr::new(203, 0, 113, 99).into()).unwrap();
+        let reply = client.mail_from("ceo@good.example").unwrap();
+        assert_eq!(reply.code, 550);
+        assert!(server.received().is_empty());
+    }
+
+    #[test]
+    fn mark_only_mode_accepts_failures() {
+        let store = world();
+        let server = SmtpServer::spawn(
+            Arc::new(ZoneResolver::new(Arc::clone(&store))),
+            MtaConfig { enforcement: SpfEnforcement::MarkOnly, ..Default::default() },
+        )
+        .unwrap();
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("attacker.example").unwrap();
+        client.xclient(Ipv4Addr::new(203, 0, 113, 99).into()).unwrap();
+        let reply = client.mail_from("ceo@good.example").unwrap();
+        assert!(reply.is_positive());
+        assert!(reply.text.contains("spf=fail"));
+        client.rcpt_to("victim@receiver.example").unwrap();
+        client.data("spoofed").unwrap();
+        assert_eq!(server.received()[0].spf_result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn no_spf_record_yields_none() {
+        let store = world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("host.example").unwrap();
+        client.xclient(Ipv4Addr::new(203, 0, 113, 99).into()).unwrap();
+        let reply = client.mail_from("user@nospf.example").unwrap();
+        assert!(reply.is_positive());
+        assert!(reply.text.contains("spf=none"));
+    }
+
+    #[test]
+    fn rcpt_before_mail_rejected() {
+        let store = world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("h.example").unwrap();
+        let reply = client.rcpt_to("x@y.example").unwrap();
+        assert_eq!(reply.code, 503);
+    }
+
+    #[test]
+    fn dot_stuffed_body_round_trips() {
+        let store = world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("h.example").unwrap();
+        client.xclient(Ipv4Addr::new(198, 51, 100, 7).into()).unwrap();
+        client.mail_from("ceo@good.example").unwrap();
+        client.rcpt_to("v@r.example").unwrap();
+        client.data("line one\n.leading dot\nlast").unwrap();
+        let msgs = server.received();
+        // The stored body carries the stamped Received-SPF header first.
+        let (header, body) = msgs[0].body.split_once('\n').unwrap();
+        assert!(header.starts_with("Received-SPF: pass"));
+        assert_eq!(body, "line one\n.leading dot\nlast\n");
+    }
+}

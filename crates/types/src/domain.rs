@@ -1,0 +1,426 @@
+//! DNS domain names with the validation rules the paper's crawler enforced.
+//!
+//! The study explicitly reports three low-level name errors seen in the wild
+//! (Section 5.3): a label longer than 63 octets, a full name longer than
+//! 255 octets, and a UTF-8 decode failure. [`DomainName::parse`] surfaces all
+//! three as distinct [`DomainError`] variants so the analyzer can classify
+//! them the same way.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum length of a single DNS label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a full domain name in octets, including separating dots
+/// (RFC 1035 §2.3.4; 255 octets of wire format ≈ 253 presentation characters,
+/// we validate the presentation form against 253 plus the optional root dot).
+pub const MAX_NAME_LEN: usize = 253;
+
+/// Errors raised while validating a domain name.
+///
+/// The first three variants mirror the exact error classes the paper counts
+/// under "record not found / other errors".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainError {
+    /// A DNS label is longer than 63 octets.
+    LabelTooLong {
+        /// Length of the offending label.
+        label_len: usize,
+    },
+    /// The whole DNS name is longer than 255 octets (wire) / 253 (text).
+    NameTooLong {
+        /// Length of the offending name.
+        name_len: usize,
+    },
+    /// The name is not valid UTF-8 / contains bytes outside the LDH subset
+    /// we accept. The paper observed one utf-8 decode error in 12.8M domains.
+    InvalidUtf8,
+    /// A label is empty (e.g. `foo..bar` or a leading dot).
+    EmptyLabel,
+    /// The name is entirely empty.
+    EmptyName,
+    /// A character outside `[A-Za-z0-9_-]` appeared in a label.
+    InvalidCharacter {
+        /// The offending character.
+        character: char,
+    },
+    /// A label begins or ends with `-`, which RFC 952/1123 hostnames forbid.
+    BadHyphen,
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::LabelTooLong { label_len } => {
+                write!(f, "DNS label is {label_len} octets long (> 63)")
+            }
+            DomainError::NameTooLong { name_len } => {
+                write!(f, "DNS name is {name_len} octets long (> 253)")
+            }
+            DomainError::InvalidUtf8 => write!(f, "domain name is not valid UTF-8"),
+            DomainError::EmptyLabel => write!(f, "domain name contains an empty label"),
+            DomainError::EmptyName => write!(f, "domain name is empty"),
+            DomainError::InvalidCharacter { character } => {
+                write!(f, "invalid character {character:?} in domain name")
+            }
+            DomainError::BadHyphen => write!(f, "label starts or ends with a hyphen"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// A validated, case-normalized DNS domain name.
+///
+/// Names are stored lowercased without a trailing root dot, so
+/// `DomainName::parse("Example.COM.")` and `parse("example.com")` compare
+/// equal and hash identically — the property the crawler's cache relies on.
+///
+/// ```
+/// use spf_types::DomainName;
+/// let a = DomainName::parse("Example.COM.").unwrap();
+/// let b = DomainName::parse("example.com").unwrap();
+/// assert_eq!(a, b);
+/// assert_eq!(a.label_count(), 2);
+/// assert_eq!(a.to_string(), "example.com");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DomainName {
+    name: String,
+}
+
+impl DomainName {
+    /// Parse and validate a domain name from presentation format.
+    ///
+    /// Accepts an optional trailing root dot. Underscores are allowed because
+    /// service-label names like `_spf.google.com` are ubiquitous in SPF.
+    pub fn parse(input: &str) -> Result<Self, DomainError> {
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Err(DomainError::EmptyName);
+        }
+        if trimmed.len() > MAX_NAME_LEN {
+            return Err(DomainError::NameTooLong { name_len: trimmed.len() });
+        }
+        let mut normalized = String::with_capacity(trimmed.len());
+        for (i, label) in trimmed.split('.').enumerate() {
+            if i > 0 {
+                normalized.push('.');
+            }
+            Self::validate_label(label)?;
+            for ch in label.chars() {
+                normalized.push(ch.to_ascii_lowercase());
+            }
+        }
+        Ok(DomainName { name: normalized })
+    }
+
+    /// Parse a domain name from raw bytes, surfacing UTF-8 failures as the
+    /// distinct [`DomainError::InvalidUtf8`] class the paper counts.
+    pub fn parse_bytes(input: &[u8]) -> Result<Self, DomainError> {
+        let s = std::str::from_utf8(input).map_err(|_| DomainError::InvalidUtf8)?;
+        Self::parse(s)
+    }
+
+    fn validate_label(label: &str) -> Result<(), DomainError> {
+        if label.is_empty() {
+            return Err(DomainError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(DomainError::LabelTooLong { label_len: label.len() });
+        }
+        if label.starts_with('-') || label.ends_with('-') {
+            return Err(DomainError::BadHyphen);
+        }
+        for ch in label.chars() {
+            if !(ch.is_ascii_alphanumeric() || ch == '-' || ch == '_') {
+                if !ch.is_ascii() {
+                    return Err(DomainError::InvalidUtf8);
+                }
+                return Err(DomainError::InvalidCharacter { character: ch });
+            }
+        }
+        Ok(())
+    }
+
+    /// Construct without validation; used by generators that build names from
+    /// already-validated parts. Panics in debug builds if invalid.
+    pub fn from_validated(name: String) -> Self {
+        debug_assert!(DomainName::parse(&name).is_ok(), "invalid: {name}");
+        DomainName { name: name.to_ascii_lowercase() }
+    }
+
+    /// The normalized textual form, lowercase and without trailing dot.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterator over labels, left to right (`www`, `example`, `com`).
+    pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// The parent domain (`example.com` for `www.example.com`), or `None`
+    /// for a single-label (TLD-level) name.
+    pub fn parent(&self) -> Option<DomainName> {
+        let idx = self.name.find('.')?;
+        Some(DomainName { name: self.name[idx + 1..].to_string() })
+    }
+
+    /// True if `self` equals `other` or is a subdomain of it.
+    ///
+    /// ```
+    /// use spf_types::DomainName;
+    /// let child = DomainName::parse("a.b.example.com").unwrap();
+    /// let parent = DomainName::parse("example.com").unwrap();
+    /// assert!(child.is_subdomain_of(&parent));
+    /// assert!(!parent.is_subdomain_of(&child));
+    /// ```
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        if self.name == other.name {
+            return true;
+        }
+        self.name.len() > other.name.len()
+            && self.name.ends_with(&other.name)
+            && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
+    }
+
+    /// Prepend a label: `"mail"` + `example.com` → `mail.example.com`.
+    pub fn prepend_label(&self, label: &str) -> Result<DomainName, DomainError> {
+        Self::validate_label(label)?;
+        let candidate = format!("{}.{}", label.to_ascii_lowercase(), self.name);
+        if candidate.len() > MAX_NAME_LEN {
+            return Err(DomainError::NameTooLong { name_len: candidate.len() });
+        }
+        Ok(DomainName { name: candidate })
+    }
+
+    /// The top-level domain label (`com` for `www.example.com`).
+    ///
+    /// The paper notes that many /8-including domains cluster in `.top`;
+    /// the analyzer groups findings by this label.
+    pub fn tld(&self) -> &str {
+        self.labels().next_back().unwrap_or(&self.name)
+    }
+
+    /// Keep only the last `n` labels: used by SPF macro transformers
+    /// (`%{d2}` keeps two labels).
+    pub fn truncate_labels(&self, n: usize) -> Cow<'_, str> {
+        let count = self.label_count();
+        if n == 0 || n >= count {
+            return Cow::Borrowed(&self.name);
+        }
+        let skip = count - n;
+        let mut idx = 0;
+        for _ in 0..skip {
+            idx = self.name[idx..].find('.').map(|p| idx + p + 1).unwrap_or(idx);
+        }
+        Cow::Borrowed(&self.name[idx..])
+    }
+
+    /// Length in octets of the presentation form.
+    pub fn len(&self) -> usize {
+        self.name.len()
+    }
+
+    /// Never true: validation rejects empty names.
+    pub fn is_empty(&self) -> bool {
+        self.name.is_empty()
+    }
+}
+
+impl PartialEq for DomainName {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+impl Eq for DomainName {}
+
+impl Hash for DomainName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+impl PartialOrd for DomainName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DomainName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.name.cmp(&other.name)
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = DomainError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes_case() {
+        let d = DomainName::parse("ExAmPle.COM").unwrap();
+        assert_eq!(d.as_str(), "example.com");
+    }
+
+    #[test]
+    fn strips_trailing_root_dot() {
+        let d = DomainName::parse("example.com.").unwrap();
+        assert_eq!(d.as_str(), "example.com");
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        assert_eq!(DomainName::parse(""), Err(DomainError::EmptyName));
+        assert_eq!(DomainName::parse("."), Err(DomainError::EmptyName));
+    }
+
+    #[test]
+    fn rejects_empty_label() {
+        assert_eq!(DomainName::parse("foo..bar"), Err(DomainError::EmptyLabel));
+        assert_eq!(DomainName::parse(".foo"), Err(DomainError::EmptyLabel));
+    }
+
+    #[test]
+    fn rejects_label_longer_than_63() {
+        let label = "a".repeat(64);
+        let err = DomainName::parse(&format!("{label}.com")).unwrap_err();
+        assert_eq!(err, DomainError::LabelTooLong { label_len: 64 });
+    }
+
+    #[test]
+    fn accepts_label_of_exactly_63() {
+        let label = "a".repeat(63);
+        assert!(DomainName::parse(&format!("{label}.com")).is_ok());
+    }
+
+    #[test]
+    fn rejects_name_longer_than_253() {
+        let mut name = String::new();
+        while name.len() <= 253 {
+            name.push_str("abcdefgh.");
+        }
+        name.push_str("com");
+        let err = DomainName::parse(&name).unwrap_err();
+        assert!(matches!(err, DomainError::NameTooLong { .. }));
+    }
+
+    #[test]
+    fn rejects_non_utf8_bytes() {
+        let err = DomainName::parse_bytes(&[0xff, 0xfe, b'.', b'c', b'o', b'm']).unwrap_err();
+        assert_eq!(err, DomainError::InvalidUtf8);
+    }
+
+    #[test]
+    fn rejects_non_ascii_char() {
+        let err = DomainName::parse("exämple.com").unwrap_err();
+        assert_eq!(err, DomainError::InvalidUtf8);
+    }
+
+    #[test]
+    fn rejects_invalid_ascii_char() {
+        let err = DomainName::parse("ex ample.com").unwrap_err();
+        assert_eq!(err, DomainError::InvalidCharacter { character: ' ' });
+    }
+
+    #[test]
+    fn rejects_leading_or_trailing_hyphen() {
+        assert_eq!(DomainName::parse("-foo.com"), Err(DomainError::BadHyphen));
+        assert_eq!(DomainName::parse("foo-.com"), Err(DomainError::BadHyphen));
+    }
+
+    #[test]
+    fn allows_underscore_service_labels() {
+        let d = DomainName::parse("_spf.google.com").unwrap();
+        assert_eq!(d.as_str(), "_spf.google.com");
+    }
+
+    #[test]
+    fn parent_walks_up_one_level() {
+        let d = DomainName::parse("www.example.com").unwrap();
+        assert_eq!(d.parent().unwrap().as_str(), "example.com");
+        assert_eq!(d.parent().unwrap().parent().unwrap().as_str(), "com");
+        assert_eq!(d.parent().unwrap().parent().unwrap().parent(), None);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let child = DomainName::parse("deep.mail.example.com").unwrap();
+        let parent = DomainName::parse("example.com").unwrap();
+        let unrelated = DomainName::parse("notexample.com").unwrap();
+        assert!(child.is_subdomain_of(&parent));
+        assert!(parent.is_subdomain_of(&parent));
+        assert!(!parent.is_subdomain_of(&child));
+        // suffix match without a dot boundary must NOT count
+        assert!(!unrelated.is_subdomain_of(&parent));
+    }
+
+    #[test]
+    fn prepend_label_builds_child() {
+        let d = DomainName::parse("example.com").unwrap();
+        assert_eq!(d.prepend_label("Mail").unwrap().as_str(), "mail.example.com");
+        assert!(d.prepend_label("bad label").is_err());
+    }
+
+    #[test]
+    fn tld_is_last_label() {
+        assert_eq!(DomainName::parse("foo.bar.top").unwrap().tld(), "top");
+        assert_eq!(DomainName::parse("com").unwrap().tld(), "com");
+    }
+
+    #[test]
+    fn truncate_labels_keeps_rightmost() {
+        let d = DomainName::parse("a.b.c.example.com").unwrap();
+        assert_eq!(d.truncate_labels(2).as_ref(), "example.com");
+        assert_eq!(d.truncate_labels(3).as_ref(), "c.example.com");
+        assert_eq!(d.truncate_labels(0).as_ref(), "a.b.c.example.com");
+        assert_eq!(d.truncate_labels(9).as_ref(), "a.b.c.example.com");
+    }
+
+    #[test]
+    fn ordering_and_hashing_are_case_insensitive_via_normalization() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(DomainName::parse("EXAMPLE.com").unwrap());
+        assert!(set.contains(&DomainName::parse("example.COM").unwrap()));
+    }
+
+    #[test]
+    fn serde_round_trip_is_transparent_string() {
+        let d = DomainName::parse("mail.example.org").unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(json, "\"mail.example.org\"");
+        let back: DomainName = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

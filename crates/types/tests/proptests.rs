@@ -1,0 +1,140 @@
+//! Property-based tests for the spf-types data structures.
+//!
+//! The [`Ipv4Set`] invariants are load-bearing for the whole reproduction:
+//! Figure 5 and Table 4 are address *counts* over unions of provider
+//! networks, so a merging bug silently skews every downstream number.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use spf_types::{DomainName, Ipv4Cidr, Ipv4Set, MacroString};
+
+/// A model-based check: compare Ipv4Set against a BTreeSet of addresses for
+/// small ranges.
+fn model_insert(ops: &[(u32, u32)]) -> (Ipv4Set, BTreeSet<u32>) {
+    let mut set = Ipv4Set::new();
+    let mut model = BTreeSet::new();
+    for &(lo, hi) in ops {
+        set.insert_range(lo, hi);
+        for v in lo..=hi {
+            model.insert(v);
+        }
+    }
+    (set, model)
+}
+
+proptest! {
+    #[test]
+    fn ipset_count_matches_model(
+        ops in proptest::collection::vec((0u32..5000, 0u32..64), 1..20)
+    ) {
+        let ranges: Vec<(u32, u32)> = ops.iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let (set, model) = model_insert(&ranges);
+        prop_assert_eq!(set.address_count(), model.len() as u64);
+    }
+
+    #[test]
+    fn ipset_contains_matches_model(
+        ops in proptest::collection::vec((0u32..2000, 0u32..32), 1..12),
+        probes in proptest::collection::vec(0u32..2100, 32)
+    ) {
+        let ranges: Vec<(u32, u32)> = ops.iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let (set, model) = model_insert(&ranges);
+        for p in probes {
+            prop_assert_eq!(set.contains(Ipv4Addr::from(p)), model.contains(&p));
+        }
+    }
+
+    #[test]
+    fn ipset_insertion_order_is_irrelevant(
+        ops in proptest::collection::vec((0u32..3000, 0u32..64), 1..10)
+    ) {
+        let ranges: Vec<(u32, u32)> = ops.iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let mut forward = Ipv4Set::new();
+        for &(lo, hi) in &ranges {
+            forward.insert_range(lo, hi);
+        }
+        let mut backward = Ipv4Set::new();
+        for &(lo, hi) in ranges.iter().rev() {
+            backward.insert_range(lo, hi);
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn ipset_union_is_commutative_and_counts_bound(
+        a_ops in proptest::collection::vec((0u32..4000, 0u32..64), 0..10),
+        b_ops in proptest::collection::vec((0u32..4000, 0u32..64), 0..10)
+    ) {
+        let a: Ipv4Set = {
+            let mut s = Ipv4Set::new();
+            for (lo, w) in &a_ops { s.insert_range(*lo, lo + w); }
+            s
+        };
+        let b: Ipv4Set = {
+            let mut s = Ipv4Set::new();
+            for (lo, w) in &b_ops { s.insert_range(*lo, lo + w); }
+            s
+        };
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.address_count() <= a.address_count() + b.address_count());
+        prop_assert!(ab.address_count() >= a.address_count().max(b.address_count()));
+    }
+
+    #[test]
+    fn cidr_count_is_power_of_two(prefix in 0u8..=32, a in any::<u32>()) {
+        let cidr = Ipv4Cidr::new(Ipv4Addr::from(a), prefix).unwrap();
+        prop_assert_eq!(cidr.address_count(), 1u64 << (32 - prefix as u32));
+        let (lo, hi) = cidr.range_u32();
+        prop_assert_eq!((hi as u64) - (lo as u64) + 1, cidr.address_count());
+        // The written address is always inside its own network.
+        prop_assert!(cidr.contains(Ipv4Addr::from(a)));
+    }
+
+    #[test]
+    fn cidr_display_parse_round_trip(prefix in 0u8..=32, a in any::<u32>()) {
+        let cidr = Ipv4Cidr::new(Ipv4Addr::from(a), prefix).unwrap();
+        let reparsed: Ipv4Cidr = cidr.to_string().parse().unwrap();
+        prop_assert_eq!(cidr, reparsed);
+    }
+
+    #[test]
+    fn domain_parse_round_trip(labels in proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..5)) {
+        let name = labels.join(".");
+        let d = DomainName::parse(&name).unwrap();
+        prop_assert_eq!(d.as_str(), name.as_str());
+        let reparsed = DomainName::parse(&d.to_string()).unwrap();
+        prop_assert_eq!(d, reparsed);
+    }
+
+    #[test]
+    fn domain_case_insensitive(labels in proptest::collection::vec("[a-zA-Z]{1,8}", 1..4)) {
+        let name = labels.join(".");
+        let lower = DomainName::parse(&name.to_ascii_lowercase()).unwrap();
+        let mixed = DomainName::parse(&name).unwrap();
+        prop_assert_eq!(lower, mixed);
+    }
+
+    #[test]
+    fn macro_string_display_round_trip(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                "[a-z0-9.]{1,6}".prop_map(|s| s),
+                Just("%{d}".to_string()),
+                Just("%{i4r}".to_string()),
+                Just("%%".to_string()),
+                Just("%_".to_string()),
+            ],
+            1..6
+        )
+    ) {
+        let text = parts.concat();
+        let parsed = MacroString::parse(&text).unwrap();
+        let printed = parsed.to_string();
+        let reparsed = MacroString::parse(&printed).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+}

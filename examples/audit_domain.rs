@@ -1,0 +1,76 @@
+//! An SPF record linter built on the analyzer — the tool the paper's
+//! Section 7 tells domain owners to run before publishing ("we recommend
+//! validating SPF records with a tool to check for errors and undefined
+//! parts").
+//!
+//! ```text
+//! cargo run --example audit_domain                          # audits demo records
+//! cargo run --example audit_domain -- "v=spf1 ipv4:1.2.3.4 ptr"
+//! ```
+
+use std::sync::Arc;
+
+use lazy_gatekeepers::prelude::*;
+use spf_analyzer::Severity;
+
+fn audit(record_text: &str) {
+    println!("── auditing: {record_text}");
+    // Stage the record at a scratch domain with a plausible mail setup so
+    // the full analysis (MX checks, lookups) has something to resolve.
+    let store = Arc::new(ZoneStore::new());
+    let domain = DomainName::parse("audited.example").unwrap();
+    store.add_txt(&domain, record_text);
+    store.add_mx(&domain, 10, &DomainName::parse("mx.audited.example").unwrap());
+    store.add_a(&DomainName::parse("mx.audited.example").unwrap(), "192.0.2.33".parse().unwrap());
+    store.add_a(&domain, "192.0.2.34".parse().unwrap());
+
+    let walker = Walker::new(ZoneResolver::new(store));
+    let report = analyze_domain(&walker, &domain);
+
+    if let Some(analysis) = report.record.as_ref() {
+        println!(
+            "   authorized IPv4 addresses: {}   DNS lookups: {}   void lookups: {}",
+            analysis.allowed_ip_count(),
+            analysis.subtree_lookups,
+            analysis.subtree_void_lookups
+        );
+        for error in &analysis.errors {
+            println!("   error: {error}");
+        }
+    }
+    let recommendations = recommend(&report);
+    if recommendations.is_empty() {
+        println!("   ✓ no findings — record looks good");
+    }
+    for rec in &recommendations {
+        let marker = match rec.severity {
+            Severity::Critical => "✗",
+            Severity::Warning => "!",
+            Severity::Advice => "·",
+        };
+        println!("   {marker} {rec}");
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        for record in &args {
+            audit(record);
+        }
+        return;
+    }
+    // Demo set: one good record and the paper's recurring offenders.
+    for record in [
+        "v=spf1 mx -all",
+        "v=spf1 ipv4:192.0.2.1 -all",                 // misspelled mechanism
+        "v=spf1 ip4: 192.0.2.1 -all",                 // whitespace after colon
+        "v=spf1 include:audited.example -all",        // self-include loop
+        "v=spf1 ip4:10.0.0.0/8",                      // lax + permissive all
+        "v=spf1 ptr a mx ~all",                       // deprecated ptr + shared-host a
+        "v=spf1 mx -al",                              // the classic dead-all typo
+    ] {
+        audit(record);
+    }
+}

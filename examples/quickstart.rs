@@ -1,0 +1,41 @@
+//! Quickstart: publish an SPF record, evaluate senders against it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use lazy_gatekeepers::prelude::*;
+use spf_core::EvalPolicy;
+
+fn main() {
+    // 1. A zone with the paper's Section 2.1 example record:
+    //    v=spf1 +mx a:puffin.example.com/28 -all
+    let store = Arc::new(ZoneStore::new());
+    let domain = DomainName::parse("example.com").unwrap();
+    store.add_txt(&domain, "v=spf1 +mx a:puffin.example.com/28 -all");
+    store.add_mx(&domain, 10, &DomainName::parse("mail.example.com").unwrap());
+    store.add_a(&DomainName::parse("mail.example.com").unwrap(), "192.0.2.1".parse().unwrap());
+    store.add_a(&DomainName::parse("puffin.example.com").unwrap(), "203.0.113.64".parse().unwrap());
+
+    // 2. Parse the record and show its structure.
+    let record = parse("v=spf1 +mx a:puffin.example.com/28 -all").unwrap();
+    println!("record: {record}");
+    println!("  directives: {}", record.directives().count());
+    println!("  restrictive all: {}", record.has_restrictive_all());
+    println!();
+
+    // 3. Evaluate check_host() for a few senders.
+    let resolver = ZoneResolver::new(store);
+    for ip in ["192.0.2.1", "203.0.113.70", "203.0.113.99", "198.51.100.5"] {
+        let ctx = EvalContext::mail_from(ip.parse().unwrap(), "alice", domain.clone());
+        let eval = spf_core::check_host(&resolver, &ctx, &domain, &EvalPolicy::default());
+        println!(
+            "check_host({ip:>15}) = {:<9} matched={:?} ({} DNS lookups)",
+            eval.result.to_string(),
+            eval.matched_directive.as_deref().unwrap_or("-"),
+            eval.dns_lookups,
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The reproduction harness: regenerate every table and figure of
+//! *Lazy Gatekeepers* (IMC 2023) from the synthetic population, print the
+//! artifacts, and write the paper-vs-measured log to EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --bin repro -- all
+//! cargo run --release --bin repro -- table4 fig5 --scale 50
+//! cargo run --release --bin repro -- all --scale 1        # full 12.8M domains
+//! ```
+
+use std::time::Instant;
+
+use spf_bench::{self as bench, Repro};
+use spf_report::ExperimentLog;
+
+const DEFAULT_SCALE: u64 = 100;
+const DEFAULT_SEED: u64 = 0x5bf1_2023;
+
+struct Args {
+    targets: Vec<String>,
+    scale: u64,
+    seed: u64,
+    workers: usize,
+    out_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        targets: Vec::new(),
+        scale: DEFAULT_SCALE,
+        seed: DEFAULT_SEED,
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        out_path: Some("EXPERIMENTS.md".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --seed"));
+            }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --workers"));
+            }
+            "--no-write" => args.out_path = None,
+            "--out" => {
+                args.out_path = Some(it.next().unwrap_or_else(|| usage("missing value for --out")));
+            }
+            "-h" | "--help" => usage(""),
+            other => args.targets.push(other.trim_start_matches("--").to_lowercase()),
+        }
+    }
+    if args.targets.is_empty() {
+        args.targets.push("all".to_string());
+    }
+    args
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}\n");
+    }
+    eprintln!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro [targets...] [--scale N] [--seed S] [--workers W] [--out PATH | --no-write]\n\n\
+         targets: all (default), table1..table5, fig1..fig8, extras\n\
+         scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n"
+    );
+    std::process::exit(2)
+}
+
+fn wants(targets: &[String], name: &str) -> bool {
+    targets.iter().any(|t| t == "all" || t == name)
+}
+
+fn main() {
+    let args = parse_args();
+    let t = &args.targets;
+    let needs_scan = t.iter().any(|x| x != "table5");
+
+    println!(
+        "Lazy Gatekeepers reproduction — scale 1:{} (≈{} domains), seed 0x{:x}\n",
+        args.scale,
+        12_823_598 / args.scale,
+        args.seed
+    );
+
+    let mut log = ExperimentLog::new(args.scale, args.seed);
+    let started = Instant::now();
+    let repro: Option<Repro> = if needs_scan {
+        println!("[generate + crawl] building the synthetic Internet and scanning it ...");
+        let r = bench::prepare(args.scale, args.seed, args.workers);
+        println!(
+            "[generate + crawl] {} domains, {} zone records, {} cached include analyses ({:.1?})\n",
+            r.reports.len(),
+            r.population.store.record_count(),
+            r.walker.cache_len(),
+            started.elapsed()
+        );
+        Some(r)
+    } else {
+        None
+    };
+
+    if let Some(r) = repro.as_ref() {
+        if wants(t, "table1") {
+            let (table, exp) = bench::table1(r);
+            println!("{}", table.render());
+            log.push(exp);
+        }
+        if wants(t, "fig1") {
+            let (table, exp) = bench::figure1(r);
+            println!("{}", table.render());
+            log.push(exp);
+        }
+        if wants(t, "fig2") {
+            let (chart, exp) = bench::figure2(r);
+            println!("{chart}");
+            log.push(exp);
+        }
+        if wants(t, "fig3") {
+            let (chart, exp) = bench::figure3(r);
+            println!("{chart}");
+            log.push(exp);
+        }
+        if wants(t, "fig4") {
+            let (table, exp) = bench::figure4(r);
+            println!("{}", table.render());
+            log.push(exp);
+        }
+        if wants(t, "table3") {
+            let (table, exp) = bench::table3(r);
+            println!("{}", table.render());
+            log.push(exp);
+        }
+        if wants(t, "table4") {
+            let (table, exp) = bench::table4(r);
+            println!("{}", table.render());
+            log.push(exp);
+        }
+        if wants(t, "fig5") {
+            let (series, exp) = bench::figure5(r);
+            println!("{series}");
+            log.push(exp);
+        }
+        if wants(t, "fig6") {
+            let (chart, exp) = bench::figure6(r);
+            println!("{chart}");
+            log.push(exp);
+        }
+        if wants(t, "fig7") {
+            let (chart, exp) = bench::figure7(r);
+            println!("{chart}");
+            log.push(exp);
+        }
+        if wants(t, "fig8") {
+            let (summary, exp) = bench::figure8(r);
+            println!("{summary}");
+            log.push(exp);
+        }
+        if wants(t, "extras") {
+            let (table, exp) = bench::extras(r);
+            println!("{}", table.render());
+            log.push(exp);
+        }
+        // Table 2 mutates the zone (remediation), so it runs last.
+        if wants(t, "table2") {
+            println!("[notify] running the notification campaign and two-week rescan ...");
+            let (table, exp, outcome) = bench::table2(r, args.workers);
+            println!(
+                "[notify] {} eligible, {} sent, {} bounced, {} thanked, {} complaints \
+                 ({} virtual send time)\n",
+                outcome.eligible,
+                outcome.sent,
+                outcome.bounced,
+                outcome.thanked,
+                outcome.complaints,
+                humantime(outcome.elapsed),
+            );
+            println!("{}", table.render());
+            log.push(exp);
+        }
+    }
+
+    if wants(t, "table5") {
+        println!("[case study] renting web space and spoofing over live TCP SMTP ...");
+        let (table, exp) = bench::table5(args.scale);
+        println!("{}", table.render());
+        log.push(exp);
+    }
+
+    println!("done in {:.1?}", started.elapsed());
+
+    if let Some(path) = args.out_path {
+        let md = log.to_markdown();
+        match std::fs::write(&path, md) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn humantime(d: std::time::Duration) -> String {
+    let s = d.as_secs();
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}

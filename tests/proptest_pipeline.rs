@@ -1,0 +1,151 @@
+//! Cross-crate property tests: generated-record round-trips through the
+//! parser, and evaluator invariants that must hold for *any* record the
+//! generator can produce.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use spf_core::{check_host, parse_lenient, EvalContext, EvalPolicy, SpfResult};
+use spf_dns::{ZoneResolver, ZoneStore};
+use spf_types::{DomainName, Qualifier};
+
+fn arb_qualifier() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just(""), Just("+"), Just("-"), Just("~"), Just("?")]
+}
+
+/// A generator of syntactically valid SPF terms.
+fn arb_term() -> impl Strategy<Value = String> {
+    let ip = any::<u32>().prop_map(|v| std::net::Ipv4Addr::from(v).to_string());
+    let domain = proptest::collection::vec("[a-z]{1,8}", 1..3).prop_map(|l| l.join("."));
+    prop_oneof![
+        (arb_qualifier(), ip.clone(), 8u8..=32).prop_map(|(q, ip, p)| format!("{q}ip4:{ip}/{p}")),
+        (arb_qualifier(), ip).prop_map(|(q, ip)| format!("{q}ip4:{ip}")),
+        (arb_qualifier(), domain.clone()).prop_map(|(q, d)| format!("{q}include:{d}")),
+        (arb_qualifier(), domain.clone()).prop_map(|(q, d)| format!("{q}a:{d}")),
+        (arb_qualifier(), domain.clone()).prop_map(|(q, d)| format!("{q}mx:{d}")),
+        arb_qualifier().prop_map(|q| format!("{q}a")),
+        arb_qualifier().prop_map(|q| format!("{q}mx")),
+        (arb_qualifier(), domain.clone()).prop_map(|(q, d)| format!("{q}exists:{d}")),
+        domain.prop_map(|d| format!("redirect={d}")),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = String> {
+    (proptest::collection::vec(arb_term(), 0..8), prop_oneof![
+        Just(""),
+        Just(" -all"),
+        Just(" ~all"),
+        Just(" ?all"),
+        Just(" +all"),
+    ])
+        .prop_map(|(terms, all)| {
+            let mut s = String::from("v=spf1");
+            for t in &terms {
+                s.push(' ');
+                s.push_str(t);
+            }
+            s.push_str(all);
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Valid generated records parse cleanly and round-trip through
+    /// Display → parse → Display.
+    #[test]
+    fn generated_records_parse_clean_and_round_trip(record in arb_record()) {
+        let parsed = parse_lenient(&record);
+        prop_assert!(parsed.is_clean(), "errors for {record:?}: {:?}", parsed.errors);
+        let printed = parsed.record.to_string();
+        let reparsed = parse_lenient(&printed);
+        prop_assert!(reparsed.is_clean());
+        prop_assert_eq!(parsed.record, reparsed.record);
+    }
+
+    /// The evaluator is total and deterministic for any generated record,
+    /// even with an empty DNS behind it.
+    #[test]
+    fn evaluator_is_total_and_deterministic(record in arb_record(), ip in any::<u32>()) {
+        let store = Arc::new(ZoneStore::new());
+        let domain = DomainName::parse("prop.example").unwrap();
+        store.add_txt(&domain, &record);
+        let resolver = ZoneResolver::new(store);
+        let ctx = EvalContext::mail_from(
+            std::net::Ipv4Addr::from(ip).into(),
+            "alice",
+            domain.clone(),
+        );
+        let policy = EvalPolicy::default();
+        let a = check_host(&resolver, &ctx, &domain, &policy);
+        let b = check_host(&resolver, &ctx, &domain, &policy);
+        prop_assert_eq!(&a, &b, "evaluation must be deterministic");
+        // The result is one of the seven defined outcomes and the lookup
+        // counter respects the policy bound whenever no error occurred.
+        if a.problem.is_none() {
+            prop_assert!(a.dns_lookups <= policy.max_dns_lookups + 1);
+        }
+    }
+
+    /// A record ending in an explicit all directive can never produce
+    /// `neutral` unless that all is `?all` (totality of the match chain).
+    #[test]
+    fn explicit_all_forecloses_neutral(
+        terms in proptest::collection::vec(arb_term(), 0..4),
+        ip in any::<u32>()
+    ) {
+        // Filter out redirect= (which would shadow the all).
+        let terms: Vec<String> = terms.into_iter().filter(|t| !t.starts_with("redirect")).collect();
+        let record = format!("v=spf1 {} -all", terms.join(" "));
+        let store = Arc::new(ZoneStore::new());
+        let domain = DomainName::parse("prop.example").unwrap();
+        store.add_txt(&domain, &record);
+        let resolver = ZoneResolver::new(store);
+        let ctx = EvalContext::mail_from(
+            std::net::Ipv4Addr::from(ip).into(),
+            "bob",
+            domain.clone(),
+        );
+        let eval = check_host(&resolver, &ctx, &domain, &EvalPolicy::default());
+        if eval.problem.is_none() {
+            prop_assert_ne!(eval.result, SpfResult::Neutral, "record: {}", record);
+            prop_assert_ne!(eval.result, SpfResult::None);
+        }
+    }
+
+    /// Qualifier semantics: a bare `all` record yields exactly the
+    /// qualifier's result for every sender.
+    #[test]
+    fn bare_all_yields_qualifier_result(ip in any::<u32>(), q in 0u8..4) {
+        let (text, expected) = match q {
+            0 => ("v=spf1 -all", SpfResult::Fail),
+            1 => ("v=spf1 ~all", SpfResult::SoftFail),
+            2 => ("v=spf1 ?all", SpfResult::Neutral),
+            _ => ("v=spf1 +all", SpfResult::Pass),
+        };
+        let store = Arc::new(ZoneStore::new());
+        let domain = DomainName::parse("prop.example").unwrap();
+        store.add_txt(&domain, text);
+        let resolver = ZoneResolver::new(store);
+        let ctx = EvalContext::mail_from(
+            std::net::Ipv4Addr::from(ip).into(),
+            "bob",
+            domain.clone(),
+        );
+        let eval = check_host(&resolver, &ctx, &domain, &EvalPolicy::default());
+        prop_assert_eq!(eval.result, expected);
+    }
+}
+
+#[test]
+fn qualifier_helper_is_consistent_with_grammar() {
+    for (sym, q) in [
+        ('+', Qualifier::Pass),
+        ('-', Qualifier::Fail),
+        ('~', Qualifier::SoftFail),
+        ('?', Qualifier::Neutral),
+    ] {
+        assert_eq!(Qualifier::from_symbol(sym), Some(q));
+    }
+}
