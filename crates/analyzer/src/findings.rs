@@ -45,7 +45,10 @@ pub struct DomainReport {
 impl DomainReport {
     /// Number of authorized IPv4 addresses (0 when no SPF record).
     pub fn allowed_ip_count(&self) -> u64 {
-        self.record.as_ref().map(|r| r.allowed_ip_count()).unwrap_or(0)
+        self.record
+            .as_ref()
+            .map(|r| r.allowed_ip_count())
+            .unwrap_or(0)
     }
 
     /// The paper's "lax configuration" predicate (>100,000 allowed IPs).
@@ -182,7 +185,10 @@ mod tests {
         let (s, w) = setup();
         let d = dom("baddmarc.example");
         s.add_txt(&d, "v=spf1 -all");
-        s.add_txt(&d.prepend_label("_dmarc").unwrap(), "v=DMARC1; rua=mailto:x@y.z");
+        s.add_txt(
+            &d.prepend_label("_dmarc").unwrap(),
+            "v=DMARC1; rua=mailto:x@y.z",
+        );
         let r = analyze_domain(&w, &d);
         assert!(r.has_dmarc);
         assert!(!r.dmarc_valid);

@@ -43,10 +43,16 @@ impl fmt::Display for FlattenProblem {
             FlattenProblem::NoRecord => write!(f, "no SPF record to flatten"),
             FlattenProblem::UsesPtr => write!(f, "ptr mechanisms cannot be enumerated"),
             FlattenProblem::UsesMacros => {
-                write!(f, "macro targets depend on the message and cannot be enumerated")
+                write!(
+                    f,
+                    "macro targets depend on the message and cannot be enumerated"
+                )
             }
             FlattenProblem::TreeHasErrors { count } => {
-                write!(f, "{count} errors in the record tree; flattened set may be incomplete")
+                write!(
+                    f,
+                    "{count} errors in the record tree; flattened set may be incomplete"
+                )
             }
         }
     }
@@ -86,8 +92,12 @@ pub fn flatten(analysis: &RecordAnalysis) -> Result<Flattened, FlattenProblem> {
             p.record.directives().any(|d| match &d.mechanism {
                 spf_types::Mechanism::Include { domain }
                 | spf_types::Mechanism::Exists { domain } => !domain.is_literal(),
-                spf_types::Mechanism::A { domain: Some(ms), .. }
-                | spf_types::Mechanism::Mx { domain: Some(ms), .. }
+                spf_types::Mechanism::A {
+                    domain: Some(ms), ..
+                }
+                | spf_types::Mechanism::Mx {
+                    domain: Some(ms), ..
+                }
                 | spf_types::Mechanism::Ptr { domain: Some(ms) } => !ms.is_literal(),
                 _ => false,
             })
@@ -97,7 +107,9 @@ pub fn flatten(analysis: &RecordAnalysis) -> Result<Flattened, FlattenProblem> {
         problems.push(FlattenProblem::UsesMacros);
     }
     if !analysis.errors.is_empty() {
-        problems.push(FlattenProblem::TreeHasErrors { count: analysis.errors.len() });
+        problems.push(FlattenProblem::TreeHasErrors {
+            count: analysis.errors.len(),
+        });
     }
 
     let record = render_flat(&analysis.ips, terminal_qualifier(analysis));
@@ -135,10 +147,10 @@ fn render_flat(ips: &Ipv4Set, all_qualifier: Qualifier) -> String {
 mod tests {
     use super::*;
     use crate::walker::Walker;
-    use std::sync::Arc;
     use spf_core::{check_host, EvalContext, EvalPolicy, SpfResult};
     use spf_dns::{ZoneResolver, ZoneStore};
     use spf_types::DomainName;
+    use std::sync::Arc;
 
     fn dom(s: &str) -> DomainName {
         DomainName::parse(s).unwrap()
@@ -149,8 +161,7 @@ mod tests {
         let store = Arc::new(ZoneStore::new());
         store.add_txt(&dom("heavy.example"), {
             // A record that needs 12 lookups (over the limit).
-            let includes: Vec<String> =
-                (0..12).map(|i| format!("include:n{i}.example")).collect();
+            let includes: Vec<String> = (0..12).map(|i| format!("include:n{i}.example")).collect();
             &format!("v=spf1 {} ~all", includes.join(" "))
         });
         for i in 0..12 {
@@ -178,9 +189,11 @@ mod tests {
 
         let resolver = ZoneResolver::new(Arc::clone(&store));
         let d = dom("heavy.example");
-        for (ip, expected) in
-            [("10.3.4.5", SpfResult::Pass), ("10.11.255.255", SpfResult::Pass), ("10.12.0.0", SpfResult::SoftFail)]
-        {
+        for (ip, expected) in [
+            ("10.3.4.5", SpfResult::Pass),
+            ("10.11.255.255", SpfResult::Pass),
+            ("10.12.0.0", SpfResult::SoftFail),
+        ] {
             let ctx = EvalContext::mail_from(ip.parse().unwrap(), "a", d.clone());
             assert_eq!(
                 check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result,
@@ -220,7 +233,10 @@ mod tests {
 
         store.add_txt(&dom("broken.example"), "v=spf1 include:gone.example -all");
         let flat = flatten(&walker.analyze(&dom("broken.example"))).unwrap();
-        assert!(matches!(flat.problems[0], FlattenProblem::TreeHasErrors { count: 1 }));
+        assert!(matches!(
+            flat.problems[0],
+            FlattenProblem::TreeHasErrors { count: 1 }
+        ));
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub use findings::{analyze_domain, DomainReport, LAX_IP_THRESHOLD};
 pub use flatten::{flatten, FlattenProblem, Flattened};
 pub use recommend::{recommend, Recommendation, Severity};
 pub use taxonomy::{primary_class, AnalysisError, ErrorClass, NotFoundCause};
-pub use walker::{FetchOutcome, RecordAnalysis, Walker, WalkPolicy};
+pub use walker::{FetchOutcome, RecordAnalysis, WalkPolicy, Walker};

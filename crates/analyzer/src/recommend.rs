@@ -57,7 +57,17 @@ pub fn recommend(report: &DomainReport) -> Vec<Recommendation> {
     let mut out = Vec::new();
 
     if !report.has_spf && !report.dns_transient {
-        if report.record.as_ref().map(|r| matches!(r.fetch, crate::walker::FetchOutcome::MultipleSpfRecords { .. })).unwrap_or(false) {
+        if report
+            .record
+            .as_ref()
+            .map(|r| {
+                matches!(
+                    r.fetch,
+                    crate::walker::FetchOutcome::MultipleSpfRecords { .. }
+                )
+            })
+            .unwrap_or(false)
+        {
             out.push(Recommendation {
                 severity: Severity::Critical,
                 code: "multiple-records",
@@ -122,12 +132,18 @@ pub fn recommend(report: &DomainReport) -> Vec<Recommendation> {
             ErrorClass::IncludeLoop => (
                 Severity::Critical,
                 "include-loop",
-                format!("include loop at {} — the record can never evaluate.", error.at_domain),
+                format!(
+                    "include loop at {} — the record can never evaluate.",
+                    error.at_domain
+                ),
             ),
             ErrorClass::RedirectLoop => (
                 Severity::Critical,
                 "redirect-loop",
-                format!("redirect loop at {} — the record can never evaluate.", error.at_domain),
+                format!(
+                    "redirect loop at {} — the record can never evaluate.",
+                    error.at_domain
+                ),
             ),
             ErrorClass::RecordNotFound => (
                 Severity::Critical,
@@ -139,7 +155,11 @@ pub fn recommend(report: &DomainReport) -> Vec<Recommendation> {
                 ),
             ),
         };
-        out.push(Recommendation { severity, code, message });
+        out.push(Recommendation {
+            severity,
+            code,
+            message,
+        });
     }
 
     if !record.has_restrictive_all {
@@ -266,7 +286,10 @@ mod tests {
     fn clean_record_gets_no_critical() {
         let r = report_for(&[("d.example", "v=spf1 mx -all")], "d.example");
         let recs = recommend(&r);
-        assert!(recs.iter().all(|r| r.severity != Severity::Critical), "{recs:?}");
+        assert!(
+            recs.iter().all(|r| r.severity != Severity::Critical),
+            "{recs:?}"
+        );
     }
 
     #[test]
@@ -306,7 +329,10 @@ mod tests {
 
     #[test]
     fn nxdomain_include_mentions_takeover() {
-        let r = report_for(&[("d.example", "v=spf1 include:gone.example -all")], "d.example");
+        let r = report_for(
+            &[("d.example", "v=spf1 include:gone.example -all")],
+            "d.example",
+        );
         let recs = recommend(&r);
         let rec = recs.iter().find(|x| x.code == "record-not-found").unwrap();
         assert!(rec.message.contains("take it over"));

@@ -128,11 +128,20 @@ pub struct AnalysisError {
 impl AnalysisError {
     /// Construct an error without a not-found sub-cause.
     pub fn new(class: ErrorClass, at_domain: DomainName, detail: impl Into<String>) -> Self {
-        AnalysisError { class, at_domain, not_found_cause: None, detail: detail.into() }
+        AnalysisError {
+            class,
+            at_domain,
+            not_found_cause: None,
+            detail: detail.into(),
+        }
     }
 
     /// Construct a record-not-found error with its Figure 3 cause.
-    pub fn not_found(at_domain: DomainName, cause: NotFoundCause, detail: impl Into<String>) -> Self {
+    pub fn not_found(
+        at_domain: DomainName,
+        cause: NotFoundCause,
+        detail: impl Into<String>,
+    ) -> Self {
         AnalysisError {
             class: ErrorClass::RecordNotFound,
             at_domain,
@@ -182,7 +191,10 @@ mod tests {
     #[test]
     fn class_labels_match_paper() {
         assert_eq!(ErrorClass::RecordNotFound.label(), "Record not found");
-        assert_eq!(ErrorClass::TooManyDnsLookups.label(), "Too Many DNS Lookups");
+        assert_eq!(
+            ErrorClass::TooManyDnsLookups.label(),
+            "Too Many DNS Lookups"
+        );
         assert_eq!(NotFoundCause::DomainNotFound.label(), "Domain not found");
     }
 

@@ -36,7 +36,11 @@ pub struct WalkPolicy {
 
 impl Default for WalkPolicy {
     fn default() -> Self {
-        WalkPolicy { max_dns_lookups: MAX_DNS_LOOKUPS, max_void_lookups: MAX_VOID_LOOKUPS, max_depth: 40 }
+        WalkPolicy {
+            max_dns_lookups: MAX_DNS_LOOKUPS,
+            max_void_lookups: MAX_VOID_LOOKUPS,
+            max_depth: 40,
+        }
     }
 }
 
@@ -154,12 +158,20 @@ pub struct Walker<R> {
 impl<R: Resolver> Walker<R> {
     /// Create a walker over `resolver` with default limits.
     pub fn new(resolver: R) -> Self {
-        Walker { resolver, policy: WalkPolicy::default(), cache: RwLock::new(HashMap::new()) }
+        Walker {
+            resolver,
+            policy: WalkPolicy::default(),
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Create a walker with explicit limits.
     pub fn with_policy(resolver: R, policy: WalkPolicy) -> Self {
-        Walker { resolver, policy, cache: RwLock::new(HashMap::new()) }
+        Walker {
+            resolver,
+            policy,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The underlying resolver.
@@ -174,14 +186,20 @@ impl<R: Resolver> Walker<R> {
         }
         let mut stack = Vec::new();
         let analysis = Arc::new(self.walk(domain, &mut stack, 0));
-        self.cache.write().insert(domain.clone(), Arc::clone(&analysis));
+        self.cache
+            .write()
+            .insert(domain.clone(), Arc::clone(&analysis));
         analysis
     }
 
     /// Cached analyses accumulated so far, keyed by domain. The include
     /// ecosystem reports (Table 4, Figures 4/7/8) read this after a crawl.
     pub fn cached(&self) -> Vec<(DomainName, Arc<RecordAnalysis>)> {
-        self.cache.read().iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        self.cache
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
     }
 
     /// Number of cached subtree analyses.
@@ -195,7 +213,12 @@ impl<R: Resolver> Walker<R> {
         self.cache.write().clear();
     }
 
-    fn walk(&self, domain: &DomainName, stack: &mut Vec<DomainName>, depth: usize) -> RecordAnalysis {
+    fn walk(
+        &self,
+        domain: &DomainName,
+        stack: &mut Vec<DomainName>,
+        depth: usize,
+    ) -> RecordAnalysis {
         // Serve deeper include reuse from the cache too.
         if let Some(hit) = self.cache.read().get(domain) {
             return (**hit).clone();
@@ -225,14 +248,15 @@ impl<R: Resolver> Walker<R> {
             } else {
                 ErrorClass::SyntaxError
             };
-            analysis.errors.push(AnalysisError::new(class, domain.clone(), err.to_string()));
+            analysis
+                .errors
+                .push(AnalysisError::new(class, domain.clone(), err.to_string()));
         }
 
         let record = &parsed.record;
         analysis.has_restrictive_all = record.has_restrictive_all();
         analysis.is_deny_all_only = is_deny_all_only(record);
-        analysis.uses_reporting_modifiers =
-            record.modifiers().any(|m| m.is_reporting_extension());
+        analysis.uses_reporting_modifiers = record.modifiers().any(|m| m.is_reporting_extension());
 
         if depth >= self.policy.max_depth {
             return analysis;
@@ -304,9 +328,7 @@ impl<R: Resolver> Walker<R> {
                             analysis.top_level_include_count += 1;
                         }
                         match domain.literal_text() {
-                            Some(text) => {
-                                self.walk_include(&text, analysis, stack, depth, false)
-                            }
+                            Some(text) => self.walk_include(&text, analysis, stack, depth, false),
                             None => {
                                 // Macro include targets depend on the
                                 // message; statically unanalyzable.
@@ -352,12 +374,20 @@ impl<R: Resolver> Walker<R> {
             analysis.include_targets.push(target.clone());
         }
         if stack.contains(&target) {
-            let class = if is_redirect { ErrorClass::RedirectLoop } else { ErrorClass::IncludeLoop };
+            let class = if is_redirect {
+                ErrorClass::RedirectLoop
+            } else {
+                ErrorClass::IncludeLoop
+            };
             let direct = stack.last() == Some(&target);
             analysis.errors.push(AnalysisError::new(
                 class,
                 target.clone(),
-                if direct { "direct self-reference".to_string() } else { format!("loop via {}", stack.last().unwrap()) },
+                if direct {
+                    "direct self-reference".to_string()
+                } else {
+                    format!("loop via {}", stack.last().unwrap())
+                },
             ));
             return;
         }
@@ -369,7 +399,10 @@ impl<R: Resolver> Walker<R> {
             .iter()
             .any(|e| matches!(e.class, ErrorClass::IncludeLoop | ErrorClass::RedirectLoop));
         if loop_free {
-            self.cache.write().entry(target.clone()).or_insert_with(|| Arc::new(sub.clone()));
+            self.cache
+                .write()
+                .entry(target.clone())
+                .or_insert_with(|| Arc::new(sub.clone()));
         }
 
         match &sub.fetch {
@@ -379,8 +412,12 @@ impl<R: Resolver> Walker<R> {
                 analysis.ips.union_with(&sub.ips);
                 // Networks below an include count toward the include column
                 // (Table 3) and the include-subnet distribution (Figure 7).
-                analysis.include_networks.extend(sub.direct_networks.iter().copied());
-                analysis.include_networks.extend(sub.include_networks.iter().copied());
+                analysis
+                    .include_networks
+                    .extend(sub.direct_networks.iter().copied());
+                analysis
+                    .include_networks
+                    .extend(sub.include_networks.iter().copied());
                 analysis.errors.extend(sub.errors.iter().cloned());
                 analysis.max_depth = analysis.max_depth.max(1 + sub.max_depth);
                 analysis.uses_ptr |= sub.uses_ptr;
@@ -559,7 +596,10 @@ mod tests {
     #[test]
     fn counts_direct_ips() {
         let s = Arc::new(ZoneStore::new());
-        s.add_txt(&dom("d.example"), "v=spf1 ip4:192.0.2.0/24 ip4:10.0.0.0/16 -all");
+        s.add_txt(
+            &dom("d.example"),
+            "v=spf1 ip4:192.0.2.0/24 ip4:10.0.0.0/16 -all",
+        );
         let a = walker(&s).analyze(&dom("d.example"));
         assert_eq!(a.allowed_ip_count(), 256 + 65536);
         assert_eq!(a.direct_networks.len(), 2);
@@ -583,7 +623,10 @@ mod tests {
     #[test]
     fn include_ips_union_and_lookup_sum() {
         let s = Arc::new(ZoneStore::new());
-        s.add_txt(&dom("root.example"), "v=spf1 include:p1.example include:p2.example -all");
+        s.add_txt(
+            &dom("root.example"),
+            "v=spf1 include:p1.example include:p2.example -all",
+        );
         s.add_txt(&dom("p1.example"), "v=spf1 ip4:10.0.0.0/24 a -all");
         s.add_a(&dom("p1.example"), Ipv4Addr::new(10, 0, 1, 1));
         s.add_txt(&dom("p2.example"), "v=spf1 ip4:10.0.0.0/25 -all"); // overlaps p1
@@ -593,7 +636,10 @@ mod tests {
         // lookups: 2 includes + a inside p1 = 3.
         assert_eq!(a.subtree_lookups, 3);
         assert_eq!(a.top_level_include_count, 2);
-        assert_eq!(a.include_targets, vec![dom("p1.example"), dom("p2.example")]);
+        assert_eq!(
+            a.include_targets,
+            vec![dom("p1.example"), dom("p2.example")]
+        );
         // include column gets p1/p2's networks; direct column stays empty.
         assert!(a.direct_networks.is_empty());
         assert_eq!(a.include_networks.len(), 3);
@@ -602,8 +648,10 @@ mod tests {
     #[test]
     fn record_not_found_causes() {
         let s = Arc::new(ZoneStore::new());
-        s.add_txt(&dom("r.example"),
-            "v=spf1 include:nospf.example include:gone.example include:multi.example -all");
+        s.add_txt(
+            &dom("r.example"),
+            "v=spf1 include:nospf.example include:gone.example include:multi.example -all",
+        );
         s.add_a(&dom("nospf.example"), Ipv4Addr::new(1, 1, 1, 1)); // exists, no TXT at all
         s.add_txt(&dom("multi.example"), "v=spf1 -all");
         s.add_txt(&dom("multi.example"), "v=spf1 mx -all");
@@ -622,7 +670,10 @@ mod tests {
         s.add_txt(&dom("verify.example"), "site-verification=xyz"); // TXT but not SPF
         let a = walker(&s).analyze(&dom("r.example"));
         assert_eq!(a.errors.len(), 1);
-        assert_eq!(a.errors[0].not_found_cause, Some(NotFoundCause::NoSpfRecord));
+        assert_eq!(
+            a.errors[0].not_found_cause,
+            Some(NotFoundCause::NoSpfRecord)
+        );
     }
 
     #[test]
@@ -652,7 +703,10 @@ mod tests {
         let w = walker(&s);
         let a = w.analyze(&dom("customer.example"));
         assert_eq!(a.subtree_lookups, 15);
-        assert!(a.errors.iter().any(|e| e.class == ErrorClass::TooManyDnsLookups));
+        assert!(a
+            .errors
+            .iter()
+            .any(|e| e.class == ErrorClass::TooManyDnsLookups));
         // The include record itself also exceeds the limit "directly"
         // (Figure 4's 2,408 includes).
         let fat = w.analyze(&dom("fat.example"));
@@ -662,13 +716,19 @@ mod tests {
     #[test]
     fn void_lookup_limit_classified() {
         let s = Arc::new(ZoneStore::new());
-        s.add_txt(&dom("v.example"), "v=spf1 a:x1.example a:x2.example a:x3.example -all");
+        s.add_txt(
+            &dom("v.example"),
+            "v=spf1 a:x1.example a:x2.example a:x3.example -all",
+        );
         for n in ["x1.example", "x2.example", "x3.example"] {
             s.add_txt(&dom(n), "placeholder");
         }
         let a = walker(&s).analyze(&dom("v.example"));
         assert_eq!(a.subtree_void_lookups, 3);
-        assert!(a.errors.iter().any(|e| e.class == ErrorClass::TooManyVoidDnsLookups));
+        assert!(a
+            .errors
+            .iter()
+            .any(|e| e.class == ErrorClass::TooManyVoidDnsLookups));
     }
 
     #[test]
@@ -710,7 +770,10 @@ mod tests {
         let s = Arc::new(ZoneStore::new());
         s.add_txt(&dom("provider.example"), "v=spf1 ip4:198.51.100.0/24 -all");
         for i in 0..20 {
-            s.add_txt(&dom(&format!("c{i}.example")), "v=spf1 include:provider.example -all");
+            s.add_txt(
+                &dom(&format!("c{i}.example")),
+                "v=spf1 include:provider.example -all",
+            );
         }
         let counting = spf_dns::CountingResolver::new(ZoneResolver::new(Arc::clone(&s)));
         let stats = counting.stats();
@@ -769,7 +832,10 @@ mod tests {
         // Table 4 note: mx.ovh.com "uses not recommended PTR mechanism".
         let s = Arc::new(ZoneStore::new());
         s.add_txt(&dom("c.example"), "v=spf1 include:mx.ovh.example -all");
-        s.add_txt(&dom("mx.ovh.example"), "v=spf1 ptr ip4:198.51.100.1/31 -all");
+        s.add_txt(
+            &dom("mx.ovh.example"),
+            "v=spf1 ptr ip4:198.51.100.1/31 -all",
+        );
         let a = walker(&s).analyze(&dom("c.example"));
         assert!(a.uses_ptr);
         assert_eq!(a.allowed_ip_count(), 2);

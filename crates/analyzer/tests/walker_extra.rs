@@ -64,7 +64,10 @@ fn redirect_target_networks_count_as_include_column() {
 fn nested_include_networks_flatten_into_include_column() {
     let store = Arc::new(ZoneStore::new());
     store.add_txt(&dom("root.example"), "v=spf1 include:l1.example -all");
-    store.add_txt(&dom("l1.example"), "v=spf1 ip4:192.0.2.0/24 include:l2.example -all");
+    store.add_txt(
+        &dom("l1.example"),
+        "v=spf1 ip4:192.0.2.0/24 include:l2.example -all",
+    );
     store.add_txt(&dom("l2.example"), "v=spf1 ip4:198.51.100.0/24 -all");
     let a = walker(&store).analyze(&dom("root.example"));
     let mut prefixes: Vec<u8> = a.include_networks.iter().map(|c| c.prefix_len()).collect();
@@ -80,11 +83,17 @@ fn clear_cache_makes_rescans_see_fixed_records() {
     store.add_txt(&d, "v=spf1 ipv4:1.2.3.4 -all");
     let w = walker(&store);
     let before = w.analyze(&d);
-    assert!(before.errors.iter().any(|e| e.class == ErrorClass::SyntaxError));
+    assert!(before
+        .errors
+        .iter()
+        .any(|e| e.class == ErrorClass::SyntaxError));
     // Operator fixes the record; a stale cache would hide it.
     store.replace_txt(&d, "v=spf1 ip4:1.2.3.4 -all");
     let stale = w.analyze(&d);
-    assert!(!stale.errors.is_empty(), "memoized analysis is intentionally stale");
+    assert!(
+        !stale.errors.is_empty(),
+        "memoized analysis is intentionally stale"
+    );
     w.clear_cache();
     let fresh = w.analyze(&d);
     assert!(fresh.errors.is_empty());
@@ -96,7 +105,10 @@ fn macro_include_targets_are_skipped_statically() {
     // The paper can only analyze exists/macros with live mail; the walker
     // skips them without error, like the study's "measurement focus".
     let store = Arc::new(ZoneStore::new());
-    store.add_txt(&dom("dyn.example"), "v=spf1 include:%{ir}.dyn.example ip4:10.0.0.1 -all");
+    store.add_txt(
+        &dom("dyn.example"),
+        "v=spf1 include:%{ir}.dyn.example ip4:10.0.0.1 -all",
+    );
     let a = walker(&store).analyze(&dom("dyn.example"));
     assert!(a.errors.is_empty(), "{:?}", a.errors);
     assert_eq!(a.allowed_ip_count(), 1);

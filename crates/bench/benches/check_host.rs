@@ -19,7 +19,10 @@ fn world() -> Arc<ZoneStore> {
     // Flat direct record.
     store.add_txt(&dom("flat.example"), "v=spf1 ip4:192.0.2.0/24 -all");
     // Provider include (one level).
-    store.add_txt(&dom("customer.example"), "v=spf1 include:spf.provider.example -all");
+    store.add_txt(
+        &dom("customer.example"),
+        "v=spf1 include:spf.provider.example -all",
+    );
     store.add_txt(
         &dom("spf.provider.example"),
         "v=spf1 ip4:198.51.100.0/24 ip4:203.0.113.0/24 -all",
@@ -37,8 +40,14 @@ fn world() -> Arc<ZoneStore> {
     store.add_mx(&dom("amx.example"), 10, &dom("mx.amx.example"));
     store.add_a(&dom("mx.amx.example"), "192.0.2.78".parse().unwrap());
     // Macro exists.
-    store.add_txt(&dom("macro.example"), "v=spf1 exists:%{ir}.allow.macro.example -all");
-    store.add_a(&dom("3.2.0.192.allow.macro.example"), "127.0.0.2".parse().unwrap());
+    store.add_txt(
+        &dom("macro.example"),
+        "v=spf1 exists:%{ir}.allow.macro.example -all",
+    );
+    store.add_a(
+        &dom("3.2.0.192.allow.macro.example"),
+        "127.0.0.2".parse().unwrap(),
+    );
     store
 }
 
@@ -59,7 +68,14 @@ fn bench_check_host(c: &mut Criterion) {
         let ctx = EvalContext::mail_from(ip.parse().unwrap(), "alice", dom(domain));
         let d = dom(domain);
         group.bench_function(name, |b| {
-            b.iter(|| check_host(black_box(&resolver), black_box(&ctx), black_box(&d), &policy))
+            b.iter(|| {
+                check_host(
+                    black_box(&resolver),
+                    black_box(&ctx),
+                    black_box(&d),
+                    &policy,
+                )
+            })
         });
     }
     group.finish();
@@ -83,7 +99,10 @@ fn bench_accounting_ablation(c: &mut Criterion) {
         ("global_recursive", LookupAccounting::GlobalRecursive),
         ("per_record", LookupAccounting::PerRecord),
     ] {
-        let policy = EvalPolicy { accounting, ..Default::default() };
+        let policy = EvalPolicy {
+            accounting,
+            ..Default::default()
+        };
         group.bench_function(name, |b| {
             b.iter(|| check_host(black_box(&resolver), &ctx, &d, &policy))
         });

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spf_dns::{
-    decode, encode, encode_uncompressed, Message, Question, RecordData, RecordType,
-    ResourceRecord, TxtData,
+    decode, encode, encode_uncompressed, Message, Question, RecordData, RecordType, ResourceRecord,
+    TxtData,
 };
 use spf_types::DomainName;
 use std::hint::black_box;

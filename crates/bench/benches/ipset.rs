@@ -48,8 +48,9 @@ fn bench_union(c: &mut Criterion) {
         for s in &sets {
             acc.union_with(s);
         }
-        let probes: Vec<Ipv4Addr> =
-            (0..256u32).map(|i| Ipv4Addr::from(0x1000_0000 + i * 65_537)).collect();
+        let probes: Vec<Ipv4Addr> = (0..256u32)
+            .map(|i| Ipv4Addr::from(0x1000_0000 + i * 65_537))
+            .collect();
         b.iter(|| probes.iter().filter(|p| acc.contains(**p)).count())
     });
     group.finish();

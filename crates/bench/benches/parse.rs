@@ -8,7 +8,10 @@ use std::hint::black_box;
 
 const CORPUS: &[(&str, &str)] = &[
     ("deny_all", "v=spf1 -all"),
-    ("provider_include", "v=spf1 include:spf.protection.outlook.com -all"),
+    (
+        "provider_include",
+        "v=spf1 include:spf.protection.outlook.com -all",
+    ),
     ("paper_example", "v=spf1 +mx a:puffin.example.com/28 -all"),
     (
         "many_ip4",
@@ -19,7 +22,10 @@ const CORPUS: &[(&str, &str)] = &[
         "macro_heavy",
         "v=spf1 exists:%{ir}.%{v}._spf.%{d2} include:%{d2}.trusted.example redirect=%{d}",
     ),
-    ("syntax_error_mix", "v=spf1 ipv4:1.2.3.4 ip4: 5.6.7.8 v=spf1 -al"),
+    (
+        "syntax_error_mix",
+        "v=spf1 ipv4:1.2.3.4 ip4: 5.6.7.8 v=spf1 -al",
+    ),
     (
         "long_provider",
         // A websitewelcome-scale record: dozens of blocks.
@@ -42,7 +48,12 @@ fn bench_parse(c: &mut Criterion) {
     group.bench_function("is_spf_record", |b| {
         b.iter_batched(
             || CORPUS.iter().map(|(_, r)| *r).collect::<Vec<_>>(),
-            |records| records.iter().map(|r| spf_core::is_spf_record(black_box(r))).count(),
+            |records| {
+                records
+                    .iter()
+                    .map(|r| spf_core::is_spf_record(black_box(r)))
+                    .count()
+            },
             BatchSize::SmallInput,
         )
     });

@@ -18,7 +18,12 @@ const BENCH_SCALE: u64 = 20_000; // ≈641 domains: fast enough per iteration
 const SEED: u64 = 0x5bf1_2023;
 
 fn population() -> Population {
-    Population::build(PopulationConfig { scale: Scale { denominator: BENCH_SCALE }, seed: SEED })
+    Population::build(PopulationConfig {
+        scale: Scale {
+            denominator: BENCH_SCALE,
+        },
+        seed: SEED,
+    })
 }
 
 /// Table 1 / Figure 1: the crawl that measures adoption — with the shared
@@ -66,7 +71,10 @@ fn bench_analyze_errors(c: &mut Criterion) {
     c.bench_function("analyze_errors/classify_16_domains", |b| {
         b.iter(|| {
             let fresh = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-            error_domains.iter().map(|d| analyze_domain(&fresh, d).has_error() as u64).sum::<u64>()
+            error_domains
+                .iter()
+                .map(|d| analyze_domain(&fresh, d).has_error() as u64)
+                .sum::<u64>()
         })
     });
 }
@@ -104,7 +112,10 @@ fn bench_notify_campaign(c: &mut Criterion) {
                 apply_remediation(&pop.store, &reports, &FixRates::default(), SEED);
                 let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
                 let rescan = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
-                (outcome.sent, ScanAggregates::compute(&rescan.reports).total_errors())
+                (
+                    outcome.sent,
+                    ScanAggregates::compute(&rescan.reports).total_errors(),
+                )
             },
             BatchSize::PerIteration,
         )

@@ -15,9 +15,11 @@ fn bench_session(c: &mut Criterion) {
     let store = Arc::new(ZoneStore::new());
     let victim = DomainName::parse("victim.example").unwrap();
     store.add_txt(&victim, "v=spf1 ip4:198.51.100.7 -all");
-    let server =
-        SmtpServer::spawn(Arc::new(ZoneResolver::new(Arc::clone(&store))), MtaConfig::default())
-            .unwrap();
+    let server = SmtpServer::spawn(
+        Arc::new(ZoneResolver::new(Arc::clone(&store))),
+        MtaConfig::default(),
+    )
+    .unwrap();
     let addr = server.addr();
     let mut group = c.benchmark_group("smtp_session");
     group.sample_size(30);
@@ -50,7 +52,9 @@ fn bench_case_study(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("table5_five_providers", |b| {
         b.iter(|| {
-            let world = build_hosting(Scale { denominator: 10_000 });
+            let world = build_hosting(Scale {
+                denominator: 10_000,
+            });
             let resolver = Arc::new(ZoneResolver::new(Arc::clone(&world.store)));
             run_case_study(&world, resolver).unwrap().len()
         })

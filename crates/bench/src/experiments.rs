@@ -50,14 +50,25 @@ impl Repro {
 
 /// Generate the population and run the full crawl.
 pub fn prepare(denominator: u64, seed: u64, workers: usize) -> Repro {
-    let population =
-        Population::build(PopulationConfig { scale: Scale { denominator }, seed });
+    let population = Population::build(PopulationConfig {
+        scale: Scale { denominator },
+        seed,
+    });
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
     let output = crawl(&walker, &population.domains, CrawlConfig { workers });
     let all = ScanAggregates::compute(&output.reports);
     let top = ScanAggregates::compute(&output.reports[..population.top_len]);
     let eco = include_ecosystem(&output.reports, &walker);
-    Repro { population, walker, reports: output.reports, all, top, eco, denom: denominator, seed }
+    Repro {
+        population,
+        walker,
+        reports: output.reports,
+        all,
+        top,
+        eco,
+        denom: denominator,
+        seed,
+    }
 }
 
 /// Table 1 — SPF and DMARC usage in the wild.
@@ -97,11 +108,27 @@ pub fn table1(r: &Repro) -> (Table, Experiment) {
     ]);
 
     let mut exp = Experiment::new("Table 1", "SPF and DMARC adoption");
-    exp.percent("SPF rate (top 1M)", paper::TABLE1_OURS_TOP1M.0, r.top.spf_rate());
-    exp.percent("DMARC rate (top 1M)", paper::TABLE1_OURS_TOP1M.1, r.top.dmarc_rate());
+    exp.percent(
+        "SPF rate (top 1M)",
+        paper::TABLE1_OURS_TOP1M.0,
+        r.top.spf_rate(),
+    );
+    exp.percent(
+        "DMARC rate (top 1M)",
+        paper::TABLE1_OURS_TOP1M.1,
+        r.top.dmarc_rate(),
+    );
     exp.percent("SPF rate (all)", paper::TABLE1_OURS_ALL.0, r.all.spf_rate());
-    exp.percent("DMARC rate (all)", paper::TABLE1_OURS_ALL.1, r.all.dmarc_rate());
-    exp.percent("SPF among MX domains (all)", 0.751, r.all.spf_rate_among_mx());
+    exp.percent(
+        "DMARC rate (all)",
+        paper::TABLE1_OURS_ALL.1,
+        r.all.dmarc_rate(),
+    );
+    exp.percent(
+        "SPF among MX domains (all)",
+        0.751,
+        r.all.spf_rate_among_mx(),
+    );
     exp.note(
         "The paper's 79.3 % SPF-among-MX figure refers to the top 1M; over all \
          12.8M domains the cohort arithmetic implies 75.1 %, which is what the \
@@ -125,7 +152,11 @@ pub fn figure1(r: &Repro) -> (Table, Experiment) {
     ];
     let mut exp = Experiment::new("Figure 1", "population overlaps (All/MX/SPF/DMARC)");
     for (label, paper_count, measured) in rows {
-        table.push_row(vec![label.into(), fmt_count(paper_count), fmt_count(measured)]);
+        table.push_row(vec![
+            label.into(),
+            fmt_count(paper_count),
+            fmt_count(measured),
+        ]);
         exp.count(label, paper_count, measured);
     }
     exp.count("SPF ∧ MX", 6_869_474, r.up(r.all.with_mx_and_spf));
@@ -142,7 +173,11 @@ pub fn figure2(r: &Repro) -> (String, Experiment) {
         buckets.push((label.to_string(), measured));
         exp.count(label, paper_count, measured);
     }
-    exp.count("Total errors", paper::TOTAL_ERRORS, r.up(r.all.total_errors()));
+    exp.count(
+        "Total errors",
+        paper::TOTAL_ERRORS,
+        r.up(r.all.total_errors()),
+    );
     exp.count(
         "Excluded transient DNS errors",
         paper::DNS_TRANSIENT_ERRORS,
@@ -190,7 +225,11 @@ pub fn figure3(r: &Repro) -> (String, Experiment) {
         let raw = r.all.not_found_causes.get(&cause).copied().unwrap_or(0);
         // "Other Errors" is a fixed-count curiosity cohort (3 domains at
         // any scale), so it is not rescaled.
-        let measured = if cause == NotFoundCause::OtherError { raw } else { r.up(raw) };
+        let measured = if cause == NotFoundCause::OtherError {
+            raw
+        } else {
+            r.up(raw)
+        };
         buckets.push((label.to_string(), measured));
         exp.count(label, paper_count, measured);
     }
@@ -209,8 +248,7 @@ pub fn figure3(r: &Repro) -> (String, Experiment) {
 
 /// Figure 4 — includes exceeding the DNS lookup limit.
 pub fn figure4(r: &Repro) -> (Table, Experiment) {
-    let over: Vec<&IncludeStats> =
-        r.eco.iter().filter(|s| s.dns_lookups > 10).collect();
+    let over: Vec<&IncludeStats> = r.eco.iter().filter(|s| s.dns_lookups > 10).collect();
     let affected: u64 = over.iter().map(|s| s.used_by).sum();
     let bluehost = over.iter().max_by_key(|s| s.used_by);
     let mut table = Table::new(
@@ -227,7 +265,11 @@ pub fn figure4(r: &Repro) -> (Table, Experiment) {
         ]);
     }
     let mut exp = Experiment::new("Figure 4", "lookup-limit-exceeding includes");
-    exp.count("Includes over the limit", paper::FIGURE4_FAT_INCLUDES, r.up(over.len() as u64));
+    exp.count(
+        "Includes over the limit",
+        paper::FIGURE4_FAT_INCLUDES,
+        r.up(over.len() as u64),
+    );
     exp.count("Affected domains", paper::FIGURE4_AFFECTED, r.up(affected));
     if let Some(b) = bluehost {
         exp.plain(
@@ -258,7 +300,12 @@ pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome)
     let outcome = campaign.run(&r.reports);
 
     // 2. Operators react per the calibrated fix rates.
-    apply_remediation(&r.population.store, &r.reports, &FixRates::default(), r.seed ^ 0xF1);
+    apply_remediation(
+        &r.population.store,
+        &r.reports,
+        &FixRates::default(),
+        r.seed ^ 0xF1,
+    );
 
     // 3. Rescan two (virtual) weeks later — fresh walker, fresh cache.
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&r.population.store)));
@@ -297,10 +344,17 @@ pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome)
         "Total Errors".into(),
         fmt_count(before_total),
         fmt_count(after_total),
-        format!("{:+.2} %", (after_total as f64 / before_total.max(1) as f64 - 1.0) * 100.0),
+        format!(
+            "{:+.2} %",
+            (after_total as f64 / before_total.max(1) as f64 - 1.0) * 100.0
+        ),
     ]);
     exp.count("Total errors (after)", paper::TABLE2_TOTAL.1, after_total);
-    exp.count("Notifications sent", paper::NOTIFICATIONS_SENT, r.up(outcome.sent));
+    exp.count(
+        "Notifications sent",
+        paper::NOTIFICATIONS_SENT,
+        r.up(outcome.sent),
+    );
     exp.note(
         "The operator is modelled by per-class fix probabilities taken from \
          Table 2's change column (DESIGN.md §2); the rescan itself re-runs the \
@@ -315,8 +369,12 @@ pub fn table3(r: &Repro) -> (Table, Experiment) {
     // class (measured over the ecosystem).
     let mut include_col: BTreeMap<u8, u64> = BTreeMap::new();
     for s in &r.eco {
-        let mut prefixes: Vec<u8> =
-            s.subnet_prefixes.iter().copied().filter(|p| *p <= 16).collect();
+        let mut prefixes: Vec<u8> = s
+            .subnet_prefixes
+            .iter()
+            .copied()
+            .filter(|p| *p <= 16)
+            .collect();
         prefixes.dedup();
         for p in prefixes {
             *include_col.entry(p).or_default() += 1;
@@ -324,7 +382,13 @@ pub fn table3(r: &Repro) -> (Table, Experiment) {
     }
     let mut table = Table::new(
         "Table 3: type and amount of SPF mechanisms with large IP ranges (full-scale units)",
-        &["CIDR", "ip4/a/mx (paper)", "ip4/a/mx (ours)", "include (paper)", "include (ours)"],
+        &[
+            "CIDR",
+            "ip4/a/mx (paper)",
+            "ip4/a/mx (ours)",
+            "include (paper)",
+            "include (ours)",
+        ],
     );
     let mut exp = Experiment::new("Table 3", "very large IP ranges");
     for (prefix, p_direct, p_include) in paper::TABLE3 {
@@ -342,7 +406,11 @@ pub fn table3(r: &Repro) -> (Table, Experiment) {
             exp.count(format!("/{prefix} include"), p_include, m_include);
         }
     }
-    exp.count("Domains >100k IPs via direct mechanisms", paper::LAX_VIA_DIRECT, r.up(r.all.lax_via_direct));
+    exp.count(
+        "Domains >100k IPs via direct mechanisms",
+        paper::LAX_VIA_DIRECT,
+        r.up(r.all.lax_via_direct),
+    );
     exp.count(
         "Domains >100k IPs via includes",
         paper::LAX_VIA_INCLUDE,
@@ -360,7 +428,13 @@ pub fn table3(r: &Repro) -> (Table, Experiment) {
 pub fn table4(r: &Repro) -> (Table, Experiment) {
     let mut table = Table::new(
         "Table 4: top 20 included domains (full-scale units)",
-        &["Include", "Used by (paper)", "Used by (ours)", "Allowed IPs (paper)", "Allowed IPs (ours)"],
+        &[
+            "Include",
+            "Used by (paper)",
+            "Used by (ours)",
+            "Allowed IPs (paper)",
+            "Allowed IPs (ours)",
+        ],
     );
     let mut exp = Experiment::new("Table 4", "top-20 include ecosystem");
     let by_name: BTreeMap<&str, &IncludeStats> =
@@ -410,11 +484,23 @@ pub fn table5(denominator: u64) -> (Table, Experiment) {
             1.0,
             f64::from(row.success.to_string() == *p_success),
         );
-        exp.count(format!("Provider {provider} spoofable domains"), *p_domains, row.domains * denominator);
-        exp.count(format!("Provider {provider} allowed IPs"), *p_ips, row.allowed_ips);
+        exp.count(
+            format!("Provider {provider} spoofable domains"),
+            *p_domains,
+            row.domains * denominator,
+        );
+        exp.count(
+            format!("Provider {provider} allowed IPs"),
+            *p_ips,
+            row.allowed_ips,
+        );
     }
     let total: u64 = rows.iter().map(|r| r.domains).sum::<u64>() * denominator;
-    exp.count("Total spoofable domains", paper::TABLE5_TOTAL_SPOOFABLE, total);
+    exp.count(
+        "Total spoofable domains",
+        paper::TABLE5_TOTAL_SPOOFABLE,
+        total,
+    );
     exp.note(
         "Every attempt is a live TCP SMTP session against a receiving MTA whose \
          SPF gate runs check_host(); port-25 blocking and MTA authentication are \
@@ -428,8 +514,16 @@ pub fn figure5(r: &Repro) -> (String, Experiment) {
     let cdf = Cdf::new(r.all.allowed_ip_counts.clone());
     let rendered = render_cdf("Figure 5: CDF of authorized IPv4 addresses", &cdf);
     let mut exp = Experiment::new("Figure 5", "CDF of authorized IPv4 addresses");
-    exp.percent("Domains with <20 allowed IPs", paper::TIGHT_RATE, cdf.fraction_below(20));
-    exp.percent("Domains with >100k allowed IPs", paper::LAX_RATE, cdf.fraction_above(100_000));
+    exp.percent(
+        "Domains with <20 allowed IPs",
+        paper::TIGHT_RATE,
+        cdf.fraction_below(20),
+    );
+    exp.percent(
+        "Domains with >100k allowed IPs",
+        paper::LAX_RATE,
+        cdf.fraction_above(100_000),
+    );
     let (step_exp, _) = cdf.steepest_power_of_two_step();
     exp.plain("Steepest CDF step at 2^k, k =", 19.0, step_exp as f64);
     exp.note(
@@ -445,7 +539,11 @@ pub fn figure6(r: &Repro) -> (String, Experiment) {
     let mut buckets = Vec::new();
     let mut exp = Experiment::new("Figure 6", "top-level include counts");
     for (k, p_count) in paper::FIGURE6.iter().enumerate() {
-        let label = if k == 11 { ">10".to_string() } else { k.to_string() };
+        let label = if k == 11 {
+            ">10".to_string()
+        } else {
+            k.to_string()
+        };
         let measured = r.up(r.all.include_count_histogram[k]);
         buckets.push((label.clone(), measured));
         exp.count(format!("{label} includes"), *p_count, measured);
@@ -484,7 +582,11 @@ pub fn figure7(r: &Repro) -> (String, Experiment) {
     let v32 = hist.share("/32");
     let v24 = hist.share("/24");
     let v16 = hist.share("/16");
-    exp.plain("/24 is the second peak", 1.0, f64::from(v24 > v16 && v32 > v24));
+    exp.plain(
+        "/24 is the second peak",
+        1.0,
+        f64::from(v24 > v16 && v32 > v24),
+    );
     exp.note(
         "The paper's y-axis counts are not directly comparable (the unit of \
          counting is ambiguous between include entries and domains); the \
@@ -496,8 +598,11 @@ pub fn figure7(r: &Repro) -> (String, Experiment) {
 
 /// Figure 8 — heatmap of include usage vs. allowed IPs.
 pub fn figure8(r: &Repro) -> (String, Experiment) {
-    let points: Vec<(u64, u64)> =
-        r.eco.iter().map(|s| (s.allowed_ips, r.up(s.used_by))).collect();
+    let points: Vec<(u64, u64)> = r
+        .eco
+        .iter()
+        .map(|s| (s.allowed_ips, r.up(s.used_by)))
+        .collect();
     let map = Heatmap::from_points(&points, 33, 33);
     let mut out = String::new();
     out.push_str("Figure 8: include density over (allowed IPs, used-by), log2 bins\n");
@@ -528,16 +633,36 @@ pub fn extras(r: &Repro) -> (Table, Experiment) {
     );
     let mut exp = Experiment::new("§5.1/§5.5", "additional findings");
     let rows: Vec<(&str, f64, f64, bool)> = vec![
-        ("SPF among MX-less domains", paper::SPF_AMONG_NO_MX, r.all.spf_rate_among_no_mx(), true),
+        (
+            "SPF among MX-less domains",
+            paper::SPF_AMONG_NO_MX,
+            r.all.spf_rate_among_no_mx(),
+            true,
+        ),
         (
             "Deny-all share of MX-less SPF",
             paper::DENY_ALL_SHARE,
             r.all.spf_without_mx_deny_all as f64 / r.all.spf_without_mx.max(1) as f64,
             true,
         ),
-        ("Permissive all policies", paper::PERMISSIVE_ALL as f64, r.up(r.all.permissive_all) as f64, false),
-        ("PTR mechanism users", paper::PTR_MECHANISM as f64, r.up(r.all.uses_ptr) as f64, false),
-        ("Deprecated SPF RR users", paper::DEPRECATED_SPF_RR as f64, r.up(r.all.deprecated_spf_rr) as f64, false),
+        (
+            "Permissive all policies",
+            paper::PERMISSIVE_ALL as f64,
+            r.up(r.all.permissive_all) as f64,
+            false,
+        ),
+        (
+            "PTR mechanism users",
+            paper::PTR_MECHANISM as f64,
+            r.up(r.all.uses_ptr) as f64,
+            false,
+        ),
+        (
+            "Deprecated SPF RR users",
+            paper::DEPRECATED_SPF_RR as f64,
+            r.up(r.all.deprecated_spf_rr) as f64,
+            false,
+        ),
         (
             "RFC 6652 ra/rp/rr users",
             paper::REPORTING_MODIFIERS as f64,
@@ -545,7 +670,12 @@ pub fn extras(r: &Repro) -> (Table, Experiment) {
             r.all.reporting_modifiers as f64,
             false,
         ),
-        ("Include mechanism usage", paper::INCLUDE_USAGE_RATE, r.all.uses_include as f64 / r.all.with_spf.max(1) as f64, true),
+        (
+            "Include mechanism usage",
+            paper::INCLUDE_USAGE_RATE,
+            r.all.uses_include as f64 / r.all.with_spf.max(1) as f64,
+            true,
+        ),
         (
             "Direct ip6 usage (§4.1)",
             0.005,
@@ -555,7 +685,11 @@ pub fn extras(r: &Repro) -> (Table, Experiment) {
     ];
     for (label, paper_v, measured, is_rate) in rows {
         if is_rate {
-            table.push_row(vec![label.into(), fmt_percent(paper_v), fmt_percent(measured)]);
+            table.push_row(vec![
+                label.into(),
+                fmt_percent(paper_v),
+                fmt_percent(measured),
+            ]);
             exp.percent(label, paper_v, measured);
         } else {
             table.push_row(vec![
@@ -610,7 +744,10 @@ mod tests {
         assert!(f6.contains(">10"));
         let (f7, e7) = figure7(&r);
         assert!(f7.contains("/32"));
-        assert!(e7.worst_relative_error() < 1e-9, "figure 7 shape flags must hold");
+        assert!(
+            e7.worst_relative_error() < 1e-9,
+            "figure 7 shape flags must hold"
+        );
         let (f8, _) = figure8(&r);
         assert!(f8.contains("2^20"));
         let (ex, _) = extras(&r);

@@ -139,10 +139,12 @@ pub fn parse_dmarc(text: &str) -> Result<DmarcRecord, DmarcError> {
             }
             "sp" => {
                 record.subdomain_policy =
-                    Some(DmarcPolicy::parse(value).ok_or_else(|| DmarcError::BadTagValue {
-                        tag: tag.clone(),
-                        value: value.to_string(),
-                    })?);
+                    Some(
+                        DmarcPolicy::parse(value).ok_or_else(|| DmarcError::BadTagValue {
+                            tag: tag.clone(),
+                            value: value.to_string(),
+                        })?,
+                    );
             }
             "rua" => record.rua = value.split(',').map(|s| s.trim().to_string()).collect(),
             "ruf" => record.ruf = value.split(',').map(|s| s.trim().to_string()).collect(),
@@ -152,7 +154,10 @@ pub fn parse_dmarc(text: &str) -> Result<DmarcRecord, DmarcError> {
                     value: value.to_string(),
                 })?;
                 if record.percent > 100 {
-                    return Err(DmarcError::BadTagValue { tag, value: value.to_string() });
+                    return Err(DmarcError::BadTagValue {
+                        tag,
+                        value: value.to_string(),
+                    });
                 }
             }
             "adkim" | "aspf" => {
@@ -160,7 +165,10 @@ pub fn parse_dmarc(text: &str) -> Result<DmarcRecord, DmarcError> {
                     "r" => Alignment::Relaxed,
                     "s" => Alignment::Strict,
                     _ => {
-                        return Err(DmarcError::BadTagValue { tag, value: value.to_string() })
+                        return Err(DmarcError::BadTagValue {
+                            tag,
+                            value: value.to_string(),
+                        })
                     }
                 };
                 if tag == "adkim" {
@@ -256,7 +264,10 @@ mod tests {
 
     #[test]
     fn missing_policy_rejected() {
-        assert_eq!(parse_dmarc("v=DMARC1; rua=mailto:x@y.z"), Err(DmarcError::MissingPolicy));
+        assert_eq!(
+            parse_dmarc("v=DMARC1; rua=mailto:x@y.z"),
+            Err(DmarcError::MissingPolicy)
+        );
     }
 
     #[test]
@@ -279,14 +290,20 @@ mod tests {
 
     #[test]
     fn not_dmarc() {
-        assert_eq!(parse_dmarc("v=spf1 -all"), Err(DmarcError::MissingVersionTag));
+        assert_eq!(
+            parse_dmarc("v=spf1 -all"),
+            Err(DmarcError::MissingVersionTag)
+        );
     }
 
     #[test]
     fn query_finds_record_at_dmarc_label() {
         let store = Arc::new(ZoneStore::new());
         let d = DomainName::parse("example.com").unwrap();
-        store.add_txt(&d.prepend_label("_dmarc").unwrap(), "v=DMARC1; p=quarantine");
+        store.add_txt(
+            &d.prepend_label("_dmarc").unwrap(),
+            "v=DMARC1; p=quarantine",
+        );
         let resolver = ZoneResolver::new(Arc::clone(&store));
         match query_dmarc(&resolver, &d) {
             DmarcLookup::Found(r) => assert_eq!(r.policy, DmarcPolicy::Quarantine),
@@ -304,6 +321,9 @@ mod tests {
         let d = DomainName::parse("bad.example").unwrap();
         store.add_txt(&d.prepend_label("_dmarc").unwrap(), "v=DMARC1; pct=7");
         let resolver = ZoneResolver::new(Arc::clone(&store));
-        assert!(matches!(query_dmarc(&resolver, &d), DmarcLookup::Invalid(DmarcError::MissingPolicy)));
+        assert!(matches!(
+            query_dmarc(&resolver, &d),
+            DmarcLookup::Invalid(DmarcError::MissingPolicy)
+        ));
     }
 }

@@ -219,9 +219,10 @@ fn problem_result(p: &EvalProblem) -> SpfResult {
     match p {
         EvalProblem::NoRecord => SpfResult::None,
         EvalProblem::DnsTransient { .. } => SpfResult::TempError,
-        EvalProblem::RecordNotFound { cause: RecordNotFoundCause::DnsTimeout, .. } => {
-            SpfResult::TempError
-        }
+        EvalProblem::RecordNotFound {
+            cause: RecordNotFoundCause::DnsTimeout,
+            ..
+        } => SpfResult::TempError,
         _ => SpfResult::PermError,
     }
 }
@@ -240,10 +241,7 @@ struct EvalState<'a, R: ?Sized> {
 
 impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
     /// Fetch + select the SPF record for a domain per RFC 7208 §4.5.
-    fn fetch_record(
-        &mut self,
-        domain: &DomainName,
-    ) -> Result<SpfRecord, FetchFailure> {
+    fn fetch_record(&mut self, domain: &DomainName) -> Result<SpfRecord, FetchFailure> {
         let answers = match self.resolver.query(domain, RecordType::Txt) {
             Ok(a) => a,
             Err(DnsError::NxDomain) => {
@@ -286,7 +284,9 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
 
     fn check_void_budget(&self) -> Result<(), EvalProblem> {
         if self.void_lookups > self.policy.max_void_lookups {
-            Err(EvalProblem::TooManyVoidLookups { used: self.void_lookups })
+            Err(EvalProblem::TooManyVoidLookups {
+                used: self.void_lookups,
+            })
         } else {
             Ok(())
         }
@@ -320,7 +320,9 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
         let record = match self.fetch_record(domain) {
             Ok(r) => r,
             Err(FetchFailure::Transient) => {
-                return Err(EvalProblem::DnsTransient { domain: domain.clone() })
+                return Err(EvalProblem::DnsTransient {
+                    domain: domain.clone(),
+                })
             }
             Err(FetchFailure::NxDomain) => {
                 self.check_void_budget()?;
@@ -355,10 +357,16 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                 };
             }
             Err(FetchFailure::Multiple(count)) => {
-                return Err(EvalProblem::MultipleRecords { domain: domain.clone(), count })
+                return Err(EvalProblem::MultipleRecords {
+                    domain: domain.clone(),
+                    count,
+                })
             }
             Err(FetchFailure::Syntax(error)) => {
-                return Err(EvalProblem::Syntax { domain: domain.clone(), error })
+                return Err(EvalProblem::Syntax {
+                    domain: domain.clone(),
+                    error,
+                })
             }
         };
 
@@ -411,10 +419,16 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
         if !saw_all {
             if let Some(target) = record.redirect() {
                 self.charge_lookup(&mut local_counter)?;
-                let target_domain = expand_domain(target, self.ctx, domain, None)
-                    .map_err(|_| EvalProblem::BadExpansion { text: target.to_string() })?;
+                let target_domain =
+                    expand_domain(target, self.ctx, domain, None).map_err(|_| {
+                        EvalProblem::BadExpansion {
+                            text: target.to_string(),
+                        }
+                    })?;
                 if self.stack.contains(&target_domain) {
-                    return Err(EvalProblem::RedirectLoop { domain: target_domain });
+                    return Err(EvalProblem::RedirectLoop {
+                        domain: target_domain,
+                    });
                 }
                 return match self.eval_domain(&target_domain, depth + 1, false) {
                     // RFC 7208 §6.1: if the redirect target has no record,
@@ -446,11 +460,17 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                 IpAddr::V6(v6) => cidr.contains(v6),
                 IpAddr::V4(_) => false,
             }),
-            Mechanism::A { domain: target, cidr } => {
+            Mechanism::A {
+                domain: target,
+                cidr,
+            } => {
                 let name = self.target_domain(target.as_ref(), domain)?;
                 self.address_match(&name, cidr)
             }
-            Mechanism::Mx { domain: target, cidr } => {
+            Mechanism::Mx {
+                domain: target,
+                cidr,
+            } => {
                 let name = self.target_domain(target.as_ref(), domain)?;
                 let exchanges = match self.resolver.query(&name, RecordType::Mx) {
                     Ok(rrs) => {
@@ -493,8 +513,11 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                 self.ptr_match(&scope)
             }
             Mechanism::Exists { domain: target } => {
-                let name = expand_domain(target, self.ctx, domain, None)
-                    .map_err(|_| EvalProblem::BadExpansion { text: target.to_string() })?;
+                let name = expand_domain(target, self.ctx, domain, None).map_err(|_| {
+                    EvalProblem::BadExpansion {
+                        text: target.to_string(),
+                    }
+                })?;
                 // `exists` always queries A, even for IPv6 senders.
                 match self.resolver.query(&name, RecordType::A) {
                     Ok(rrs) if !rrs.is_empty() => Ok(true),
@@ -506,25 +529,29 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                         self.count_void();
                         Ok(false)
                     }
-                    Err(e) if e.is_transient() => {
-                        Err(EvalProblem::DnsTransient { domain: name })
-                    }
+                    Err(e) if e.is_transient() => Err(EvalProblem::DnsTransient { domain: name }),
                     Err(_) => Ok(false),
                 }
             }
             Mechanism::Include { domain: target } => {
-                let target_domain = expand_domain(target, self.ctx, domain, None)
-                    .map_err(|_| EvalProblem::BadExpansion { text: target.to_string() })?;
+                let target_domain =
+                    expand_domain(target, self.ctx, domain, None).map_err(|_| {
+                        EvalProblem::BadExpansion {
+                            text: target.to_string(),
+                        }
+                    })?;
                 if self.stack.contains(&target_domain) {
-                    return Err(EvalProblem::IncludeLoop { domain: target_domain });
+                    return Err(EvalProblem::IncludeLoop {
+                        domain: target_domain,
+                    });
                 }
                 match self.eval_domain(&target_domain, depth + 1, false) {
                     // RFC 7208 §5.2 result table.
                     Ok(SpfResult::Pass) => Ok(true),
                     Ok(SpfResult::Fail | SpfResult::SoftFail | SpfResult::Neutral) => Ok(false),
-                    Ok(SpfResult::TempError) => {
-                        Err(EvalProblem::DnsTransient { domain: target_domain })
-                    }
+                    Ok(SpfResult::TempError) => Err(EvalProblem::DnsTransient {
+                        domain: target_domain,
+                    }),
                     Ok(SpfResult::None | SpfResult::PermError) | Err(EvalProblem::NoRecord) => {
                         Err(EvalProblem::RecordNotFound {
                             domain: target_domain,
@@ -546,8 +573,11 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
     ) -> Result<DomainName, EvalProblem> {
         match target {
             None => Ok(domain.clone()),
-            Some(ms) => expand_domain(ms, self.ctx, domain, None)
-                .map_err(|_| EvalProblem::BadExpansion { text: ms.to_string() }),
+            Some(ms) => {
+                expand_domain(ms, self.ctx, domain, None).map_err(|_| EvalProblem::BadExpansion {
+                    text: ms.to_string(),
+                })
+            }
         }
     }
 
@@ -567,7 +597,9 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                         return Ok(false);
                     }
                     Err(e) if e.is_transient() => {
-                        return Err(EvalProblem::DnsTransient { domain: name.clone() })
+                        return Err(EvalProblem::DnsTransient {
+                            domain: name.clone(),
+                        })
                     }
                     Err(_) => return Ok(false),
                 };
@@ -594,7 +626,9 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                         return Ok(false);
                     }
                     Err(e) if e.is_transient() => {
-                        return Err(EvalProblem::DnsTransient { domain: name.clone() })
+                        return Err(EvalProblem::DnsTransient {
+                            domain: name.clone(),
+                        })
                     }
                     Err(_) => return Ok(false),
                 };
@@ -644,17 +678,21 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
             return Ok(false);
         }
         for rr in ptrs.iter().take(10) {
-            let RecordData::Ptr(candidate) = &rr.data else { continue };
+            let RecordData::Ptr(candidate) = &rr.data else {
+                continue;
+            };
             // Forward-validate the candidate.
             let validated = match self.ctx.ip {
                 IpAddr::V4(v4) => match self.resolver.query(candidate, RecordType::A) {
-                    Ok(rrs) => rrs.iter().any(|rr| matches!(rr.data, RecordData::A(a) if a == v4)),
+                    Ok(rrs) => rrs
+                        .iter()
+                        .any(|rr| matches!(rr.data, RecordData::A(a) if a == v4)),
                     Err(_) => false,
                 },
                 IpAddr::V6(v6) => match self.resolver.query(candidate, RecordType::Aaaa) {
-                    Ok(rrs) => {
-                        rrs.iter().any(|rr| matches!(rr.data, RecordData::Aaaa(a) if a == v6))
-                    }
+                    Ok(rrs) => rrs
+                        .iter()
+                        .any(|rr| matches!(rr.data, RecordData::Aaaa(a) if a == v6)),
                     Err(_) => false,
                 },
             };
@@ -674,7 +712,11 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
             RecordData::Txt(t) => Some(t.joined()),
             _ => None,
         })?;
-        Some(crate::macroexpand::expand_explain_text(&text, self.ctx, &record_domain))
+        Some(crate::macroexpand::expand_explain_text(
+            &text,
+            self.ctx,
+            &record_domain,
+        ))
     }
 }
 
@@ -734,7 +776,10 @@ mod tests {
     fn paper_example_record() {
         // v=spf1 +mx a:puffin.example.com/28 -all  (§2.1 of the paper)
         let s = store();
-        s.add_txt(&dom("example.com"), "v=spf1 +mx a:puffin.example.com/28 -all");
+        s.add_txt(
+            &dom("example.com"),
+            "v=spf1 +mx a:puffin.example.com/28 -all",
+        );
         s.add_mx(&dom("example.com"), 10, &dom("mail.example.com"));
         s.add_a(&dom("mail.example.com"), Ipv4Addr::new(192, 0, 2, 1));
         s.add_a(&dom("puffin.example.com"), Ipv4Addr::new(203, 0, 113, 64));
@@ -742,10 +787,19 @@ mod tests {
         // MX host passes.
         assert_eq!(eval(&s, "192.0.2.1", "example.com").result, SpfResult::Pass);
         // Anything in puffin's /28 passes (203.0.113.64/28 covers .64-.79).
-        assert_eq!(eval(&s, "203.0.113.79", "example.com").result, SpfResult::Pass);
+        assert_eq!(
+            eval(&s, "203.0.113.79", "example.com").result,
+            SpfResult::Pass
+        );
         // Outside the /28 fails.
-        assert_eq!(eval(&s, "203.0.113.80", "example.com").result, SpfResult::Fail);
-        assert_eq!(eval(&s, "198.51.100.99", "example.com").result, SpfResult::Fail);
+        assert_eq!(
+            eval(&s, "203.0.113.80", "example.com").result,
+            SpfResult::Fail
+        );
+        assert_eq!(
+            eval(&s, "198.51.100.99", "example.com").result,
+            SpfResult::Fail
+        );
     }
 
     #[test]
@@ -795,17 +849,33 @@ mod tests {
         for (record, expected) in cases {
             let s = store();
             s.add_txt(&dom("q.example"), record);
-            assert_eq!(eval(&s, "198.51.100.1", "q.example").result, expected, "{record}");
+            assert_eq!(
+                eval(&s, "198.51.100.1", "q.example").result,
+                expected,
+                "{record}"
+            );
         }
     }
 
     #[test]
     fn include_pass_matches() {
         let s = store();
-        s.add_txt(&dom("customer.example"), "v=spf1 include:_spf.provider.example -all");
-        s.add_txt(&dom("_spf.provider.example"), "v=spf1 ip4:198.51.100.0/24 -all");
-        assert_eq!(eval(&s, "198.51.100.42", "customer.example").result, SpfResult::Pass);
-        assert_eq!(eval(&s, "203.0.113.1", "customer.example").result, SpfResult::Fail);
+        s.add_txt(
+            &dom("customer.example"),
+            "v=spf1 include:_spf.provider.example -all",
+        );
+        s.add_txt(
+            &dom("_spf.provider.example"),
+            "v=spf1 ip4:198.51.100.0/24 -all",
+        );
+        assert_eq!(
+            eval(&s, "198.51.100.42", "customer.example").result,
+            SpfResult::Pass
+        );
+        assert_eq!(
+            eval(&s, "203.0.113.1", "customer.example").result,
+            SpfResult::Fail
+        );
     }
 
     #[test]
@@ -813,9 +883,15 @@ mod tests {
         // §2.1: "it is not possible to deny any or all IP addresses with
         // the include mechanism" — an included -all does NOT fail the host.
         let s = store();
-        s.add_txt(&dom("customer.example"), "v=spf1 include:deny.example ip4:203.0.113.5 -all");
+        s.add_txt(
+            &dom("customer.example"),
+            "v=spf1 include:deny.example ip4:203.0.113.5 -all",
+        );
         s.add_txt(&dom("deny.example"), "v=spf1 -all");
-        assert_eq!(eval(&s, "203.0.113.5", "customer.example").result, SpfResult::Pass);
+        assert_eq!(
+            eval(&s, "203.0.113.5", "customer.example").result,
+            SpfResult::Pass
+        );
     }
 
     #[test]
@@ -824,7 +900,10 @@ mod tests {
         s.add_txt(&dom("broken.example"), "v=spf1 include:gone.example -all");
         let e = eval(&s, "198.51.100.1", "broken.example");
         assert_eq!(e.result, SpfResult::PermError);
-        assert!(matches!(e.problem, Some(EvalProblem::RecordNotFound { .. })));
+        assert!(matches!(
+            e.problem,
+            Some(EvalProblem::RecordNotFound { .. })
+        ));
     }
 
     #[test]
@@ -843,7 +922,9 @@ mod tests {
         let s = store();
         s.add_txt(&dom("selfie.example"), "v=spf1 include:selfie.example -all");
         let e = eval(&s, "198.51.100.1", "selfie.example");
-        assert!(matches!(e.problem, Some(EvalProblem::IncludeLoop { domain }) if domain == dom("selfie.example")));
+        assert!(
+            matches!(e.problem, Some(EvalProblem::IncludeLoop { domain }) if domain == dom("selfie.example"))
+        );
     }
 
     #[test]
@@ -851,9 +932,15 @@ mod tests {
         let s = store();
         s.add_txt(&dom("front.example"), "v=spf1 redirect=back.example");
         s.add_txt(&dom("back.example"), "v=spf1 ip4:192.0.2.0/24 -all");
-        assert_eq!(eval(&s, "192.0.2.9", "front.example").result, SpfResult::Pass);
+        assert_eq!(
+            eval(&s, "192.0.2.9", "front.example").result,
+            SpfResult::Pass
+        );
         // Unlike include, a redirect's fail IS final.
-        assert_eq!(eval(&s, "203.0.113.9", "front.example").result, SpfResult::Fail);
+        assert_eq!(
+            eval(&s, "203.0.113.9", "front.example").result,
+            SpfResult::Fail
+        );
     }
 
     #[test]
@@ -873,7 +960,10 @@ mod tests {
         // other.example would pass this IP, but ~all wins because redirect
         // is ignored when all is present.
         s.add_txt(&dom("other.example"), "v=spf1 +all");
-        assert_eq!(eval(&s, "198.51.100.1", "mixed.example").result, SpfResult::SoftFail);
+        assert_eq!(
+            eval(&s, "198.51.100.1", "mixed.example").result,
+            SpfResult::SoftFail
+        );
     }
 
     #[test]
@@ -891,7 +981,10 @@ mod tests {
         s.add_txt(&dom("twice.example"), "v=spf1 mx -all");
         let e = eval(&s, "198.51.100.1", "twice.example");
         assert_eq!(e.result, SpfResult::PermError);
-        assert!(matches!(e.problem, Some(EvalProblem::MultipleRecords { count: 2, .. })));
+        assert!(matches!(
+            e.problem,
+            Some(EvalProblem::MultipleRecords { count: 2, .. })
+        ));
     }
 
     #[test]
@@ -899,7 +992,10 @@ mod tests {
         let s = store();
         s.add_txt(&dom("d.example"), "google-site-verification=abc123");
         s.add_txt(&dom("d.example"), "v=spf1 -all");
-        assert_eq!(eval(&s, "198.51.100.1", "d.example").result, SpfResult::Fail);
+        assert_eq!(
+            eval(&s, "198.51.100.1", "d.example").result,
+            SpfResult::Fail
+        );
     }
 
     #[test]
@@ -923,7 +1019,10 @@ mod tests {
         s.add_txt(&dom("c12.example"), "v=spf1 ip4:10.0.0.1 -all");
         let e = eval(&s, "10.0.0.1", "c0.example");
         assert_eq!(e.result, SpfResult::PermError);
-        assert!(matches!(e.problem, Some(EvalProblem::TooManyLookups { .. })));
+        assert!(matches!(
+            e.problem,
+            Some(EvalProblem::TooManyLookups { .. })
+        ));
         assert!(e.dns_lookups >= 10);
     }
 
@@ -959,9 +1058,15 @@ mod tests {
             s.add_txt(&dom(&format!("x{i}.example")), "v=spf1 ip4:172.16.0.1 -all");
         }
         // Matching IP hits ip4 before any include is evaluated.
-        assert_eq!(eval(&s, "10.1.1.1", "early.example").result, SpfResult::Pass);
+        assert_eq!(
+            eval(&s, "10.1.1.1", "early.example").result,
+            SpfResult::Pass
+        );
         // Non-matching IP walks the includes and trips the limit.
-        assert_eq!(eval(&s, "198.51.100.1", "early.example").result, SpfResult::PermError);
+        assert_eq!(
+            eval(&s, "198.51.100.1", "early.example").result,
+            SpfResult::PermError
+        );
     }
 
     #[test]
@@ -974,7 +1079,10 @@ mod tests {
         }
         s.add_txt(&dom("p12.example"), "v=spf1 ip4:10.0.0.1 -all");
         let resolver = ZoneResolver::new(Arc::clone(&s));
-        let policy = EvalPolicy { accounting: LookupAccounting::PerRecord, ..Default::default() };
+        let policy = EvalPolicy {
+            accounting: LookupAccounting::PerRecord,
+            ..Default::default()
+        };
         let e = check_host(&resolver, &ctx("10.0.0.1"), &dom("p0.example"), &policy);
         // Each record uses only 1 lookup locally, so the chain completes
         // (12 includes across p0..p11).
@@ -987,19 +1095,28 @@ mod tests {
         let s = store();
         // Three a-mechanisms pointing at names that exist with no A records
         // produce three void lookups; limit is 2.
-        s.add_txt(&dom("v.example"), "v=spf1 a:v1.example a:v2.example a:v3.example -all");
+        s.add_txt(
+            &dom("v.example"),
+            "v=spf1 a:v1.example a:v2.example a:v3.example -all",
+        );
         for n in ["v1.example", "v2.example", "v3.example"] {
             s.add_txt(&dom(n), "placeholder"); // exists, but no A record
         }
         let e = eval(&s, "198.51.100.1", "v.example");
         assert_eq!(e.result, SpfResult::PermError);
-        assert!(matches!(e.problem, Some(EvalProblem::TooManyVoidLookups { .. })));
+        assert!(matches!(
+            e.problem,
+            Some(EvalProblem::TooManyVoidLookups { .. })
+        ));
     }
 
     #[test]
     fn two_void_lookups_allowed() {
         let s = store();
-        s.add_txt(&dom("v2.example"), "v=spf1 a:w1.example a:w2.example ip4:10.0.0.5 -all");
+        s.add_txt(
+            &dom("v2.example"),
+            "v=spf1 a:w1.example a:w2.example ip4:10.0.0.5 -all",
+        );
         for n in ["w1.example", "w2.example"] {
             s.add_txt(&dom(n), "placeholder");
         }
@@ -1023,19 +1140,32 @@ mod tests {
         let s = store();
         s.add_txt(&dom("many.example"), "v=spf1 mx -all");
         for i in 0..11 {
-            s.add_mx(&dom("many.example"), 10, &dom(&format!("mx{i}.many.example")));
+            s.add_mx(
+                &dom("many.example"),
+                10,
+                &dom(&format!("mx{i}.many.example")),
+            );
         }
         let e = eval(&s, "198.51.100.1", "many.example");
         assert_eq!(e.result, SpfResult::PermError);
-        assert!(matches!(e.problem, Some(EvalProblem::TooManyMxRecords { .. })));
+        assert!(matches!(
+            e.problem,
+            Some(EvalProblem::TooManyMxRecords { .. })
+        ));
     }
 
     #[test]
     fn exists_mechanism_with_macro() {
         let s = store();
-        s.add_txt(&dom("e.example"), "v=spf1 exists:%{ir}.allow.e.example -all");
+        s.add_txt(
+            &dom("e.example"),
+            "v=spf1 exists:%{ir}.allow.e.example -all",
+        );
         // Authorize exactly 192.0.2.3 by publishing 3.2.0.192.allow.e.example.
-        s.add_a(&dom("3.2.0.192.allow.e.example"), Ipv4Addr::new(127, 0, 0, 2));
+        s.add_a(
+            &dom("3.2.0.192.allow.e.example"),
+            Ipv4Addr::new(127, 0, 0, 2),
+        );
         assert_eq!(eval(&s, "192.0.2.3", "e.example").result, SpfResult::Pass);
         assert_eq!(eval(&s, "192.0.2.4", "e.example").result, SpfResult::Fail);
     }
@@ -1080,7 +1210,10 @@ mod tests {
     fn dual_cidr_aaaa_match() {
         let s = store();
         s.add_txt(&dom("dual.example"), "v=spf1 a:host.dual.example//64 -all");
-        s.add_aaaa(&dom("host.dual.example"), "2001:db8:1:2::1".parse().unwrap());
+        s.add_aaaa(
+            &dom("host.dual.example"),
+            "2001:db8:1:2::1".parse().unwrap(),
+        );
         let resolver = ZoneResolver::new(Arc::clone(&s));
         let c = EvalContext::mail_from(
             "2001:db8:1:2:ffff::9".parse().unwrap(),
@@ -1095,12 +1228,21 @@ mod tests {
     fn explanation_fetched_on_fail() {
         let s = store();
         s.add_txt(&dom("x.example"), "v=spf1 exp=why.x.example -all");
-        s.add_txt(&dom("why.x.example"), "%{i} is not allowed to send for %{d}");
+        s.add_txt(
+            &dom("why.x.example"),
+            "%{i} is not allowed to send for %{d}",
+        );
         let resolver = ZoneResolver::new(Arc::clone(&s));
-        let policy = EvalPolicy { fetch_explanation: true, ..Default::default() };
+        let policy = EvalPolicy {
+            fetch_explanation: true,
+            ..Default::default()
+        };
         let e = check_host(&resolver, &ctx("192.0.2.3"), &dom("x.example"), &policy);
         assert_eq!(e.result, SpfResult::Fail);
-        assert_eq!(e.explanation.as_deref(), Some("192.0.2.3 is not allowed to send for x.example"));
+        assert_eq!(
+            e.explanation.as_deref(),
+            Some("192.0.2.3 is not allowed to send for x.example")
+        );
     }
 
     #[test]

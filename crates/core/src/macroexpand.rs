@@ -71,11 +71,7 @@ pub fn expand(
 /// Expand an *explain-string* (the TXT payload referenced by `exp=`),
 /// which — unlike a domain-spec — may contain spaces (RFC 7208 §6.2).
 /// Each space-separated chunk is macro-expanded independently.
-pub fn expand_explain_text(
-    text: &str,
-    ctx: &EvalContext,
-    current_domain: &DomainName,
-) -> String {
+pub fn expand_explain_text(text: &str, ctx: &EvalContext, current_domain: &DomainName) -> String {
     text.split(' ')
         .map(|chunk| match MacroString::parse(chunk) {
             Ok(ms) => expand(&ms, ctx, current_domain, None),
@@ -167,7 +163,11 @@ fn ip_macro(ip: IpAddr) -> String {
 }
 
 fn transform(raw: &str, e: &MacroExpand) -> String {
-    let delimiters: &[char] = if e.delimiters.is_empty() { &['.'] } else { &e.delimiters };
+    let delimiters: &[char] = if e.delimiters.is_empty() {
+        &['.']
+    } else {
+        &e.delimiters
+    };
     let mut parts: Vec<&str> = raw.split(|c| delimiters.contains(&c)).collect();
     if e.reverse {
         parts.reverse();
@@ -202,7 +202,8 @@ mod tests {
     /// IP = 192.0.2.3, sender = strong-bad@email.example.com.
     fn rfc_ctx() -> (EvalContext, DomainName) {
         let domain = DomainName::parse("email.example.com").unwrap();
-        let ctx = EvalContext::mail_from("192.0.2.3".parse().unwrap(), "strong-bad", domain.clone());
+        let ctx =
+            EvalContext::mail_from("192.0.2.3".parse().unwrap(), "strong-bad", domain.clone());
         (ctx, domain)
     }
 
@@ -236,7 +237,10 @@ mod tests {
             expand_str("%{ir}.%{v}._spf.%{d2}"),
             "3.2.0.192.in-addr._spf.example.com"
         );
-        assert_eq!(expand_str("%{lr-}.lp._spf.%{d2}"), "bad.strong.lp._spf.example.com");
+        assert_eq!(
+            expand_str("%{lr-}.lp._spf.%{d2}"),
+            "bad.strong.lp._spf.example.com"
+        );
         assert_eq!(
             expand_str("%{lr-}.lp.%{ir}.%{v}._spf.%{d2}"),
             "bad.strong.lp.3.2.0.192.in-addr._spf.example.com"
@@ -256,8 +260,17 @@ mod tests {
         // RFC 7208 §7.4: IPv6 2001:db8::cb01 →
         // the nibble expansion used with %{ir}.
         let domain = DomainName::parse("email.example.com").unwrap();
-        let ctx = EvalContext::mail_from("2001:db8::cb01".parse().unwrap(), "strong-bad", domain.clone());
-        let out = expand(&MacroString::parse("%{ir}.%{v}._spf.%{d2}").unwrap(), &ctx, &domain, None);
+        let ctx = EvalContext::mail_from(
+            "2001:db8::cb01".parse().unwrap(),
+            "strong-bad",
+            domain.clone(),
+        );
+        let out = expand(
+            &MacroString::parse("%{ir}.%{v}._spf.%{d2}").unwrap(),
+            &ctx,
+            &domain,
+            None,
+        );
         assert_eq!(
             out,
             "1.0.b.c.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2.ip6._spf.example.com"
@@ -282,7 +295,12 @@ mod tests {
         assert_eq!(expand_str("%{p}"), "unknown");
         let (ctx, domain) = rfc_ctx();
         let vd = DomainName::parse("mx.example.org").unwrap();
-        let out = expand(&MacroString::parse("%{p}").unwrap(), &ctx, &domain, Some(&vd));
+        let out = expand(
+            &MacroString::parse("%{p}").unwrap(),
+            &ctx,
+            &domain,
+            Some(&vd),
+        );
         assert_eq!(out, "mx.example.org");
     }
 

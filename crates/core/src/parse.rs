@@ -18,8 +18,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use spf_types::{
-    DualCidr, Ip4ParseError, Ip6ParseError, Ipv4Cidr, Ipv6Cidr, MacroError, MacroString,
-    Mechanism, Modifier, Qualifier, SpfRecord, Term, SPF_VERSION_TAG,
+    DualCidr, Ip4ParseError, Ip6ParseError, Ipv4Cidr, Ipv6Cidr, MacroError, MacroString, Mechanism,
+    Modifier, Qualifier, SpfRecord, Term, SPF_VERSION_TAG,
 };
 
 /// A classified SPF syntax error.
@@ -118,25 +118,40 @@ impl SyntaxError {
     /// True for the invalid-IP class the paper tallies separately from
     /// generic syntax errors (Figure 2 splits "Invalid IP address" out).
     pub fn is_invalid_ip(&self) -> bool {
-        matches!(self, SyntaxError::InvalidIp4 { .. } | SyntaxError::InvalidIp6 { .. })
+        matches!(
+            self,
+            SyntaxError::InvalidIp4 { .. } | SyntaxError::InvalidIp6 { .. }
+        )
     }
 }
 
 impl fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SyntaxError::MisspelledMechanism { written, suggestion } => {
-                write!(f, "unknown mechanism {written:?}; did you mean {suggestion:?}?")
+            SyntaxError::MisspelledMechanism {
+                written,
+                suggestion,
+            } => {
+                write!(
+                    f,
+                    "unknown mechanism {written:?}; did you mean {suggestion:?}?"
+                )
             }
             SyntaxError::UnknownMechanism { name } => write!(f, "unknown mechanism {name:?}"),
             SyntaxError::MultipleVersionTags { count } => {
                 write!(f, "{count} v=spf1 tags in one record")
             }
             SyntaxError::ConcatenatedVerification { token } => {
-                write!(f, "stray token {token:?} (merged site-verification string?)")
+                write!(
+                    f,
+                    "stray token {token:?} (merged site-verification string?)"
+                )
             }
             SyntaxError::WhitespaceAfterSeparator { mechanism } => {
-                write!(f, "mechanism {mechanism:?} has no argument (whitespace after separator?)")
+                write!(
+                    f,
+                    "mechanism {mechanism:?} has no argument (whitespace after separator?)"
+                )
             }
             SyntaxError::InvalidIp4 { error, argument } => {
                 write!(f, "invalid ip4 argument {argument:?}: {error}")
@@ -235,7 +250,11 @@ pub fn parse_lenient(text: &str) -> ParsedRecord {
     let trimmed = text.trim();
     if !is_spf_record(trimmed) {
         errors.push(SyntaxError::MissingVersionTag);
-        return ParsedRecord { record: SpfRecord::new(terms), errors, warnings };
+        return ParsedRecord {
+            record: SpfRecord::new(terms),
+            errors,
+            warnings,
+        };
     }
     let body = &trimmed[SPF_VERSION_TAG.len()..];
 
@@ -262,13 +281,17 @@ pub fn parse_lenient(text: &str) -> ParsedRecord {
             TokenKind::Modifier { name, value } => {
                 let lname = name.to_ascii_lowercase();
                 if seen_modifiers.contains(&lname) && (lname == "redirect" || lname == "exp") {
-                    warnings.push(ParseWarning::DuplicateModifier { name: lname.clone() });
+                    warnings.push(ParseWarning::DuplicateModifier {
+                        name: lname.clone(),
+                    });
                 }
                 seen_modifiers.push(lname.clone());
                 match parse_modifier(&lname, &name, value) {
                     Ok(Some(m)) => {
                         if matches!(m, Modifier::Unknown { .. }) {
-                            warnings.push(ParseWarning::UnknownModifier { name: lname.clone() });
+                            warnings.push(ParseWarning::UnknownModifier {
+                                name: lname.clone(),
+                            });
                         }
                         if matches!(m, Modifier::Redirect { .. }) {
                             has_redirect = true;
@@ -279,26 +302,31 @@ pub fn parse_lenient(text: &str) -> ParsedRecord {
                     Err(e) => errors.push(e),
                 }
             }
-            TokenKind::Directive { qualifier, name, argument, cidr_suffix } => {
-                match parse_mechanism(&name, argument, cidr_suffix, &tokens, &mut i) {
-                    Ok(mech) => {
-                        if matches!(mech, Mechanism::Ptr { .. }) {
-                            warnings.push(ParseWarning::PtrMechanism);
-                        }
-                        if matches!(mech, Mechanism::All) && all_index.is_none() {
-                            all_index = Some(terms.len());
-                        }
-                        let directive = match qualifier {
-                            Some(q) => spf_types::Directive::explicit(q, mech),
-                            None => spf_types::Directive::implicit(mech),
-                        };
-                        terms.push(Term::Directive(directive));
+            TokenKind::Directive {
+                qualifier,
+                name,
+                argument,
+                cidr_suffix,
+            } => match parse_mechanism(&name, argument, cidr_suffix, &tokens, &mut i) {
+                Ok(mech) => {
+                    if matches!(mech, Mechanism::Ptr { .. }) {
+                        warnings.push(ParseWarning::PtrMechanism);
                     }
-                    Err(e) => errors.push(e),
+                    if matches!(mech, Mechanism::All) && all_index.is_none() {
+                        all_index = Some(terms.len());
+                    }
+                    let directive = match qualifier {
+                        Some(q) => spf_types::Directive::explicit(q, mech),
+                        None => spf_types::Directive::implicit(mech),
+                    };
+                    terms.push(Term::Directive(directive));
                 }
-            }
+                Err(e) => errors.push(e),
+            },
             TokenKind::Stray(token) => {
-                errors.push(SyntaxError::ConcatenatedVerification { token: token.to_string() });
+                errors.push(SyntaxError::ConcatenatedVerification {
+                    token: token.to_string(),
+                });
             }
         }
     }
@@ -315,12 +343,19 @@ pub fn parse_lenient(text: &str) -> ParsedRecord {
         }
     }
 
-    ParsedRecord { record: SpfRecord::new(terms), errors, warnings }
+    ParsedRecord {
+        record: SpfRecord::new(terms),
+        errors,
+        warnings,
+    }
 }
 
 fn count_version_tags(text: &str) -> usize {
     let lower = text.to_ascii_lowercase();
-    lower.split_whitespace().filter(|t| *t == SPF_VERSION_TAG).count()
+    lower
+        .split_whitespace()
+        .filter(|t| *t == SPF_VERSION_TAG)
+        .count()
 }
 
 enum TokenKind<'a> {
@@ -347,9 +382,14 @@ fn classify_token(token: &str) -> TokenKind<'_> {
             let (name, value) = token.split_at(eq);
             if !name.is_empty()
                 && name.chars().next().unwrap().is_ascii_alphabetic()
-                && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
             {
-                return TokenKind::Modifier { name: name.to_string(), value: &value[1..] };
+                return TokenKind::Modifier {
+                    name: name.to_string(),
+                    value: &value[1..],
+                };
             }
             return TokenKind::Stray(token);
         }
@@ -377,8 +417,18 @@ fn classify_token(token: &str) -> TokenKind<'_> {
     } else {
         (None, None)
     };
-    if name.chars().next().map(|c| c.is_ascii_alphabetic()).unwrap_or(false) {
-        TokenKind::Directive { qualifier, name, argument, cidr_suffix }
+    if name
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_alphabetic())
+        .unwrap_or(false)
+    {
+        TokenKind::Directive {
+            qualifier,
+            name,
+            argument,
+            cidr_suffix,
+        }
     } else {
         TokenKind::Stray(token)
     }
@@ -406,22 +456,22 @@ fn split_cidr_outside_macros(s: &str) -> (&str, Option<&str>) {
     (s, None)
 }
 
-fn parse_modifier(
-    lname: &str,
-    name: &str,
-    value: &str,
-) -> Result<Option<Modifier>, SyntaxError> {
+fn parse_modifier(lname: &str, name: &str, value: &str) -> Result<Option<Modifier>, SyntaxError> {
     match lname {
         "redirect" | "exp" => {
             if value.is_empty() {
-                return Err(SyntaxError::EmptyModifierValue { name: lname.to_string() });
+                return Err(SyntaxError::EmptyModifierValue {
+                    name: lname.to_string(),
+                });
             }
             let domain = MacroString::parse(value).map_err(|error| SyntaxError::BadMacro {
                 error,
                 term: format!("{lname}={value}"),
             })?;
             if domain.uses_exp_only_macros() && lname == "redirect" {
-                return Err(SyntaxError::ExpOnlyMacro { term: format!("{lname}={value}") });
+                return Err(SyntaxError::ExpOnlyMacro {
+                    term: format!("{lname}={value}"),
+                });
             }
             Ok(Some(if lname == "redirect" {
                 Modifier::Redirect { domain }
@@ -429,13 +479,20 @@ fn parse_modifier(
                 Modifier::Exp { domain }
             }))
         }
-        "ra" => Ok(Some(Modifier::Ra { mailbox: value.to_string() })),
+        "ra" => Ok(Some(Modifier::Ra {
+            mailbox: value.to_string(),
+        })),
         "rp" => {
             let percent = value.parse::<u8>().unwrap_or(100).min(100);
             Ok(Some(Modifier::Rp { percent }))
         }
-        "rr" => Ok(Some(Modifier::Rr { tags: value.to_string() })),
-        _ => Ok(Some(Modifier::Unknown { name: name.to_string(), value: value.to_string() })),
+        "rr" => Ok(Some(Modifier::Rr {
+            tags: value.to_string(),
+        })),
+        _ => Ok(Some(Modifier::Unknown {
+            name: name.to_string(),
+            value: value.to_string(),
+        })),
     }
 }
 
@@ -505,7 +562,10 @@ fn parse_mechanism(
             }
             match Ipv4Cidr::parse(&full) {
                 Ok(cidr) => Ok(Mechanism::Ip4 { cidr }),
-                Err(error) => Err(SyntaxError::InvalidIp4 { error, argument: full }),
+                Err(error) => Err(SyntaxError::InvalidIp4 {
+                    error,
+                    argument: full,
+                }),
             }
         }
         "ip6" => {
@@ -516,7 +576,10 @@ fn parse_mechanism(
             }
             match Ipv6Cidr::parse(&full) {
                 Ok(cidr) => Ok(Mechanism::Ip6 { cidr }),
-                Err(error) => Err(SyntaxError::InvalidIp6 { error, argument: full }),
+                Err(error) => Err(SyntaxError::InvalidIp6 {
+                    error,
+                    argument: full,
+                }),
             }
         }
         // The paper's three most common misspellings (§5.3).
@@ -532,7 +595,9 @@ fn parse_mechanism(
             written: display_with_arg("ip", argument, cidr_suffix),
             suggestion: "ip4".to_string(),
         }),
-        _ => Err(SyntaxError::UnknownMechanism { name: name.to_string() }),
+        _ => Err(SyntaxError::UnknownMechanism {
+            name: name.to_string(),
+        }),
     }
 }
 
@@ -572,7 +637,9 @@ fn parse_domain_spec(arg: &str, mechanism: &str) -> Result<MacroString, SyntaxEr
         term: format!("{mechanism}:{arg}"),
     })?;
     if ms.uses_exp_only_macros() {
-        return Err(SyntaxError::ExpOnlyMacro { term: format!("{mechanism}:{arg}") });
+        return Err(SyntaxError::ExpOnlyMacro {
+            term: format!("{mechanism}:{arg}"),
+        });
     }
     Ok(ms)
 }
@@ -581,7 +648,9 @@ fn parse_dual_cidr(suffix: Option<&str>) -> Result<DualCidr, SyntaxError> {
     let Some(suffix) = suffix else {
         return Ok(DualCidr::default());
     };
-    let bad = || SyntaxError::BadCidrSuffix { suffix: suffix.to_string() };
+    let bad = || SyntaxError::BadCidrSuffix {
+        suffix: suffix.to_string(),
+    };
     let mut cidr = DualCidr::default();
     // Forms: "/n", "//m", "/n//m".
     let rest = suffix.strip_prefix('/').ok_or_else(bad)?;
@@ -614,7 +683,11 @@ mod tests {
 
     fn ok(text: &str) -> SpfRecord {
         let parsed = parse_lenient(text);
-        assert!(parsed.is_clean(), "unexpected errors for {text:?}: {:?}", parsed.errors);
+        assert!(
+            parsed.is_clean(),
+            "unexpected errors for {text:?}: {:?}",
+            parsed.errors
+        );
         parsed.record
     }
 
@@ -738,7 +811,9 @@ mod tests {
         let parsed = parse_lenient("v=spf1 ip4: 192.0.2.1 -all");
         assert_eq!(
             parsed.errors,
-            vec![SyntaxError::WhitespaceAfterSeparator { mechanism: "ip4".into() }]
+            vec![SyntaxError::WhitespaceAfterSeparator {
+                mechanism: "ip4".into()
+            }]
         );
         // The orphaned IP must not be double-reported as a stray token.
         assert_eq!(parsed.errors.len(), 1);
@@ -749,7 +824,9 @@ mod tests {
         let parsed = parse_lenient("v=spf1 include: _spf.example.com -all");
         assert_eq!(
             parsed.errors,
-            vec![SyntaxError::WhitespaceAfterSeparator { mechanism: "include".into() }]
+            vec![SyntaxError::WhitespaceAfterSeparator {
+                mechanism: "include".into()
+            }]
         );
     }
 
@@ -780,8 +857,14 @@ mod tests {
     fn invalid_ip_taxonomy() {
         use spf_types::Ip4ParseError;
         let cases = [
-            ("v=spf1 ip4:1.2.3 -all", Ip4ParseError::WrongOctetCount { octets: 3 }),
-            ("v=spf1 ip4:mail.example.com -all", Ip4ParseError::DomainInsteadOfIp),
+            (
+                "v=spf1 ip4:1.2.3 -all",
+                Ip4ParseError::WrongOctetCount { octets: 3 },
+            ),
+            (
+                "v=spf1 ip4:mail.example.com -all",
+                Ip4ParseError::DomainInsteadOfIp,
+            ),
             ("v=spf1 ip4:2001:db8::1 -all", Ip4ParseError::WrongIpVersion),
         ];
         for (text, expected) in cases {
@@ -794,25 +877,40 @@ mod tests {
         // "ip4:" with nothing: whitespace-after-separator (arg detached or
         // absent entirely).
         let parsed = parse_lenient("v=spf1 ip4: -all");
-        assert!(matches!(&parsed.errors[0], SyntaxError::WhitespaceAfterSeparator { .. }));
+        assert!(matches!(
+            &parsed.errors[0],
+            SyntaxError::WhitespaceAfterSeparator { .. }
+        ));
     }
 
     #[test]
     fn dead_all_typos_are_unknown_mechanisms() {
         // §5.5: "-al" and "-all;" typos leave records without protection.
         let parsed = parse_lenient("v=spf1 mx -al");
-        assert_eq!(parsed.errors, vec![SyntaxError::UnknownMechanism { name: "al".into() }]);
+        assert_eq!(
+            parsed.errors,
+            vec![SyntaxError::UnknownMechanism { name: "al".into() }]
+        );
         assert!(!parsed.record.has_restrictive_all());
 
         let parsed = parse_lenient("v=spf1 mx -all;");
-        assert_eq!(parsed.errors, vec![SyntaxError::UnknownMechanism { name: "all;".into() }]);
+        assert_eq!(
+            parsed.errors,
+            vec![SyntaxError::UnknownMechanism {
+                name: "all;".into()
+            }]
+        );
     }
 
     #[test]
     fn xss_record_parses_with_unknown_modifier_warning() {
         // §5.5: v=spf1 xss=<script>alert('SPF')</script> ~all
         let parsed = parse_lenient("v=spf1 xss=<script>alert('SPF')</script> ~all");
-        assert!(parsed.is_clean(), "unknown modifiers are legal: {:?}", parsed.errors);
+        assert!(
+            parsed.is_clean(),
+            "unknown modifiers are legal: {:?}",
+            parsed.errors
+        );
         assert!(parsed
             .warnings
             .iter()
@@ -849,7 +947,9 @@ mod tests {
         let parsed = parse_lenient("v=spf1 redirect=");
         assert_eq!(
             parsed.errors,
-            vec![SyntaxError::EmptyModifierValue { name: "redirect".into() }]
+            vec![SyntaxError::EmptyModifierValue {
+                name: "redirect".into()
+            }]
         );
     }
 
@@ -876,7 +976,10 @@ mod tests {
         match &first.mechanism {
             Mechanism::Exists { domain } => {
                 assert!(!domain.is_literal());
-                assert!(domain.tokens().iter().any(|t| matches!(t, MacroToken::Expand(_))));
+                assert!(domain
+                    .tokens()
+                    .iter()
+                    .any(|t| matches!(t, MacroToken::Expand(_))));
             }
             m => panic!("unexpected {m:?}"),
         }
@@ -885,15 +988,24 @@ mod tests {
     #[test]
     fn exp_only_macro_rejected_in_domain_spec() {
         let parsed = parse_lenient("v=spf1 exists:%{c}.example.com -all");
-        assert!(matches!(&parsed.errors[0], SyntaxError::ExpOnlyMacro { .. }));
+        assert!(matches!(
+            &parsed.errors[0],
+            SyntaxError::ExpOnlyMacro { .. }
+        ));
     }
 
     #[test]
     fn bad_cidr_suffix() {
         let parsed = parse_lenient("v=spf1 a/33 -all");
-        assert!(matches!(&parsed.errors[0], SyntaxError::BadCidrSuffix { .. }));
+        assert!(matches!(
+            &parsed.errors[0],
+            SyntaxError::BadCidrSuffix { .. }
+        ));
         let parsed = parse_lenient("v=spf1 mx/abc -all");
-        assert!(matches!(&parsed.errors[0], SyntaxError::BadCidrSuffix { .. }));
+        assert!(matches!(
+            &parsed.errors[0],
+            SyntaxError::BadCidrSuffix { .. }
+        ));
     }
 
     #[test]

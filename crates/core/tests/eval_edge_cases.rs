@@ -35,7 +35,11 @@ fn recursion_depth_guard_fires_before_stack_overflow() {
         );
     }
     store.add_txt(&dom("r30.example"), "v=spf1 -all");
-    let policy = EvalPolicy { max_dns_lookups: 100, max_recursion_depth: 8, ..Default::default() };
+    let policy = EvalPolicy {
+        max_dns_lookups: 100,
+        max_recursion_depth: 8,
+        ..Default::default()
+    };
     let e = eval_with(&store, "192.0.2.1", "r0.example", &policy);
     assert_eq!(e.result, SpfResult::PermError);
     assert_eq!(e.problem, Some(EvalProblem::TooDeep));
@@ -44,10 +48,18 @@ fn recursion_depth_guard_fires_before_stack_overflow() {
 #[test]
 fn include_with_macro_target_resolves_per_sender() {
     let store = Arc::new(ZoneStore::new());
-    store.add_txt(&dom("macro.example"), "v=spf1 include:%{d1}.zones.example -all");
+    store.add_txt(
+        &dom("macro.example"),
+        "v=spf1 include:%{d1}.zones.example -all",
+    );
     // %{d1} of macro.example is "example".
     store.add_txt(&dom("example.zones.example"), "v=spf1 ip4:192.0.2.55 -all");
-    let e = eval_with(&store, "192.0.2.55", "macro.example", &EvalPolicy::default());
+    let e = eval_with(
+        &store,
+        "192.0.2.55",
+        "macro.example",
+        &EvalPolicy::default(),
+    );
     assert_eq!(e.result, SpfResult::Pass);
 }
 
@@ -61,7 +73,12 @@ fn mx_with_duplicate_exchanges_counts_once() {
         store.add_mx(&dom("dup.example"), pref, &dom("mx.dup.example"));
     }
     store.add_a(&dom("mx.dup.example"), "198.51.100.4".parse().unwrap());
-    let e = eval_with(&store, "198.51.100.4", "dup.example", &EvalPolicy::default());
+    let e = eval_with(
+        &store,
+        "198.51.100.4",
+        "dup.example",
+        &EvalPolicy::default(),
+    );
     assert_eq!(e.result, SpfResult::Pass);
 }
 
@@ -80,16 +97,25 @@ fn lookup_budget_zero_rejects_any_lookup_term() {
     store.add_txt(&dom("one.example"), "v=spf1 mx -all");
     store.add_mx(&dom("one.example"), 10, &dom("mx.one.example"));
     store.add_a(&dom("mx.one.example"), "192.0.2.9".parse().unwrap());
-    let policy = EvalPolicy { max_dns_lookups: 0, ..Default::default() };
+    let policy = EvalPolicy {
+        max_dns_lookups: 0,
+        ..Default::default()
+    };
     let e = eval_with(&store, "192.0.2.9", "one.example", &policy);
     assert_eq!(e.result, SpfResult::PermError);
-    assert!(matches!(e.problem, Some(EvalProblem::TooManyLookups { .. })));
+    assert!(matches!(
+        e.problem,
+        Some(EvalProblem::TooManyLookups { .. })
+    ));
 }
 
 #[test]
 fn include_of_record_with_only_modifiers() {
     let store = Arc::new(ZoneStore::new());
-    store.add_txt(&dom("outer.example"), "v=spf1 include:mods.example ip4:10.0.0.1 -all");
+    store.add_txt(
+        &dom("outer.example"),
+        "v=spf1 include:mods.example ip4:10.0.0.1 -all",
+    );
     // The included record has no mechanisms at all → evaluates neutral →
     // include does not match → continue.
     store.add_txt(&dom("mods.example"), "v=spf1 unknown=modifier");
@@ -100,7 +126,10 @@ fn include_of_record_with_only_modifiers() {
 #[test]
 fn ip4_mechanism_boundary_addresses() {
     let store = Arc::new(ZoneStore::new());
-    store.add_txt(&dom("edge.example"), "v=spf1 ip4:192.0.2.0/31 ip4:255.255.255.255 -all");
+    store.add_txt(
+        &dom("edge.example"),
+        "v=spf1 ip4:192.0.2.0/31 ip4:255.255.255.255 -all",
+    );
     for (ip, expected) in [
         ("192.0.2.0", SpfResult::Pass),
         ("192.0.2.1", SpfResult::Pass),
@@ -124,7 +153,12 @@ fn evaluation_counts_are_reported_faithfully() {
         "v=spf1 a:gone1.example a:gone2.example include:sub.example -all",
     );
     store.add_txt(&dom("sub.example"), "v=spf1 ip4:203.0.113.5 -all");
-    let e = eval_with(&store, "203.0.113.5", "counting.example", &EvalPolicy::default());
+    let e = eval_with(
+        &store,
+        "203.0.113.5",
+        "counting.example",
+        &EvalPolicy::default(),
+    );
     assert_eq!(e.result, SpfResult::Pass);
     // a + a + include = 3 lookup terms; two NXDOMAIN voids.
     assert_eq!(e.dns_lookups, 3);

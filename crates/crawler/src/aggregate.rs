@@ -72,7 +72,10 @@ pub struct ScanAggregates {
 impl ScanAggregates {
     /// Compute all aggregates over a scan's reports (in rank order).
     pub fn compute(reports: &[DomainReport]) -> ScanAggregates {
-        let mut agg = ScanAggregates { total_domains: reports.len() as u64, ..Default::default() };
+        let mut agg = ScanAggregates {
+            total_domains: reports.len() as u64,
+            ..Default::default()
+        };
         for report in reports {
             if report.has_mx {
                 agg.with_mx += 1;
@@ -116,7 +119,9 @@ impl ScanAggregates {
             } else {
                 agg.spf_without_mx += 1;
             }
-            let Some(record) = report.record.as_ref() else { continue };
+            let Some(record) = report.record.as_ref() else {
+                continue;
+            };
             if !report.has_mx && record.is_deny_all_only {
                 agg.spf_without_mx_deny_all += 1;
             }
@@ -181,8 +186,11 @@ impl ScanAggregates {
                 if direct_only > crate::LAX_IP_THRESHOLD {
                     agg.lax_via_direct += 1;
                 }
-                let via_include: u64 =
-                    record.include_networks.iter().map(|c| c.address_count()).sum();
+                let via_include: u64 = record
+                    .include_networks
+                    .iter()
+                    .map(|c| c.address_count())
+                    .sum();
                 if via_include > crate::LAX_IP_THRESHOLD {
                     agg.lax_via_include += 1;
                 }
@@ -305,7 +313,10 @@ mod tests {
         });
         assert_eq!(agg.total_errors(), 1);
         assert_eq!(agg.error_counts.get(&ErrorClass::RecordNotFound), Some(&1));
-        assert_eq!(agg.not_found_causes.get(&NotFoundCause::DomainNotFound), Some(&1));
+        assert_eq!(
+            agg.not_found_causes.get(&NotFoundCause::DomainNotFound),
+            Some(&1)
+        );
     }
 
     #[test]

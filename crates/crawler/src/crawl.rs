@@ -76,7 +76,10 @@ pub fn crawl<R: Resolver>(
     let mut indexed: Vec<(usize, DomainReport)> = result_rx.iter().collect();
     indexed.sort_by_key(|(i, _)| *i);
     let reports = indexed.into_iter().map(|(_, r)| r).collect();
-    CrawlOutput { reports, elapsed: started.elapsed() }
+    CrawlOutput {
+        reports,
+        elapsed: started.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +96,10 @@ mod tests {
     fn build_world(n: usize) -> (Arc<ZoneStore>, Vec<DomainName>) {
         let store = Arc::new(ZoneStore::new());
         // One shared provider plus n customers.
-        store.add_txt(&dom("spf.provider.example"), "v=spf1 ip4:198.51.100.0/24 -all");
+        store.add_txt(
+            &dom("spf.provider.example"),
+            "v=spf1 ip4:198.51.100.0/24 -all",
+        );
         let mut domains = Vec::new();
         for i in 0..n {
             let d = dom(&format!("customer{i}.example"));

@@ -41,7 +41,9 @@ pub fn include_ecosystem<R: Resolver>(
 ) -> Vec<IncludeStats> {
     let mut usage: HashMap<DomainName, u64> = HashMap::new();
     for report in reports {
-        let Some(record) = report.record.as_ref() else { continue };
+        let Some(record) = report.record.as_ref() else {
+            continue;
+        };
         for target in &record.include_targets {
             *usage.entry(target.clone()).or_default() += 1;
         }
@@ -99,12 +101,18 @@ mod tests {
     fn usage_counts_and_ips() {
         let store = Arc::new(ZoneStore::new());
         store.add_txt(&dom("big.provider.example"), "v=spf1 ip4:10.0.0.0/16 -all");
-        store.add_txt(&dom("small.provider.example"), "v=spf1 ip4:198.51.100.1 -all");
+        store.add_txt(
+            &dom("small.provider.example"),
+            "v=spf1 ip4:198.51.100.1 -all",
+        );
         let mut domains = Vec::new();
         for i in 0..10 {
             let d = dom(&format!("c{i}.example"));
-            let target =
-                if i < 7 { "big.provider.example" } else { "small.provider.example" };
+            let target = if i < 7 {
+                "big.provider.example"
+            } else {
+                "small.provider.example"
+            };
             store.add_txt(&d, &format!("v=spf1 include:{target} -all"));
             domains.push(d);
         }

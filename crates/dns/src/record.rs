@@ -103,7 +103,9 @@ impl TxtData {
     /// operators publish long SPF records.
     pub fn from_text(text: &str) -> Self {
         if text.is_empty() {
-            return TxtData { strings: vec![String::new()] };
+            return TxtData {
+                strings: vec![String::new()],
+            };
         }
         let bytes = text.as_bytes();
         let mut strings = Vec::new();
@@ -208,7 +210,11 @@ pub struct ResourceRecord {
 impl ResourceRecord {
     /// Convenience constructor with a default 1-hour TTL.
     pub fn new(name: DomainName, data: RecordData) -> Self {
-        ResourceRecord { name, ttl: 3600, data }
+        ResourceRecord {
+            name,
+            ttl: 3600,
+            data,
+        }
     }
 
     /// The record's type.
@@ -223,7 +229,10 @@ impl fmt::Display for ResourceRecord {
         match &self.data {
             RecordData::A(a) => write!(f, "{a}"),
             RecordData::Aaaa(a) => write!(f, "{a}"),
-            RecordData::Mx { preference, exchange } => write!(f, "{preference} {exchange}"),
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}"),
             RecordData::Txt(t) | RecordData::Spf(t) => write!(f, "{t}"),
             RecordData::Ptr(d) | RecordData::Ns(d) | RecordData::Cname(d) => write!(f, "{d}"),
         }
@@ -312,9 +321,16 @@ mod tests {
     #[test]
     fn record_data_types() {
         let d = DomainName::parse("example.com").unwrap();
-        assert_eq!(RecordData::A("1.2.3.4".parse().unwrap()).record_type(), RecordType::A);
         assert_eq!(
-            RecordData::Mx { preference: 10, exchange: d.clone() }.record_type(),
+            RecordData::A("1.2.3.4".parse().unwrap()).record_type(),
+            RecordType::A
+        );
+        assert_eq!(
+            RecordData::Mx {
+                preference: 10,
+                exchange: d.clone()
+            }
+            .record_type(),
             RecordType::Mx
         );
         assert_eq!(

@@ -48,7 +48,10 @@ impl DnsError {
     /// paper excludes these 1,179 cases from its error analysis because a
     /// rescan may succeed.
     pub fn is_transient(&self) -> bool {
-        matches!(self, DnsError::Timeout | DnsError::ServFail | DnsError::Network(_))
+        matches!(
+            self,
+            DnsError::Timeout | DnsError::ServFail | DnsError::Network(_)
+        )
     }
 }
 
@@ -147,7 +150,11 @@ pub struct CachingResolver<R> {
 impl<R: Resolver> CachingResolver<R> {
     /// Wrap `inner` with a cache.
     pub fn new(inner: R) -> Self {
-        CachingResolver { inner, cache: RwLock::new(HashMap::new()), stats: Arc::new(QueryStats::default()) }
+        CachingResolver {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            stats: Arc::new(QueryStats::default()),
+        }
     }
 
     /// Shared statistics handle.
@@ -204,7 +211,10 @@ pub struct CountingResolver<R> {
 impl<R: Resolver> CountingResolver<R> {
     /// Wrap `inner` with counters.
     pub fn new(inner: R) -> Self {
-        CountingResolver { inner, stats: Arc::new(QueryStats::default()) }
+        CountingResolver {
+            inner,
+            stats: Arc::new(QueryStats::default()),
+        }
     }
 
     /// Shared statistics handle.
@@ -255,7 +265,10 @@ impl<R: Resolver> RateLimitedResolver<R> {
         let burst = per_endpoint_rate.max(1.0);
         RateLimitedResolver {
             inner,
-            state: Mutex::new(BucketState { tokens: vec![burst; endpoints], last_refill: clock.now() }),
+            state: Mutex::new(BucketState {
+                tokens: vec![burst; endpoints],
+                last_refill: clock.now(),
+            }),
             clock,
             per_endpoint_rate,
             burst,
@@ -287,12 +300,15 @@ impl<R: Resolver> RateLimitedResolver<R> {
                     st.last_refill = now;
                 }
                 // Pick the fullest bucket (the scheduler spreading load).
-                let (best, best_tokens) = st
-                    .tokens
-                    .iter()
-                    .cloned()
-                    .enumerate()
-                    .fold((0, f64::MIN), |acc, (i, t)| if t > acc.1 { (i, t) } else { acc });
+                let (best, best_tokens) =
+                    st.tokens
+                        .iter()
+                        .cloned()
+                        .enumerate()
+                        .fold(
+                            (0, f64::MIN),
+                            |acc, (i, t)| if t > acc.1 { (i, t) } else { acc },
+                        );
                 if best_tokens >= 1.0 {
                     st.tokens[best] -= 1.0;
                     None
@@ -336,7 +352,12 @@ pub struct FaultProfile {
 impl FaultProfile {
     /// No injected faults.
     pub fn none() -> Self {
-        FaultProfile { timeout: 0.0, nxdomain: 0.0, empty: 0.0, servfail: 0.0 }
+        FaultProfile {
+            timeout: 0.0,
+            nxdomain: 0.0,
+            empty: 0.0,
+            servfail: 0.0,
+        }
     }
 }
 
@@ -354,7 +375,12 @@ impl<R: Resolver> FaultInjectingResolver<R> {
     pub fn new(inner: R, profile: FaultProfile, seed: u64) -> Self {
         let total = profile.timeout + profile.nxdomain + profile.empty + profile.servfail;
         assert!((0.0..=1.0).contains(&total), "fault probabilities exceed 1");
-        FaultInjectingResolver { inner, profile, rng: Mutex::new(StdRng::seed_from_u64(seed)), injected: AtomicU64::new(0) }
+        FaultInjectingResolver {
+            inner,
+            profile,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            injected: AtomicU64::new(0),
+        }
     }
 
     /// Number of faults injected so far.
@@ -413,10 +439,22 @@ mod tests {
         let store = store_with_basics();
         store.set_fault(&dom("broken.example"), ZoneFault::Timeout);
         let r = ZoneResolver::new(Arc::clone(&store));
-        assert_eq!(r.query(&dom("example.com"), RecordType::Txt).unwrap().len(), 1);
-        assert_eq!(r.query(&dom("example.com"), RecordType::Mx).unwrap().len(), 0);
-        assert_eq!(r.query(&dom("nope.example"), RecordType::Txt), Err(DnsError::NxDomain));
-        assert_eq!(r.query(&dom("broken.example"), RecordType::Txt), Err(DnsError::Timeout));
+        assert_eq!(
+            r.query(&dom("example.com"), RecordType::Txt).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            r.query(&dom("example.com"), RecordType::Mx).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            r.query(&dom("nope.example"), RecordType::Txt),
+            Err(DnsError::NxDomain)
+        );
+        assert_eq!(
+            r.query(&dom("broken.example"), RecordType::Txt),
+            Err(DnsError::Timeout)
+        );
     }
 
     #[test]
@@ -439,10 +477,19 @@ mod tests {
         store.set_fault(&dom("flaky.example"), ZoneFault::Timeout);
         let r = CachingResolver::new(ZoneResolver::new(Arc::clone(&store)));
         // NXDOMAIN cached:
-        assert_eq!(r.query(&dom("gone.example"), RecordType::Txt), Err(DnsError::NxDomain));
-        assert_eq!(r.query(&dom("gone.example"), RecordType::Txt), Err(DnsError::NxDomain));
+        assert_eq!(
+            r.query(&dom("gone.example"), RecordType::Txt),
+            Err(DnsError::NxDomain)
+        );
+        assert_eq!(
+            r.query(&dom("gone.example"), RecordType::Txt),
+            Err(DnsError::NxDomain)
+        );
         // Timeout NOT cached: fix the fault and the next query succeeds.
-        assert_eq!(r.query(&dom("flaky.example"), RecordType::Txt), Err(DnsError::Timeout));
+        assert_eq!(
+            r.query(&dom("flaky.example"), RecordType::Txt),
+            Err(DnsError::Timeout)
+        );
         store.remove_name(&dom("flaky.example"));
         store.add_txt(&dom("flaky.example"), "v=spf1 -all");
         // remove_name also removed the fault:
@@ -483,7 +530,8 @@ mod tests {
     #[test]
     fn rate_limiter_many_endpoints_less_waiting() {
         let clock_a = Arc::new(VirtualClock::new());
-        let slow = RateLimitedResolver::new(ZoneResolver::new(store_with_basics()), clock_a, 1, 1.0);
+        let slow =
+            RateLimitedResolver::new(ZoneResolver::new(store_with_basics()), clock_a, 1, 1.0);
         let clock_b = Arc::new(VirtualClock::new());
         let fast =
             RateLimitedResolver::new(ZoneResolver::new(store_with_basics()), clock_b, 150, 1.0);
@@ -496,7 +544,12 @@ mod tests {
 
     #[test]
     fn fault_injection_rates_are_plausible() {
-        let profile = FaultProfile { timeout: 0.2, nxdomain: 0.2, empty: 0.1, servfail: 0.0 };
+        let profile = FaultProfile {
+            timeout: 0.2,
+            nxdomain: 0.2,
+            empty: 0.1,
+            servfail: 0.0,
+        };
         let r = FaultInjectingResolver::new(ZoneResolver::new(store_with_basics()), profile, 42);
         let mut timeouts = 0;
         let mut nx = 0;
@@ -521,15 +574,19 @@ mod tests {
 
     #[test]
     fn fault_injection_is_deterministic_per_seed() {
-        let profile = FaultProfile { timeout: 0.5, nxdomain: 0.0, empty: 0.0, servfail: 0.0 };
+        let profile = FaultProfile {
+            timeout: 0.5,
+            nxdomain: 0.0,
+            empty: 0.0,
+            servfail: 0.0,
+        };
         let results: Vec<Vec<bool>> = (0..2)
             .map(|_| {
-                let r = FaultInjectingResolver::new(
-                    ZoneResolver::new(store_with_basics()),
-                    profile,
-                    7,
-                );
-                (0..64).map(|_| r.query(&dom("example.com"), RecordType::Txt).is_ok()).collect()
+                let r =
+                    FaultInjectingResolver::new(ZoneResolver::new(store_with_basics()), profile, 7);
+                (0..64)
+                    .map(|_| r.query(&dom("example.com"), RecordType::Txt).is_ok())
+                    .collect()
             })
             .collect();
         assert_eq!(results[0], results[1]);

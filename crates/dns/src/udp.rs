@@ -68,7 +68,13 @@ impl UdpNameServer {
         let handle = std::thread::Builder::new()
             .name("udp-nameserver".into())
             .spawn(move || {
-                serve_loop(socket, udp_store, udp_config, thread_shutdown, thread_answered);
+                serve_loop(
+                    socket,
+                    udp_store,
+                    udp_config,
+                    thread_shutdown,
+                    thread_answered,
+                );
             })?;
         // RFC 7766 companion listener on the same port. TCP responses are
         // never truncated.
@@ -175,10 +181,12 @@ fn serve_tcp_connection(
             .len()
             .try_into()
             .map_err(|_| std::io::Error::other("response exceeds TCP message size"))?;
+        // Count before the reply leaves: otherwise a client that has
+        // already received the response can observe a stale counter.
+        answered.fetch_add(1, Ordering::Relaxed);
         stream.write_all(&len.to_be_bytes())?;
         stream.write_all(&encoded)?;
         stream.flush()?;
-        answered.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -228,9 +236,10 @@ fn serve_loop(
                 Err(_) => continue,
             };
         }
-        if socket.send_to(&encoded, peer).is_ok() {
-            answered.fetch_add(1, Ordering::Relaxed);
-        }
+        // Count before the reply leaves: otherwise a client that has
+        // already received the response can observe a stale counter.
+        answered.fetch_add(1, Ordering::Relaxed);
+        let _ = socket.send_to(&encoded, peer);
     }
 }
 
@@ -245,7 +254,10 @@ pub struct ClientConfig {
 
 impl Default for ClientConfig {
     fn default() -> Self {
-        ClientConfig { timeout: Duration::from_millis(120), retries: 2 }
+        ClientConfig {
+            timeout: Duration::from_millis(120),
+            retries: 2,
+        }
     }
 }
 
@@ -266,7 +278,12 @@ impl UdpResolver {
     pub fn new(server: SocketAddr, config: ClientConfig) -> std::io::Result<Self> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_read_timeout(Some(config.timeout))?;
-        Ok(UdpResolver { server, config, socket: Mutex::new(socket), next_id: AtomicU64::new(1) })
+        Ok(UdpResolver {
+            server,
+            config,
+            socket: Mutex::new(socket),
+            next_id: AtomicU64::new(1),
+        })
     }
 
     fn query_once(
@@ -316,15 +333,16 @@ impl UdpResolver {
         rtype: RecordType,
     ) -> Result<Vec<ResourceRecord>, DnsError> {
         let to_net = |e: std::io::Error| DnsError::Network(format!("tcp: {e}"));
-        let mut stream =
-            TcpStream::connect(self.server).map_err(to_net)?;
-        stream.set_read_timeout(Some(self.config.timeout.max(Duration::from_millis(250))))
+        let mut stream = TcpStream::connect(self.server).map_err(to_net)?;
+        stream
+            .set_read_timeout(Some(self.config.timeout.max(Duration::from_millis(250))))
             .map_err(to_net)?;
         let msg = Message::query(id, Question::new(name.clone(), rtype));
         let bytes = wire::encode(&msg).map_err(|e| DnsError::Network(e.to_string()))?;
-        let len: u16 = bytes.len().try_into().map_err(|_| {
-            DnsError::Network("query exceeds TCP message size".into())
-        })?;
+        let len: u16 = bytes
+            .len()
+            .try_into()
+            .map_err(|_| DnsError::Network("query exceeds TCP message size".into()))?;
         stream.write_all(&len.to_be_bytes()).map_err(to_net)?;
         stream.write_all(&bytes).map_err(to_net)?;
         stream.flush().map_err(to_net)?;
@@ -405,7 +423,9 @@ mod tests {
         store.add_txt(&dom("example.com"), "v=spf1 ip4:192.0.2.0/24 -all");
         let server = server_with(&store);
         let resolver = UdpResolver::new(server.addr(), ClientConfig::default()).unwrap();
-        let answers = resolver.query(&dom("example.com"), RecordType::Txt).unwrap();
+        let answers = resolver
+            .query(&dom("example.com"), RecordType::Txt)
+            .unwrap();
         assert_eq!(answers.len(), 1);
         match &answers[0].data {
             RecordData::Txt(t) => assert_eq!(t.joined(), "v=spf1 ip4:192.0.2.0/24 -all"),
@@ -419,7 +439,10 @@ mod tests {
         let store = Arc::new(ZoneStore::new());
         let server = server_with(&store);
         let resolver = UdpResolver::new(server.addr(), ClientConfig::default()).unwrap();
-        assert_eq!(resolver.query(&dom("missing.example"), RecordType::A), Err(DnsError::NxDomain));
+        assert_eq!(
+            resolver.query(&dom("missing.example"), RecordType::A),
+            Err(DnsError::NxDomain)
+        );
     }
 
     #[test]
@@ -428,7 +451,10 @@ mod tests {
         store.add_a(&dom("example.com"), Ipv4Addr::new(192, 0, 2, 1));
         let server = server_with(&store);
         let resolver = UdpResolver::new(server.addr(), ClientConfig::default()).unwrap();
-        assert_eq!(resolver.query(&dom("example.com"), RecordType::Txt), Ok(vec![]));
+        assert_eq!(
+            resolver.query(&dom("example.com"), RecordType::Txt),
+            Ok(vec![])
+        );
     }
 
     #[test]
@@ -439,10 +465,16 @@ mod tests {
         let server = server_with(&store);
         let resolver = UdpResolver::new(
             server.addr(),
-            ClientConfig { timeout: Duration::from_millis(60), retries: 2 },
+            ClientConfig {
+                timeout: Duration::from_millis(60),
+                retries: 2,
+            },
         )
         .unwrap();
-        assert_eq!(resolver.query(&dom("slow.example"), RecordType::Txt), Err(DnsError::Timeout));
+        assert_eq!(
+            resolver.query(&dom("slow.example"), RecordType::Txt),
+            Err(DnsError::Timeout)
+        );
     }
 
     #[test]
@@ -453,7 +485,10 @@ mod tests {
         store.add_txt(&dom("bad.example"), "v=spf1 -all");
         let server = server_with(&store);
         let resolver = UdpResolver::new(server.addr(), ClientConfig::default()).unwrap();
-        assert_eq!(resolver.query(&dom("bad.example"), RecordType::Txt), Err(DnsError::ServFail));
+        assert_eq!(
+            resolver.query(&dom("bad.example"), RecordType::Txt),
+            Err(DnsError::ServFail)
+        );
     }
 
     #[test]
@@ -472,7 +507,10 @@ mod tests {
             crate::record::RecordData::Txt(t) => assert_eq!(t.joined(), long),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(server.tcp_answered() >= 1, "TCP path must have served the retry");
+        assert!(
+            server.tcp_answered() >= 1,
+            "TCP path must have served the retry"
+        );
     }
 
     #[test]
@@ -489,7 +527,9 @@ mod tests {
             UdpNameServer::spawn(Arc::clone(&store), ServerConfig { max_payload: 512 }).unwrap();
         let resolver = UdpResolver::new(server.addr(), ClientConfig::default()).unwrap();
         for i in 0..5 {
-            let answers = resolver.query(&dom(&format!("big{i}.example")), RecordType::Txt).unwrap();
+            let answers = resolver
+                .query(&dom(&format!("big{i}.example")), RecordType::Txt)
+                .unwrap();
             assert_eq!(answers.len(), 1);
         }
         assert_eq!(server.tcp_answered(), 5);
@@ -499,12 +539,17 @@ mod tests {
     fn many_sequential_queries() {
         let store = Arc::new(ZoneStore::new());
         for i in 0..50 {
-            store.add_txt(&dom(&format!("d{i}.example")), &format!("v=spf1 ip4:10.0.0.{i} -all"));
+            store.add_txt(
+                &dom(&format!("d{i}.example")),
+                &format!("v=spf1 ip4:10.0.0.{i} -all"),
+            );
         }
         let server = server_with(&store);
         let resolver = UdpResolver::new(server.addr(), ClientConfig::default()).unwrap();
         for i in 0..50 {
-            let rrs = resolver.query(&dom(&format!("d{i}.example")), RecordType::Txt).unwrap();
+            let rrs = resolver
+                .query(&dom(&format!("d{i}.example")), RecordType::Txt)
+                .unwrap();
             assert_eq!(rrs.len(), 1);
         }
         assert_eq!(server.answered(), 50);
@@ -516,7 +561,9 @@ mod tests {
         store.add_spf_type99(&dom("legacy.example"), "v=spf1 mx -all");
         let server = server_with(&store);
         let resolver = UdpResolver::new(server.addr(), ClientConfig::default()).unwrap();
-        let rrs = resolver.query(&dom("legacy.example"), RecordType::Spf).unwrap();
+        let rrs = resolver
+            .query(&dom("legacy.example"), RecordType::Spf)
+            .unwrap();
         match &rrs[0].data {
             RecordData::Spf(t) => assert_eq!(t.joined(), "v=spf1 mx -all"),
             other => panic!("unexpected {other:?}"),

@@ -194,13 +194,21 @@ pub struct Encoder {
 impl Encoder {
     /// A compressing encoder (the default for the UDP server).
     pub fn new() -> Self {
-        Encoder { buf: BytesMut::with_capacity(512), compress: true, name_offsets: HashMap::new() }
+        Encoder {
+            buf: BytesMut::with_capacity(512),
+            compress: true,
+            name_offsets: HashMap::new(),
+        }
     }
 
     /// An encoder that never emits compression pointers; used by the
     /// `dns_codec` ablation bench.
     pub fn without_compression() -> Self {
-        Encoder { buf: BytesMut::with_capacity(512), compress: false, name_offsets: HashMap::new() }
+        Encoder {
+            buf: BytesMut::with_capacity(512),
+            compress: false,
+            name_offsets: HashMap::new(),
+        }
     }
 
     /// Encode a full message to bytes.
@@ -211,7 +219,12 @@ impl Encoder {
             self.buf.put_u16(q.rtype.code());
             self.buf.put_u16(1); // class IN
         }
-        for rr in msg.answers.iter().chain(&msg.authorities).chain(&msg.additionals) {
+        for rr in msg
+            .answers
+            .iter()
+            .chain(&msg.authorities)
+            .chain(&msg.additionals)
+        {
             self.put_record(rr)?;
         }
         Ok(self.buf.to_vec())
@@ -245,7 +258,9 @@ impl Encoder {
             msg.additionals.len(),
         ];
         for c in counts {
-            let c: u16 = c.try_into().map_err(|_| WireError::BadRecord { reason: "section too large" })?;
+            let c: u16 = c.try_into().map_err(|_| WireError::BadRecord {
+                reason: "section too large",
+            })?;
             self.buf.put_u16(c);
         }
         Ok(())
@@ -288,7 +303,10 @@ impl Encoder {
         match &rr.data {
             RecordData::A(a) => self.buf.put_slice(&a.octets()),
             RecordData::Aaaa(a) => self.buf.put_slice(&a.octets()),
-            RecordData::Mx { preference, exchange } => {
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => {
                 self.buf.put_u16(*preference);
                 self.put_name(exchange)?;
             }
@@ -374,8 +392,9 @@ impl<'a> Decoder<'a> {
             let mut r = &raw[..];
             let tcode = r.get_u16();
             let _class = r.get_u16();
-            let rtype = RecordType::from_code(tcode)
-                .ok_or(WireError::BadRecord { reason: "unknown question type" })?;
+            let rtype = RecordType::from_code(tcode).ok_or(WireError::BadRecord {
+                reason: "unknown question type",
+            })?;
             questions.push(Question::new(name, rtype));
         }
         let mut sections = [Vec::new(), Vec::new(), Vec::new()];
@@ -385,7 +404,13 @@ impl<'a> Decoder<'a> {
             }
         }
         let [answers, authorities, additionals] = sections;
-        Ok(Message { header, questions, answers, authorities, additionals })
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
@@ -413,18 +438,23 @@ impl<'a> Decoder<'a> {
         let rdlen = r.get_u16() as usize;
         let rdata_start = self.pos;
         let rdata = self.take(rdlen)?;
-        let rtype = RecordType::from_code(tcode)
-            .ok_or(WireError::BadRecord { reason: "unknown record type" })?;
+        let rtype = RecordType::from_code(tcode).ok_or(WireError::BadRecord {
+            reason: "unknown record type",
+        })?;
         let data = match rtype {
             RecordType::A => {
                 if rdata.len() != 4 {
-                    return Err(WireError::BadRecord { reason: "A rdata length" });
+                    return Err(WireError::BadRecord {
+                        reason: "A rdata length",
+                    });
                 }
                 RecordData::A(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]))
             }
             RecordType::Aaaa => {
                 if rdata.len() != 16 {
-                    return Err(WireError::BadRecord { reason: "AAAA rdata length" });
+                    return Err(WireError::BadRecord {
+                        reason: "AAAA rdata length",
+                    });
                 }
                 let mut o = [0u8; 16];
                 o.copy_from_slice(rdata);
@@ -432,13 +462,18 @@ impl<'a> Decoder<'a> {
             }
             RecordType::Mx => {
                 if rdata.len() < 3 {
-                    return Err(WireError::BadRecord { reason: "MX rdata length" });
+                    return Err(WireError::BadRecord {
+                        reason: "MX rdata length",
+                    });
                 }
                 let preference = u16::from_be_bytes([rdata[0], rdata[1]]);
                 // Exchange name may contain a compression pointer into the
                 // full message, so decode against the whole buffer.
                 let (exchange, _) = read_name_at(self.bytes, rdata_start + 2)?;
-                RecordData::Mx { preference, exchange }
+                RecordData::Mx {
+                    preference,
+                    exchange,
+                }
             }
             RecordType::Txt | RecordType::Spf => {
                 let mut strings = Vec::new();
@@ -447,7 +482,9 @@ impl<'a> Decoder<'a> {
                     let len = rdata[p] as usize;
                     p += 1;
                     if p + len > rdata.len() {
-                        return Err(WireError::BadRecord { reason: "TXT char-string length" });
+                        return Err(WireError::BadRecord {
+                            reason: "TXT char-string length",
+                        });
                     }
                     strings.push(String::from_utf8_lossy(&rdata[p..p + len]).into_owned());
                     p += len;
@@ -525,7 +562,9 @@ fn read_name_at(bytes: &[u8], mut pos: usize) -> Result<(DomainName, usize), Wir
     }
     if labels.is_empty() {
         // The root name; we don't use it as an owner, but decode defensively.
-        return Err(WireError::BadRecord { reason: "root owner name" });
+        return Err(WireError::BadRecord {
+            reason: "root owner name",
+        });
     }
     let name = DomainName::parse(&labels.join(".")).map_err(|_| WireError::BadLabel)?;
     Ok((name, after.unwrap_or(pos)))
@@ -556,7 +595,10 @@ mod tests {
                 ),
                 ResourceRecord::new(
                     dom("example.com"),
-                    RecordData::Mx { preference: 10, exchange: dom("mail.example.com") },
+                    RecordData::Mx {
+                        preference: 10,
+                        exchange: dom("mail.example.com"),
+                    },
                 ),
             ],
         )
@@ -605,7 +647,10 @@ mod tests {
         let msg = Message::response(
             &Message::query(1, Question::new(dom("big.example"), RecordType::Txt)),
             Rcode::NoError,
-            vec![ResourceRecord::new(dom("big.example"), RecordData::Txt(TxtData::from_text(&long)))],
+            vec![ResourceRecord::new(
+                dom("big.example"),
+                RecordData::Txt(TxtData::from_text(&long)),
+            )],
         );
         let bytes = encode(&msg).unwrap();
         let back = decode(&bytes).unwrap();
@@ -670,13 +715,19 @@ mod tests {
             Rcode::NoError,
             vec![ResourceRecord::new(
                 dom("example.org"),
-                RecordData::Mx { preference: 5, exchange: dom("mx1.example.org") },
+                RecordData::Mx {
+                    preference: 5,
+                    exchange: dom("mx1.example.org"),
+                },
             )],
         );
         let bytes = encode(&msg).unwrap();
         let back = decode(&bytes).unwrap();
         match &back.answers[0].data {
-            RecordData::Mx { preference, exchange } => {
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => {
                 assert_eq!(*preference, 5);
                 assert_eq!(exchange, &dom("mx1.example.org"));
             }
@@ -688,7 +739,13 @@ mod tests {
     fn header_flag_bits() {
         let mut h = Header::query(42);
         h.truncated = true;
-        let msg = Message { header: h, questions: vec![], answers: vec![], authorities: vec![], additionals: vec![] };
+        let msg = Message {
+            header: h,
+            questions: vec![],
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
         let back = decode(&encode(&msg).unwrap()).unwrap();
         assert!(back.header.truncated);
         assert!(back.header.recursion_desired);

@@ -90,12 +90,18 @@ impl ZoneStore {
 
     /// Add a TXT record with the given text (split into char-strings).
     pub fn add_txt(&self, name: &DomainName, text: &str) {
-        self.add_record(ResourceRecord::new(name.clone(), RecordData::Txt(TxtData::from_text(text))));
+        self.add_record(ResourceRecord::new(
+            name.clone(),
+            RecordData::Txt(TxtData::from_text(text)),
+        ));
     }
 
     /// Add a record of the deprecated SPF type 99.
     pub fn add_spf_type99(&self, name: &DomainName, text: &str) {
-        self.add_record(ResourceRecord::new(name.clone(), RecordData::Spf(TxtData::from_text(text))));
+        self.add_record(ResourceRecord::new(
+            name.clone(),
+            RecordData::Spf(TxtData::from_text(text)),
+        ));
     }
 
     /// Add an A record.
@@ -112,13 +118,19 @@ impl ZoneStore {
     pub fn add_mx(&self, name: &DomainName, preference: u16, exchange: &DomainName) {
         self.add_record(ResourceRecord::new(
             name.clone(),
-            RecordData::Mx { preference, exchange: exchange.clone() },
+            RecordData::Mx {
+                preference,
+                exchange: exchange.clone(),
+            },
         ));
     }
 
     /// Add a PTR record (owner should be the in-addr.arpa name).
     pub fn add_ptr(&self, name: &DomainName, target: &DomainName) {
-        self.add_record(ResourceRecord::new(name.clone(), RecordData::Ptr(target.clone())));
+        self.add_record(ResourceRecord::new(
+            name.clone(),
+            RecordData::Ptr(target.clone()),
+        ));
     }
 
     /// Register the reverse-mapping PTR for an IPv4 address.
@@ -231,8 +243,14 @@ mod tests {
         let store = ZoneStore::new();
         let name = dom("exists.example");
         store.add_a(&name, Ipv4Addr::new(192, 0, 2, 1));
-        assert_eq!(store.lookup(&name, RecordType::Txt), LookupOutcome::NoRecords);
-        assert_eq!(store.lookup(&dom("missing.example"), RecordType::Txt), LookupOutcome::NxDomain);
+        assert_eq!(
+            store.lookup(&name, RecordType::Txt),
+            LookupOutcome::NoRecords
+        );
+        assert_eq!(
+            store.lookup(&dom("missing.example"), RecordType::Txt),
+            LookupOutcome::NxDomain
+        );
     }
 
     #[test]
@@ -254,7 +272,10 @@ mod tests {
         let name = dom("flaky.example");
         store.add_txt(&name, "v=spf1 -all");
         store.set_fault(&name, ZoneFault::Timeout);
-        assert_eq!(store.lookup(&name, RecordType::Txt), LookupOutcome::Fault(ZoneFault::Timeout));
+        assert_eq!(
+            store.lookup(&name, RecordType::Txt),
+            LookupOutcome::Fault(ZoneFault::Timeout)
+        );
     }
 
     #[test]
@@ -265,7 +286,10 @@ mod tests {
         store.replace_txt(&name, "v=spf1 ip4:1.2.3.4 -all");
         assert_eq!(store.txt_strings(&name), vec!["v=spf1 ip4:1.2.3.4 -all"]);
         store.remove_name(&name);
-        assert_eq!(store.lookup(&name, RecordType::Txt), LookupOutcome::NxDomain);
+        assert_eq!(
+            store.lookup(&name, RecordType::Txt),
+            LookupOutcome::NxDomain
+        );
     }
 
     #[test]

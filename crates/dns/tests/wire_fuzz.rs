@@ -4,15 +4,14 @@
 
 use proptest::prelude::*;
 use spf_dns::{
-    decode, encode, encode_uncompressed, Message, Question, RecordData, RecordType,
-    ResourceRecord, TxtData,
+    decode, encode, encode_uncompressed, Message, Question, RecordData, RecordType, ResourceRecord,
+    TxtData,
 };
 use spf_types::DomainName;
 
 fn arb_domain() -> impl Strategy<Value = DomainName> {
-    proptest::collection::vec("[a-z][a-z0-9-]{0,14}[a-z0-9]", 1..4).prop_map(|labels| {
-        DomainName::parse(&labels.join(".")).expect("generated labels valid")
-    })
+    proptest::collection::vec("[a-z][a-z0-9-]{0,14}[a-z0-9]", 1..4)
+        .prop_map(|labels| DomainName::parse(&labels.join(".")).expect("generated labels valid"))
 }
 
 fn arb_record_type() -> impl Strategy<Value = RecordType> {
@@ -33,12 +32,18 @@ fn arb_record() -> impl Strategy<Value = ResourceRecord> {
         prop_oneof![
             any::<u32>().prop_map({
                 let name = name.clone();
-                move |v| ResourceRecord { name: name.clone(), ttl, data: RecordData::A(v.into()) }
+                move |v| ResourceRecord {
+                    name: name.clone(),
+                    ttl,
+                    data: RecordData::A(v.into()),
+                }
             }),
             any::<u128>().prop_map({
                 let name = name.clone();
-                move |v| {
-                    ResourceRecord { name: name.clone(), ttl, data: RecordData::Aaaa(v.into()) }
+                move |v| ResourceRecord {
+                    name: name.clone(),
+                    ttl,
+                    data: RecordData::Aaaa(v.into()),
                 }
             }),
             (any::<u16>(), arb_domain()).prop_map({
@@ -46,7 +51,10 @@ fn arb_record() -> impl Strategy<Value = ResourceRecord> {
                 move |(preference, exchange)| ResourceRecord {
                     name: name.clone(),
                     ttl,
-                    data: RecordData::Mx { preference, exchange },
+                    data: RecordData::Mx {
+                        preference,
+                        exchange,
+                    },
                 }
             }),
             "[ -~]{0,600}".prop_map({
@@ -59,8 +67,10 @@ fn arb_record() -> impl Strategy<Value = ResourceRecord> {
             }),
             arb_domain().prop_map({
                 let name = name.clone();
-                move |target| {
-                    ResourceRecord { name: name.clone(), ttl, data: RecordData::Ptr(target) }
+                move |target| ResourceRecord {
+                    name: name.clone(),
+                    ttl,
+                    data: RecordData::Ptr(target),
                 }
             }),
         ]

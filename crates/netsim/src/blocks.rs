@@ -24,7 +24,10 @@ impl AddressAllocator {
     pub fn new(base: Ipv4Addr, prefix_len: u8) -> Self {
         let cidr = Ipv4Cidr::new(base, prefix_len).expect("valid prefix");
         let (lo, hi) = cidr.range_u32();
-        AddressAllocator { next: lo as u64, end: hi as u64 + 1 }
+        AddressAllocator {
+            next: lo as u64,
+            end: hi as u64 + 1,
+        }
     }
 
     /// Allocate one aligned block of the given prefix length.
@@ -116,7 +119,11 @@ mod tests {
             assert_eq!(block.network(), block.raw_address());
             let before = set.address_count();
             set.insert_cidr(&block);
-            assert_eq!(set.address_count(), before + block.address_count(), "overlap at {block}");
+            assert_eq!(
+                set.address_count(),
+                before + block.address_count(),
+                "overlap at {block}"
+            );
             total += block.address_count();
         }
         assert_eq!(set.address_count(), total);

@@ -76,11 +76,46 @@ struct ProviderSpec {
 /// | 4 | SMTP      | 159     | 3,074       | web IP in SPF, MTA requires auth |
 /// | 5 | None      | 0       | 672         | port 25 blocked, MTA requires auth |
 const SPECS: [ProviderSpec; 5] = [
-    ProviderSpec { affected_full: 24_959, allowed_ips: 177_168, web_in_spf: false, mta_in_spf: true, blocks_port25: true, mta_requires_auth: false },
-    ProviderSpec { affected_full: 713, allowed_ips: 514, web_in_spf: true, mta_in_spf: true, blocks_port25: false, mta_requires_auth: false },
-    ProviderSpec { affected_full: 264, allowed_ips: 2_052, web_in_spf: false, mta_in_spf: true, blocks_port25: true, mta_requires_auth: false },
-    ProviderSpec { affected_full: 159, allowed_ips: 3_074, web_in_spf: true, mta_in_spf: false, blocks_port25: false, mta_requires_auth: true },
-    ProviderSpec { affected_full: 120, allowed_ips: 672, web_in_spf: false, mta_in_spf: false, blocks_port25: true, mta_requires_auth: true },
+    ProviderSpec {
+        affected_full: 24_959,
+        allowed_ips: 177_168,
+        web_in_spf: false,
+        mta_in_spf: true,
+        blocks_port25: true,
+        mta_requires_auth: false,
+    },
+    ProviderSpec {
+        affected_full: 713,
+        allowed_ips: 514,
+        web_in_spf: true,
+        mta_in_spf: true,
+        blocks_port25: false,
+        mta_requires_auth: false,
+    },
+    ProviderSpec {
+        affected_full: 264,
+        allowed_ips: 2_052,
+        web_in_spf: false,
+        mta_in_spf: true,
+        blocks_port25: true,
+        mta_requires_auth: false,
+    },
+    ProviderSpec {
+        affected_full: 159,
+        allowed_ips: 3_074,
+        web_in_spf: true,
+        mta_in_spf: false,
+        blocks_port25: false,
+        mta_requires_auth: true,
+    },
+    ProviderSpec {
+        affected_full: 120,
+        allowed_ips: 672,
+        web_in_spf: false,
+        mta_in_spf: false,
+        blocks_port25: true,
+        mta_requires_auth: true,
+    },
 ];
 
 /// Total spoofable domains in the paper's case study.
@@ -95,8 +130,7 @@ pub fn build_hosting(scale: Scale) -> HostingWorld {
     let mut providers = Vec::with_capacity(SPECS.len());
     for (idx, spec) in SPECS.iter().enumerate() {
         let id = idx + 1;
-        let include_domain =
-            DomainName::parse(&format!("spf.hosting{id}.example")).unwrap();
+        let include_domain = DomainName::parse(&format!("spf.hosting{id}.example")).unwrap();
         let web_ip = alloc.alloc_host();
         let mta_ip = alloc.alloc_host();
         // Fill the record up to the exact Table 5 address count.
@@ -119,7 +153,11 @@ pub fn build_hosting(scale: Scale) -> HostingWorld {
         for c in 0..customer_count {
             let d = DomainName::parse(&format!("shop{c}.hosted{id}.example")).unwrap();
             store.add_txt(&d, &format!("v=spf1 include:{include_domain} -all"));
-            store.add_mx(&d, 10, &DomainName::parse(&format!("mx.hosting{id}.example")).unwrap());
+            store.add_mx(
+                &d,
+                10,
+                &DomainName::parse(&format!("mx.hosting{id}.example")).unwrap(),
+            );
             customers.push(d);
         }
         providers.push(HostingProvider {

@@ -50,7 +50,10 @@ pub struct PopulationConfig {
 
 impl Default for PopulationConfig {
     fn default() -> Self {
-        PopulationConfig { scale: Scale::default(), seed: 0x5bf1_2023 }
+        PopulationConfig {
+            scale: Scale::default(),
+            seed: 0x5bf1_2023,
+        }
     }
 }
 
@@ -215,13 +218,20 @@ fn cohort_table() -> Vec<(Cohort, u64, Rounding)> {
         (11, 150), // ">10"
     ];
     for (k, count) in include_clean {
-        t.push((IncludeClean(k), count, if count < 500 { ScaledMin1 } else { Scaled }));
+        t.push((
+            IncludeClean(k),
+            count,
+            if count < 500 { ScaledMin1 } else { Scaled },
+        ));
     }
     t
 }
 
 fn is_spf_cohort(c: Cohort) -> bool {
-    !matches!(c, Cohort::NoSpfMx | Cohort::NoSpfNoMx | Cohort::DnsTransient)
+    !matches!(
+        c,
+        Cohort::NoSpfMx | Cohort::NoSpfNoMx | Cohort::DnsTransient
+    )
 }
 
 fn has_mx(c: Cohort) -> bool {
@@ -312,7 +322,8 @@ impl Builder {
             }
         }
         let current: u64 = scaled.iter().sum();
-        scaled[largest] = scaled[largest] + target_total - current.min(target_total)
+        scaled[largest] = scaled[largest] + target_total
+            - current.min(target_total)
             - current.saturating_sub(target_total).min(scaled[largest]);
         // (equivalent to += target-current with saturation; recompute cleanly)
         let current: u64 = scaled.iter().sum();
@@ -323,7 +334,10 @@ impl Builder {
 
         // Long-tail user count must match the scaled include count.
         let longtail_users = self.providers.longtail.len() as u64;
-        let lt_idx = table.iter().position(|(c, _, _)| *c == Cohort::LongtailUser).unwrap();
+        let lt_idx = table
+            .iter()
+            .position(|(c, _, _)| *c == Cohort::LongtailUser)
+            .unwrap();
         let k1_idx = table
             .iter()
             .position(|(c, _, _)| *c == Cohort::IncludeClean(1))
@@ -354,8 +368,7 @@ impl Builder {
             .map(|((c, _, _), n)| if is_spf_cohort(*c) { 0 } else { *n })
             .collect();
         let top_spf_counts = crate::scale::apportion(top_spf, &spf_weights);
-        let top_nonspf_counts =
-            crate::scale::apportion(top_total - top_spf, &nonspf_weights);
+        let top_nonspf_counts = crate::scale::apportion(top_total - top_spf, &nonspf_weights);
 
         // Lay out cohort tags per segment and shuffle deterministically.
         let mut top_tags: Vec<Cohort> = Vec::with_capacity(top_total as usize);
@@ -387,7 +400,8 @@ impl Builder {
             domains.push(d);
             rank += 1;
         }
-        let mut dmarc_remaining = self.dmarc_budget - (top_dmarc.min(self.dmarc_budget) - dmarc_remaining);
+        let mut dmarc_remaining =
+            self.dmarc_budget - (top_dmarc.min(self.dmarc_budget) - dmarc_remaining);
         for tag in &tail_tags {
             let d = self.build_domain(rank, *tag, &mut dmarc_remaining, &mut longtail_cursor);
             domains.push(d);
@@ -510,7 +524,11 @@ impl Builder {
             DenyAllNoMx => {
                 // 202,198 "-all" vs 1,143 "~all" (§5.1).
                 let soft = self.rng.random_range(0..203_341u32) < 1_143;
-                record = Some(if soft { "v=spf1 ~all".into() } else { "v=spf1 -all".into() });
+                record = Some(if soft {
+                    "v=spf1 ~all".into()
+                } else {
+                    "v=spf1 -all".into()
+                });
             }
             MiscSpfNoMx => {
                 record = Some(format!("v=spf1 ip4:{} -all", self.host_ip(rank, 0)));
@@ -586,13 +604,13 @@ impl Builder {
             }
             ErrTooManyLookups => {
                 // 79.6 % of affected domains used the bluehost-style record.
-                let fat = if self.rng.random_range(0..1000u32) < 796 || self.providers.fat.len() == 1
-                {
-                    &self.providers.fat[0]
-                } else {
-                    let i = 1 + (rank as usize) % (self.providers.fat.len() - 1);
-                    &self.providers.fat[i]
-                };
+                let fat =
+                    if self.rng.random_range(0..1000u32) < 796 || self.providers.fat.len() == 1 {
+                        &self.providers.fat[0]
+                    } else {
+                        let i = 1 + (rank as usize) % (self.providers.fat.len() - 1);
+                        &self.providers.fat[i]
+                    };
                 record = Some(format!("v=spf1 include:{fat} -all"));
             }
             ErrVoid => {
@@ -606,7 +624,8 @@ impl Builder {
                     record = Some(format!("v=spf1 include:{domain} -all"));
                 } else {
                     let mid = DomainName::parse(&format!("loopmid{rank}.example")).unwrap();
-                    self.store.add_txt(&mid, &format!("v=spf1 include:{domain} -all"));
+                    self.store
+                        .add_txt(&mid, &format!("v=spf1 include:{domain} -all"));
                     record = Some(format!("v=spf1 include:{mid} -all"));
                 }
             }
@@ -615,7 +634,10 @@ impl Builder {
             }
             ErrNotFoundNoSpf => {
                 let t = &self.nospf_targets[(rank as usize) % self.nospf_targets.len()];
-                record = Some(format!("v=spf1 ip4:{} include:{t} -all", self.host_ip(rank, 0)));
+                record = Some(format!(
+                    "v=spf1 ip4:{} include:{t} -all",
+                    self.host_ip(rank, 0)
+                ));
             }
             ErrNotFoundMultiple => {
                 // 75.6 % via the cafe24-style hosting provider.
@@ -627,7 +649,9 @@ impl Builder {
                 record = Some(format!("v=spf1 include:{target} -all"));
             }
             ErrNotFoundNx => {
-                record = Some(format!("v=spf1 include:nx-{rank}.unregistered.example -all"));
+                record = Some(format!(
+                    "v=spf1 include:nx-{rank}.unregistered.example -all"
+                ));
             }
             ErrNotFoundEmpty => {
                 let t = &self.empty_targets[(rank as usize) % self.empty_targets.len()];
@@ -664,8 +688,8 @@ impl Builder {
                 record = Some(format!("v=spf1 {term} -all"));
             }
             LongtailUser => {
-                let (_, target) = &self.providers.longtail
-                    [*longtail_cursor % self.providers.longtail.len()];
+                let (_, target) =
+                    &self.providers.longtail[*longtail_cursor % self.providers.longtail.len()];
                 *longtail_cursor += 1;
                 record = Some(format!("v=spf1 include:{target} -all"));
             }
@@ -722,7 +746,11 @@ impl Builder {
     /// budget of single-include domains draw predominantly from the big
     /// five; all remaining domains draw from the small providers only.
     fn include_clean_record(&mut self, rank: u64, k: u8) -> String {
-        let count = if k == 11 { 11 + (rank % 3) as usize } else { k as usize };
+        let count = if k == 11 {
+            11 + (rank % 3) as usize
+        } else {
+            k as usize
+        };
         let is_lax = if count > 1 {
             true
         } else if self.lax_k1_budget > 0 {
@@ -763,7 +791,11 @@ impl Builder {
         if self.rng.random_range(0..2u32) == 0 {
             terms.push(format!("ip4:{}", self.host_ip(rank, 1)));
         }
-        let all = if self.rng.random_range(0..4u32) == 0 { "~all" } else { "-all" };
+        let all = if self.rng.random_range(0..4u32) == 0 {
+            "~all"
+        } else {
+            "-all"
+        };
         format!("v=spf1 {} {all}", terms.join(" "))
     }
 }
@@ -829,7 +861,10 @@ mod tests {
 
     #[test]
     fn small_population_builds_deterministically() {
-        let config = PopulationConfig { scale: Scale { denominator: 2000 }, seed: 7 };
+        let config = PopulationConfig {
+            scale: Scale { denominator: 2000 },
+            seed: 7,
+        };
         let a = Population::build(config);
         let b = Population::build(config);
         assert_eq!(a.domains, b.domains);
@@ -840,7 +875,10 @@ mod tests {
 
     #[test]
     fn top_segment_is_scaled_million() {
-        let config = PopulationConfig { scale: Scale { denominator: 1000 }, seed: 7 };
+        let config = PopulationConfig {
+            scale: Scale { denominator: 1000 },
+            seed: 7,
+        };
         let p = Population::build(config);
         assert_eq!(p.top_len, 1000);
         assert!(p.domains.len() >= p.top_len);
@@ -848,7 +886,10 @@ mod tests {
 
     #[test]
     fn domains_are_unique() {
-        let config = PopulationConfig { scale: Scale { denominator: 2000 }, seed: 9 };
+        let config = PopulationConfig {
+            scale: Scale { denominator: 2000 },
+            seed: 9,
+        };
         let p = Population::build(config);
         let mut names: Vec<&str> = p.domains.iter().map(|d| d.as_str()).collect();
         names.sort_unstable();

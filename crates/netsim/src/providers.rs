@@ -28,26 +28,126 @@ pub struct ProviderSpec {
 
 /// Table 4 of the paper, verbatim.
 pub const TABLE4: [ProviderSpec; 20] = [
-    ProviderSpec { name: "spf.protection.outlook.com", used_by: 2_456_916, allowed_ips: 491_520, uses_ptr: false },
-    ProviderSpec { name: "_spf.google.com", used_by: 1_418_705, allowed_ips: 328_960, uses_ptr: false },
-    ProviderSpec { name: "websitewelcome.com", used_by: 414_695, allowed_ips: 1_088_784, uses_ptr: false },
-    ProviderSpec { name: "secureserver.net", used_by: 374_986, allowed_ips: 505_104, uses_ptr: false },
-    ProviderSpec { name: "relay.mailchannels.net", used_by: 289_112, allowed_ips: 4_358, uses_ptr: false },
-    ProviderSpec { name: "servers.mcsv.net", used_by: 263_343, allowed_ips: 22_528, uses_ptr: false },
-    ProviderSpec { name: "spf.mandrillapp.com", used_by: 236_293, allowed_ips: 4_608, uses_ptr: false },
-    ProviderSpec { name: "sendgrid.net", used_by: 215_497, allowed_ips: 220_672, uses_ptr: false },
-    ProviderSpec { name: "_spf.mailspamprotection.com", used_by: 212_418, allowed_ips: 1_049, uses_ptr: false },
-    ProviderSpec { name: "spf.efwd.registrar-servers.com", used_by: 196_465, allowed_ips: 264, uses_ptr: false },
-    ProviderSpec { name: "amazonses.com", used_by: 183_184, allowed_ips: 64_512, uses_ptr: false },
-    ProviderSpec { name: "mx.ovh.com", used_by: 176_191, allowed_ips: 2, uses_ptr: true },
-    ProviderSpec { name: "mailgun.org", used_by: 172_499, allowed_ips: 36_312, uses_ptr: false },
-    ProviderSpec { name: "_spf.mail.hostinger.com", used_by: 139_423, allowed_ips: 4_358, uses_ptr: false },
-    ProviderSpec { name: "zoho.com", used_by: 138_227, allowed_ips: 6_209, uses_ptr: false },
-    ProviderSpec { name: "mail.zendesk.com", used_by: 114_026, allowed_ips: 26_112, uses_ptr: false },
-    ProviderSpec { name: "spf.mailjet.com", used_by: 111_760, allowed_ips: 5_120, uses_ptr: false },
-    ProviderSpec { name: "spf.web-hosting.com", used_by: 111_405, allowed_ips: 10_492, uses_ptr: false },
-    ProviderSpec { name: "spf.sendinblue.com", used_by: 102_004, allowed_ips: 87_040, uses_ptr: false },
-    ProviderSpec { name: "spf.sender.xserver.jp", used_by: 92_411, allowed_ips: 15, uses_ptr: false },
+    ProviderSpec {
+        name: "spf.protection.outlook.com",
+        used_by: 2_456_916,
+        allowed_ips: 491_520,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "_spf.google.com",
+        used_by: 1_418_705,
+        allowed_ips: 328_960,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "websitewelcome.com",
+        used_by: 414_695,
+        allowed_ips: 1_088_784,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "secureserver.net",
+        used_by: 374_986,
+        allowed_ips: 505_104,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "relay.mailchannels.net",
+        used_by: 289_112,
+        allowed_ips: 4_358,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "servers.mcsv.net",
+        used_by: 263_343,
+        allowed_ips: 22_528,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "spf.mandrillapp.com",
+        used_by: 236_293,
+        allowed_ips: 4_608,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "sendgrid.net",
+        used_by: 215_497,
+        allowed_ips: 220_672,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "_spf.mailspamprotection.com",
+        used_by: 212_418,
+        allowed_ips: 1_049,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "spf.efwd.registrar-servers.com",
+        used_by: 196_465,
+        allowed_ips: 264,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "amazonses.com",
+        used_by: 183_184,
+        allowed_ips: 64_512,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "mx.ovh.com",
+        used_by: 176_191,
+        allowed_ips: 2,
+        uses_ptr: true,
+    },
+    ProviderSpec {
+        name: "mailgun.org",
+        used_by: 172_499,
+        allowed_ips: 36_312,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "_spf.mail.hostinger.com",
+        used_by: 139_423,
+        allowed_ips: 4_358,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "zoho.com",
+        used_by: 138_227,
+        allowed_ips: 6_209,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "mail.zendesk.com",
+        used_by: 114_026,
+        allowed_ips: 26_112,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "spf.mailjet.com",
+        used_by: 111_760,
+        allowed_ips: 5_120,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "spf.web-hosting.com",
+        used_by: 111_405,
+        allowed_ips: 10_492,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "spf.sendinblue.com",
+        used_by: 102_004,
+        allowed_ips: 87_040,
+        uses_ptr: false,
+    },
+    ProviderSpec {
+        name: "spf.sender.xserver.jp",
+        used_by: 92_411,
+        allowed_ips: 15,
+        uses_ptr: false,
+    },
 ];
 
 /// The paper's count of includes whose own evaluation exceeds the
@@ -177,8 +277,7 @@ pub fn build_providers(store: &Arc<ZoneStore>, scale: Scale) -> ProviderWorld {
             count
         };
         for i in 0..count {
-            let name =
-                DomainName::parse(&format!("spf.tail-p{prefix}-{i}.example")).unwrap();
+            let name = DomainName::parse(&format!("spf.tail-p{prefix}-{i}.example")).unwrap();
             let size = 1u64 << (32 - *prefix as u32);
             let base = Ipv4Addr::from(((i * size) % (1u64 << 32)) as u32);
             let block = Ipv4Cidr::new(base, *prefix).unwrap();
@@ -187,7 +286,13 @@ pub fn build_providers(store: &Arc<ZoneStore>, scale: Scale) -> ProviderWorld {
         }
     }
 
-    ProviderWorld { catalog, small, fat, multi_record, longtail }
+    ProviderWorld {
+        catalog,
+        small,
+        fat,
+        multi_record,
+        longtail,
+    }
 }
 
 impl ProviderWorld {
@@ -221,8 +326,11 @@ impl ProviderWorld {
     /// Weighted pick restricted to large (>100k IPs) providers — the five
     /// Table 4 rows whose inclusion makes a domain "lax".
     pub fn pick_big(&self, roll: u64) -> &ProviderEntry {
-        let big: Vec<&ProviderEntry> =
-            self.catalog.iter().filter(|e| e.allowed_ips > 100_000).collect();
+        let big: Vec<&ProviderEntry> = self
+            .catalog
+            .iter()
+            .filter(|e| e.allowed_ips > 100_000)
+            .collect();
         let total: u64 = big.iter().map(|e| e.weight).sum();
         let mut target = roll % total;
         for entry in &big {
@@ -260,7 +368,12 @@ mod tests {
                 spec.name,
                 spec.allowed_ips
             );
-            assert!(analysis.errors.is_empty(), "{}: {:?}", spec.name, analysis.errors);
+            assert!(
+                analysis.errors.is_empty(),
+                "{}: {:?}",
+                spec.name,
+                analysis.errors
+            );
         }
     }
 
@@ -268,7 +381,11 @@ mod tests {
     fn ovh_uses_ptr() {
         let (store, w) = world(Scale { denominator: 100 });
         let walker = Walker::new(ZoneResolver::new(store));
-        let ovh = w.catalog.iter().find(|e| e.domain.as_str() == "mx.ovh.com").unwrap();
+        let ovh = w
+            .catalog
+            .iter()
+            .find(|e| e.domain.as_str() == "mx.ovh.com")
+            .unwrap();
         let analysis = walker.analyze(&ovh.domain);
         assert!(analysis.uses_ptr);
         assert_eq!(analysis.allowed_ip_count(), 2);
@@ -284,7 +401,11 @@ mod tests {
         // Every fat include exceeds the limit once referenced.
         for f in &w.fat {
             let a = walker.analyze(f);
-            assert!(1 + a.subtree_lookups > 10, "{f} has only {}", a.subtree_lookups);
+            assert!(
+                1 + a.subtree_lookups > 10,
+                "{f} has only {}",
+                a.subtree_lookups
+            );
         }
     }
 
@@ -333,7 +454,10 @@ mod tests {
             }
         }
         // outlook holds ~33 % of the total weight.
-        assert!((2_800..=3_800).contains(&outlook), "outlook picks: {outlook}");
+        assert!(
+            (2_800..=3_800).contains(&outlook),
+            "outlook picks: {outlook}"
+        );
     }
 
     #[test]

@@ -88,7 +88,12 @@ impl Campaign {
     /// Create a campaign runner on the given clock.
     pub fn new(config: CampaignConfig, clock: Arc<dyn Clock>) -> Campaign {
         let seed = config.seed;
-        Campaign { config, clock, opt_out: HashSet::new(), rng: StdRng::seed_from_u64(seed) }
+        Campaign {
+            config,
+            clock,
+            opt_out: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The current opt-out list.
@@ -176,7 +181,10 @@ mod tests {
     fn throttle_advances_virtual_time() {
         let clock = Arc::new(VirtualClock::new());
         let mut campaign = Campaign::new(
-            CampaignConfig { operator_dedup: 1.0, ..Default::default() },
+            CampaignConfig {
+                operator_dedup: 1.0,
+                ..Default::default()
+            },
             clock.clone(),
         );
         let outcome = campaign.run(&reports(50));

@@ -105,7 +105,9 @@ pub fn apply(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut outcome = RemediationOutcome::default();
     for report in reports {
-        let Some(class) = report.primary_error else { continue };
+        let Some(class) = report.primary_error else {
+            continue;
+        };
         if rng.random::<f64>() >= rates.for_class(class) {
             continue;
         }

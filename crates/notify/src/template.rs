@@ -36,7 +36,10 @@ pub fn recipients_for(domain: &DomainName, security_txt_contact: Option<&str>) -
 
 /// Render the notification for one erroneous domain, or `None` when the
 /// report carries nothing actionable.
-pub fn render(report: &DomainReport, security_txt_contact: Option<&str>) -> Option<NotificationEmail> {
+pub fn render(
+    report: &DomainReport,
+    security_txt_contact: Option<&str>,
+) -> Option<NotificationEmail> {
     let recommendations = recommend(report);
     let problems: Vec<_> = recommendations
         .iter()
@@ -58,7 +61,12 @@ pub fn render(report: &DomainReport, security_txt_contact: Option<&str>) -> Opti
         body.push_str(&format!("    current record: {record}\n\n"));
     }
     for (i, problem) in problems.iter().enumerate() {
-        body.push_str(&format!("  {}. [{}] {}\n", i + 1, problem.severity, problem.message));
+        body.push_str(&format!(
+            "  {}. [{}] {}\n",
+            i + 1,
+            problem.severity,
+            problem.message
+        ));
     }
     body.push_str(
         "\nThese issues weaken the protection SPF offers against sender\n\
@@ -99,15 +107,20 @@ mod tests {
         assert!(email.problem_count >= 2); // syntax + permissive-all (+ptr)
         assert_eq!(
             email.recipients,
-            vec!["postmaster@broken.example".to_string(), "security@broken.example".to_string()]
+            vec![
+                "postmaster@broken.example".to_string(),
+                "security@broken.example".to_string()
+            ]
         );
     }
 
     #[test]
     fn includes_security_txt_contact() {
-        let email =
-            render(&report_for("v=spf1 ipv4:1.2.3.4 -all"), Some("mailto:sec@corp.example"))
-                .unwrap();
+        let email = render(
+            &report_for("v=spf1 ipv4:1.2.3.4 -all"),
+            Some("mailto:sec@corp.example"),
+        )
+        .unwrap();
         assert_eq!(email.recipients.len(), 3);
         assert_eq!(email.recipients[2], "mailto:sec@corp.example");
     }

@@ -74,12 +74,21 @@ pub struct Experiment {
 impl Experiment {
     /// New experiment.
     pub fn new(id: impl Into<String>, description: impl Into<String>) -> Experiment {
-        Experiment { id: id.into(), description: description.into(), ..Default::default() }
+        Experiment {
+            id: id.into(),
+            description: description.into(),
+            ..Default::default()
+        }
     }
 
     /// Record a percentage comparison.
     pub fn percent(&mut self, label: impl Into<String>, paper: f64, measured: f64) {
-        self.rows.push(Comparison { label: label.into(), paper, measured, unit: Unit::Percent });
+        self.rows.push(Comparison {
+            label: label.into(),
+            paper,
+            measured,
+            unit: Unit::Percent,
+        });
     }
 
     /// Record a count comparison. When the measured side ran at scale
@@ -95,7 +104,12 @@ impl Experiment {
 
     /// Record a plain-number comparison.
     pub fn plain(&mut self, label: impl Into<String>, paper: f64, measured: f64) {
-        self.rows.push(Comparison { label: label.into(), paper, measured, unit: Unit::Plain });
+        self.rows.push(Comparison {
+            label: label.into(),
+            paper,
+            measured,
+            unit: Unit::Plain,
+        });
     }
 
     /// Add a caveat.
@@ -127,7 +141,11 @@ pub struct ExperimentLog {
 impl ExperimentLog {
     /// New log.
     pub fn new(scale_denominator: u64, seed: u64) -> ExperimentLog {
-        ExperimentLog { scale_denominator, seed, experiments: Vec::new() }
+        ExperimentLog {
+            scale_denominator,
+            seed,
+            experiments: Vec::new(),
+        }
     }
 
     /// Append an experiment.
@@ -186,11 +204,26 @@ mod tests {
 
     #[test]
     fn relative_error() {
-        let c = Comparison { label: "x".into(), paper: 100.0, measured: 103.0, unit: Unit::Count };
+        let c = Comparison {
+            label: "x".into(),
+            paper: 100.0,
+            measured: 103.0,
+            unit: Unit::Count,
+        };
         assert!((c.relative_error() - 0.03).abs() < 1e-9);
-        let zero = Comparison { label: "z".into(), paper: 0.0, measured: 0.0, unit: Unit::Count };
+        let zero = Comparison {
+            label: "z".into(),
+            paper: 0.0,
+            measured: 0.0,
+            unit: Unit::Count,
+        };
         assert_eq!(zero.relative_error(), 0.0);
-        let inf = Comparison { label: "i".into(), paper: 0.0, measured: 5.0, unit: Unit::Count };
+        let inf = Comparison {
+            label: "i".into(),
+            paper: 0.0,
+            measured: 5.0,
+            unit: Unit::Count,
+        };
         assert!(inf.relative_error().is_infinite());
     }
 
@@ -225,6 +258,8 @@ mod tests {
         let mut e = Experiment::new("T", "d");
         e.percent("SPF", 0.565, 0.565);
         log.push(e);
-        assert!(log.to_markdown().contains("| SPF | 56.5 % | 56.5 % | +0.0 % |"));
+        assert!(log
+            .to_markdown()
+            .contains("| SPF | 56.5 % | 56.5 % | +0.0 % |"));
     }
 }

@@ -176,7 +176,11 @@ mod tests {
     #[test]
     fn figure3_sums_to_record_not_found() {
         let sum: u64 = FIGURE3.iter().map(|(_, c)| *c).sum();
-        let not_found = FIGURE2.iter().find(|(l, _)| *l == "Record not found").unwrap().1;
+        let not_found = FIGURE2
+            .iter()
+            .find(|(l, _)| *l == "Record not found")
+            .unwrap()
+            .1;
         assert_eq!(sum, not_found);
     }
 

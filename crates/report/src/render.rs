@@ -83,8 +83,12 @@ pub fn render_bars(title: &str, histogram: &Histogram, max_width: usize) -> Stri
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let peak = histogram.peak().map(|(_, c)| *c).unwrap_or(0).max(1);
-    let label_width =
-        histogram.buckets.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let label_width = histogram
+        .buckets
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(0);
     for (label, count) in &histogram.buckets {
         let bar_len = ((*count as f64 / peak as f64) * max_width as f64).round() as usize;
         let _ = writeln!(
@@ -103,7 +107,13 @@ pub fn render_cdf(title: &str, cdf: &Cdf) -> String {
     let _ = writeln!(out, "  {:>6}  {:>12}  {:>8}", "x", "(= 2^k)", "CDF");
     for (exp, frac) in cdf.power_of_two_series() {
         // Only print rows where something happens, plus the anchors.
-        let _ = writeln!(out, "  {:>6}  {:>12}  {:>7.4}", format!("2^{exp}"), 1u64 << exp.min(32), frac);
+        let _ = writeln!(
+            out,
+            "  {:>6}  {:>12}  {:>7.4}",
+            format!("2^{exp}"),
+            1u64 << exp.min(32),
+            frac
+        );
     }
     out
 }
@@ -135,7 +145,11 @@ mod tests {
     fn table_renders_aligned() {
         let mut t = Table::new("Table X: demo", &["Study", "SPF", "DM."]);
         t.push_row(vec!["Our study".into(), "60.2 %".into(), "22.6 %".into()]);
-        t.push_row(vec!["Gojmerac et al.".into(), "36.7 %".into(), "0.5 %".into()]);
+        t.push_row(vec![
+            "Gojmerac et al.".into(),
+            "36.7 %".into(),
+            "0.5 %".into(),
+        ]);
         let rendered = t.render();
         assert!(rendered.contains("Table X: demo"));
         assert!(rendered.contains("Our study"));

@@ -154,7 +154,11 @@ impl Heatmap {
             let yi = (log2_bin(y) as usize).min(y_bins - 1);
             cells[yi][xi] += 1;
         }
-        Heatmap { cells, x_bins, y_bins }
+        Heatmap {
+            cells,
+            x_bins,
+            y_bins,
+        }
     }
 
     /// Total points.
@@ -240,7 +244,11 @@ mod tests {
 
     #[test]
     fn histogram_basics() {
-        let h = Histogram::new(vec![("/32".into(), 170), ("/24".into(), 40), ("/16".into(), 5)]);
+        let h = Histogram::new(vec![
+            ("/32".into(), 170),
+            ("/24".into(), 40),
+            ("/16".into(), 5),
+        ]);
         assert_eq!(h.total(), 215);
         assert_eq!(h.peak().unwrap().0, "/32");
         assert!((h.share("/24") - 40.0 / 215.0).abs() < 1e-9);

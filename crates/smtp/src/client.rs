@@ -53,7 +53,11 @@ impl SmtpClient {
         let writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
         let banner = read_reply(&mut reader)?;
-        Ok(SmtpClient { writer, reader, banner })
+        Ok(SmtpClient {
+            writer,
+            reader,
+            banner,
+        })
     }
 
     fn command(&mut self, line: &str) -> Result<Reply, ClientError> {

@@ -60,18 +60,26 @@ impl Command {
         let trimmed = line.trim_end_matches(['\r', '\n']);
         let upper = trimmed.to_ascii_uppercase();
         if let Some(rest) = strip_verb(&upper, trimmed, "HELO") {
-            return Command::Helo { domain: rest.trim().to_string() };
+            return Command::Helo {
+                domain: rest.trim().to_string(),
+            };
         }
         if let Some(rest) = strip_verb(&upper, trimmed, "EHLO") {
-            return Command::Ehlo { domain: rest.trim().to_string() };
+            return Command::Ehlo {
+                domain: rest.trim().to_string(),
+            };
         }
         if upper.starts_with("MAIL FROM:") {
             let path = trimmed["MAIL FROM:".len()..].trim();
-            return Command::MailFrom { path: strip_brackets(path) };
+            return Command::MailFrom {
+                path: strip_brackets(path),
+            };
         }
         if upper.starts_with("RCPT TO:") {
             let path = trimmed["RCPT TO:".len()..].trim();
-            return Command::RcptTo { path: strip_brackets(path) };
+            return Command::RcptTo {
+                path: strip_brackets(path),
+            };
         }
         if upper.starts_with("XCLIENT") {
             for attr in trimmed["XCLIENT".len()..].split_whitespace() {
@@ -85,14 +93,18 @@ impl Command {
                     }
                 }
             }
-            return Command::Unknown { line: trimmed.to_string() };
+            return Command::Unknown {
+                line: trimmed.to_string(),
+            };
         }
         match upper.as_str() {
             "DATA" => Command::Data,
             "RSET" => Command::Rset,
             "NOOP" => Command::Noop,
             "QUIT" => Command::Quit,
-            _ => Command::Unknown { line: trimmed.to_string() },
+            _ => Command::Unknown {
+                line: trimmed.to_string(),
+            },
         }
     }
 
@@ -157,7 +169,10 @@ pub struct Reply {
 impl Reply {
     /// Build a reply.
     pub fn new(code: u16, text: impl Into<String>) -> Self {
-        Reply { code, text: text.into() }
+        Reply {
+            code,
+            text: text.into(),
+        }
     }
 
     /// 2xx/3xx replies continue the transaction.
@@ -191,7 +206,9 @@ mod tests {
     fn parses_basic_commands() {
         assert_eq!(
             Command::parse("HELO mail.example.com\r\n"),
-            Command::Helo { domain: "mail.example.com".into() }
+            Command::Helo {
+                domain: "mail.example.com".into()
+            }
         );
         assert_eq!(Command::parse("DATA"), Command::Data);
         assert_eq!(Command::parse("quit"), Command::Quit);
@@ -202,7 +219,9 @@ mod tests {
     fn mail_from_strips_brackets() {
         assert_eq!(
             Command::parse("MAIL FROM:<ceo@bank.example>"),
-            Command::MailFrom { path: "ceo@bank.example".into() }
+            Command::MailFrom {
+                path: "ceo@bank.example".into()
+            }
         );
         assert_eq!(
             Command::parse("mail from:<>"),
@@ -223,20 +242,34 @@ mod tests {
     fn xclient_parses_addr() {
         assert_eq!(
             Command::parse("XCLIENT ADDR=192.0.2.55"),
-            Command::XClient { addr: "192.0.2.55".parse().unwrap() }
+            Command::XClient {
+                addr: "192.0.2.55".parse().unwrap()
+            }
         );
-        assert!(matches!(Command::parse("XCLIENT NAME=x"), Command::Unknown { .. }));
+        assert!(matches!(
+            Command::parse("XCLIENT NAME=x"),
+            Command::Unknown { .. }
+        ));
     }
 
     #[test]
     fn unknown_commands() {
-        assert!(matches!(Command::parse("BDAT 100"), Command::Unknown { .. }));
+        assert!(matches!(
+            Command::parse("BDAT 100"),
+            Command::Unknown { .. }
+        ));
         assert!(matches!(Command::parse(""), Command::Unknown { .. }));
     }
 
     #[test]
     fn command_display_round_trips() {
-        for line in ["HELO h.example", "MAIL FROM:<a@b.c>", "RCPT TO:<x@y.z>", "DATA", "QUIT"] {
+        for line in [
+            "HELO h.example",
+            "MAIL FROM:<a@b.c>",
+            "RCPT TO:<x@y.z>",
+            "DATA",
+            "QUIT",
+        ] {
             let cmd = Command::parse(line);
             assert_eq!(Command::parse(&cmd.to_string()), cmd);
         }

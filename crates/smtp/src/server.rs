@@ -92,34 +92,42 @@ impl SmtpServer {
         let received = Arc::new(Mutex::new(Vec::new()));
         let t_shutdown = Arc::clone(&shutdown);
         let t_received = Arc::clone(&received);
-        let handle = std::thread::Builder::new().name("smtp-server".into()).spawn(move || {
-            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
-            while !t_shutdown.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, peer)) => {
-                        let resolver = Arc::clone(&resolver);
-                        let config = config.clone();
-                        let received = Arc::clone(&t_received);
-                        sessions.push(
-                            std::thread::Builder::new()
-                                .name("smtp-session".into())
-                                .spawn(move || {
-                                    let _ = serve_session(stream, peer, resolver, config, received);
-                                })
-                                .expect("spawn session"),
-                        );
+        let handle = std::thread::Builder::new()
+            .name("smtp-server".into())
+            .spawn(move || {
+                let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+                while !t_shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, peer)) => {
+                            let resolver = Arc::clone(&resolver);
+                            let config = config.clone();
+                            let received = Arc::clone(&t_received);
+                            sessions.push(
+                                std::thread::Builder::new()
+                                    .name("smtp-session".into())
+                                    .spawn(move || {
+                                        let _ =
+                                            serve_session(stream, peer, resolver, config, received);
+                                    })
+                                    .expect("spawn session"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
                 }
-            }
-            for s in sessions {
-                let _ = s.join();
-            }
-        })?;
-        Ok(SmtpServer { addr, shutdown, handle: Some(handle), received })
+                for s in sessions {
+                    let _ = s.join();
+                }
+            })?;
+        Ok(SmtpServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+            received,
+        })
     }
 
     /// The bound address.
@@ -165,7 +173,10 @@ fn serve_session<R: Resolver>(
         write!(w, "{reply}\r\n")?;
         w.flush()
     };
-    send(&mut writer, Reply::new(220, format!("{} ESMTP", config.hostname)))?;
+    send(
+        &mut writer,
+        Reply::new(220, format!("{} ESMTP", config.hostname)),
+    )?;
 
     let mut state = SessionState {
         client_ip: peer.ip(),
@@ -196,7 +207,9 @@ fn serve_session<R: Resolver>(
                 }
             }
             cmd @ Command::MailFrom { .. } => {
-                let Command::MailFrom { path } = &cmd else { unreachable!() };
+                let Command::MailFrom { path } = &cmd else {
+                    unreachable!()
+                };
                 let (verdict, header) = match cmd.sender_parts() {
                     Some((local, domain)) => {
                         let helo = state
@@ -219,9 +232,7 @@ fn serve_session<R: Resolver>(
                     // Null sender / unparsable domain → none.
                     None => (SpfResult::None, None),
                 };
-                if verdict == SpfResult::Fail
-                    && config.enforcement == SpfEnforcement::RejectFail
-                {
+                if verdict == SpfResult::Fail && config.enforcement == SpfEnforcement::RejectFail {
                     send(
                         &mut writer,
                         Reply::new(550, format!("5.7.23 SPF check failed ({verdict})")),
@@ -328,7 +339,9 @@ mod tests {
         let server = server(&store);
         let mut client = SmtpClient::connect(server.addr()).unwrap();
         client.ehlo("webhost.example").unwrap();
-        client.xclient(Ipv4Addr::new(198, 51, 100, 7).into()).unwrap();
+        client
+            .xclient(Ipv4Addr::new(198, 51, 100, 7).into())
+            .unwrap();
         let reply = client.mail_from("ceo@good.example").unwrap();
         assert!(reply.is_positive(), "{reply}");
         assert!(reply.text.contains("spf=pass"));
@@ -339,7 +352,10 @@ mod tests {
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].spf_result, SpfResult::Pass);
         assert_eq!(msgs[0].mail_from, "ceo@good.example");
-        assert_eq!(msgs[0].client_ip, IpAddr::from(Ipv4Addr::new(198, 51, 100, 7)));
+        assert_eq!(
+            msgs[0].client_ip,
+            IpAddr::from(Ipv4Addr::new(198, 51, 100, 7))
+        );
     }
 
     #[test]
@@ -348,7 +364,9 @@ mod tests {
         let server = server(&store);
         let mut client = SmtpClient::connect(server.addr()).unwrap();
         client.ehlo("attacker.example").unwrap();
-        client.xclient(Ipv4Addr::new(203, 0, 113, 99).into()).unwrap();
+        client
+            .xclient(Ipv4Addr::new(203, 0, 113, 99).into())
+            .unwrap();
         let reply = client.mail_from("ceo@good.example").unwrap();
         assert_eq!(reply.code, 550);
         assert!(server.received().is_empty());
@@ -359,12 +377,17 @@ mod tests {
         let store = world();
         let server = SmtpServer::spawn(
             Arc::new(ZoneResolver::new(Arc::clone(&store))),
-            MtaConfig { enforcement: SpfEnforcement::MarkOnly, ..Default::default() },
+            MtaConfig {
+                enforcement: SpfEnforcement::MarkOnly,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut client = SmtpClient::connect(server.addr()).unwrap();
         client.ehlo("attacker.example").unwrap();
-        client.xclient(Ipv4Addr::new(203, 0, 113, 99).into()).unwrap();
+        client
+            .xclient(Ipv4Addr::new(203, 0, 113, 99).into())
+            .unwrap();
         let reply = client.mail_from("ceo@good.example").unwrap();
         assert!(reply.is_positive());
         assert!(reply.text.contains("spf=fail"));
@@ -379,7 +402,9 @@ mod tests {
         let server = server(&store);
         let mut client = SmtpClient::connect(server.addr()).unwrap();
         client.ehlo("host.example").unwrap();
-        client.xclient(Ipv4Addr::new(203, 0, 113, 99).into()).unwrap();
+        client
+            .xclient(Ipv4Addr::new(203, 0, 113, 99).into())
+            .unwrap();
         let reply = client.mail_from("user@nospf.example").unwrap();
         assert!(reply.is_positive());
         assert!(reply.text.contains("spf=none"));
@@ -401,7 +426,9 @@ mod tests {
         let server = server(&store);
         let mut client = SmtpClient::connect(server.addr()).unwrap();
         client.ehlo("h.example").unwrap();
-        client.xclient(Ipv4Addr::new(198, 51, 100, 7).into()).unwrap();
+        client
+            .xclient(Ipv4Addr::new(198, 51, 100, 7).into())
+            .unwrap();
         client.mail_from("ceo@good.example").unwrap();
         client.rcpt_to("v@r.example").unwrap();
         client.data("line one\n.leading dot\nlast").unwrap();

@@ -73,18 +73,31 @@ pub fn run_case_study<R: Resolver + 'static>(
     let server = SmtpServer::spawn(resolver, MtaConfig::default())?;
     let mut rows = Vec::with_capacity(world.providers.len());
     for provider in &world.providers {
-        let victim = provider.customers.first().expect("providers have customers");
+        let victim = provider
+            .customers
+            .first()
+            .expect("providers have customers");
         let smtp_ok = if provider.blocks_port25 {
             // The web space cannot reach port 25 at all.
             false
         } else {
-            attempt(server.addr(), provider, victim.as_str(), provider.web_ip.into())?
+            attempt(
+                server.addr(),
+                provider,
+                victim.as_str(),
+                provider.web_ip.into(),
+            )?
         };
         let mta_ok = if provider.mta_requires_auth {
             // The MTA refuses to relay for domains the account does not own.
             false
         } else {
-            attempt(server.addr(), provider, victim.as_str(), provider.mta_ip.into())?
+            attempt(
+                server.addr(),
+                provider,
+                victim.as_str(),
+                provider.mta_ip.into(),
+            )?
         };
         let success = match (smtp_ok, mta_ok) {
             (true, true) => SpoofSuccess::SmtpAndMta,
@@ -127,7 +140,9 @@ fn attempt(
         // server tolerates a neutral result.
         let passed = reply.text.contains("spf=pass");
         client.rcpt_to("victim@receiver.example")?;
-        let sent = client.data("Subject: urgent wire transfer\n\nplease")?.is_positive();
+        let sent = client
+            .data("Subject: urgent wire transfer\n\nplease")?
+            .is_positive();
         let _ = client.quit();
         Ok(passed && sent)
     };
@@ -159,7 +174,10 @@ mod tests {
         assert_eq!(rows[4].success, SpoofSuccess::None);
         assert_eq!(rows[4].domains, 0);
         // 4 of 5 providers enable spoofing.
-        let exploitable = rows.iter().filter(|r| r.success != SpoofSuccess::None).count();
+        let exploitable = rows
+            .iter()
+            .filter(|r| r.success != SpoofSuccess::None)
+            .count();
         assert_eq!(exploitable, 4);
         // Allowed-IP column matches Table 5 exactly.
         let allowed: Vec<u64> = rows.iter().map(|r| r.allowed_ips).collect();

@@ -22,7 +22,10 @@ fn parallel_sessions_keep_their_own_verdicts() {
     }
     let server = SmtpServer::spawn(
         Arc::new(ZoneResolver::new(Arc::clone(&store))),
-        MtaConfig { enforcement: SpfEnforcement::MarkOnly, ..Default::default() },
+        MtaConfig {
+            enforcement: SpfEnforcement::MarkOnly,
+            ..Default::default()
+        },
     )
     .unwrap();
     let addr = server.addr();
@@ -54,7 +57,12 @@ fn parallel_sessions_keep_their_own_verdicts() {
     assert_eq!(msgs.len(), 10);
     for msg in &msgs {
         // Every stored message's verdict matches its own envelope.
-        let i: u8 = msg.mail_from["ceo@victim".len()..].split('.').next().unwrap().parse().unwrap();
+        let i: u8 = msg.mail_from["ceo@victim".len()..]
+            .split('.')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         let expected = if i % 2 == 0 { "pass" } else { "fail" };
         assert_eq!(msg.spf_result.to_string(), expected, "message {i}");
         assert!(msg.body.contains(&format!("marker-{i}")));

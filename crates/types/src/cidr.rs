@@ -87,14 +87,19 @@ impl Ipv4Cidr {
     /// Build from parts. Fails if `prefix_len > 32`.
     pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Result<Self, Ip4ParseError> {
         if prefix_len > 32 {
-            return Err(Ip4ParseError::BadPrefixLen { len: prefix_len.to_string() });
+            return Err(Ip4ParseError::BadPrefixLen {
+                len: prefix_len.to_string(),
+            });
         }
         Ok(Ipv4Cidr { addr, prefix_len })
     }
 
     /// A /32 covering exactly one host.
     pub fn host(addr: Ipv4Addr) -> Self {
-        Ipv4Cidr { addr, prefix_len: 32 }
+        Ipv4Cidr {
+            addr,
+            prefix_len: 32,
+        }
     }
 
     /// Parse `a.b.c.d` or `a.b.c.d/len`, classifying failures per the paper.
@@ -108,11 +113,13 @@ impl Ipv4Cidr {
             None => 32,
             Some(len_str) => {
                 // An empty prefix after '/' ("1.2.3.4/") is a bad prefix.
-                let len: u8 = len_str
-                    .parse()
-                    .map_err(|_| Ip4ParseError::BadPrefixLen { len: len_str.to_string() })?;
+                let len: u8 = len_str.parse().map_err(|_| Ip4ParseError::BadPrefixLen {
+                    len: len_str.to_string(),
+                })?;
                 if len > 32 {
-                    return Err(Ip4ParseError::BadPrefixLen { len: len_str.to_string() });
+                    return Err(Ip4ParseError::BadPrefixLen {
+                        len: len_str.to_string(),
+                    });
                 }
                 len
             }
@@ -198,24 +205,30 @@ pub fn parse_ipv4_strict(input: &str) -> Result<Ipv4Addr, Ip4ParseError> {
     }
     if input.contains(':') {
         // Looks like IPv6 in an ip4 context.
-        if input.parse::<Ipv6Addr>().is_ok() || input.chars().all(|c| c.is_ascii_hexdigit() || c == ':') {
+        if input.parse::<Ipv6Addr>().is_ok()
+            || input.chars().all(|c| c.is_ascii_hexdigit() || c == ':')
+        {
             return Err(Ip4ParseError::WrongIpVersion);
         }
         return Err(Ip4ParseError::DomainInsteadOfIp);
     }
     let parts: Vec<&str> = input.split('.').collect();
-    let all_numeric = parts.iter().all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()));
+    let all_numeric = parts
+        .iter()
+        .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()));
     if !all_numeric {
         return Err(Ip4ParseError::DomainInsteadOfIp);
     }
     if parts.len() != 4 {
-        return Err(Ip4ParseError::WrongOctetCount { octets: parts.len() });
+        return Err(Ip4ParseError::WrongOctetCount {
+            octets: parts.len(),
+        });
     }
     let mut octets = [0u8; 4];
     for (i, part) in parts.iter().enumerate() {
-        octets[i] = part
-            .parse::<u8>()
-            .map_err(|_| Ip4ParseError::BadOctet { octet: (*part).to_string() })?;
+        octets[i] = part.parse::<u8>().map_err(|_| Ip4ParseError::BadOctet {
+            octet: (*part).to_string(),
+        })?;
     }
     Ok(Ipv4Addr::from(octets))
 }
@@ -269,14 +282,19 @@ impl Ipv6Cidr {
     /// Build from parts. Fails if `prefix_len > 128`.
     pub fn new(addr: Ipv6Addr, prefix_len: u8) -> Result<Self, Ip6ParseError> {
         if prefix_len > 128 {
-            return Err(Ip6ParseError::BadPrefixLen { len: prefix_len.to_string() });
+            return Err(Ip6ParseError::BadPrefixLen {
+                len: prefix_len.to_string(),
+            });
         }
         Ok(Ipv6Cidr { addr, prefix_len })
     }
 
     /// A /128 covering exactly one host.
     pub fn host(addr: Ipv6Addr) -> Self {
-        Ipv6Cidr { addr, prefix_len: 128 }
+        Ipv6Cidr {
+            addr,
+            prefix_len: 128,
+        }
     }
 
     /// Parse `addr` or `addr/len`.
@@ -292,17 +310,21 @@ impl Ipv6Cidr {
             if ip_part.parse::<Ipv4Addr>().is_ok() {
                 Ip6ParseError::WrongIpVersion
             } else {
-                Ip6ParseError::BadAddress { input: ip_part.to_string() }
+                Ip6ParseError::BadAddress {
+                    input: ip_part.to_string(),
+                }
             }
         })?;
         let prefix_len = match prefix_part {
             None => 128,
             Some(len_str) => {
-                let len: u8 = len_str
-                    .parse()
-                    .map_err(|_| Ip6ParseError::BadPrefixLen { len: len_str.to_string() })?;
+                let len: u8 = len_str.parse().map_err(|_| Ip6ParseError::BadPrefixLen {
+                    len: len_str.to_string(),
+                })?;
                 if len > 128 {
-                    return Err(Ip6ParseError::BadPrefixLen { len: len_str.to_string() });
+                    return Err(Ip6ParseError::BadPrefixLen {
+                        len: len_str.to_string(),
+                    });
                 }
                 len
             }
@@ -459,20 +481,38 @@ mod tests {
 
     #[test]
     fn error_wrong_version() {
-        assert_eq!(Ipv4Cidr::parse("2001:db8::1"), Err(Ip4ParseError::WrongIpVersion));
-        assert_eq!(Ipv6Cidr::parse("192.0.2.1"), Err(Ip6ParseError::WrongIpVersion));
+        assert_eq!(
+            Ipv4Cidr::parse("2001:db8::1"),
+            Err(Ip4ParseError::WrongIpVersion)
+        );
+        assert_eq!(
+            Ipv6Cidr::parse("192.0.2.1"),
+            Err(Ip6ParseError::WrongIpVersion)
+        );
     }
 
     #[test]
     fn error_octet_out_of_range() {
-        assert!(matches!(Ipv4Cidr::parse("1.2.3.256"), Err(Ip4ParseError::BadOctet { .. })));
+        assert!(matches!(
+            Ipv4Cidr::parse("1.2.3.256"),
+            Err(Ip4ParseError::BadOctet { .. })
+        ));
     }
 
     #[test]
     fn error_bad_prefix() {
-        assert!(matches!(Ipv4Cidr::parse("1.2.3.4/33"), Err(Ip4ParseError::BadPrefixLen { .. })));
-        assert!(matches!(Ipv4Cidr::parse("1.2.3.4/"), Err(Ip4ParseError::BadPrefixLen { .. })));
-        assert!(matches!(Ipv4Cidr::parse("1.2.3.4/ab"), Err(Ip4ParseError::BadPrefixLen { .. })));
+        assert!(matches!(
+            Ipv4Cidr::parse("1.2.3.4/33"),
+            Err(Ip4ParseError::BadPrefixLen { .. })
+        ));
+        assert!(matches!(
+            Ipv4Cidr::parse("1.2.3.4/"),
+            Err(Ip4ParseError::BadPrefixLen { .. })
+        ));
+        assert!(matches!(
+            Ipv4Cidr::parse("1.2.3.4/ab"),
+            Err(Ip4ParseError::BadPrefixLen { .. })
+        ));
     }
 
     #[test]
@@ -494,7 +534,10 @@ mod tests {
     #[test]
     fn ipv6_errors() {
         assert_eq!(Ipv6Cidr::parse(""), Err(Ip6ParseError::NoIp));
-        assert!(matches!(Ipv6Cidr::parse("zz::1"), Err(Ip6ParseError::BadAddress { .. })));
+        assert!(matches!(
+            Ipv6Cidr::parse("zz::1"),
+            Err(Ip6ParseError::BadAddress { .. })
+        ));
         assert!(matches!(
             Ipv6Cidr::parse("2001:db8::/129"),
             Err(Ip6ParseError::BadPrefixLen { .. })

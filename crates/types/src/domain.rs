@@ -105,7 +105,9 @@ impl DomainName {
             return Err(DomainError::EmptyName);
         }
         if trimmed.len() > MAX_NAME_LEN {
-            return Err(DomainError::NameTooLong { name_len: trimmed.len() });
+            return Err(DomainError::NameTooLong {
+                name_len: trimmed.len(),
+            });
         }
         let mut normalized = String::with_capacity(trimmed.len());
         for (i, label) in trimmed.split('.').enumerate() {
@@ -132,7 +134,9 @@ impl DomainName {
             return Err(DomainError::EmptyLabel);
         }
         if label.len() > MAX_LABEL_LEN {
-            return Err(DomainError::LabelTooLong { label_len: label.len() });
+            return Err(DomainError::LabelTooLong {
+                label_len: label.len(),
+            });
         }
         if label.starts_with('-') || label.ends_with('-') {
             return Err(DomainError::BadHyphen);
@@ -152,7 +156,9 @@ impl DomainName {
     /// already-validated parts. Panics in debug builds if invalid.
     pub fn from_validated(name: String) -> Self {
         debug_assert!(DomainName::parse(&name).is_ok(), "invalid: {name}");
-        DomainName { name: name.to_ascii_lowercase() }
+        DomainName {
+            name: name.to_ascii_lowercase(),
+        }
     }
 
     /// The normalized textual form, lowercase and without trailing dot.
@@ -174,7 +180,9 @@ impl DomainName {
     /// for a single-label (TLD-level) name.
     pub fn parent(&self) -> Option<DomainName> {
         let idx = self.name.find('.')?;
-        Some(DomainName { name: self.name[idx + 1..].to_string() })
+        Some(DomainName {
+            name: self.name[idx + 1..].to_string(),
+        })
     }
 
     /// True if `self` equals `other` or is a subdomain of it.
@@ -200,7 +208,9 @@ impl DomainName {
         Self::validate_label(label)?;
         let candidate = format!("{}.{}", label.to_ascii_lowercase(), self.name);
         if candidate.len() > MAX_NAME_LEN {
-            return Err(DomainError::NameTooLong { name_len: candidate.len() });
+            return Err(DomainError::NameTooLong {
+                name_len: candidate.len(),
+            });
         }
         Ok(DomainName { name: candidate })
     }
@@ -223,7 +233,10 @@ impl DomainName {
         let skip = count - n;
         let mut idx = 0;
         for _ in 0..skip {
-            idx = self.name[idx..].find('.').map(|p| idx + p + 1).unwrap_or(idx);
+            idx = self.name[idx..]
+                .find('.')
+                .map(|p| idx + p + 1)
+                .unwrap_or(idx);
         }
         Cow::Borrowed(&self.name[idx..])
     }
@@ -388,7 +401,10 @@ mod tests {
     #[test]
     fn prepend_label_builds_child() {
         let d = DomainName::parse("example.com").unwrap();
-        assert_eq!(d.prepend_label("Mail").unwrap().as_str(), "mail.example.com");
+        assert_eq!(
+            d.prepend_label("Mail").unwrap().as_str(),
+            "mail.example.com"
+        );
         assert!(d.prepend_label("bad label").is_err());
     }
 

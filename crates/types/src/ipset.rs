@@ -43,7 +43,9 @@ impl Ipv4Set {
 
     /// The full IPv4 space (what `ip4:0.0.0.0/0` authorizes).
     pub fn full() -> Self {
-        Ipv4Set { ranges: vec![(0, u32::MAX)] }
+        Ipv4Set {
+            ranges: vec![(0, u32::MAX)],
+        }
     }
 
     /// True if no address is in the set.
@@ -70,9 +72,7 @@ impl Ipv4Set {
         // `lo` (i.e. not even adjacent). Because stored ranges are sorted
         // and disjoint, their end points are ascending, so partition_point
         // applies.
-        let start = self
-            .ranges
-            .partition_point(|&(_, e)| lo > 0 && e < lo - 1);
+        let start = self.ranges.partition_point(|&(_, e)| lo > 0 && e < lo - 1);
         let mut merged_lo = lo;
         let mut merged_hi = hi;
         let mut end = start;
@@ -87,7 +87,8 @@ impl Ipv4Set {
             merged_hi = merged_hi.max(e);
             end += 1;
         }
-        self.ranges.splice(start..end, std::iter::once((merged_lo, merged_hi)));
+        self.ranges
+            .splice(start..end, std::iter::once((merged_lo, merged_hi)));
         debug_assert!(self.check_invariants());
     }
 
@@ -171,7 +172,11 @@ impl Ipv4Set {
             while cursor <= end {
                 // Largest block that is both aligned at `cursor` and fits
                 // within the remaining range.
-                let align = if cursor == 0 { 32 } else { cursor.trailing_zeros().min(32) };
+                let align = if cursor == 0 {
+                    32
+                } else {
+                    cursor.trailing_zeros().min(32)
+                };
                 let remaining = end - cursor + 1;
                 let fit = 63 - remaining.leading_zeros(); // floor(log2)
                 let bits = align.min(fit);
@@ -321,10 +326,7 @@ mod tests {
         b.insert_cidr(&cidr("10.0.128.0/17")); // overlaps a
         b.insert_cidr(&cidr("172.16.0.0/12"));
         let u = a.union(&b);
-        assert_eq!(
-            u.address_count(),
-            (1u64 << 16) + (1 << 8) + (1 << 20)
-        );
+        assert_eq!(u.address_count(), (1u64 << 16) + (1 << 8) + (1 << 20));
     }
 
     #[test]
@@ -358,7 +360,10 @@ mod tests {
     #[test]
     fn display_formats_ranges() {
         let mut set = Ipv4Set::new();
-        set.insert_range(u32::from(Ipv4Addr::new(10, 0, 0, 1)), u32::from(Ipv4Addr::new(10, 0, 0, 1)));
+        set.insert_range(
+            u32::from(Ipv4Addr::new(10, 0, 0, 1)),
+            u32::from(Ipv4Addr::new(10, 0, 0, 1)),
+        );
         set.insert_cidr(&cidr("192.0.2.0/31"));
         assert_eq!(set.to_string(), "{10.0.0.1, 192.0.2.0-192.0.2.1}");
     }

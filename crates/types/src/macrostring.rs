@@ -264,9 +264,12 @@ impl MacroString {
 
     fn parse_expand(body: &str) -> Result<MacroExpand, MacroError> {
         let mut chars = body.chars();
-        let letter_char = chars.next().ok_or(MacroError::BadTransformer { body: body.into() })?;
-        let letter = MacroLetter::from_char(letter_char)
-            .ok_or(MacroError::UnknownLetter { letter: letter_char })?;
+        let letter_char = chars
+            .next()
+            .ok_or(MacroError::BadTransformer { body: body.into() })?;
+        let letter = MacroLetter::from_char(letter_char).ok_or(MacroError::UnknownLetter {
+            letter: letter_char,
+        })?;
         let url_escape = letter_char.is_ascii_uppercase();
         let rest: String = chars.collect();
 
@@ -297,14 +300,23 @@ impl MacroString {
         } else {
             // RFC: "transformers = *DIGIT"; a huge digit count is legal
             // syntax but clamp to avoid overflow (128 > any label count).
-            digits_str.parse::<u32>().map(|d| d.min(128) as u8).unwrap_or(128)
+            digits_str
+                .parse::<u32>()
+                .map(|d| d.min(128) as u8)
+                .unwrap_or(128)
         };
         // "%{d0}" is invalid per the grammar note: DIGIT must be nonzero
         // when present.
         if !digits_str.is_empty() && digits == 0 {
             return Err(MacroError::BadTransformer { body: body.into() });
         }
-        Ok(MacroExpand { letter, digits, reverse, delimiters, url_escape })
+        Ok(MacroExpand {
+            letter,
+            digits,
+            reverse,
+            delimiters,
+            url_escape,
+        })
     }
 
     /// The token sequence.
@@ -315,7 +327,9 @@ impl MacroString {
     /// True if the string contains no macro expansions — the common case,
     /// where the argument is just a domain name.
     pub fn is_literal(&self) -> bool {
-        self.tokens.iter().all(|t| matches!(t, MacroToken::Literal(_)))
+        self.tokens
+            .iter()
+            .all(|t| matches!(t, MacroToken::Literal(_)))
     }
 
     /// If [`Self::is_literal`], the concatenated literal text.
@@ -334,7 +348,9 @@ impl MacroString {
 
     /// Build a literal macro string without parsing (for generators).
     pub fn literal(text: &str) -> Self {
-        MacroString { tokens: vec![MacroToken::Literal(text.to_string())] }
+        MacroString {
+            tokens: vec![MacroToken::Literal(text.to_string())],
+        }
     }
 
     /// True if any expansion uses an exp-only letter (`c`, `r`, `t`) —
@@ -442,29 +458,46 @@ mod tests {
     fn bad_escape_rejected() {
         assert_eq!(
             MacroString::parse("%x"),
-            Err(MacroError::BadPercentEscape { following: Some('x') })
+            Err(MacroError::BadPercentEscape {
+                following: Some('x')
+            })
         );
-        assert_eq!(MacroString::parse("abc%"), Err(MacroError::BadPercentEscape { following: None }));
+        assert_eq!(
+            MacroString::parse("abc%"),
+            Err(MacroError::BadPercentEscape { following: None })
+        );
     }
 
     #[test]
     fn unterminated_macro_rejected() {
-        assert_eq!(MacroString::parse("%{d"), Err(MacroError::UnterminatedMacro));
+        assert_eq!(
+            MacroString::parse("%{d"),
+            Err(MacroError::UnterminatedMacro)
+        );
     }
 
     #[test]
     fn unknown_letter_rejected() {
-        assert_eq!(MacroString::parse("%{z}"), Err(MacroError::UnknownLetter { letter: 'z' }));
+        assert_eq!(
+            MacroString::parse("%{z}"),
+            Err(MacroError::UnknownLetter { letter: 'z' })
+        );
     }
 
     #[test]
     fn zero_digits_rejected() {
-        assert!(matches!(MacroString::parse("%{d0}"), Err(MacroError::BadTransformer { .. })));
+        assert!(matches!(
+            MacroString::parse("%{d0}"),
+            Err(MacroError::BadTransformer { .. })
+        ));
     }
 
     #[test]
     fn garbage_transformer_rejected() {
-        assert!(matches!(MacroString::parse("%{d2x}"), Err(MacroError::BadTransformer { .. })));
+        assert!(matches!(
+            MacroString::parse("%{d2x}"),
+            Err(MacroError::BadTransformer { .. })
+        ));
     }
 
     #[test]

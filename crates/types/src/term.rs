@@ -242,7 +242,10 @@ impl Modifier {
     /// True for the RFC 6652 reporting extensions. The paper found only
     /// 14 domains using any of them.
     pub fn is_reporting_extension(&self) -> bool {
-        matches!(self, Modifier::Ra { .. } | Modifier::Rp { .. } | Modifier::Rr { .. })
+        matches!(
+            self,
+            Modifier::Ra { .. } | Modifier::Rp { .. } | Modifier::Rr { .. }
+        )
     }
 }
 
@@ -274,12 +277,20 @@ pub struct Directive {
 impl Directive {
     /// A directive with an implied `+` qualifier.
     pub fn implicit(mechanism: Mechanism) -> Self {
-        Directive { qualifier: Qualifier::Pass, explicit_qualifier: false, mechanism }
+        Directive {
+            qualifier: Qualifier::Pass,
+            explicit_qualifier: false,
+            mechanism,
+        }
     }
 
     /// A directive with an explicit qualifier.
     pub fn explicit(qualifier: Qualifier, mechanism: Mechanism) -> Self {
-        Directive { qualifier, explicit_qualifier: true, mechanism }
+        Directive {
+            qualifier,
+            explicit_qualifier: true,
+            mechanism,
+        }
     }
 }
 
@@ -351,7 +362,8 @@ impl SpfRecord {
 
     /// The `all` directive, if present.
     pub fn all_directive(&self) -> Option<&Directive> {
-        self.directives().find(|d| matches!(d.mechanism, Mechanism::All))
+        self.directives()
+            .find(|d| matches!(d.mechanism, Mechanism::All))
     }
 
     /// The `redirect` modifier, if present.
@@ -365,7 +377,10 @@ impl SpfRecord {
     /// Number of terms that count against the 10-lookup limit when this
     /// record alone is evaluated (not counting recursion into includes).
     pub fn direct_lookup_terms(&self) -> usize {
-        self.terms.iter().filter(|t| t.counts_as_dns_lookup()).count()
+        self.terms
+            .iter()
+            .filter(|t| t.counts_as_dns_lookup())
+            .count()
     }
 
     /// True if the record ends the match chain restrictively: an `all`
@@ -408,7 +423,12 @@ mod tests {
 
     #[test]
     fn qualifier_symbols_round_trip() {
-        for q in [Qualifier::Pass, Qualifier::Fail, Qualifier::SoftFail, Qualifier::Neutral] {
+        for q in [
+            Qualifier::Pass,
+            Qualifier::Fail,
+            Qualifier::SoftFail,
+            Qualifier::Neutral,
+        ] {
             assert_eq!(Qualifier::from_symbol(q.symbol()), Some(q));
         }
         assert_eq!(Qualifier::from_symbol('x'), None);
@@ -426,11 +446,18 @@ mod tests {
     fn mechanism_display() {
         assert_eq!(Mechanism::All.to_string(), "all");
         assert_eq!(
-            Mechanism::Include { domain: ms("_spf.google.com") }.to_string(),
+            Mechanism::Include {
+                domain: ms("_spf.google.com")
+            }
+            .to_string(),
             "include:_spf.google.com"
         );
         assert_eq!(
-            Mechanism::A { domain: None, cidr: DualCidr::default() }.to_string(),
+            Mechanism::A {
+                domain: None,
+                cidr: DualCidr::default()
+            }
+            .to_string(),
             "a"
         );
         assert_eq!(
@@ -442,22 +469,48 @@ mod tests {
             "a:puffin.example.com/28"
         );
         assert_eq!(
-            Mechanism::Ip4 { cidr: "192.0.2.0/24".parse().unwrap() }.to_string(),
+            Mechanism::Ip4 {
+                cidr: "192.0.2.0/24".parse().unwrap()
+            }
+            .to_string(),
             "ip4:192.0.2.0/24"
         );
     }
 
     #[test]
     fn lookup_counting_terms() {
-        assert!(Mechanism::Include { domain: ms("x.com") }.counts_as_dns_lookup());
-        assert!(Mechanism::A { domain: None, cidr: DualCidr::default() }.counts_as_dns_lookup());
-        assert!(Mechanism::Mx { domain: None, cidr: DualCidr::default() }.counts_as_dns_lookup());
+        assert!(Mechanism::Include {
+            domain: ms("x.com")
+        }
+        .counts_as_dns_lookup());
+        assert!(Mechanism::A {
+            domain: None,
+            cidr: DualCidr::default()
+        }
+        .counts_as_dns_lookup());
+        assert!(Mechanism::Mx {
+            domain: None,
+            cidr: DualCidr::default()
+        }
+        .counts_as_dns_lookup());
         assert!(Mechanism::Ptr { domain: None }.counts_as_dns_lookup());
-        assert!(Mechanism::Exists { domain: ms("x.com") }.counts_as_dns_lookup());
+        assert!(Mechanism::Exists {
+            domain: ms("x.com")
+        }
+        .counts_as_dns_lookup());
         assert!(!Mechanism::All.counts_as_dns_lookup());
-        assert!(!Mechanism::Ip4 { cidr: "1.2.3.4".parse().unwrap() }.counts_as_dns_lookup());
-        assert!(Modifier::Redirect { domain: ms("x.com") }.counts_as_dns_lookup());
-        assert!(!Modifier::Exp { domain: ms("x.com") }.counts_as_dns_lookup());
+        assert!(!Mechanism::Ip4 {
+            cidr: "1.2.3.4".parse().unwrap()
+        }
+        .counts_as_dns_lookup());
+        assert!(Modifier::Redirect {
+            domain: ms("x.com")
+        }
+        .counts_as_dns_lookup());
+        assert!(!Modifier::Exp {
+            domain: ms("x.com")
+        }
+        .counts_as_dns_lookup());
     }
 
     #[test]
@@ -466,7 +519,10 @@ mod tests {
         let record = SpfRecord::new(vec![
             Term::Directive(Directive::explicit(
                 Qualifier::Pass,
-                Mechanism::Mx { domain: None, cidr: DualCidr::default() },
+                Mechanism::Mx {
+                    domain: None,
+                    cidr: DualCidr::default(),
+                },
             )),
             Term::Directive(Directive::implicit(Mechanism::A {
                 domain: Some(ms("puffin.example.com")),
@@ -474,16 +530,19 @@ mod tests {
             })),
             Term::Directive(Directive::explicit(Qualifier::Fail, Mechanism::All)),
         ]);
-        assert_eq!(record.to_string(), "v=spf1 +mx a:puffin.example.com/28 -all");
+        assert_eq!(
+            record.to_string(),
+            "v=spf1 +mx a:puffin.example.com/28 -all"
+        );
         assert!(record.has_restrictive_all());
         assert_eq!(record.direct_lookup_terms(), 2);
     }
 
     #[test]
     fn permissive_all_detection() {
-        let no_all = SpfRecord::new(vec![Term::Directive(Directive::implicit(
-            Mechanism::Ip4 { cidr: "192.0.2.1".parse().unwrap() },
-        ))]);
+        let no_all = SpfRecord::new(vec![Term::Directive(Directive::implicit(Mechanism::Ip4 {
+            cidr: "192.0.2.1".parse().unwrap(),
+        }))]);
         assert!(!no_all.has_restrictive_all());
 
         let pass_all = SpfRecord::new(vec![Term::Directive(Directive::explicit(
@@ -506,22 +565,35 @@ mod tests {
 
     #[test]
     fn reporting_extensions_flagged() {
-        assert!(Modifier::Ra { mailbox: "abuse".into() }.is_reporting_extension());
+        assert!(Modifier::Ra {
+            mailbox: "abuse".into()
+        }
+        .is_reporting_extension());
         assert!(Modifier::Rp { percent: 50 }.is_reporting_extension());
         assert!(Modifier::Rr { tags: "all".into() }.is_reporting_extension());
-        assert!(!Modifier::Redirect { domain: ms("x.com") }.is_reporting_extension());
-        assert!(!Modifier::Unknown { name: "xss".into(), value: "<script>".into() }
-            .is_reporting_extension());
+        assert!(!Modifier::Redirect {
+            domain: ms("x.com")
+        }
+        .is_reporting_extension());
+        assert!(!Modifier::Unknown {
+            name: "xss".into(),
+            value: "<script>".into()
+        }
+        .is_reporting_extension());
     }
 
     #[test]
     fn include_targets_iterator() {
         let record = SpfRecord::new(vec![
-            Term::Directive(Directive::implicit(Mechanism::Include { domain: ms("a.com") })),
+            Term::Directive(Directive::implicit(Mechanism::Include {
+                domain: ms("a.com"),
+            })),
             Term::Directive(Directive::implicit(Mechanism::Ip4 {
                 cidr: "192.0.2.1".parse().unwrap(),
             })),
-            Term::Directive(Directive::implicit(Mechanism::Include { domain: ms("b.com") })),
+            Term::Directive(Directive::implicit(Mechanism::Include {
+                domain: ms("b.com"),
+            })),
         ]);
         let targets: Vec<String> = record.include_targets().map(|m| m.to_string()).collect();
         assert_eq!(targets, vec!["a.com", "b.com"]);

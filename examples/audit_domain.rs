@@ -20,8 +20,15 @@ fn audit(record_text: &str) {
     let store = Arc::new(ZoneStore::new());
     let domain = DomainName::parse("audited.example").unwrap();
     store.add_txt(&domain, record_text);
-    store.add_mx(&domain, 10, &DomainName::parse("mx.audited.example").unwrap());
-    store.add_a(&DomainName::parse("mx.audited.example").unwrap(), "192.0.2.33".parse().unwrap());
+    store.add_mx(
+        &domain,
+        10,
+        &DomainName::parse("mx.audited.example").unwrap(),
+    );
+    store.add_a(
+        &DomainName::parse("mx.audited.example").unwrap(),
+        "192.0.2.33".parse().unwrap(),
+    );
     store.add_a(&domain, "192.0.2.34".parse().unwrap());
 
     let walker = Walker::new(ZoneResolver::new(store));
@@ -64,12 +71,12 @@ fn main() {
     // Demo set: one good record and the paper's recurring offenders.
     for record in [
         "v=spf1 mx -all",
-        "v=spf1 ipv4:192.0.2.1 -all",                 // misspelled mechanism
-        "v=spf1 ip4: 192.0.2.1 -all",                 // whitespace after colon
-        "v=spf1 include:audited.example -all",        // self-include loop
-        "v=spf1 ip4:10.0.0.0/8",                      // lax + permissive all
-        "v=spf1 ptr a mx ~all",                       // deprecated ptr + shared-host a
-        "v=spf1 mx -al",                              // the classic dead-all typo
+        "v=spf1 ipv4:192.0.2.1 -all",          // misspelled mechanism
+        "v=spf1 ip4: 192.0.2.1 -all",          // whitespace after colon
+        "v=spf1 include:audited.example -all", // self-include loop
+        "v=spf1 ip4:10.0.0.0/8",               // lax + permissive all
+        "v=spf1 ptr a mx ~all",                // deprecated ptr + shared-host a
+        "v=spf1 mx -al",                       // the classic dead-all typo
     ] {
         audit(record);
     }

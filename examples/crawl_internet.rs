@@ -13,7 +13,10 @@ use lazy_gatekeepers::prelude::*;
 use spf_report::{fmt_count, fmt_percent, Cdf};
 
 fn main() {
-    let denominator: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let denominator: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
     println!("building the synthetic Internet at scale 1:{denominator} ...");
     let population = Population::build(PopulationConfig {
         scale: Scale { denominator },
@@ -33,14 +36,29 @@ fn main() {
     println!("  done in {:.2?}\n", output.elapsed);
 
     println!("adoption (paper: 56.5 % SPF / 13.6 % DMARC overall; 60.2 % / 22.6 % top-1M):");
-    println!("  all domains : SPF {} DMARC {}", fmt_percent(agg.spf_rate()), fmt_percent(agg.dmarc_rate()));
-    println!("  top segment : SPF {} DMARC {}", fmt_percent(top.spf_rate()), fmt_percent(top.dmarc_rate()));
-    println!("  among MX    : SPF {}", fmt_percent(agg.spf_rate_among_mx()));
+    println!(
+        "  all domains : SPF {} DMARC {}",
+        fmt_percent(agg.spf_rate()),
+        fmt_percent(agg.dmarc_rate())
+    );
+    println!(
+        "  top segment : SPF {} DMARC {}",
+        fmt_percent(top.spf_rate()),
+        fmt_percent(top.dmarc_rate())
+    );
+    println!(
+        "  among MX    : SPF {}",
+        fmt_percent(agg.spf_rate_among_mx())
+    );
     println!();
 
     println!("errors (paper: 2.9 % of SPF records):");
     let err_rate = agg.total_errors() as f64 / agg.with_spf.max(1) as f64;
-    println!("  {} erroneous domains ({})", fmt_count(agg.total_errors()), fmt_percent(err_rate));
+    println!(
+        "  {} erroneous domains ({})",
+        fmt_count(agg.total_errors()),
+        fmt_percent(err_rate)
+    );
     for (class, count) in &agg.error_counts {
         println!("    {class:<26} {}", fmt_count(*count));
     }
@@ -48,8 +66,14 @@ fn main() {
 
     println!("permissiveness (paper: 34.7 % over 100k IPs; 1/3 under 20):");
     let cdf = Cdf::new(agg.allowed_ip_counts.clone());
-    println!("  > 100,000 allowed IPs: {}", fmt_percent(cdf.fraction_above(100_000)));
-    println!("  < 20 allowed IPs     : {}", fmt_percent(cdf.fraction_below(20)));
+    println!(
+        "  > 100,000 allowed IPs: {}",
+        fmt_percent(cdf.fraction_above(100_000))
+    );
+    println!(
+        "  < 20 allowed IPs     : {}",
+        fmt_percent(cdf.fraction_below(20))
+    );
     let (step, rise) = cdf.steepest_power_of_two_step();
     println!("  steepest CDF step at 2^{step} (+{:.1} pp)", rise * 100.0);
     println!();

@@ -49,7 +49,10 @@ fn main() {
         "campaign: {} eligible, {} notified ({} deduplicated), {} bounced, {} thanked",
         outcome.eligible, outcome.sent, outcome.deduplicated, outcome.bounced, outcome.thanked
     );
-    println!("throttled send took {:?} of virtual time (1 mail/s)\n", outcome.elapsed);
+    println!(
+        "throttled send took {:?} of virtual time (1 mail/s)\n",
+        outcome.elapsed
+    );
 
     // Two (virtual) weeks later: operators fixed some records.
     apply_remediation(&population.store, &scan.reports, &FixRates::default(), 0xF1);
@@ -57,7 +60,10 @@ fn main() {
     let rescan = crawl(&walker2, &population.domains, CrawlConfig { workers: 8 });
     let after = ScanAggregates::compute(&rescan.reports);
 
-    println!("{:<28} {:>8} {:>8} {:>9}", "Error", "Before", "After", "Change");
+    println!(
+        "{:<28} {:>8} {:>8} {:>9}",
+        "Error", "Before", "After", "Change"
+    );
     for (class, count_before) in &before.error_counts {
         let count_after = after.error_counts.get(class).copied().unwrap_or(0);
         let change = if *count_before == 0 {
@@ -65,7 +71,13 @@ fn main() {
         } else {
             (count_after as f64 / *count_before as f64 - 1.0) * 100.0
         };
-        println!("{:<28} {:>8} {:>8} {:>8.2} %", class.to_string(), count_before, count_after, change);
+        println!(
+            "{:<28} {:>8} {:>8} {:>8.2} %",
+            class.to_string(),
+            count_before,
+            count_after,
+            change
+        );
     }
     println!(
         "{:<28} {:>8} {:>8} {:>8.2} %",

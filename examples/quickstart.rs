@@ -16,8 +16,14 @@ fn main() {
     let domain = DomainName::parse("example.com").unwrap();
     store.add_txt(&domain, "v=spf1 +mx a:puffin.example.com/28 -all");
     store.add_mx(&domain, 10, &DomainName::parse("mail.example.com").unwrap());
-    store.add_a(&DomainName::parse("mail.example.com").unwrap(), "192.0.2.1".parse().unwrap());
-    store.add_a(&DomainName::parse("puffin.example.com").unwrap(), "203.0.113.64".parse().unwrap());
+    store.add_a(
+        &DomainName::parse("mail.example.com").unwrap(),
+        "192.0.2.1".parse().unwrap(),
+    );
+    store.add_a(
+        &DomainName::parse("puffin.example.com").unwrap(),
+        "203.0.113.64".parse().unwrap(),
+    );
 
     // 2. Parse the record and show its structure.
     let record = parse("v=spf1 +mx a:puffin.example.com/28 -all").unwrap();

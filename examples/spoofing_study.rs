@@ -18,7 +18,10 @@ fn main() {
     // Table 5 via the harness (each attempt is a TCP session).
     println!("running the five-provider case study over TCP ...\n");
     let rows = run_case_study(&world, Arc::clone(&resolver)).expect("case study");
-    println!("{:<10} {:<11} {:>10} {:>14}", "Provider", "Success", "# Domains", "# Allowed IPs");
+    println!(
+        "{:<10} {:<11} {:>10} {:>14}",
+        "Provider", "Success", "# Domains", "# Allowed IPs"
+    );
     for row in &rows {
         println!(
             "{:<10} {:<11} {:>10} {:>14}",
@@ -35,19 +38,27 @@ fn main() {
     // lands in the inbox with its Received-SPF-style verdict.
     let server = SmtpServer::spawn(
         Arc::clone(&resolver),
-        MtaConfig { enforcement: SpfEnforcement::MarkOnly, ..Default::default() },
+        MtaConfig {
+            enforcement: SpfEnforcement::MarkOnly,
+            ..Default::default()
+        },
     )
     .expect("server");
     let provider = &world.providers[1]; // provider 2: SMTP and MTA both work
     let victim = &provider.customers[0];
-    println!("demonstration: spoofing {victim} from provider {}'s web space", provider.id);
+    println!(
+        "demonstration: spoofing {victim} from provider {}'s web space",
+        provider.id
+    );
     let mut client = SmtpClient::connect(server.addr()).expect("connect");
     client.ehlo("rented-webspace.example").unwrap();
     client.xclient(provider.web_ip.into()).unwrap();
     let reply = client.mail_from(&format!("ceo@{victim}")).unwrap();
     println!("  MAIL FROM:<ceo@{victim}> → {reply}");
     client.rcpt_to("me@our-inbox.example").unwrap();
-    client.data("Subject: urgent wire transfer\n\nPlease transfer 50,000 EUR today.").unwrap();
+    client
+        .data("Subject: urgent wire transfer\n\nPlease transfer 50,000 EUR today.")
+        .unwrap();
     client.quit().unwrap();
     let inbox = server.received();
     let msg = &inbox[0];

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Manifest/docs health smoke check (CI-runnable):
+#  1. `cargo doc --no-deps` must emit zero warnings — every workspace
+#     crate declares #![warn(missing_docs)], so an undocumented public
+#     item anywhere fails this check.
+#  2. Every example must build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo doc --no-deps (expecting zero warnings)"
+doc_log=$(cargo doc --no-deps 2>&1) || { echo "$doc_log"; exit 1; }
+if echo "$doc_log" | grep -q "^warning"; then
+    echo "$doc_log" | grep -B1 -A6 "^warning"
+    echo "FAIL: cargo doc emitted warnings (missing docs or bad intra-doc links)"
+    exit 1
+fi
+
+echo "== cargo build --examples"
+cargo build --examples
+
+echo "OK: docs are warning-free and all examples build"

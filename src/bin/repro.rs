@@ -7,6 +7,31 @@
 //! cargo run --release --bin repro -- table4 fig5 --scale 50
 //! cargo run --release --bin repro -- all --scale 1        # full 12.8M domains
 //! ```
+//!
+//! # Targets
+//!
+//! Positional arguments select what to regenerate (case-insensitive, a
+//! leading `--` is tolerated): `all` (the default when none are given),
+//! `table1` … `table5`, `fig1` … `fig8`, and `extras` (the §5.1/§5.5
+//! additional findings). Every target except `table5` shares one
+//! generate-and-crawl pass; `table5` runs the live-TCP spoofing case
+//! study on its own hosting world.
+//!
+//! # Flags
+//!
+//! * `--scale N` — population scale divisor (must be ≥ 1): the synthetic
+//!   population is `12,823,598 / N` domains (default `100`, i.e. ≈128k).
+//!   `--scale 1` is the paper's full 12.8M-domain population.
+//! * `--seed S` — RNG seed (decimal) for population generation and every
+//!   stochastic model; the default `0x5bf12023` reproduces the committed
+//!   numbers. Same seed + same scale ⇒ identical artifacts (only the
+//!   elapsed-time lines vary between runs).
+//! * `--workers W` — crawl worker threads (default: available
+//!   parallelism). Results are rank-ordered and identical for any W.
+//! * `--out PATH` — where to write the paper-vs-measured experiment log
+//!   (default `EXPERIMENTS.md`).
+//! * `--no-write` — print artifacts only; skip the experiment log.
+//! * `-h`, `--help` — usage.
 
 use std::time::Instant;
 
@@ -29,7 +54,9 @@ fn parse_args() -> Args {
         targets: Vec::new(),
         scale: DEFAULT_SCALE,
         seed: DEFAULT_SEED,
-        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         out_path: Some("EXPERIMENTS.md".to_string()),
     };
     let mut it = std::env::args().skip(1);
@@ -55,11 +82,26 @@ fn parse_args() -> Args {
             }
             "--no-write" => args.out_path = None,
             "--out" => {
-                args.out_path = Some(it.next().unwrap_or_else(|| usage("missing value for --out")));
+                args.out_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --out")),
+                );
             }
             "-h" | "--help" => usage(""),
-            other => args.targets.push(other.trim_start_matches("--").to_lowercase()),
+            other => args
+                .targets
+                .push(other.trim_start_matches("--").to_lowercase()),
         }
+    }
+    if args.scale == 0 {
+        usage("--scale must be at least 1");
+    }
+    const KNOWN: [&str; 15] = [
+        "all", "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4",
+        "fig5", "fig6", "fig7", "fig8", "extras",
+    ];
+    if let Some(unknown) = args.targets.iter().find(|t| !KNOWN.contains(&t.as_str())) {
+        usage(&format!("unknown target `{unknown}`"));
     }
     if args.targets.is_empty() {
         args.targets.push("all".to_string());

@@ -62,21 +62,46 @@ fn error_classes_match_figure2_proportions() {
     let total = all.total_errors() as f64;
     assert!(total > 150.0, "too few errors measured: {total}");
     // Figure 2 shares of the 211,018 erroneous domains.
-    let share = |class: ErrorClass| {
-        all.error_counts.get(&class).copied().unwrap_or(0) as f64 / total
-    };
-    assert_close("record-not-found share", share(ErrorClass::RecordNotFound), 0.4298, 0.05);
-    assert_close("too-many-lookups share", share(ErrorClass::TooManyDnsLookups), 0.2342, 0.05);
+    let share =
+        |class: ErrorClass| all.error_counts.get(&class).copied().unwrap_or(0) as f64 / total;
+    assert_close(
+        "record-not-found share",
+        share(ErrorClass::RecordNotFound),
+        0.4298,
+        0.05,
+    );
+    assert_close(
+        "too-many-lookups share",
+        share(ErrorClass::TooManyDnsLookups),
+        0.2342,
+        0.05,
+    );
     assert_close("syntax share", share(ErrorClass::SyntaxError), 0.1815, 0.05);
-    assert_close("include-loop share", share(ErrorClass::IncludeLoop), 0.0917, 0.04);
-    assert_close("invalid-ip share", share(ErrorClass::InvalidIpAddress), 0.0374, 0.03);
+    assert_close(
+        "include-loop share",
+        share(ErrorClass::IncludeLoop),
+        0.0917,
+        0.04,
+    );
+    assert_close(
+        "invalid-ip share",
+        share(ErrorClass::InvalidIpAddress),
+        0.0374,
+        0.03,
+    );
     assert_close(
         "void-lookup share",
         share(ErrorClass::TooManyVoidDnsLookups),
         0.0252,
         0.02,
     );
-    assert!(all.error_counts.get(&ErrorClass::RedirectLoop).copied().unwrap_or(0) >= 1);
+    assert!(
+        all.error_counts
+            .get(&ErrorClass::RedirectLoop)
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
 }
 
 #[test]
@@ -88,10 +113,24 @@ fn not_found_causes_match_figure3() {
         all.not_found_causes.get(&cause).copied().unwrap_or(0) as f64 / nf_total as f64
     };
     // Figure 3: 53.8 % no-SPF-record, 40.5 % NXDOMAIN.
-    assert_close("no-spf cause", share(NotFoundCause::NoSpfRecord), 0.538, 0.06);
-    assert_close("nxdomain cause", share(NotFoundCause::DomainNotFound), 0.405, 0.06);
-    assert!(all.not_found_causes.contains_key(&NotFoundCause::DnsTimeout));
-    assert!(all.not_found_causes.contains_key(&NotFoundCause::MultipleSpfRecords));
+    assert_close(
+        "no-spf cause",
+        share(NotFoundCause::NoSpfRecord),
+        0.538,
+        0.06,
+    );
+    assert_close(
+        "nxdomain cause",
+        share(NotFoundCause::DomainNotFound),
+        0.405,
+        0.06,
+    );
+    assert!(all
+        .not_found_causes
+        .contains_key(&NotFoundCause::DnsTimeout));
+    assert!(all
+        .not_found_causes
+        .contains_key(&NotFoundCause::MultipleSpfRecords));
 }
 
 #[test]
@@ -113,7 +152,10 @@ fn include_ecosystem_matches_table4_ordering() {
     assert!(eco[0].used_by > eco[1].used_by);
 
     // The ovh-style include is tiny and flagged for ptr.
-    let ovh = eco.iter().find(|s| s.domain.as_str() == "mx.ovh.com").expect("ovh present");
+    let ovh = eco
+        .iter()
+        .find(|s| s.domain.as_str() == "mx.ovh.com")
+        .expect("ovh present");
     assert_eq!(ovh.allowed_ips, 2);
     assert!(ovh.uses_ptr);
 

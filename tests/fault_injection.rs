@@ -12,7 +12,9 @@ use spf_netsim::{Population, PopulationConfig, Scale};
 
 fn population() -> Population {
     Population::build(PopulationConfig {
-        scale: Scale { denominator: 20_000 },
+        scale: Scale {
+            denominator: 20_000,
+        },
         seed: 0x5bf1_2023,
     })
 }
@@ -20,12 +22,14 @@ fn population() -> Population {
 #[test]
 fn pipeline_survives_heavy_fault_injection() {
     let pop = population();
-    let profile = FaultProfile { timeout: 0.10, nxdomain: 0.05, empty: 0.05, servfail: 0.05 };
-    let faulty = FaultInjectingResolver::new(
-        ZoneResolver::new(Arc::clone(&pop.store)),
-        profile,
-        99,
-    );
+    let profile = FaultProfile {
+        timeout: 0.10,
+        nxdomain: 0.05,
+        empty: 0.05,
+        servfail: 0.05,
+    };
+    let faulty =
+        FaultInjectingResolver::new(ZoneResolver::new(Arc::clone(&pop.store)), profile, 99);
     let walker = Walker::new(faulty);
     let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
     let agg = ScanAggregates::compute(&out.reports);
@@ -53,7 +57,12 @@ fn fault_injection_is_reproducible_per_seed() {
     let run = |seed| {
         let faulty = FaultInjectingResolver::new(
             ZoneResolver::new(Arc::clone(&pop.store)),
-            FaultProfile { timeout: 0.1, nxdomain: 0.1, empty: 0.0, servfail: 0.0 },
+            FaultProfile {
+                timeout: 0.1,
+                nxdomain: 0.1,
+                empty: 0.0,
+                servfail: 0.0,
+            },
             seed,
         );
         let walker = Walker::new(faulty);
@@ -72,7 +81,12 @@ fn moderate_faults_keep_headline_rates_in_the_neighbourhood() {
     let pop = population();
     let faulty = FaultInjectingResolver::new(
         ZoneResolver::new(Arc::clone(&pop.store)),
-        FaultProfile { timeout: 0.01, nxdomain: 0.0, empty: 0.0, servfail: 0.0 },
+        FaultProfile {
+            timeout: 0.01,
+            nxdomain: 0.0,
+            empty: 0.0,
+            servfail: 0.0,
+        },
         3,
     );
     let walker = Walker::new(faulty);

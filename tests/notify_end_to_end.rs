@@ -26,11 +26,17 @@ fn campaign_and_rescan_reproduce_table2_shape() {
     let clock = Arc::new(VirtualClock::new());
     let mut campaign = Campaign::new(CampaignConfig::default(), clock.clone());
     let outcome = campaign.run(&out.reports);
-    let not_found =
-        before.error_counts.get(&ErrorClass::RecordNotFound).copied().unwrap_or(0);
+    let not_found = before
+        .error_counts
+        .get(&ErrorClass::RecordNotFound)
+        .copied()
+        .unwrap_or(0);
     assert_eq!(outcome.eligible, before.total_errors() - not_found);
     let sent_ratio = outcome.sent as f64 / outcome.eligible as f64;
-    assert!((0.90..=0.96).contains(&sent_ratio), "operator dedup ratio {sent_ratio}");
+    assert!(
+        (0.90..=0.96).contains(&sent_ratio),
+        "operator dedup ratio {sent_ratio}"
+    );
     // 1 msg/s: virtual time advanced by exactly `sent` seconds.
     assert_eq!(clock.now().as_secs(), outcome.sent);
 
@@ -49,11 +55,10 @@ fn campaign_and_rescan_reproduce_table2_shape() {
 
     // Syntax errors improve the most, lookup limits the least — the
     // ordering the paper explains by fix difficulty.
-    let rate = |agg: &ScanAggregates, class| {
-        agg.error_counts.get(&class).copied().unwrap_or(0) as f64
-    };
-    let syntax_red = 1.0
-        - rate(&after, ErrorClass::SyntaxError) / rate(&before, ErrorClass::SyntaxError);
+    let rate =
+        |agg: &ScanAggregates, class| agg.error_counts.get(&class).copied().unwrap_or(0) as f64;
+    let syntax_red =
+        1.0 - rate(&after, ErrorClass::SyntaxError) / rate(&before, ErrorClass::SyntaxError);
     let lookup_red = 1.0
         - rate(&after, ErrorClass::TooManyDnsLookups)
             / rate(&before, ErrorClass::TooManyDnsLookups);

@@ -31,13 +31,16 @@ fn arb_term() -> impl Strategy<Value = String> {
 }
 
 fn arb_record() -> impl Strategy<Value = String> {
-    (proptest::collection::vec(arb_term(), 0..8), prop_oneof![
-        Just(""),
-        Just(" -all"),
-        Just(" ~all"),
-        Just(" ?all"),
-        Just(" +all"),
-    ])
+    (
+        proptest::collection::vec(arb_term(), 0..8),
+        prop_oneof![
+            Just(""),
+            Just(" -all"),
+            Just(" ~all"),
+            Just(" ?all"),
+            Just(" +all"),
+        ],
+    )
         .prop_map(|(terms, all)| {
             let mut s = String::from("v=spf1");
             for t in &terms {

@@ -71,8 +71,14 @@ fn colo_slash28_passes_for_example_com() {
 fn amy_a_and_mx_mechanisms() {
     let zone = rfc_zone();
     assert_eq!(run(&zone, "192.0.2.65", "amy.example.com"), SpfResult::Pass); // her A
-    assert_eq!(run(&zone, "192.0.2.129", "amy.example.com"), SpfResult::Pass); // her MX
-    assert_eq!(run(&zone, "192.0.2.130", "amy.example.com"), SpfResult::Fail);
+    assert_eq!(
+        run(&zone, "192.0.2.129", "amy.example.com"),
+        SpfResult::Pass
+    ); // her MX
+    assert_eq!(
+        run(&zone, "192.0.2.130", "amy.example.com"),
+        SpfResult::Fail
+    );
 }
 
 #[test]
@@ -86,7 +92,10 @@ fn bob_slash24_widening() {
 #[test]
 fn unknown_domain_yields_none() {
     let zone = rfc_zone();
-    assert_eq!(run(&zone, "192.0.2.1", "other.example.org"), SpfResult::None);
+    assert_eq!(
+        run(&zone, "192.0.2.1", "other.example.org"),
+        SpfResult::None
+    );
 }
 
 #[test]
@@ -97,7 +106,10 @@ fn null_sender_uses_postmaster_semantics() {
     let helo = dom("example.com");
     let ctx = EvalContext::mail_from("192.0.2.129".parse().unwrap(), "postmaster", helo.clone());
     assert_eq!(ctx.sender(), "postmaster@example.com");
-    assert_eq!(check_host(&resolver, &ctx, &helo, &EvalPolicy::default()).result, SpfResult::Pass);
+    assert_eq!(
+        check_host(&resolver, &ctx, &helo, &EvalPolicy::default()).result,
+        SpfResult::Pass
+    );
 }
 
 #[test]
@@ -134,7 +146,10 @@ fn include_neutral_does_not_match() {
 #[test]
 fn include_softfail_does_not_match() {
     let zone = Arc::new(ZoneStore::new());
-    zone.add_txt(&dom("root.example"), "v=spf1 include:soft.example ip4:192.0.2.9 -all");
+    zone.add_txt(
+        &dom("root.example"),
+        "v=spf1 include:soft.example ip4:192.0.2.9 -all",
+    );
     zone.add_txt(&dom("soft.example"), "v=spf1 ~all");
     // The softfail inside the include does NOT leak out; the ip4 matches.
     assert_eq!(run(&zone, "192.0.2.9", "root.example"), SpfResult::Pass);
@@ -148,7 +163,10 @@ fn exists_uses_a_lookup_even_for_ipv6_sender() {
     let resolver = ZoneResolver::new(Arc::clone(&zone));
     let d = dom("e.example");
     let ctx = EvalContext::mail_from("2001:db8::1".parse().unwrap(), "x", d.clone());
-    assert_eq!(check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result, SpfResult::Pass);
+    assert_eq!(
+        check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result,
+        SpfResult::Pass
+    );
 }
 
 #[test]
@@ -156,7 +174,10 @@ fn redirect_modifier_position_is_irrelevant() {
     // RFC 7208 §6.1: redirect is a modifier — it applies after all
     // mechanisms regardless of where it is written.
     let zone = Arc::new(ZoneStore::new());
-    zone.add_txt(&dom("front.example"), "v=spf1 redirect=back.example ip4:192.0.2.50");
+    zone.add_txt(
+        &dom("front.example"),
+        "v=spf1 redirect=back.example ip4:192.0.2.50",
+    );
     zone.add_txt(&dom("back.example"), "v=spf1 ip4:192.0.2.60 -all");
     // ip4 matches first even though redirect is written before it.
     assert_eq!(run(&zone, "192.0.2.50", "front.example"), SpfResult::Pass);
@@ -174,11 +195,20 @@ fn macro_vectors_from_rfc_section_7() {
         &dom("email.example.com"),
         "v=spf1 exists:%{l1r-}.lp._spf.%{d2} -all",
     );
-    zone.add_a(&dom("strong.lp._spf.example.com"), "127.0.0.2".parse().unwrap());
+    zone.add_a(
+        &dom("strong.lp._spf.example.com"),
+        "127.0.0.2".parse().unwrap(),
+    );
     let resolver = ZoneResolver::new(Arc::clone(&zone));
     let d = dom("email.example.com");
     let ctx = EvalContext::mail_from("192.0.2.3".parse().unwrap(), "strong-bad", d.clone());
-    assert_eq!(check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result, SpfResult::Pass);
+    assert_eq!(
+        check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result,
+        SpfResult::Pass
+    );
     let ctx2 = EvalContext::mail_from("192.0.2.3".parse().unwrap(), "weak-bad", d.clone());
-    assert_eq!(check_host(&resolver, &ctx2, &d, &EvalPolicy::default()).result, SpfResult::Fail);
+    assert_eq!(
+        check_host(&resolver, &ctx2, &d, &EvalPolicy::default()).result,
+        SpfResult::Fail
+    );
 }

@@ -15,7 +15,9 @@ use spf_netsim::{Population, PopulationConfig, Scale};
 
 fn small_population() -> Population {
     Population::build(PopulationConfig {
-        scale: Scale { denominator: 20_000 }, // ≈641 domains
+        scale: Scale {
+            denominator: 20_000,
+        }, // ≈641 domains
         seed: 0x5bf1_2023,
     })
 }
@@ -26,7 +28,11 @@ fn udp_crawl_matches_in_process_crawl() {
 
     // In-process reference scan.
     let reference_walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let reference = crawl(&reference_walker, &population.domains, CrawlConfig { workers: 4 });
+    let reference = crawl(
+        &reference_walker,
+        &population.domains,
+        CrawlConfig { workers: 4 },
+    );
     let reference_agg = ScanAggregates::compute(&reference.reports);
 
     // Same zone, served over UDP with the paper's caching layer in front.
@@ -37,7 +43,10 @@ fn udp_crawl_matches_in_process_crawl() {
     .expect("server spawns");
     let udp = UdpResolver::new(
         server.addr(),
-        ClientConfig { timeout: std::time::Duration::from_millis(200), retries: 2 },
+        ClientConfig {
+            timeout: std::time::Duration::from_millis(200),
+            retries: 2,
+        },
     )
     .expect("client binds");
     let cached = CachingResolver::new(udp);
@@ -50,17 +59,33 @@ fn udp_crawl_matches_in_process_crawl() {
     // DnsTransient domains rely on server silence and may differ between
     // transports in timing-sensitive CI; compare the aggregate columns
     // that matter.
-    assert_eq!(over_wire_agg.with_spf, reference_agg.with_spf, "SPF counts must match");
-    assert_eq!(over_wire_agg.with_mx, reference_agg.with_mx, "MX counts must match");
-    assert_eq!(over_wire_agg.with_dmarc, reference_agg.with_dmarc, "DMARC counts must match");
-    assert_eq!(over_wire_agg.error_counts, reference_agg.error_counts, "error classes must match");
+    assert_eq!(
+        over_wire_agg.with_spf, reference_agg.with_spf,
+        "SPF counts must match"
+    );
+    assert_eq!(
+        over_wire_agg.with_mx, reference_agg.with_mx,
+        "MX counts must match"
+    );
+    assert_eq!(
+        over_wire_agg.with_dmarc, reference_agg.with_dmarc,
+        "DMARC counts must match"
+    );
+    assert_eq!(
+        over_wire_agg.error_counts, reference_agg.error_counts,
+        "error classes must match"
+    );
     assert_eq!(
         over_wire_agg.allowed_ip_counts, reference_agg.allowed_ip_counts,
         "authorized-IP counting must be transport-independent"
     );
 
     // The server really answered, and the cache really collapsed load.
-    assert!(server.answered() > 500, "server answered {}", server.answered());
+    assert!(
+        server.answered() > 500,
+        "server answered {}",
+        server.answered()
+    );
     let (hits, misses, queries, _) = stats.snapshot();
     assert!(hits > 0, "cache must get hits (provider reuse)");
     assert_eq!(hits + misses, queries);

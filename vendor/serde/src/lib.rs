@@ -1,0 +1,496 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! provides a simplified serialization framework with the same *spelling*
+//! as serde — `#[derive(Serialize, Deserialize)]`, `use serde::{...}` —
+//! but a much smaller mechanism: every value converts to and from a
+//! self-describing [`Value`] tree (the JSON data model plus a few
+//! conveniences), and `serde_json` renders/parses that tree. The derive
+//! macros (re-exported from `serde_derive`) generate field-by-field
+//! `to_value`/`from_value` impls, honouring `#[serde(transparent)]`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable value maps onto.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (struct fields, enum variants).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can convert itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a struct field in a serialized map (used by derived impls).
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+/// Fetch element `i` of a serialized sequence (used by derived impls).
+pub fn seq_get(seq: &[Value], i: usize) -> Result<&Value, Error> {
+    seq.get(i)
+        .ok_or_else(|| Error::custom(format!("missing tuple element {i}")))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // Out-of-u64 values survive as decimal strings.
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::U64(n) => Ok(*n as u128),
+            Value::Str(s) => s.parse().map_err(Error::custom),
+            _ => Err(Error::custom("expected u128")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// The analyzer's `Recommendation.code` is a `&'static str` machine code;
+// deserializing one (re)creates the string with a deliberate leak. The
+// codes are a small closed set and deserialization is not on any hot path.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(String::leak(s.clone())),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::custom("expected null")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_ser_de_smart_ptr {
+    ($($p:ident),*) => {$(
+        impl<T: Serialize + ?Sized> Serialize for $p<T> {
+            fn to_value(&self) -> Value { (**self).to_value() }
+        }
+        impl<T: Deserialize> Deserialize for $p<T> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                T::from_value(v).map($p::new)
+            }
+        }
+    )*};
+}
+
+impl_ser_de_smart_ptr!(Box, Arc, Rc);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+macro_rules! impl_ser_de_seq {
+    ($($c:ident),*) => {$(
+        impl<T: Serialize> Serialize for $c<T> {
+            fn to_value(&self) -> Value {
+                Value::Seq(self.iter().map(Serialize::to_value).collect())
+            }
+        }
+    )*};
+}
+
+impl_ser_de_seq!(Vec, VecDeque, BTreeSet);
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: std::hash::BuildHasher + Default> Deserialize
+    for HashSet<T, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+// Maps serialize as sequences of [key, value] pairs so keys need not be
+// strings (the workspace keys maps by enums and domain names).
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+fn entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Seq(items) => items
+            .iter()
+            .map(|pair| match pair {
+                Value::Seq(kv) if kv.len() == 2 => {
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                }
+                _ => Err(Error::custom("expected [key, value] pair")),
+            })
+            .collect(),
+        _ => Err(Error::custom("expected map as sequence of pairs")),
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        entries(v).map(|e| e.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        entries(v).map(|e| e.into_iter().collect())
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => Ok(($($t::from_value(seq_get(items, $i)?)?,)+)),
+                    _ => Err(Error::custom("expected tuple sequence")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+macro_rules! impl_ser_de_display_parse {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Str(self.to_string()) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Str(s) => s.parse().map_err(Error::custom),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t), " string"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_display_parse!(Ipv4Addr, Ipv6Addr, IpAddr, SocketAddr);
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            Value::U64(self.as_secs()),
+            Value::U64(self.subsec_nanos() as u64),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let (secs, nanos) = <(u64, u32)>::from_value(v)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.display().to_string())
+    }
+}
+
+impl Deserialize for PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(PathBuf::from)
+    }
+}
