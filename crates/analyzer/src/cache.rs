@@ -1,0 +1,258 @@
+//! The walker's memo cache: an N-way lock-striped shard map.
+//!
+//! The paper's crawler shared one record cache across 150 query endpoints
+//! so that "only for the first domain the include mechanism is processed,
+//! all others hit the cache". The in-process analogue used to be a single
+//! `RwLock<HashMap>`: correct, but every worker thread serialized on one
+//! lock word, so crawl throughput stopped scaling with worker count. This
+//! module stripes the map into independently locked shards selected by the
+//! key's precomputed hash ([`DomainName::precomputed_hash`]), so lookups
+//! and inserts for different domains proceed in parallel and contention is
+//! limited to genuine same-shard collisions.
+//!
+//! # Invariants
+//!
+//! * **One analysis per domain.** A domain's value is computed at most
+//!   once per *winner*: concurrent computors may race to the same key, but
+//!   [`ShardedCache::insert_if_absent`] keeps the first inserted value and
+//!   discards later ones, so every reader observes one canonical `Arc`.
+//!   Walk results are deterministic functions of the zone, so the racing
+//!   copies are identical and the race is benign.
+//! * **Deterministic shard selection.** The shard index is
+//!   `precomputed_hash % shard_count` — a pure function of the normalized
+//!   name (FNV-1a), not of `RandomState`, so shard placement (and the
+//!   per-shard counters) are reproducible across runs.
+//! * **Memory bounds.** The cache holds one entry per *unique* domain
+//!   analyzed (roots and include targets); it never duplicates analyses,
+//!   and the values are `Arc`-shared with the crawl reports, so the cache's
+//!   own footprint is the key map plus reference counts — O(unique
+//!   domains), not O(crawled domains × subtree size).
+//!
+//! Per-shard hit/miss counters ([`CacheStats`]) are maintained with relaxed
+//! atomics: they never influence control flow, only reporting (the `repro`
+//! CLI's throughput line and the `crawl_scaling` bench).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use spf_types::{DomainHashBuilder, DomainName};
+
+/// Default stripe count for [`ShardedCache`] (and thus the walker).
+///
+/// 16 shards keep same-shard collisions rare for worker counts up to the
+/// paper's 150-endpoint analogue while costing only 16 lock words; the
+/// `crawl_scaling` bench sweeps 1 vs. 16 to quantify the choice.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// Aggregated (or per-shard) cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Probes that found an entry.
+    pub hits: u64,
+    /// Probes that found nothing (the caller then computes and inserts).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all probes (0.0 when nothing was probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard<V> {
+    map: RwLock<HashMap<DomainName, V, DomainHashBuilder>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: RwLock::new(HashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-striped, domain-keyed memo map (see the module docs for the
+/// invariants). `V` is cloned out on hit, so it should be a cheap handle —
+/// the walker stores `Arc<RecordAnalysis>`.
+pub struct ShardedCache<V> {
+    shards: Box<[Shard<V>]>,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// A cache with `shard_count` stripes (clamped to at least 1).
+    pub fn new(shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        ShardedCache {
+            shards: (0..shard_count).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: &DomainName) -> &Shard<V> {
+        let idx = (key.precomputed_hash() % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Probe for `key`, counting the probe as a hit or miss on its shard.
+    pub fn get(&self, key: &DomainName) -> Option<V> {
+        let shard = self.shard(key);
+        let found = shard.map.read().get(key).cloned();
+        match found {
+            Some(v) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert `value` unless `key` is already present; returns the resident
+    /// value either way (the racing loser's value is dropped).
+    pub fn insert_if_absent(&self, key: &DomainName, value: V) -> V {
+        self.shard(key)
+            .map
+            .write()
+            .entry(key.clone())
+            .or_insert(value)
+            .clone()
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().len()).sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters are kept; they describe probes, not
+    /// residency).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.map.write().clear();
+        }
+    }
+
+    /// Copy out every `(key, value)` pair, shard by shard.
+    pub fn snapshot(&self) -> Vec<(DomainName, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            out.extend(shard.map.read().iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Counters for each shard, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| CacheStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                entries: s.map.read().len() as u64,
+            })
+            .collect()
+    }
+
+    /// Counters summed over all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), |acc, s| CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                entries: acc.entries + s.entries,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let cache: ShardedCache<u32> = ShardedCache::new(4);
+        assert_eq!(cache.get(&dom("a.example")), None);
+        cache.insert_if_absent(&dom("a.example"), 7);
+        assert_eq!(cache.get(&dom("a.example")), Some(7));
+        assert_eq!(cache.get(&dom("b.example")), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_if_absent_keeps_first_value() {
+        let cache: ShardedCache<u32> = ShardedCache::new(2);
+        assert_eq!(cache.insert_if_absent(&dom("x.example"), 1), 1);
+        assert_eq!(cache.insert_if_absent(&dom("x.example"), 2), 1);
+        assert_eq!(cache.get(&dom("x.example")), Some(1));
+    }
+
+    #[test]
+    fn shard_selection_is_deterministic_and_total() {
+        let cache: ShardedCache<usize> = ShardedCache::new(8);
+        for i in 0..64 {
+            cache.insert_if_absent(&dom(&format!("d{i}.example")), i);
+        }
+        assert_eq!(cache.len(), 64);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 8);
+        assert_eq!(per_shard.iter().map(|s| s.entries).sum::<u64>(), 64);
+        // Every entry is findable again (same shard on re-probe).
+        for i in 0..64 {
+            assert_eq!(cache.get(&dom(&format!("d{i}.example"))), Some(i));
+        }
+    }
+
+    #[test]
+    fn shard_count_clamped_to_one() {
+        let cache: ShardedCache<u8> = ShardedCache::new(0);
+        assert_eq!(cache.shard_count(), 1);
+        cache.insert_if_absent(&dom("a.example"), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_and_snapshot() {
+        let cache: ShardedCache<u8> = ShardedCache::new(3);
+        cache.insert_if_absent(&dom("a.example"), 1);
+        cache.insert_if_absent(&dom("b.example"), 2);
+        let mut snap = cache.snapshot();
+        snap.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].1, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -9,6 +9,8 @@
 //!
 //! * [`taxonomy`] — the Figure 2 error classes and Figure 3 sub-causes;
 //! * [`walker`] — the memoizing recursive record walker;
+//! * [`cache`] — the walker's lock-striped memo cache (shard selection,
+//!   hit/miss counters, the crawl's scalability hot path);
 //! * [`findings`] — per-domain reports (SPF + MX + DMARC + type-99);
 //! * [`mod@flatten`] — record flattening, the standard fix for
 //!   lookup-limit violations;
@@ -17,12 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod findings;
 pub mod flatten;
 pub mod recommend;
 pub mod taxonomy;
 pub mod walker;
 
+pub use cache::{CacheStats, ShardedCache, DEFAULT_CACHE_SHARDS};
 pub use findings::{analyze_domain, DomainReport, LAX_IP_THRESHOLD};
 pub use flatten::{flatten, FlattenProblem, Flattened};
 pub use recommend::{recommend, Recommendation, Severity};

@@ -9,10 +9,8 @@
 //! the paper used so that "only for the first domain the include mechanism
 //! is processed, all others hit the cache".
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use spf_core::parse::{self, ParsedRecord};
 use spf_dns::{DnsError, RecordData, RecordType, Resolver};
@@ -21,6 +19,7 @@ use spf_types::{
     MAX_VOID_LOOKUPS,
 };
 
+use crate::cache::{CacheStats, ShardedCache, DEFAULT_CACHE_SHARDS};
 use crate::taxonomy::{AnalysisError, ErrorClass, NotFoundCause};
 
 /// Walker limits (defaults mirror RFC 7208 §4.6.4).
@@ -148,29 +147,33 @@ impl RecordAnalysis {
     }
 }
 
-/// The analyzer: a resolver plus a memo cache of per-domain analyses.
+/// The analyzer: a resolver plus a sharded memo cache of per-domain
+/// analyses (see [`crate::cache`] for the cache's invariants).
 pub struct Walker<R> {
     resolver: R,
     policy: WalkPolicy,
-    cache: RwLock<HashMap<DomainName, Arc<RecordAnalysis>>>,
+    cache: ShardedCache<Arc<RecordAnalysis>>,
 }
 
 impl<R: Resolver> Walker<R> {
-    /// Create a walker over `resolver` with default limits.
+    /// Create a walker over `resolver` with default limits and the default
+    /// cache stripe count ([`DEFAULT_CACHE_SHARDS`]).
     pub fn new(resolver: R) -> Self {
-        Walker {
-            resolver,
-            policy: WalkPolicy::default(),
-            cache: RwLock::new(HashMap::new()),
-        }
+        Self::with_shards(resolver, WalkPolicy::default(), DEFAULT_CACHE_SHARDS)
     }
 
     /// Create a walker with explicit limits.
     pub fn with_policy(resolver: R, policy: WalkPolicy) -> Self {
+        Self::with_shards(resolver, policy, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Create a walker with explicit limits and memo-cache stripe count
+    /// (clamped to at least 1; 1 reproduces the old single-lock cache).
+    pub fn with_shards(resolver: R, policy: WalkPolicy, shards: usize) -> Self {
         Walker {
             resolver,
             policy,
-            cache: RwLock::new(HashMap::new()),
+            cache: ShardedCache::new(shards),
         }
     }
 
@@ -180,49 +183,92 @@ impl<R: Resolver> Walker<R> {
     }
 
     /// Analyze the record subtree rooted at `domain` (memoized).
+    ///
+    /// The memo cache stores only *subtree-flavored*, loop-free analyses —
+    /// the same value regardless of whether a domain is first reached as a
+    /// crawl root or as someone's include target — so cached content never
+    /// depends on worker scheduling. Root-only classification (the RFC
+    /// 7208 lookup-limit errors of [`WalkPolicy`]) is applied on the way
+    /// out, cloning only for the rare domains that exceed a limit.
     pub fn analyze(&self, domain: &DomainName) -> Arc<RecordAnalysis> {
-        if let Some(hit) = self.cache.read().get(domain) {
-            return Arc::clone(hit);
+        if let Some(hit) = self.cache.get(domain) {
+            return self.finished_root(hit);
         }
         let mut stack = Vec::new();
-        let analysis = Arc::new(self.walk(domain, &mut stack, 0));
-        self.cache
-            .write()
-            .insert(domain.clone(), Arc::clone(&analysis));
-        analysis
+        let (analysis, complete) = self.walk_fresh(domain, &mut stack, 0);
+        let cached = if complete && !has_loop_error(&analysis) {
+            self.cache.insert_if_absent(domain, Arc::new(analysis))
+        } else {
+            // Loop-containing analyses describe the loop relative to the
+            // walk that found it, and depth-truncated walks are missing
+            // part of their subtree; like `walk_include`, never cache
+            // either.
+            Arc::new(analysis)
+        };
+        self.finished_root(cached)
+    }
+
+    /// Apply the root-only limit classification to a cached subtree
+    /// analysis. The no-violation case (almost every domain) returns the
+    /// shared `Arc` untouched.
+    fn finished_root(&self, analysis: Arc<RecordAnalysis>) -> Arc<RecordAnalysis> {
+        if analysis.subtree_lookups <= self.policy.max_dns_lookups
+            && analysis.subtree_void_lookups <= self.policy.max_void_lookups
+        {
+            return analysis;
+        }
+        let mut finished = (*analysis).clone();
+        self.finish_root(&mut finished);
+        Arc::new(finished)
     }
 
     /// Cached analyses accumulated so far, keyed by domain. The include
     /// ecosystem reports (Table 4, Figures 4/7/8) read this after a crawl.
     pub fn cached(&self) -> Vec<(DomainName, Arc<RecordAnalysis>)> {
-        self.cache
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), Arc::clone(v)))
-            .collect()
+        self.cache.snapshot()
     }
 
     /// Number of cached subtree analyses.
     pub fn cache_len(&self) -> usize {
-        self.cache.read().len()
+        self.cache.len()
+    }
+
+    /// Number of memo-cache stripes.
+    pub fn shard_count(&self) -> usize {
+        self.cache.shard_count()
+    }
+
+    /// Hit/miss/entry counters summed over all cache shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Hit/miss/entry counters for each cache shard, in shard order.
+    pub fn shard_cache_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
     }
 
     /// Drop all cached analyses (used between scan rounds so a rescan sees
     /// remediated records).
     pub fn clear_cache(&self) {
-        self.cache.write().clear();
+        self.cache.clear();
     }
 
-    fn walk(
+    /// Walk `domain` without probing the cache first — the caller
+    /// ([`Walker::analyze`] or [`Walker::walk_include`]) has already taken
+    /// the miss. Inner include targets still reuse cached subtrees.
+    ///
+    /// The returned flag is `true` when the walk was *complete*: neither
+    /// this record nor anything folded in from below was cut off by the
+    /// [`WalkPolicy::max_depth`] recursion guard. Only complete subtrees
+    /// are memoizable — a truncated analysis describes the walk's position,
+    /// not the domain.
+    fn walk_fresh(
         &self,
         domain: &DomainName,
         stack: &mut Vec<DomainName>,
         depth: usize,
-    ) -> RecordAnalysis {
-        // Serve deeper include reuse from the cache too.
-        if let Some(hit) = self.cache.read().get(domain) {
-            return (**hit).clone();
-        }
+    ) -> (RecordAnalysis, bool) {
         let mut analysis = match self.fetch(domain) {
             Ok((text, parsed)) => {
                 let mut a = RecordAnalysis::empty(domain.clone(), FetchOutcome::Found);
@@ -235,11 +281,14 @@ impl<R: Resolver> Walker<R> {
                 if matches!(outcome, FetchOutcome::NxDomain | FetchOutcome::EmptyAnswer) {
                     a.subtree_void_lookups = 1;
                 }
-                return a;
+                return (a, true);
             }
         };
 
-        let parsed = analysis.parsed.clone().expect("set above");
+        // Take the parse result out instead of cloning it: `walk_terms`
+        // borrows the record while mutating the analysis, and `ParsedRecord`
+        // (a full term vector) is too expensive to copy per domain.
+        let parsed = analysis.parsed.take().expect("set above");
         // Syntax errors from the lenient parse, split into the two Figure 2
         // classes (invalid-IP vs everything else).
         for err in &parsed.errors {
@@ -258,20 +307,16 @@ impl<R: Resolver> Walker<R> {
         analysis.is_deny_all_only = is_deny_all_only(record);
         analysis.uses_reporting_modifiers = record.modifiers().any(|m| m.is_reporting_extension());
 
-        if depth >= self.policy.max_depth {
-            return analysis;
+        let mut complete = depth < self.policy.max_depth;
+        if complete {
+            stack.push(domain.clone());
+            self.walk_terms(record, &mut analysis, stack, depth, &mut complete);
+            stack.pop();
         }
-
-        stack.push(domain.clone());
-        self.walk_terms(record, &mut analysis, stack, depth);
-        stack.pop();
-
-        // Root-level limit classification happens in `finish_root`; subtree
-        // counts are just data here.
-        if depth == 0 {
-            self.finish_root(&mut analysis);
-        }
-        analysis
+        analysis.parsed = Some(parsed);
+        // Root-level limit classification happens in `analyze` via
+        // `finished_root`; subtree counts are just data here.
+        (analysis, complete)
     }
 
     fn walk_terms(
@@ -280,6 +325,7 @@ impl<R: Resolver> Walker<R> {
         analysis: &mut RecordAnalysis,
         stack: &mut Vec<DomainName>,
         depth: usize,
+        complete: &mut bool,
     ) {
         let root_domain = analysis.domain.clone();
         for term in &record.terms {
@@ -310,9 +356,11 @@ impl<R: Resolver> Walker<R> {
                     Mechanism::Ptr { .. } => {
                         analysis.subtree_lookups += 1;
                         analysis.uses_ptr = true;
-                        if depth == 0 {
-                            analysis.uses_ptr_direct = true;
-                        }
+                        // `uses_ptr_direct` describes *this record's* own
+                        // terms; the fold into parents only propagates the
+                        // inherited `uses_ptr` flag, so setting it here
+                        // keeps cached values independent of walk depth.
+                        analysis.uses_ptr_direct = true;
                         // PTR cannot be enumerated into an IP set (the
                         // paper's measurement focus notes the same limit).
                     }
@@ -324,11 +372,15 @@ impl<R: Resolver> Walker<R> {
                     }
                     Mechanism::Include { domain } => {
                         analysis.subtree_lookups += 1;
-                        if depth == 0 {
-                            analysis.top_level_include_count += 1;
-                        }
+                        // Counts includes in *this record's* top level (the
+                        // record being walked); never folded into parents,
+                        // so it is the same whatever depth the record is
+                        // first reached at.
+                        analysis.top_level_include_count += 1;
                         match domain.literal_text() {
-                            Some(text) => self.walk_include(&text, analysis, stack, depth, false),
+                            Some(text) => {
+                                self.walk_include(&text, analysis, stack, depth, false, complete)
+                            }
                             None => {
                                 // Macro include targets depend on the
                                 // message; statically unanalyzable.
@@ -339,7 +391,7 @@ impl<R: Resolver> Walker<R> {
                 Term::Modifier(Modifier::Redirect { domain }) => {
                     analysis.subtree_lookups += 1;
                     if let Some(text) = domain.literal_text() {
-                        self.walk_include(&text, analysis, stack, depth, true);
+                        self.walk_include(&text, analysis, stack, depth, true, complete);
                     }
                 }
                 Term::Modifier(_) => {}
@@ -348,7 +400,8 @@ impl<R: Resolver> Walker<R> {
     }
 
     /// Recurse into an include/redirect target, folding its subtree into
-    /// the caller's analysis.
+    /// the caller's analysis. Clears `complete` when the target's walk was
+    /// cut off by the recursion guard.
     fn walk_include(
         &self,
         target_text: &str,
@@ -356,6 +409,7 @@ impl<R: Resolver> Walker<R> {
         stack: &mut Vec<DomainName>,
         depth: usize,
         is_redirect: bool,
+        complete: &mut bool,
     ) {
         let target = match DomainName::parse(target_text) {
             Ok(d) => d,
@@ -370,7 +424,10 @@ impl<R: Resolver> Walker<R> {
                 return;
             }
         };
-        if depth == 0 && !is_redirect {
+        // Like the other top-level fields, `include_targets` lists *this
+        // record's* literal includes and is never folded upward, so it is
+        // recorded at every depth to keep cached values path-independent.
+        if !is_redirect {
             analysis.include_targets.push(target.clone());
         }
         if stack.contains(&target) {
@@ -391,19 +448,32 @@ impl<R: Resolver> Walker<R> {
             ));
             return;
         }
-        let sub = self.walk(&target, stack, depth + 1);
-        // Memoize completed, loop-free subtrees. Subtrees that reported a
-        // loop error depend on the current stack, so they are not cached.
-        let loop_free = !sub
-            .errors
-            .iter()
-            .any(|e| matches!(e.class, ErrorClass::IncludeLoop | ErrorClass::RedirectLoop));
-        if loop_free {
-            self.cache
-                .write()
-                .entry(target.clone())
-                .or_insert_with(|| Arc::new(sub.clone()));
-        }
+        // Serve repeated includes from the cache (the paper's record-cache
+        // trick); misses are computed once and folded in by reference — the
+        // subtree analysis itself is never deep-copied. A hit is only valid
+        // where a fresh walk would not have truncated: the entry's deepest
+        // descendant must clear the recursion guard from this depth.
+        let cached = self
+            .cache
+            .get(&target)
+            .filter(|hit| depth + 1 + hit.max_depth < self.policy.max_depth);
+        let sub: Arc<RecordAnalysis> = match cached {
+            Some(hit) => hit,
+            None => {
+                let (fresh, sub_complete) = self.walk_fresh(&target, stack, depth + 1);
+                *complete &= sub_complete;
+                // Memoize only *complete*, loop-free subtrees: loop errors
+                // depend on the current stack, and a truncated walk
+                // describes where the guard fired, not the domain — caching
+                // either would make the entry depend on how the domain was
+                // first reached.
+                if sub_complete && !has_loop_error(&fresh) {
+                    self.cache.insert_if_absent(&target, Arc::new(fresh))
+                } else {
+                    Arc::new(fresh)
+                }
+            }
+        };
 
         match &sub.fetch {
             FetchOutcome::Found => {
@@ -567,6 +637,16 @@ impl<R: Resolver> Walker<R> {
             ));
         }
     }
+}
+
+/// True when the analysis recorded an include/redirect loop anywhere in
+/// its subtree. Such analyses describe the loop relative to the walk that
+/// discovered it, so they are never memoized.
+fn has_loop_error(analysis: &RecordAnalysis) -> bool {
+    analysis
+        .errors
+        .iter()
+        .any(|e| matches!(e.class, ErrorClass::IncludeLoop | ErrorClass::RedirectLoop))
 }
 
 /// `v=spf1 -all` / `v=spf1 ~all` and nothing else: the deliberate
@@ -784,6 +864,153 @@ mod tests {
         let queries = stats.queries.load(std::sync::atomic::Ordering::Relaxed);
         // 20 customer TXT fetches + 1 provider fetch (cached afterwards).
         assert_eq!(queries, 21);
+    }
+
+    #[test]
+    fn cached_value_is_independent_of_root_vs_include_order() {
+        // A domain that is both crawled in its own right and included by
+        // another crawled domain must yield the same reports regardless of
+        // which analysis happens first: root-only limit errors are applied
+        // on the way out of `analyze`, never baked into the cache.
+        let build = || {
+            let s = Arc::new(ZoneStore::new());
+            let mut rec = String::from("v=spf1");
+            for i in 0..14 {
+                rec.push_str(&format!(" include:n{i}.example"));
+            }
+            rec.push_str(" -all");
+            s.add_txt(&dom("fat.example"), &rec);
+            for i in 0..14 {
+                s.add_txt(&dom(&format!("n{i}.example")), "v=spf1 ip4:10.0.0.1 -all");
+            }
+            s.add_txt(&dom("customer.example"), "v=spf1 include:fat.example -all");
+            s
+        };
+        // Order A: the fat include is analyzed as a crawl root first.
+        let wa = walker(&build());
+        let fat_a = wa.analyze(&dom("fat.example"));
+        let customer_a = wa.analyze(&dom("customer.example"));
+        // Order B: the customer (and thus fat-as-include) goes first.
+        let wb = walker(&build());
+        let customer_b = wb.analyze(&dom("customer.example"));
+        let fat_b = wb.analyze(&dom("fat.example"));
+        assert_eq!(*customer_a, *customer_b);
+        assert_eq!(*fat_a, *fat_b);
+        // Both roots carry their own limit classification...
+        for a in [&fat_a, &customer_a] {
+            assert!(a
+                .errors
+                .iter()
+                .any(|e| e.class == ErrorClass::TooManyDnsLookups));
+        }
+        // ...but the customer inherits only fat's subtree data, not fat's
+        // root-only error (exactly one TooManyDnsLookups, at the root).
+        let limit_errors = customer_a
+            .errors
+            .iter()
+            .filter(|e| e.class == ErrorClass::TooManyDnsLookups)
+            .count();
+        assert_eq!(limit_errors, 1);
+    }
+
+    #[test]
+    fn depth_truncated_analyses_are_not_cached() {
+        // With max_depth 1, walking a → b truncates b's subtree. That
+        // truncated view must not be served to a later analyze(b), whose
+        // own walk starts at depth 0 and sees the full record.
+        let s = Arc::new(ZoneStore::new());
+        s.add_txt(&dom("a.example"), "v=spf1 include:b.example -all");
+        s.add_txt(&dom("b.example"), "v=spf1 include:c.example -all");
+        s.add_txt(&dom("c.example"), "v=spf1 ip4:10.0.0.1 -all");
+        let policy = WalkPolicy {
+            max_depth: 1,
+            ..WalkPolicy::default()
+        };
+        let run = |first_root: &str| {
+            let w = Walker::with_policy(ZoneResolver::new(Arc::clone(&s)), policy);
+            w.analyze(&dom(first_root));
+            (w.analyze(&dom("a.example")), w.analyze(&dom("b.example")))
+        };
+        let (a1, b1) = run("a.example");
+        let (a2, b2) = run("b.example");
+        assert_eq!(*a1, *a2);
+        assert_eq!(*b1, *b2);
+        // b analyzed in its own right still sees its full top level.
+        assert_eq!(b1.subtree_lookups, 1);
+        assert_eq!(b1.include_targets, vec![dom("c.example")]);
+    }
+
+    #[test]
+    fn loop_analyses_are_not_cached_at_root_either() {
+        // x → c → x: x's analysis records the loop at a different domain
+        // depending on the walk entry point, so neither entry point may
+        // poison the cache for the other.
+        let build = || {
+            let s = Arc::new(ZoneStore::new());
+            s.add_txt(&dom("x.example"), "v=spf1 include:c.example -all");
+            s.add_txt(&dom("c.example"), "v=spf1 include:x.example -all");
+            s
+        };
+        let wa = walker(&build());
+        let x_first = wa.analyze(&dom("x.example"));
+        let c_after = wa.analyze(&dom("c.example"));
+        let wb = walker(&build());
+        let c_first = wb.analyze(&dom("c.example"));
+        let x_after = wb.analyze(&dom("x.example"));
+        assert_eq!(*x_first, *x_after);
+        assert_eq!(*c_first, *c_after);
+        assert!(has_loop_error(&x_first) && has_loop_error(&c_first));
+    }
+
+    #[test]
+    fn shard_counters_sum_to_unsharded_totals() {
+        // The same single-threaded workload against a 1-shard (the old
+        // single-lock layout) and a 16-shard cache must produce identical
+        // aggregate hit/miss counts — striping moves probes between locks,
+        // it never changes what is probed.
+        let s = Arc::new(ZoneStore::new());
+        s.add_txt(&dom("provider.example"), "v=spf1 ip4:198.51.100.0/24 -all");
+        s.add_txt(
+            &dom("nested.example"),
+            "v=spf1 include:provider.example -all",
+        );
+        for i in 0..30 {
+            let rec = if i % 3 == 0 {
+                "v=spf1 include:provider.example -all".to_string()
+            } else {
+                "v=spf1 include:nested.example ~all".to_string()
+            };
+            s.add_txt(&dom(&format!("c{i}.example")), &rec);
+        }
+        let run = |shards: usize| {
+            let w = Walker::with_shards(
+                ZoneResolver::new(Arc::clone(&s)),
+                WalkPolicy::default(),
+                shards,
+            );
+            for i in 0..30 {
+                w.analyze(&dom(&format!("c{i}.example")));
+            }
+            (w.cache_stats(), w.shard_cache_stats())
+        };
+        let (unsharded, _) = run(1);
+        let (aggregate, per_shard) = run(16);
+        assert_eq!(aggregate.hits, unsharded.hits);
+        assert_eq!(aggregate.misses, unsharded.misses);
+        assert_eq!(aggregate.entries, unsharded.entries);
+        assert!(aggregate.hits > 0 && aggregate.misses > 0);
+        // The per-shard counters partition the aggregate exactly.
+        assert_eq!(per_shard.len(), 16);
+        assert_eq!(
+            per_shard.iter().map(|s| s.hits).sum::<u64>(),
+            aggregate.hits
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.misses).sum::<u64>(),
+            aggregate.misses
+        );
+        // And more than one shard actually took traffic.
+        assert!(per_shard.iter().filter(|s| s.hits + s.misses > 0).count() > 1);
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn bench_crawl_adoption(c: &mut Criterion) {
     group.bench_function("cache_on", |b| {
         b.iter(|| {
             let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-            let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+            let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
             ScanAggregates::compute(&out.reports).with_spf
         })
     });
@@ -59,7 +59,7 @@ fn bench_analyze_errors(c: &mut Criterion) {
     let pop = population();
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
     // Warm the provider cache, then find one domain per error class.
-    let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+    let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
     let error_domains: Vec<_> = out
         .reports
         .iter()
@@ -83,7 +83,7 @@ fn bench_analyze_errors(c: &mut Criterion) {
 fn bench_ip_counting(c: &mut Criterion) {
     let pop = population();
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-    let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+    let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
     c.bench_function("ip_counting/ecosystem", |b| {
         b.iter(|| include_ecosystem(black_box(&out.reports), &walker).len())
     });
@@ -102,7 +102,7 @@ fn bench_notify_campaign(c: &mut Criterion) {
             || {
                 let pop = population();
                 let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-                let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+                let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
                 (pop, out.reports)
             },
             |(pop, reports)| {
@@ -111,7 +111,7 @@ fn bench_notify_campaign(c: &mut Criterion) {
                 let outcome = campaign.run(&reports);
                 apply_remediation(&pop.store, &reports, &FixRates::default(), SEED);
                 let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-                let rescan = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+                let rescan = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
                 (
                     outcome.sent,
                     ScanAggregates::compute(&rescan.reports).total_errors(),

@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use spf_analyzer::{DomainReport, ErrorClass, NotFoundCause, Walker};
-use spf_crawler::{crawl, include_ecosystem, CrawlConfig, IncludeStats, ScanAggregates};
+use spf_crawler::{
+    crawl, include_ecosystem, CrawlConfig, CrawlStats, IncludeStats, ScanAggregates,
+};
 use spf_dns::{VirtualClock, ZoneResolver};
 use spf_netsim::{build_hosting, Population, PopulationConfig, Scale};
 use spf_notify::{apply_remediation, Campaign, CampaignConfig, CampaignOutcome, FixRates};
@@ -35,6 +37,8 @@ pub struct Repro {
     pub top: ScanAggregates,
     /// The include ecosystem.
     pub eco: Vec<IncludeStats>,
+    /// Throughput/cache/queue counters of the scan crawl.
+    pub stats: CrawlStats,
     /// Scale denominator, for rescaling counts.
     pub denom: u64,
     /// Seed used.
@@ -55,7 +59,11 @@ pub fn prepare(denominator: u64, seed: u64, workers: usize) -> Repro {
         seed,
     });
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let output = crawl(&walker, &population.domains, CrawlConfig { workers });
+    let output = crawl(
+        &walker,
+        &population.domains,
+        CrawlConfig::with_workers(workers),
+    );
     let all = ScanAggregates::compute(&output.reports);
     let top = ScanAggregates::compute(&output.reports[..population.top_len]);
     let eco = include_ecosystem(&output.reports, &walker);
@@ -66,6 +74,7 @@ pub fn prepare(denominator: u64, seed: u64, workers: usize) -> Repro {
         all,
         top,
         eco,
+        stats: output.stats,
         denom: denominator,
         seed,
     }
@@ -293,7 +302,8 @@ pub fn figure4(r: &Repro) -> (Table, Experiment) {
 
 /// Table 2 — errors before and after the notification campaign.
 /// Runs the campaign + remediation model and rescans; mutates the zone.
-pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome) {
+/// The returned [`CrawlStats`] describe the rescan crawl.
+pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome, CrawlStats) {
     // 1. Notification campaign (throttled on a virtual clock).
     let clock = Arc::new(VirtualClock::new());
     let mut campaign = Campaign::new(CampaignConfig::default(), clock);
@@ -309,7 +319,11 @@ pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome)
 
     // 3. Rescan two (virtual) weeks later — fresh walker, fresh cache.
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&r.population.store)));
-    let rescan = crawl(&walker, &r.population.domains, CrawlConfig { workers });
+    let rescan = crawl(
+        &walker,
+        &r.population.domains,
+        CrawlConfig::with_workers(workers),
+    );
     let after = ScanAggregates::compute(&rescan.reports);
 
     let mut table = Table::new(
@@ -360,7 +374,7 @@ pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome)
          Table 2's change column (DESIGN.md §2); the rescan itself re-runs the \
          full pipeline against the mutated zone.",
     );
-    (table, exp, outcome)
+    (table, exp, outcome, rescan.stats)
 }
 
 /// Table 3 — very large IP ranges by CIDR class.
@@ -758,12 +772,13 @@ mod tests {
     fn table2_reduces_errors() {
         let r = quick();
         let before = r.all.total_errors();
-        let (t2, _, outcome) = table2(&r, 4);
+        let (t2, _, outcome, rescan_stats) = table2(&r, 4);
+        assert!(rescan_stats.domains > 0);
         assert!(t2.render().contains("Total Errors"));
         assert!(outcome.sent > 0);
         // Rescan must show fewer or equal errors.
         let walker = Walker::new(ZoneResolver::new(Arc::clone(&r.population.store)));
-        let rescan = crawl(&walker, &r.population.domains, CrawlConfig { workers: 4 });
+        let rescan = crawl(&walker, &r.population.domains, CrawlConfig::with_workers(4));
         let after = ScanAggregates::compute(&rescan.reports);
         assert!(after.total_errors() <= before);
     }

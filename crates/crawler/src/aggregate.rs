@@ -255,7 +255,7 @@ mod tests {
         let store = Arc::new(ZoneStore::new());
         let domains = build(&store);
         let walker = Walker::new(ZoneResolver::new(store));
-        let out = crawl(&walker, &domains, CrawlConfig { workers: 2 });
+        let out = crawl(&walker, &domains, CrawlConfig::with_workers(2));
         ScanAggregates::compute(&out.reports)
     }
 

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use spf_analyzer::{DomainReport, Walker};
 use spf_dns::Resolver;
-use spf_types::DomainName;
+use spf_types::{DomainHashBuilder, DomainName};
 
 /// Statistics for one include target across the whole scan.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,7 +39,7 @@ pub fn include_ecosystem<R: Resolver>(
     reports: &[DomainReport],
     walker: &Walker<R>,
 ) -> Vec<IncludeStats> {
-    let mut usage: HashMap<DomainName, u64> = HashMap::new();
+    let mut usage: HashMap<DomainName, u64, DomainHashBuilder> = HashMap::default();
     for report in reports {
         let Some(record) = report.record.as_ref() else {
             continue;
@@ -117,7 +117,7 @@ mod tests {
             domains.push(d);
         }
         let walker = Walker::new(ZoneResolver::new(store));
-        let out = crawl(&walker, &domains, CrawlConfig { workers: 2 });
+        let out = crawl(&walker, &domains, CrawlConfig::with_workers(2));
         let eco = include_ecosystem(&out.reports, &walker);
         assert_eq!(eco.len(), 2);
         assert_eq!(eco[0].domain, dom("big.provider.example"));
@@ -146,7 +146,7 @@ mod tests {
         let customer = dom("victim.example");
         store.add_txt(&customer, "v=spf1 include:fat.example -all");
         let walker = Walker::new(ZoneResolver::new(store));
-        let out = crawl(&walker, &[customer], CrawlConfig { workers: 1 });
+        let out = crawl(&walker, &[customer], CrawlConfig::with_workers(1));
         let eco = include_ecosystem(&out.reports, &walker);
         let over = includes_exceeding_limit(&eco, 10);
         assert_eq!(over.len(), 1);
@@ -163,7 +163,7 @@ mod tests {
         let customer = dom("c.example");
         store.add_txt(&customer, "v=spf1 include:mixed.provider.example -all");
         let walker = Walker::new(ZoneResolver::new(store));
-        let out = crawl(&walker, &[customer], CrawlConfig { workers: 1 });
+        let out = crawl(&walker, &[customer], CrawlConfig::with_workers(1));
         let eco = include_ecosystem(&out.reports, &walker);
         assert_eq!(eco[0].subnet_prefixes, vec![8, 24, 32]);
     }

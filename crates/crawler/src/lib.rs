@@ -6,6 +6,25 @@
 //! reports (adoption, error classes, permissiveness) and
 //! [`include_ecosystem`] builds the per-include view behind Table 4 and
 //! Figures 4/7/8.
+//!
+//! # Crawl engine invariants
+//!
+//! The engine is sharded at both ends of the hot path (DESIGN.md §3):
+//!
+//! * **One analysis per include.** All workers share one walker whose
+//!   lock-striped memo cache ([`spf_analyzer::cache`]) guarantees each
+//!   unique domain's subtree is analyzed once and then served as an `Arc`
+//!   handle — the paper's record-cache trick across 150 query endpoints.
+//! * **Bounded dispatch memory.** Work is dispatched in
+//!   [`CrawlConfig::batch_size`] chunks through a channel capped at
+//!   `2 × workers` batches, so in-flight work is O(workers × batch_size)
+//!   regardless of population size ([`CrawlStats::peak_queue_depth`]
+//!   observes the bound).
+//! * **Rank-order determinism.** Reports land in a preallocated slot table
+//!   indexed by Tranco rank; because every per-domain analysis is a pure
+//!   function of the zone, the report vector is bit-identical across all
+//!   worker / cache-shard / batch-size configurations (asserted by the
+//!   `crawl_stress` suite).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,7 +34,7 @@ pub mod crawl;
 pub mod ecosystem;
 
 pub use aggregate::{ScanAggregates, LARGE_RANGE_MAX_PREFIX};
-pub use crawl::{crawl, CrawlConfig, CrawlOutput};
+pub use crawl::{crawl, CrawlConfig, CrawlOutput, CrawlStats, DEFAULT_BATCH_SIZE};
 pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
 
 /// Re-export of the analyzer's lax-authorization threshold (100,000 IPs).

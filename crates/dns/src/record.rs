@@ -4,8 +4,9 @@
 
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use spf_types::DomainName;
 
 /// DNS record types with their IANA numeric codes.
@@ -80,9 +81,14 @@ impl fmt::Display for RecordType {
 /// TXT record data: a sequence of character-strings, each at most 255
 /// octets on the wire. Long SPF records are split across several strings
 /// and the verifier concatenates them *without* separators (RFC 7208 §3.3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The strings live behind an `Arc` so that cloning a TXT resource record
+/// — which the zone store does on every lookup and the crawl hot path
+/// performs twice per domain (SPF TXT + `_dmarc` TXT) — bumps a reference
+/// count instead of deep-copying record text.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxtData {
-    strings: Vec<String>,
+    strings: Arc<[String]>,
 }
 
 impl TxtData {
@@ -96,7 +102,9 @@ impl TxtData {
             strings.iter().all(|s| s.len() <= Self::MAX_CHAR_STRING),
             "character-string longer than 255 octets"
         );
-        TxtData { strings }
+        TxtData {
+            strings: strings.into(),
+        }
     }
 
     /// Split arbitrary text into ≤255-octet character-strings, the way
@@ -104,7 +112,7 @@ impl TxtData {
     pub fn from_text(text: &str) -> Self {
         if text.is_empty() {
             return TxtData {
-                strings: vec![String::new()],
+                strings: vec![String::new()].into(),
             };
         }
         let bytes = text.as_bytes();
@@ -119,7 +127,9 @@ impl TxtData {
             strings.push(String::from_utf8_lossy(&bytes[start..end]).into_owned());
             start = end;
         }
-        TxtData { strings }
+        TxtData {
+            strings: strings.into(),
+        }
     }
 
     /// The character-strings as published.
@@ -138,7 +148,22 @@ impl TxtData {
     /// replaces invalid bytes with U+FFFD (3 bytes), which can expand the
     /// in-memory length past 255. The encoder re-splits as needed.
     pub(crate) fn from_decoded(strings: Vec<String>) -> Self {
-        TxtData { strings }
+        TxtData {
+            strings: strings.into(),
+        }
+    }
+}
+
+impl Serialize for TxtData {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.strings.iter().map(|s| Value::Str(s.clone())).collect())
+    }
+}
+
+impl Deserialize for TxtData {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let strings = Vec::<String>::from_value(v)?;
+        Ok(TxtData::from_decoded(strings))
     }
 }
 

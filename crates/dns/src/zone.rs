@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use parking_lot::RwLock;
-use spf_types::DomainName;
+use spf_types::{DomainHashBuilder, DomainName};
 
 use crate::record::{Question, RecordData, RecordType, ResourceRecord, TxtData};
 
@@ -44,10 +44,19 @@ pub enum LookupOutcome {
     Fault(ZoneFault),
 }
 
+/// Everything the store knows about one owner name. Keeping the fault next
+/// to the records means the hot-path lookup is a *single* map probe, and
+/// the outer map hashes via the name's precomputed hash
+/// ([`DomainHashBuilder`]) instead of re-running SipHash per query.
+#[derive(Default)]
+struct NameEntry {
+    types: HashMap<RecordType, Vec<ResourceRecord>>,
+    fault: Option<ZoneFault>,
+}
+
 #[derive(Default)]
 struct ZoneInner {
-    records: HashMap<DomainName, HashMap<RecordType, Vec<ResourceRecord>>>,
-    faults: HashMap<DomainName, ZoneFault>,
+    records: HashMap<DomainName, NameEntry, DomainHashBuilder>,
 }
 
 /// Thread-safe in-memory zone data for the whole simulated Internet.
@@ -83,6 +92,7 @@ impl ZoneStore {
             .records
             .entry(rr.name.clone())
             .or_default()
+            .types
             .entry(rr.record_type())
             .or_default()
             .push(rr);
@@ -150,23 +160,26 @@ impl ZoneStore {
 
     /// Configure a failure mode for a name (applies to all record types).
     pub fn set_fault(&self, name: &DomainName, fault: ZoneFault) {
-        self.inner.write().faults.insert(name.clone(), fault);
+        self.inner
+            .write()
+            .records
+            .entry(name.clone())
+            .or_default()
+            .fault = Some(fault);
     }
 
     /// Remove all records and faults for a name. Used by the remediation
     /// model when an operator "fixes" a record.
     pub fn remove_name(&self, name: &DomainName) {
-        let mut inner = self.inner.write();
-        inner.records.remove(name);
-        inner.faults.remove(name);
+        self.inner.write().records.remove(name);
     }
 
     /// Replace the TXT records of a name with a single new text.
     pub fn replace_txt(&self, name: &DomainName, text: &str) {
         {
             let mut inner = self.inner.write();
-            if let Some(types) = inner.records.get_mut(name) {
-                types.remove(&RecordType::Txt);
+            if let Some(entry) = inner.records.get_mut(name) {
+                entry.types.remove(&RecordType::Txt);
             }
         }
         self.add_txt(name, text);
@@ -175,15 +188,17 @@ impl ZoneStore {
     /// Authoritative lookup.
     pub fn lookup(&self, name: &DomainName, rtype: RecordType) -> LookupOutcome {
         let inner = self.inner.read();
-        if let Some(&fault) = inner.faults.get(name) {
-            return LookupOutcome::Fault(fault);
-        }
         match inner.records.get(name) {
             None => LookupOutcome::NxDomain,
-            Some(types) => match types.get(&rtype) {
-                Some(rrs) if !rrs.is_empty() => LookupOutcome::Records(rrs.clone()),
-                _ => LookupOutcome::NoRecords,
-            },
+            Some(entry) => {
+                if let Some(fault) = entry.fault {
+                    return LookupOutcome::Fault(fault);
+                }
+                match entry.types.get(&rtype) {
+                    Some(rrs) if !rrs.is_empty() => LookupOutcome::Records(rrs.clone()),
+                    _ => LookupOutcome::NoRecords,
+                }
+            }
         }
     }
 
@@ -192,7 +207,8 @@ impl ZoneStore {
         self.lookup(&q.name, q.rtype)
     }
 
-    /// True if the name owns any record (of any type).
+    /// True if the name is present in the store (owns records, was
+    /// registered empty, or carries a fault).
     pub fn name_exists(&self, name: &DomainName) -> bool {
         self.inner.read().records.contains_key(name)
     }
@@ -208,7 +224,7 @@ impl ZoneStore {
             .read()
             .records
             .values()
-            .flat_map(|t| t.values())
+            .flat_map(|e| e.types.values())
             .map(|v| v.len())
             .sum()
     }

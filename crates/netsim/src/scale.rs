@@ -28,6 +28,35 @@ impl Scale {
         Scale { denominator: 1 }
     }
 
+    /// The `crawl_scaling` bench preset (1:200 ≈ 64k domains): large enough
+    /// that crawl throughput is cache- and dispatch-bound rather than
+    /// startup-bound, small enough to sweep workers × shards × batch in one
+    /// bench run. BENCH_2.json and DESIGN.md §6 are measured at this scale.
+    pub fn crawl_sweep() -> Self {
+        Scale { denominator: 200 }
+    }
+
+    /// The crawl determinism stress preset (1:500 ≈ 25.6k domains), used by
+    /// the façade's `crawl_stress` suite to assert bit-identical reports
+    /// across worker/shard/batch configurations.
+    pub fn stress() -> Self {
+        Scale { denominator: 500 }
+    }
+
+    /// The quick-iteration bench preset (1:20,000 ≈ 641 domains) used by
+    /// the per-building-block pipelines and the CI bench smoke job.
+    pub fn quick_bench() -> Self {
+        Scale {
+            denominator: 20_000,
+        }
+    }
+
+    /// Approximate number of domains a population at this scale generates
+    /// (the paper's 12,823,598 divided by the denominator, half-up).
+    pub fn approx_domains(&self) -> u64 {
+        self.of(crate::population::TOTAL_DOMAINS_FULL)
+    }
+
     /// Round a single full-scale count to this scale (half-up).
     pub fn of(&self, full: u64) -> u64 {
         (full + self.denominator / 2) / self.denominator
@@ -104,6 +133,14 @@ mod tests {
         assert_eq!(s.of_min1(58), 1); // the 58 redirect loops
         assert_eq!(s.of_min1(14), 1); // the 14 ra/rp/rr domains
         assert_eq!(s.of_min1(0), 0);
+    }
+
+    #[test]
+    fn presets_and_approx_domains() {
+        assert_eq!(Scale::crawl_sweep().approx_domains(), 64_118);
+        assert_eq!(Scale::stress().approx_domains(), 25_647);
+        assert_eq!(Scale::quick_bench().approx_domains(), 641);
+        assert_eq!(Scale::full().approx_domains(), 12_823_598);
     }
 
     #[test]

@@ -10,8 +10,9 @@ use std::borrow::Cow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Maximum length of a single DNS label in octets (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -80,21 +81,95 @@ impl std::error::Error for DomainError {}
 /// `DomainName::parse("Example.COM.")` and `parse("example.com")` compare
 /// equal and hash identically — the property the crawler's cache relies on.
 ///
+/// The normalized text is held behind an `Arc<str>` with a hash precomputed
+/// at construction, because the crawl hot path clones domain names
+/// pervasively (work dispatch, walker recursion, memo-cache keys): cloning
+/// is a reference-count bump instead of a string copy, equality gets a
+/// fast hash-first reject, and every hash-map operation hashes eight
+/// precomputed bytes instead of the whole name. The crawler's sharded memo
+/// cache also picks its shard from [`DomainName::precomputed_hash`].
+///
 /// ```
 /// use spf_types::DomainName;
 /// let a = DomainName::parse("Example.COM.").unwrap();
 /// let b = DomainName::parse("example.com").unwrap();
 /// assert_eq!(a, b);
+/// assert_eq!(a.precomputed_hash(), b.precomputed_hash());
 /// assert_eq!(a.label_count(), 2);
 /// assert_eq!(a.to_string(), "example.com");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone)]
 pub struct DomainName {
-    name: String,
+    name: Arc<str>,
+    hash: u64,
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over the normalized name bytes: deterministic across
+/// runs and platforms (unlike `RandomState`), so shard assignment and any
+/// serialized artifact derived from it are reproducible.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A cheap mixing hasher for maps keyed by [`DomainName`] (or composites
+/// of it): [`Hash for DomainName`](DomainName#impl-Hash-for-DomainName)
+/// feeds the precomputed FNV-1a value through `write_u64`, so this hasher
+/// only has to fold already-mixed words instead of re-hashing strings the
+/// way SipHash does. Use via [`DomainHashBuilder`]:
+///
+/// ```
+/// use std::collections::HashMap;
+/// use spf_types::{DomainHashBuilder, DomainName};
+/// let mut map: HashMap<DomainName, u32, DomainHashBuilder> = HashMap::default();
+/// map.insert(DomainName::parse("example.com").unwrap(), 1);
+/// assert_eq!(map.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DomainHasher(u64);
+
+impl Hasher for DomainHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (composite keys): FNV-1a continued from the
+        // current state so every written byte influences the result.
+        let mut hash = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = hash;
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // One multiply to fold the (already well-mixed) word into the
+        // state; sound for composite keys, nearly free for plain names.
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// `BuildHasher` for [`DomainHasher`], deterministic across runs.
+pub type DomainHashBuilder = std::hash::BuildHasherDefault<DomainHasher>;
+
 impl DomainName {
+    /// Wrap an already-normalized (lowercase, no root dot) name.
+    fn intern(normalized: String) -> Self {
+        let hash = fnv1a(normalized.as_bytes());
+        DomainName {
+            name: Arc::from(normalized),
+            hash,
+        }
+    }
     /// Parse and validate a domain name from presentation format.
     ///
     /// Accepts an optional trailing root dot. Underscores are allowed because
@@ -119,7 +194,7 @@ impl DomainName {
                 normalized.push(ch.to_ascii_lowercase());
             }
         }
-        Ok(DomainName { name: normalized })
+        Ok(Self::intern(normalized))
     }
 
     /// Parse a domain name from raw bytes, surfacing UTF-8 failures as the
@@ -156,9 +231,15 @@ impl DomainName {
     /// already-validated parts. Panics in debug builds if invalid.
     pub fn from_validated(name: String) -> Self {
         debug_assert!(DomainName::parse(&name).is_ok(), "invalid: {name}");
-        DomainName {
-            name: name.to_ascii_lowercase(),
-        }
+        Self::intern(name.to_ascii_lowercase())
+    }
+
+    /// The hash computed once at construction (64-bit FNV-1a of the
+    /// normalized name). [`Hash`] feeds this value to the hasher instead of
+    /// re-walking the string, and the analyzer's sharded memo cache uses it
+    /// directly for shard selection.
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
     }
 
     /// The normalized textual form, lowercase and without trailing dot.
@@ -180,9 +261,7 @@ impl DomainName {
     /// for a single-label (TLD-level) name.
     pub fn parent(&self) -> Option<DomainName> {
         let idx = self.name.find('.')?;
-        Some(DomainName {
-            name: self.name[idx + 1..].to_string(),
-        })
+        Some(Self::intern(self.name[idx + 1..].to_string()))
     }
 
     /// True if `self` equals `other` or is a subdomain of it.
@@ -199,7 +278,7 @@ impl DomainName {
             return true;
         }
         self.name.len() > other.name.len()
-            && self.name.ends_with(&other.name)
+            && self.name.ends_with(&*other.name)
             && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
     }
 
@@ -212,7 +291,7 @@ impl DomainName {
                 name_len: candidate.len(),
             });
         }
-        Ok(DomainName { name: candidate })
+        Ok(Self::intern(candidate))
     }
 
     /// The top-level domain label (`com` for `www.example.com`).
@@ -254,14 +333,37 @@ impl DomainName {
 
 impl PartialEq for DomainName {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name
+        // Hash-first reject: unequal names almost never reach the string
+        // comparison, which matters on the walker's include-stack scans.
+        self.hash == other.hash && self.name == other.name
     }
 }
 impl Eq for DomainName {}
 
 impl Hash for DomainName {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.name.hash(state);
+        state.write_u64(self.hash);
+    }
+}
+
+impl fmt::Debug for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DomainName({:?})", &*self.name)
+    }
+}
+
+impl Serialize for DomainName {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name.to_string())
+    }
+}
+
+impl Deserialize for DomainName {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Str(s) => DomainName::parse(s).map_err(SerdeError::custom),
+            _ => Err(SerdeError::custom("expected a domain-name string")),
+        }
     }
 }
 
@@ -429,6 +531,31 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(DomainName::parse("EXAMPLE.com").unwrap());
         assert!(set.contains(&DomainName::parse("example.COM").unwrap()));
+    }
+
+    #[test]
+    fn precomputed_hash_is_stable_and_case_insensitive() {
+        let a = DomainName::parse("Example.COM").unwrap();
+        let b = DomainName::parse("example.com").unwrap();
+        let c = DomainName::parse("example.org").unwrap();
+        assert_eq!(a.precomputed_hash(), b.precomputed_hash());
+        assert_ne!(a.precomputed_hash(), c.precomputed_hash());
+        // The clone shares the backing allocation and the hash.
+        let d = a.clone();
+        assert_eq!(d.precomputed_hash(), a.precomputed_hash());
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn derived_names_recompute_hashes_consistently() {
+        let child = DomainName::parse("mail.example.com").unwrap();
+        let parent = child.parent().unwrap();
+        let direct = DomainName::parse("example.com").unwrap();
+        assert_eq!(parent, direct);
+        assert_eq!(parent.precomputed_hash(), direct.precomputed_hash());
+        let back = direct.prepend_label("mail").unwrap();
+        assert_eq!(back, child);
+        assert_eq!(back.precomputed_hash(), child.precomputed_hash());
     }
 
     #[test]

@@ -21,7 +21,9 @@ mod macrostring;
 mod term;
 
 pub use cidr::{parse_ipv4_strict, DualCidr, Ip4ParseError, Ip6ParseError, Ipv4Cidr, Ipv6Cidr};
-pub use domain::{DomainError, DomainName, MAX_LABEL_LEN, MAX_NAME_LEN};
+pub use domain::{
+    DomainError, DomainHashBuilder, DomainHasher, DomainName, MAX_LABEL_LEN, MAX_NAME_LEN,
+};
 pub use ipset::Ipv4Set;
 pub use macrostring::{MacroError, MacroExpand, MacroLetter, MacroString, MacroToken};
 pub use term::{Directive, Mechanism, Modifier, Qualifier, SpfRecord, Term};

@@ -30,7 +30,7 @@ fn main() {
 
     println!("crawling (SPF + DMARC + MX per domain, shared record cache) ...");
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let output = crawl(&walker, &population.domains, CrawlConfig { workers: 8 });
+    let output = crawl(&walker, &population.domains, CrawlConfig::with_workers(8));
     let agg = ScanAggregates::compute(&output.reports);
     let top = ScanAggregates::compute(&output.reports[..population.top_len]);
     println!("  done in {:.2?}\n", output.elapsed);

@@ -19,7 +19,7 @@ fn main() {
         seed: 0x5bf1_2023,
     });
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let scan = crawl(&walker, &population.domains, CrawlConfig { workers: 8 });
+    let scan = crawl(&walker, &population.domains, CrawlConfig::with_workers(8));
     let before = ScanAggregates::compute(&scan.reports);
     println!(
         "initial scan: {} domains, {} with SPF, {} erroneous\n",
@@ -57,7 +57,7 @@ fn main() {
     // Two (virtual) weeks later: operators fixed some records.
     apply_remediation(&population.store, &scan.reports, &FixRates::default(), 0xF1);
     let walker2 = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let rescan = crawl(&walker2, &population.domains, CrawlConfig { workers: 8 });
+    let rescan = crawl(&walker2, &population.domains, CrawlConfig::with_workers(8));
     let after = ScanAggregates::compute(&rescan.reports);
 
     println!(

@@ -3,7 +3,11 @@
 #  1. `cargo doc --no-deps` must emit zero warnings — every workspace
 #     crate declares #![warn(missing_docs)], so an undocumented public
 #     item anywhere fails this check.
-#  2. Every example must build.
+#  2. The crawl-engine crates (`spf-crawler`, `spf-analyzer`) are held to
+#     a hard gate: missing docs on any public item are a *build error*,
+#     not a grep — their public surface documents the cache/dispatch
+#     invariants DESIGN.md §3 depends on.
+#  3. Every example must build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,7 +19,11 @@ if echo "$doc_log" | grep -q "^warning"; then
     exit 1
 fi
 
+echo "== missing-docs hard gate for the crawl engine (spf-crawler, spf-analyzer)"
+RUSTDOCFLAGS="--deny missing_docs" cargo doc --no-deps -p spf-crawler -p spf-analyzer \
+    --target-dir target/docs-gate
+
 echo "== cargo build --examples"
 cargo build --examples
 
-echo "OK: docs are warning-free and all examples build"
+echo "OK: docs are warning-free, crawl-engine docs pass the deny gate, all examples build"

@@ -144,12 +144,13 @@ fn main() {
         println!("[generate + crawl] building the synthetic Internet and scanning it ...");
         let r = bench::prepare(args.scale, args.seed, args.workers);
         println!(
-            "[generate + crawl] {} domains, {} zone records, {} cached include analyses ({:.1?})\n",
+            "[generate + crawl] {} domains, {} zone records, {} cached include analyses ({:.1?})",
             r.reports.len(),
             r.population.store.record_count(),
             r.walker.cache_len(),
             started.elapsed()
         );
+        println!("{}\n", throughput_line(&r.stats));
         Some(r)
     } else {
         None
@@ -219,7 +220,8 @@ fn main() {
         // Table 2 mutates the zone (remediation), so it runs last.
         if wants(t, "table2") {
             println!("[notify] running the notification campaign and two-week rescan ...");
-            let (table, exp, outcome) = bench::table2(r, args.workers);
+            let (table, exp, outcome, rescan_stats) = bench::table2(r, args.workers);
+            println!("{}", throughput_line(&rescan_stats));
             println!(
                 "[notify] {} eligible, {} sent, {} bounced, {} thanked, {} complaints \
                  ({} virtual send time)\n",
@@ -251,6 +253,22 @@ fn main() {
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
+}
+
+/// The perf-regression canary: one line per crawl with the numbers that
+/// move when the hot path regresses, readable without running criterion.
+fn throughput_line(stats: &spf_crawler::CrawlStats) -> String {
+    format!(
+        "[throughput] {:.0} domains/s ({} domains in {:.2}s) — cache hit rate {:.1} % \
+         ({} hits / {} misses), peak queue depth {}",
+        stats.domains_per_sec(),
+        stats.domains,
+        stats.elapsed_secs,
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.peak_queue_depth,
+    )
 }
 
 fn humantime(d: std::time::Duration) -> String {

@@ -46,9 +46,11 @@ pub use spf_types as types;
 
 /// The most commonly used items, for glob import in examples.
 pub mod prelude {
-    pub use spf_analyzer::{analyze_domain, recommend, DomainReport, ErrorClass, Walker};
+    pub use spf_analyzer::{
+        analyze_domain, recommend, CacheStats, DomainReport, ErrorClass, WalkPolicy, Walker,
+    };
     pub use spf_core::{check_host, parse, parse_lenient, EvalContext, EvalPolicy, SpfResult};
-    pub use spf_crawler::{crawl, include_ecosystem, CrawlConfig, ScanAggregates};
+    pub use spf_crawler::{crawl, include_ecosystem, CrawlConfig, CrawlStats, ScanAggregates};
     pub use spf_dns::{Resolver, ZoneResolver, ZoneStore};
     pub use spf_netsim::{build_hosting, Population, PopulationConfig, Scale};
     pub use spf_types::{DomainName, Ipv4Cidr, Ipv4Set, SpfRecord};

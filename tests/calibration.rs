@@ -16,7 +16,7 @@ fn build_and_crawl(denominator: u64) -> (Population, ScanAggregates, ScanAggrega
         seed: 0x5bf1_2023,
     });
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let output = crawl(&walker, &population.domains, CrawlConfig { workers: 8 });
+    let output = crawl(&walker, &population.domains, CrawlConfig::with_workers(8));
     let all = ScanAggregates::compute(&output.reports);
     let top = ScanAggregates::compute(&output.reports[..population.top_len]);
     (population, all, top)
@@ -140,7 +140,7 @@ fn include_ecosystem_matches_table4_ordering() {
         seed: 0x5bf1_2023,
     });
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let output = crawl(&walker, &population.domains, CrawlConfig { workers: 8 });
+    let output = crawl(&walker, &population.domains, CrawlConfig::with_workers(8));
     let eco = include_ecosystem(&output.reports, &walker);
 
     // The two giants must come out on top, in order, with the exact

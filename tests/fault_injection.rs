@@ -31,7 +31,7 @@ fn pipeline_survives_heavy_fault_injection() {
     let faulty =
         FaultInjectingResolver::new(ZoneResolver::new(Arc::clone(&pop.store)), profile, 99);
     let walker = Walker::new(faulty);
-    let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+    let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
     let agg = ScanAggregates::compute(&out.reports);
     // Everything completed; nothing panicked; every domain has a report.
     assert_eq!(agg.total_domains as usize, pop.domains.len());
@@ -40,7 +40,7 @@ fn pipeline_survives_heavy_fault_injection() {
     assert!(agg.dns_transient > 0, "injected timeouts must be observed");
     let clean = {
         let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-        let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+        let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
         ScanAggregates::compute(&out.reports)
     };
     assert!(
@@ -68,7 +68,7 @@ fn fault_injection_is_reproducible_per_seed() {
         let walker = Walker::new(faulty);
         // Single worker: scheduling must not reorder queries against the
         // shared RNG for this determinism check.
-        let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 1 });
+        let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(1));
         let agg = ScanAggregates::compute(&out.reports);
         (agg.with_spf, agg.dns_transient, agg.total_errors())
     };
@@ -90,7 +90,7 @@ fn moderate_faults_keep_headline_rates_in_the_neighbourhood() {
         3,
     );
     let walker = Walker::new(faulty);
-    let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 4 });
+    let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(4));
     let agg = ScanAggregates::compute(&out.reports);
     // 1 % timeouts should not move SPF adoption by more than a few points.
     let rate = agg.spf_rate();

@@ -18,7 +18,7 @@ fn campaign_and_rescan_reproduce_table2_shape() {
         seed: 0x5bf1_2023,
     });
     let walker = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-    let out = crawl(&walker, &pop.domains, CrawlConfig { workers: 8 });
+    let out = crawl(&walker, &pop.domains, CrawlConfig::with_workers(8));
     let before = ScanAggregates::compute(&out.reports);
     assert!(before.total_errors() > 300, "need a real error population");
 
@@ -43,7 +43,7 @@ fn campaign_and_rescan_reproduce_table2_shape() {
     // Operators fix records; rescan two virtual weeks later.
     apply_remediation(&pop.store, &out.reports, &FixRates::default(), 0xF1);
     let walker2 = Walker::new(ZoneResolver::new(Arc::clone(&pop.store)));
-    let rescan = crawl(&walker2, &pop.domains, CrawlConfig { workers: 8 });
+    let rescan = crawl(&walker2, &pop.domains, CrawlConfig::with_workers(8));
     let after = ScanAggregates::compute(&rescan.reports);
 
     // Total reduction near the paper's 3.28 %.

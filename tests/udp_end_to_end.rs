@@ -31,7 +31,7 @@ fn udp_crawl_matches_in_process_crawl() {
     let reference = crawl(
         &reference_walker,
         &population.domains,
-        CrawlConfig { workers: 4 },
+        CrawlConfig::with_workers(4),
     );
     let reference_agg = ScanAggregates::compute(&reference.reports);
 
@@ -53,7 +53,11 @@ fn udp_crawl_matches_in_process_crawl() {
     let stats = cached.stats();
     let udp_walker = Walker::new(cached);
     // Single worker: the UDP resolver serializes queries anyway.
-    let over_wire = crawl(&udp_walker, &population.domains, CrawlConfig { workers: 1 });
+    let over_wire = crawl(
+        &udp_walker,
+        &population.domains,
+        CrawlConfig::with_workers(1),
+    );
     let over_wire_agg = ScanAggregates::compute(&over_wire.reports);
 
     // DnsTransient domains rely on server silence and may differ between
