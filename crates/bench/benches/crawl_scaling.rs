@@ -12,6 +12,13 @@
 //! Quick mode for CI smoke runs: set `CRAWL_SCALING_QUICK=1` (or pass
 //! `--quick`) to shrink the population to 1:5000 and the matrix to two
 //! configurations; the JSON is still written so the artifact upload works.
+//!
+//! Regression gate: the report's `quick_points` are measured with the
+//! same plain best-of-N loop in full and quick runs, so
+//! `scripts/bench_guard.sh` can compare a CI quick run against the
+//! committed BENCH_2.json (`spf_bench::guard`); with
+//! `BENCH_GUARD_BASELINE` set, this binary fails itself on a >30 %
+//! throughput regression.
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -20,6 +27,7 @@ use std::time::{Duration, Instant};
 use criterion::Criterion;
 use serde::Serialize;
 use spf_analyzer::{WalkPolicy, Walker};
+use spf_bench::guard::{self, GuardPoint};
 use spf_crawler::{crawl, CrawlConfig};
 use spf_dns::ZoneResolver;
 use spf_netsim::{Population, PopulationConfig, Scale};
@@ -60,6 +68,52 @@ struct BenchReport {
     pre_pr_baseline: PrePrBaseline,
     results: Vec<SweepPoint>,
     speedup_at_32_workers_vs_pre_pr: f64,
+    /// Guard points: the quick configurations at quick scale, measured by
+    /// the plain loop in *every* mode so CI quick runs compare
+    /// apples-to-apples against this committed artifact.
+    quick_points: Vec<GuardPoint>,
+}
+
+/// The fixed quick-scale matrix behind `quick_points`.
+const QUICK_CONFIGS: &[(usize, usize, usize)] = &[(1, 1, 1), (4, 16, 64)];
+const QUICK_SCALE: Scale = Scale { denominator: 5_000 };
+
+/// One timed crawl of `population` under the given configuration.
+fn timed_crawl(population: &Population, workers: usize, shards: usize, batch: usize) -> SweepPoint {
+    let walker = Walker::with_shards(
+        ZoneResolver::new(Arc::clone(&population.store)),
+        WalkPolicy::default(),
+        shards,
+    );
+    let started = Instant::now();
+    let out = crawl(
+        &walker,
+        &population.domains,
+        CrawlConfig::with_workers(workers).batch_size(batch),
+    );
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(out.reports.len(), population.domains.len());
+    SweepPoint {
+        workers,
+        shards,
+        batch_size: batch,
+        best_secs: secs,
+        domains_per_sec: out.stats.domains_per_sec(),
+        cache_hit_rate: out.stats.cache_hit_rate(),
+        peak_queue_depth: out.stats.peak_queue_depth,
+    }
+}
+
+/// Best-of-`RUNS` guard points over the quick matrix at quick scale.
+fn measure_quick_points(quick_population: &Population) -> Vec<GuardPoint> {
+    QUICK_CONFIGS
+        .iter()
+        .map(|&(workers, shards, batch)| {
+            guard::quick_point(format!("w{workers}_s{shards}_b{batch}"), RUNS, || {
+                timed_crawl(quick_population, workers, shards, batch).domains_per_sec
+            })
+        })
+        .collect()
 }
 
 #[derive(Debug, Serialize)]
@@ -125,34 +179,13 @@ fn main() {
             b.iter(|| {
                 let mut total = 0usize;
                 for _ in 0..RUNS {
-                    let walker = Walker::with_shards(
-                        ZoneResolver::new(Arc::clone(&population.store)),
-                        WalkPolicy::default(),
-                        shards,
-                    );
-                    let started = Instant::now();
-                    let out = crawl(
-                        &walker,
-                        &population.domains,
-                        CrawlConfig::with_workers(workers).batch_size(batch_size),
-                    );
-                    let secs = started.elapsed().as_secs_f64();
-                    assert_eq!(out.reports.len(), population.domains.len());
-                    total += out.reports.len();
+                    let point = timed_crawl(population, workers, shards, batch_size);
+                    total += population.domains.len();
                     let mut points = points.borrow_mut();
-                    let point = SweepPoint {
-                        workers,
-                        shards,
-                        batch_size,
-                        best_secs: secs,
-                        domains_per_sec: out.stats.domains_per_sec(),
-                        cache_hit_rate: out.stats.cache_hit_rate(),
-                        peak_queue_depth: out.stats.peak_queue_depth,
-                    };
                     match points.iter_mut().find(|p| {
                         (p.workers, p.shards, p.batch_size) == (workers, shards, batch_size)
                     }) {
-                        Some(existing) if existing.best_secs <= secs => {}
+                        Some(existing) if existing.best_secs <= point.best_secs => {}
                         Some(existing) => *existing = point,
                         None => points.push(point),
                     }
@@ -162,6 +195,23 @@ fn main() {
         });
     }
     group.finish();
+
+    // Guard points: always measured at quick scale with the plain loop,
+    // so the committed full-mode artifact and a CI quick run agree on
+    // population and method.
+    let quick_population = if scale.denominator == QUICK_SCALE.denominator {
+        population
+    } else {
+        println!(
+            "crawl_scaling: measuring guard points on the 1:{} quick population ...",
+            QUICK_SCALE.denominator
+        );
+        Population::build(PopulationConfig {
+            scale: QUICK_SCALE,
+            seed: SEED,
+        })
+    };
+    let quick_points = measure_quick_points(&quick_population);
 
     let results = points.into_inner();
     let best_32 = results
@@ -190,6 +240,7 @@ fn main() {
         } else {
             best_32 / PRE_PR_32_WORKERS_DOMAINS_PER_SEC
         },
+        quick_points: quick_points.clone(),
     };
 
     let out_path = std::env::var("BENCH_2_OUT")
@@ -204,4 +255,8 @@ fn main() {
             report.speedup_at_32_workers_vs_pre_pr
         );
     }
+
+    // With BENCH_GUARD_BASELINE set (scripts/bench_guard.sh), fail the
+    // run on a regression against the committed artifact.
+    guard::enforce_from_env(&quick_points);
 }

@@ -1,0 +1,256 @@
+//! Wire-path crawl throughput — the BENCH_3.json baseline.
+//!
+//! One `wire_throughput` criterion group crawls the 1:500 population
+//! (≈25.6k domains, the `wire_stress` scale) over real UDP/TCP sockets:
+//! a hash-sharded [`WireFleet`] of authoritative name servers behind a
+//! pooled, single-flight-coalescing, TTL-caching [`WireResolver`]. Each
+//! configuration records best-of-N domains/s plus the wire telemetry the
+//! paper's operational sections care about: **query amplification**
+//! (datagrams per crawled domain), the **coalescing hit-rate**, the
+//! wire-cache hit-rate and TCP fallback counts. A same-scale in-memory
+//! crawl is measured as the reference point, so the JSON also states the
+//! socket tax directly.
+//!
+//! Quick mode for CI smoke runs: `WIRE_THROUGHPUT_QUICK=1` (or
+//! `--quick`) shrinks the population to 1:20000 and the matrix to one
+//! configuration. Regression gate: `quick_points` are measured with the
+//! same plain loop in every mode; with `BENCH_GUARD_BASELINE` set
+//! (`scripts/bench_guard.sh`), the run fails itself on a >30 %
+//! regression against the committed BENCH_3.json (`spf_bench::guard`).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use serde::Serialize;
+use spf_analyzer::Walker;
+use spf_bench::guard::{self, GuardPoint};
+use spf_crawler::{crawl, CrawlConfig};
+use spf_dns::{ServerConfig, WireClientConfig, WireFleet, ZoneResolver};
+use spf_netsim::{wirelab, Population, PopulationConfig, Scale};
+
+const SEED: u64 = 0x5bf1_2023;
+/// Crawls per configuration; the recorded figure is the best of them.
+const RUNS: usize = 3;
+/// The full-mode measurement scale (matches the `wire_stress` suite).
+const FULL_SCALE: Scale = Scale { denominator: 500 };
+/// The quick/guard scale (matches the repro smoke examples).
+const QUICK_SCALE: Scale = Scale {
+    denominator: 20_000,
+};
+/// The guard matrix: (workers, servers) at quick scale.
+const QUICK_CONFIGS: &[(usize, usize)] = &[(4, 2)];
+
+#[derive(Debug, Clone, Serialize)]
+struct WirePoint {
+    workers: usize,
+    servers: usize,
+    best_secs: f64,
+    domains_per_sec: f64,
+    /// UDP datagrams per crawled domain (query amplification).
+    amplification: f64,
+    /// Fraction of resolver queries that joined an in-flight wire query.
+    coalesce_rate: f64,
+    /// Fraction of resolver queries served by the wire TTL cache.
+    wire_cache_hit_rate: f64,
+    wire_queries: u64,
+    tcp_fallbacks: u64,
+    retries: u64,
+    temp_errors: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    quick_mode: bool,
+    scale_denominator: u64,
+    domains: u64,
+    runs_per_config: usize,
+    host_parallelism: usize,
+    /// Same-population in-memory crawl throughput (the socket tax
+    /// reference; 8 workers, default shards).
+    in_memory_domains_per_sec: f64,
+    results: Vec<WirePoint>,
+    /// Guard points at quick scale, measured by the plain loop in every
+    /// mode (see `spf_bench::guard`).
+    quick_points: Vec<GuardPoint>,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("WIRE_THROUGHPUT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// One timed wire crawl: fresh fleet, resolver, walker.
+fn timed_wire_crawl(population: &Population, workers: usize, servers: usize) -> WirePoint {
+    let fleet = WireFleet::spawn(&population.store, servers, ServerConfig::default())
+        .expect("fleet spawns on loopback");
+    let resolver = Arc::new(
+        fleet
+            .resolver(WireClientConfig::crawl())
+            .with_behaviors(wirelab::zero_faults(servers), SEED),
+    );
+    let started = Instant::now();
+    let out = crawl(
+        &Walker::new(Arc::clone(&resolver)),
+        &population.domains,
+        CrawlConfig::wire(workers, servers),
+    );
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(out.reports.len(), population.domains.len());
+    let snap = resolver.snapshot();
+    WirePoint {
+        workers,
+        servers,
+        best_secs: secs,
+        domains_per_sec: out.stats.domains_per_sec(),
+        amplification: snap.amplification(out.stats.domains),
+        coalesce_rate: snap.coalesce_rate(),
+        wire_cache_hit_rate: snap.cache_hit_rate(),
+        wire_queries: snap.wire_queries,
+        tcp_fallbacks: snap.tcp_fallbacks,
+        retries: snap.retries,
+        temp_errors: snap.temp_errors,
+    }
+}
+
+/// The in-memory reference crawl at the same scale (the socket tax).
+fn in_memory_domains_per_sec(population: &Population) -> f64 {
+    (0..RUNS)
+        .map(|_| {
+            let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
+            let out = crawl(&walker, &population.domains, CrawlConfig::with_workers(8));
+            out.stats.domains_per_sec()
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// Best-of-`RUNS` guard points over the quick matrix at quick scale.
+fn measure_quick_points(quick_population: &Population) -> Vec<GuardPoint> {
+    QUICK_CONFIGS
+        .iter()
+        .map(|&(workers, servers)| {
+            guard::quick_point(format!("w{workers}_v{servers}"), RUNS, || {
+                timed_wire_crawl(quick_population, workers, servers).domains_per_sec
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let scale = if quick { QUICK_SCALE } else { FULL_SCALE };
+    let configs: &[(usize, usize)] = if quick {
+        QUICK_CONFIGS
+    } else {
+        &[
+            // worker scaling at the default shard count…
+            (1, 4),
+            (8, 4),
+            (32, 4),
+            // …and shard scaling at fixed workers.
+            (8, 1),
+            (32, 1),
+        ]
+    };
+
+    println!(
+        "wire_throughput: generating the 1:{} population (seed {SEED:#x}) ...",
+        scale.denominator
+    );
+    let population = Population::build(PopulationConfig { scale, seed: SEED });
+    let n = population.domains.len();
+    println!(
+        "wire_throughput: {n} domains, sweeping {} wire configurations",
+        configs.len()
+    );
+
+    let points: RefCell<Vec<WirePoint>> = RefCell::new(Vec::new());
+    let mut criterion = Criterion::default().measurement_time(Duration::from_millis(1));
+    let mut group = criterion.benchmark_group("wire_throughput");
+    group.measurement_time(Duration::from_millis(1));
+    for &(workers, servers) in configs {
+        let id = format!("w{workers}_v{servers}");
+        let population = &population;
+        let points = &points;
+        group.bench_function(id, move |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for _ in 0..RUNS {
+                    let point = timed_wire_crawl(population, workers, servers);
+                    total += n;
+                    let mut points = points.borrow_mut();
+                    match points
+                        .iter_mut()
+                        .find(|p| (p.workers, p.servers) == (workers, servers))
+                    {
+                        Some(existing) if existing.best_secs <= point.best_secs => {}
+                        Some(existing) => *existing = point,
+                        None => points.push(point),
+                    }
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+
+    let in_memory = in_memory_domains_per_sec(&population);
+    let quick_population = if scale.denominator == QUICK_SCALE.denominator {
+        population
+    } else {
+        println!(
+            "wire_throughput: measuring guard points on the 1:{} quick population ...",
+            QUICK_SCALE.denominator
+        );
+        Population::build(PopulationConfig {
+            scale: QUICK_SCALE,
+            seed: SEED,
+        })
+    };
+    let quick_points = measure_quick_points(&quick_population);
+
+    let results = points.into_inner();
+    let report = BenchReport {
+        bench: "wire_throughput".to_string(),
+        quick_mode: quick,
+        scale_denominator: scale.denominator,
+        domains: n as u64,
+        runs_per_config: RUNS,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        in_memory_domains_per_sec: in_memory,
+        results,
+        quick_points: quick_points.clone(),
+    };
+
+    let out_path = std::env::var("BENCH_3_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_3.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("BENCH_3.json is writable");
+    println!("wire_throughput: wrote {out_path}");
+    if let Some(best) = report
+        .results
+        .iter()
+        .max_by(|a, b| a.domains_per_sec.total_cmp(&b.domains_per_sec))
+    {
+        println!(
+            "wire_throughput: best {:.0} domains/s at w{}_v{} \
+             ({:.2} queries/domain, coalesced {:.1} %, in-memory reference {:.0} domains/s)",
+            best.domains_per_sec,
+            best.workers,
+            best.servers,
+            best.amplification,
+            best.coalesce_rate * 100.0,
+            in_memory,
+        );
+    }
+
+    // With BENCH_GUARD_BASELINE set (scripts/bench_guard.sh), fail the
+    // run on a regression against the committed artifact.
+    guard::enforce_from_env(&quick_points);
+}

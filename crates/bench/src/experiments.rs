@@ -12,9 +12,12 @@ use std::sync::Arc;
 
 use spf_analyzer::{DomainReport, ErrorClass, NotFoundCause, Walker};
 use spf_crawler::{
-    crawl, include_ecosystem, CrawlConfig, CrawlStats, IncludeStats, ScanAggregates,
+    crawl, include_ecosystem, CrawlConfig, CrawlMode, CrawlStats, IncludeStats, ScanAggregates,
 };
-use spf_dns::{VirtualClock, ZoneResolver};
+use spf_dns::{
+    Resolver, ServerConfig, VirtualClock, WireClientConfig, WireFleet, WireResolver, WireSnapshot,
+    ZoneResolver, ZoneStore,
+};
 use spf_netsim::{build_hosting, Population, PopulationConfig, Scale};
 use spf_notify::{apply_remediation, Campaign, CampaignConfig, CampaignOutcome, FixRates};
 use spf_report::{
@@ -23,12 +26,32 @@ use spf_report::{
 };
 use spf_smtp::run_case_study;
 
+/// The live wire substrate of a wire-mode scan. Dropping it shuts the
+/// server fleet down, so it rides inside [`Repro`] for the run's
+/// lifetime.
+pub struct WireRun {
+    /// The sharded authoritative server fleet.
+    pub fleet: WireFleet,
+    /// The coalescing stub resolver (shared with the walker), kept so
+    /// callers can snapshot amplification/coalescing counters.
+    pub resolver: Arc<WireResolver>,
+}
+
+impl WireRun {
+    /// Point-in-time copy of the wire resolver's counters.
+    pub fn snapshot(&self) -> WireSnapshot {
+        self.resolver.snapshot()
+    }
+}
+
 /// A prepared scan: population, crawl output, aggregates, ecosystem.
 pub struct Repro {
     /// The generated world.
     pub population: Population,
-    /// The shared walker (memo cache holds every include analysis).
-    pub walker: Walker<ZoneResolver>,
+    /// The shared walker (memo cache holds every include analysis). The
+    /// resolver behind it is either the in-process [`ZoneResolver`] or
+    /// the wire-path [`WireResolver`], per [`CrawlConfig::mode`].
+    pub walker: Walker<Arc<dyn Resolver>>,
     /// Per-domain reports in rank order.
     pub reports: Vec<DomainReport>,
     /// Aggregates over the full population.
@@ -39,6 +62,11 @@ pub struct Repro {
     pub eco: Vec<IncludeStats>,
     /// Throughput/cache/queue counters of the scan crawl.
     pub stats: CrawlStats,
+    /// The crawl configuration the scan ran under.
+    pub config: CrawlConfig,
+    /// The wire substrate when [`CrawlConfig::mode`] is
+    /// [`CrawlMode::Wire`]; `None` in-memory.
+    pub wire: Option<WireRun>,
     /// Scale denominator, for rescaling counts.
     pub denom: u64,
     /// Seed used.
@@ -52,18 +80,44 @@ impl Repro {
     }
 }
 
-/// Generate the population and run the full crawl.
+/// Assemble the resolver stack for `config.mode` over `store`: the
+/// in-process [`ZoneResolver`], or a freshly spawned server fleet with a
+/// [`WireResolver`] client in front of it.
+fn build_resolver(
+    store: &Arc<ZoneStore>,
+    config: &CrawlConfig,
+) -> (Arc<dyn Resolver>, Option<WireRun>) {
+    match config.mode {
+        CrawlMode::InMemory => (Arc::new(ZoneResolver::new(Arc::clone(store))), None),
+        CrawlMode::Wire => {
+            let fleet =
+                WireFleet::spawn(store, config.wire_servers.max(1), ServerConfig::default())
+                    .expect("wire fleet spawns on loopback");
+            let resolver = Arc::new(fleet.resolver(WireClientConfig::crawl()));
+            (
+                Arc::clone(&resolver) as Arc<dyn Resolver>,
+                Some(WireRun { fleet, resolver }),
+            )
+        }
+    }
+}
+
+/// Generate the population and run the full crawl (in-memory mode).
 pub fn prepare(denominator: u64, seed: u64, workers: usize) -> Repro {
+    prepare_with(denominator, seed, CrawlConfig::with_workers(workers))
+}
+
+/// Generate the population and run the full crawl under an explicit
+/// [`CrawlConfig`] — including [`CrawlMode::Wire`], which spawns the
+/// sharded server fleet and crawls over real sockets.
+pub fn prepare_with(denominator: u64, seed: u64, config: CrawlConfig) -> Repro {
     let population = Population::build(PopulationConfig {
         scale: Scale { denominator },
         seed,
     });
-    let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
-    let output = crawl(
-        &walker,
-        &population.domains,
-        CrawlConfig::with_workers(workers),
-    );
+    let (resolver, wire) = build_resolver(&population.store, &config);
+    let walker = Walker::new(resolver);
+    let output = crawl(&walker, &population.domains, config);
     let all = ScanAggregates::compute(&output.reports);
     let top = ScanAggregates::compute(&output.reports[..population.top_len]);
     let eco = include_ecosystem(&output.reports, &walker);
@@ -75,6 +129,8 @@ pub fn prepare(denominator: u64, seed: u64, workers: usize) -> Repro {
         top,
         eco,
         stats: output.stats,
+        config,
+        wire,
         denom: denominator,
         seed,
     }
@@ -265,7 +321,7 @@ pub fn figure4(r: &Repro) -> (Table, Experiment) {
         &["Include", "DNS lookups", "Used by"],
     );
     let mut sorted: Vec<&&IncludeStats> = over.iter().collect();
-    sorted.sort_by(|a, b| b.used_by.cmp(&a.used_by));
+    sorted.sort_by_key(|s| std::cmp::Reverse(s.used_by));
     for s in sorted.iter().take(10) {
         table.push_row(vec![
             s.domain.to_string(),
@@ -317,13 +373,17 @@ pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome,
         r.seed ^ 0xF1,
     );
 
-    // 3. Rescan two (virtual) weeks later — fresh walker, fresh cache.
-    let walker = Walker::new(ZoneResolver::new(Arc::clone(&r.population.store)));
-    let rescan = crawl(
-        &walker,
-        &r.population.domains,
-        CrawlConfig::with_workers(workers),
-    );
+    // 3. Rescan two (virtual) weeks later — fresh walker, fresh cache, on
+    // the same substrate as the first scan. In wire mode the fleet's
+    // shard stores are deep copies, so the remediated zone needs a
+    // freshly partitioned fleet (`_rescan_wire` keeps it alive).
+    let rescan_config = CrawlConfig {
+        workers,
+        ..r.config
+    };
+    let (resolver, _rescan_wire) = build_resolver(&r.population.store, &rescan_config);
+    let walker = Walker::new(resolver);
+    let rescan = crawl(&walker, &r.population.domains, rescan_config);
     let after = ScanAggregates::compute(&rescan.reports);
 
     let mut table = Table::new(
@@ -781,6 +841,35 @@ mod tests {
         let rescan = crawl(&walker, &r.population.domains, CrawlConfig::with_workers(4));
         let after = ScanAggregates::compute(&rescan.reports);
         assert!(after.total_errors() <= before);
+    }
+
+    #[test]
+    fn wire_mode_prepare_matches_in_memory() {
+        let mem = quick();
+        let wire = prepare_with(5_000, 0x5bf1_2023, CrawlConfig::wire(4, 2));
+        let run = wire.wire.as_ref().expect("wire mode carries its substrate");
+        let snap = run.snapshot();
+        assert!(
+            snap.wire_queries > 0,
+            "crawl must hit the sockets: {snap:?}"
+        );
+        assert!(run.fleet.answered() > 0);
+        // The two substrates produce byte-identical report streams.
+        assert_eq!(
+            serde_json::to_string(&mem.reports).unwrap(),
+            serde_json::to_string(&wire.reports).unwrap()
+        );
+    }
+
+    #[test]
+    fn table2_rescan_honors_wire_mode() {
+        let r = prepare_with(20_000, 0x5bf1_2023, CrawlConfig::wire(2, 2));
+        let before = r.all.total_errors();
+        let (t2, _, outcome, rescan_stats) = table2(&r, 2);
+        assert!(t2.render().contains("Total Errors"));
+        assert!(outcome.sent > 0);
+        assert_eq!(rescan_stats.domains, r.reports.len() as u64);
+        let _ = before;
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The bench-regression guard: compare a fresh quick-mode bench run
+//! against the committed `BENCH_*.json` baselines.
+//!
+//! Every bench report carries `quick_points` — throughput measurements of
+//! a small fixed configuration set at quick scale, taken with the same
+//! plain best-of-N loop in both full and quick runs, so a CI smoke run is
+//! directly comparable to the committed artifact. `scripts/bench_guard.sh`
+//! re-runs the quick benches with `BENCH_GUARD_BASELINE` pointing at the
+//! committed JSON; a matched configuration more than
+//! [`DEFAULT_TOLERANCE`] below its baseline fails the job.
+//!
+//! The tolerance is deliberately loose (30 %): quick populations are
+//! small and shared CI hosts are noisy, so the gate catches structural
+//! regressions (a lock back on the hot path, dispatch gone quadratic),
+//! not single-digit jitter. Override with `BENCH_GUARD_TOLERANCE`.
+
+use serde::{Deserialize, Serialize};
+
+/// A regression is flagged when fresh throughput drops more than this
+/// fraction below the committed baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// One comparable quick-mode measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardPoint {
+    /// Configuration key, e.g. `w4_s16_b64` (crawl) or `w4_v2` (wire).
+    pub key: String,
+    /// Crawl throughput measured for that configuration.
+    pub domains_per_sec: f64,
+}
+
+/// The slice of a bench report the guard reads (unknown fields in the
+/// JSON are ignored).
+#[derive(Debug, Deserialize)]
+struct BaselineDoc {
+    quick_points: Vec<GuardPoint>,
+}
+
+/// Parse a `BENCH_GUARD_TOLERANCE`-style override; out-of-range or
+/// unparsable values fall back to [`DEFAULT_TOLERANCE`].
+pub fn parse_tolerance(raw: Option<&str>) -> f64 {
+    raw.and_then(|v| v.parse().ok())
+        .filter(|t: &f64| *t > 0.0 && *t < 1.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// The tolerance, honoring a `BENCH_GUARD_TOLERANCE` override.
+pub fn tolerance_from_env() -> f64 {
+    parse_tolerance(std::env::var("BENCH_GUARD_TOLERANCE").ok().as_deref())
+}
+
+/// Best-of-`runs` guard point for one configuration: the benches hand
+/// every timed crawl through this one helper so the committed baselines
+/// and fresh CI runs are comparable by construction.
+pub fn quick_point(
+    key: impl Into<String>,
+    runs: usize,
+    mut domains_per_sec: impl FnMut() -> f64,
+) -> GuardPoint {
+    let best = (0..runs.max(1))
+        .map(|_| domains_per_sec())
+        .fold(0.0f64, f64::max);
+    GuardPoint {
+        key: key.into(),
+        domains_per_sec: best,
+    }
+}
+
+/// Compare `fresh` quick points against the baseline file at
+/// `baseline_path`.
+///
+/// Returns `Ok(log_lines)` when every matched configuration is within
+/// `tolerance` of its baseline (configurations present on only one side
+/// are reported, not failed, so the matrix can evolve), and
+/// `Err(failures)` listing each regressed configuration otherwise. A
+/// missing or unreadable baseline is `Ok` with a note — the first run on
+/// a branch bootstraps the artifact instead of failing it.
+pub fn check_against_baseline(
+    baseline_path: &str,
+    fresh: &[GuardPoint],
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let raw = match std::fs::read_to_string(baseline_path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            return Ok(vec![format!(
+                "bench_guard: no baseline at {baseline_path} ({e}); nothing to compare"
+            )])
+        }
+    };
+    let baseline: BaselineDoc = match serde_json::from_str(&raw) {
+        Ok(doc) => doc,
+        Err(e) => {
+            // A baseline from before the guard existed has no
+            // quick_points; treat it like a missing baseline.
+            return Ok(vec![format!(
+                "bench_guard: {baseline_path} has no readable quick_points ({e}); skipping"
+            )]);
+        }
+    };
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for point in fresh {
+        let Some(base) = baseline.quick_points.iter().find(|b| b.key == point.key) else {
+            lines.push(format!(
+                "bench_guard: {} has no baseline point (new configuration)",
+                point.key
+            ));
+            continue;
+        };
+        let floor = base.domains_per_sec * (1.0 - tolerance);
+        let verdict = format!(
+            "bench_guard: {}: {:.0} domains/s vs baseline {:.0} (floor {:.0})",
+            point.key, point.domains_per_sec, base.domains_per_sec, floor
+        );
+        if point.domains_per_sec < floor {
+            failures.push(format!("{verdict} — REGRESSION"));
+        } else {
+            lines.push(format!("{verdict} — ok"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Guard entry point for the benches: when `BENCH_GUARD_BASELINE` names a
+/// baseline file, compare `fresh` against it and *exit the process* with
+/// status 1 on a regression. Without the variable this is a no-op, so
+/// plain bench runs never gate themselves.
+pub fn enforce_from_env(fresh: &[GuardPoint]) {
+    let Ok(baseline_path) = std::env::var("BENCH_GUARD_BASELINE") else {
+        return;
+    };
+    let tolerance = tolerance_from_env();
+    match check_against_baseline(&baseline_path, fresh, tolerance) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+        }
+        Err(failures) => {
+            for line in &failures {
+                eprintln!("{line}");
+            }
+            eprintln!(
+                "bench_guard: {} configuration(s) regressed more than {:.0} % below {}",
+                failures.len(),
+                tolerance * 100.0,
+                baseline_path
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_baseline(name: &str, points: &[GuardPoint]) -> std::path::PathBuf {
+        #[derive(Serialize)]
+        struct Doc {
+            bench: String,
+            quick_points: Vec<GuardPoint>,
+        }
+        let path = std::env::temp_dir().join(name);
+        let doc = Doc {
+            bench: "test".into(),
+            quick_points: points.to_vec(),
+        };
+        std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+        path
+    }
+
+    fn point(key: &str, dps: f64) -> GuardPoint {
+        GuardPoint {
+            key: key.into(),
+            domains_per_sec: dps,
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let path = write_baseline(
+            "bench_guard_ok.json",
+            &[point("w1_s1_b1", 100_000.0), point("w4_s16_b64", 300_000.0)],
+        );
+        let fresh = [point("w1_s1_b1", 80_000.0), point("w4_s16_b64", 290_000.0)];
+        let lines = check_against_baseline(path.to_str().unwrap(), &fresh, 0.30).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.ends_with("ok")));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let path = write_baseline("bench_guard_reg.json", &[point("w4_s16_b64", 300_000.0)]);
+        let fresh = [point("w4_s16_b64", 150_000.0)];
+        let failures = check_against_baseline(path.to_str().unwrap(), &fresh, 0.30).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("REGRESSION"));
+        // The same drop passes under a looser tolerance.
+        assert!(check_against_baseline(path.to_str().unwrap(), &fresh, 0.60).is_ok());
+    }
+
+    #[test]
+    fn missing_baseline_and_unmatched_keys_do_not_fail() {
+        let fresh = [point("w1_s1_b1", 1.0)];
+        let lines = check_against_baseline("/nonexistent/base.json", &fresh, 0.30).unwrap();
+        assert!(lines[0].contains("no baseline"));
+        let path = write_baseline("bench_guard_other.json", &[point("other_key", 10.0)]);
+        let lines = check_against_baseline(path.to_str().unwrap(), &fresh, 0.30).unwrap();
+        assert!(lines[0].contains("new configuration"));
+    }
+
+    #[test]
+    fn pre_guard_baseline_without_quick_points_is_skipped() {
+        let path = std::env::temp_dir().join("bench_guard_old.json");
+        std::fs::write(&path, r#"{"bench":"old","results":[]}"#).unwrap();
+        let fresh = [point("w1_s1_b1", 1.0)];
+        let lines = check_against_baseline(path.to_str().unwrap(), &fresh, 0.30).unwrap();
+        assert!(lines[0].contains("skipping"));
+    }
+
+    #[test]
+    fn tolerance_parsing_bounds() {
+        // The pure parser is tested directly so the suite stays
+        // independent of whatever BENCH_GUARD_TOLERANCE the ambient
+        // environment carries (e.g. a user running ci_local.sh with an
+        // override exported).
+        assert_eq!(parse_tolerance(None), DEFAULT_TOLERANCE);
+        assert_eq!(parse_tolerance(Some("0.5")), 0.5);
+        assert_eq!(parse_tolerance(Some("1.5")), DEFAULT_TOLERANCE);
+        assert_eq!(parse_tolerance(Some("0")), DEFAULT_TOLERANCE);
+        assert_eq!(parse_tolerance(Some("nope")), DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    fn quick_point_keeps_the_best_run() {
+        let mut runs = [100.0, 300.0, 200.0].into_iter();
+        let p = quick_point("w1_s1_b1", 3, move || runs.next().unwrap());
+        assert_eq!(p.key, "w1_s1_b1");
+        assert_eq!(p.domains_per_sec, 300.0);
+        // A degenerate run count still measures once.
+        assert_eq!(quick_point("k", 0, || 42.0).domains_per_sec, 42.0);
+    }
+}

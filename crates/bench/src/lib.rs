@@ -10,8 +10,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod guard;
 
 pub use experiments::{
     extras, figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8, prepare,
-    table1, table2, table3, table4, table5, Repro,
+    prepare_with, table1, table2, table3, table4, table5, Repro, WireRun,
 };

@@ -33,6 +33,29 @@ use spf_types::DomainName;
 /// balance at small populations.
 pub const DEFAULT_BATCH_SIZE: usize = 64;
 
+/// Default server-shard count for wire-mode crawls.
+pub const DEFAULT_WIRE_SERVERS: usize = 4;
+
+/// Which resolver substrate a crawl runs against.
+///
+/// The crawl loop itself is transport-agnostic (it only sees a
+/// [`Resolver`] through the walker); the mode travels in [`CrawlConfig`]
+/// so the pipeline assemblers — `bench::prepare`, the `repro` CLI, the
+/// stress suites — build the right stack. Under a zero-fault profile the
+/// two modes produce byte-identical report streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrawlMode {
+    /// Resolve in-process against the `ZoneStore` (no sockets) — the
+    /// fastest path and the default.
+    #[default]
+    InMemory,
+    /// Resolve over real UDP/TCP sockets against a hash-sharded
+    /// authoritative server fleet (`spf_dns::fleet`), exercising the
+    /// socket pool, single-flight coalescing, TTL cache, truncation
+    /// fallback and retry budget at crawl scale.
+    Wire,
+}
+
 /// Crawl configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawlConfig {
@@ -43,6 +66,11 @@ pub struct CrawlConfig {
     /// Larger batches amortize channel locking; smaller batches balance
     /// the tail better. Default [`DEFAULT_BATCH_SIZE`].
     pub batch_size: usize,
+    /// Resolver substrate the pipeline assembles for this crawl.
+    pub mode: CrawlMode,
+    /// Authoritative server shards in [`CrawlMode::Wire`] (ignored
+    /// in-memory). Default [`DEFAULT_WIRE_SERVERS`].
+    pub wire_servers: usize,
 }
 
 impl Default for CrawlConfig {
@@ -50,6 +78,8 @@ impl Default for CrawlConfig {
         CrawlConfig {
             workers: 8,
             batch_size: DEFAULT_BATCH_SIZE,
+            mode: CrawlMode::InMemory,
+            wire_servers: DEFAULT_WIRE_SERVERS,
         }
     }
 }
@@ -63,9 +93,29 @@ impl CrawlConfig {
         }
     }
 
+    /// A wire-mode config with `workers` threads and `servers` shards.
+    pub fn wire(workers: usize, servers: usize) -> Self {
+        CrawlConfig::with_workers(workers)
+            .mode(CrawlMode::Wire)
+            .wire_servers(servers)
+    }
+
     /// Builder-style override of [`CrawlConfig::batch_size`].
     pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style override of [`CrawlConfig::mode`].
+    pub fn mode(mut self, mode: CrawlMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style override of [`CrawlConfig::wire_servers`]
+    /// (clamped to ≥ 1 by consumers).
+    pub fn wire_servers(mut self, servers: usize) -> Self {
+        self.wire_servers = servers;
         self
     }
 }

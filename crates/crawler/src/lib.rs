@@ -34,7 +34,10 @@ pub mod crawl;
 pub mod ecosystem;
 
 pub use aggregate::{ScanAggregates, LARGE_RANGE_MAX_PREFIX};
-pub use crawl::{crawl, CrawlConfig, CrawlOutput, CrawlStats, DEFAULT_BATCH_SIZE};
+pub use crawl::{
+    crawl, CrawlConfig, CrawlMode, CrawlOutput, CrawlStats, DEFAULT_BATCH_SIZE,
+    DEFAULT_WIRE_SERVERS,
+};
 pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
 
 /// Re-export of the analyzer's lax-authorization threshold (100,000 IPs).

@@ -13,12 +13,16 @@
 //!   counting and fault-injecting layers mirroring the crawler design in
 //!   Section 4.1 of the paper;
 //! * [`udp`]: a real UDP name server + stub resolver over the wire codec;
+//! * [`fleet`]: the wire-path crawl substrate — a hash-sharded
+//!   authoritative server fleet plus the coalescing, TTL-caching
+//!   [`WireResolver`] client the crawler's wire mode runs on;
 //! * [`clock`]: virtual/wall clock abstraction for the throttling layers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fleet;
 pub mod record;
 pub mod resolver;
 pub mod udp;
@@ -26,6 +30,7 @@ pub mod wire;
 pub mod zone;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
+pub use fleet::{ShardBehavior, WireClientConfig, WireFleet, WireResolver, WireSnapshot};
 pub use record::{Question, RecordData, RecordType, ResourceRecord, TxtData};
 pub use resolver::{
     CachingResolver, CountingResolver, DnsError, FaultInjectingResolver, FaultProfile, QueryStats,

@@ -324,6 +324,53 @@ impl UdpResolver {
     }
 }
 
+/// One length-prefixed RFC 7766 query over TCP — the truncation fallback
+/// path shared by [`UdpResolver`] and [`crate::fleet::WireResolver`].
+pub(crate) fn tcp_query(
+    server: SocketAddr,
+    timeout: Duration,
+    id: u16,
+    name: &DomainName,
+    rtype: RecordType,
+) -> Result<Vec<ResourceRecord>, DnsError> {
+    let to_net = |e: std::io::Error| DnsError::Network(format!("tcp: {e}"));
+    let mut stream = TcpStream::connect(server).map_err(to_net)?;
+    stream
+        .set_read_timeout(Some(timeout.max(Duration::from_millis(250))))
+        .map_err(to_net)?;
+    let msg = Message::query(id, Question::new(name.clone(), rtype));
+    let bytes = wire::encode(&msg).map_err(|e| DnsError::Network(e.to_string()))?;
+    let len: u16 = bytes
+        .len()
+        .try_into()
+        .map_err(|_| DnsError::Network("query exceeds TCP message size".into()))?;
+    stream.write_all(&len.to_be_bytes()).map_err(to_net)?;
+    stream.write_all(&bytes).map_err(to_net)?;
+    stream.flush().map_err(to_net)?;
+    let mut len_buf = [0u8; 2];
+    stream.read_exact(&mut len_buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+            DnsError::Timeout
+        } else {
+            to_net(e)
+        }
+    })?;
+    let resp_len = u16::from_be_bytes(len_buf) as usize;
+    let mut buf = vec![0u8; resp_len];
+    stream.read_exact(&mut buf).map_err(to_net)?;
+    let resp = wire::decode(&buf).map_err(|e| DnsError::Network(e.to_string()))?;
+    if resp.header.id != id || !resp.header.is_response {
+        return Err(DnsError::Network("mismatched TCP response".into()));
+    }
+    match resp.header.rcode {
+        Rcode::NoError => Ok(resp.answers),
+        Rcode::NxDomain => Err(DnsError::NxDomain),
+        Rcode::ServFail => Err(DnsError::ServFail),
+        Rcode::Refused => Err(DnsError::Refused),
+        other => Err(DnsError::Network(format!("unexpected rcode {other:?}"))),
+    }
+}
+
 impl UdpResolver {
     /// Length-prefixed query over TCP (the truncation fallback path).
     fn query_tcp(
@@ -332,44 +379,7 @@ impl UdpResolver {
         name: &DomainName,
         rtype: RecordType,
     ) -> Result<Vec<ResourceRecord>, DnsError> {
-        let to_net = |e: std::io::Error| DnsError::Network(format!("tcp: {e}"));
-        let mut stream = TcpStream::connect(self.server).map_err(to_net)?;
-        stream
-            .set_read_timeout(Some(self.config.timeout.max(Duration::from_millis(250))))
-            .map_err(to_net)?;
-        let msg = Message::query(id, Question::new(name.clone(), rtype));
-        let bytes = wire::encode(&msg).map_err(|e| DnsError::Network(e.to_string()))?;
-        let len: u16 = bytes
-            .len()
-            .try_into()
-            .map_err(|_| DnsError::Network("query exceeds TCP message size".into()))?;
-        stream.write_all(&len.to_be_bytes()).map_err(to_net)?;
-        stream.write_all(&bytes).map_err(to_net)?;
-        stream.flush().map_err(to_net)?;
-        let mut len_buf = [0u8; 2];
-        stream.read_exact(&mut len_buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut
-            {
-                DnsError::Timeout
-            } else {
-                to_net(e)
-            }
-        })?;
-        let resp_len = u16::from_be_bytes(len_buf) as usize;
-        let mut buf = vec![0u8; resp_len];
-        stream.read_exact(&mut buf).map_err(to_net)?;
-        let resp = wire::decode(&buf).map_err(|e| DnsError::Network(e.to_string()))?;
-        if resp.header.id != id || !resp.header.is_response {
-            return Err(DnsError::Network("mismatched TCP response".into()));
-        }
-        match resp.header.rcode {
-            Rcode::NoError => Ok(resp.answers),
-            Rcode::NxDomain => Err(DnsError::NxDomain),
-            Rcode::ServFail => Err(DnsError::ServFail),
-            Rcode::Refused => Err(DnsError::Refused),
-            other => Err(DnsError::Network(format!("unexpected rcode {other:?}"))),
-        }
+        tcp_query(self.server, self.config.timeout, id, name, rtype)
     }
 }
 

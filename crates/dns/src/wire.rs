@@ -367,8 +367,7 @@ struct Decoder<'a> {
 
 impl<'a> Decoder<'a> {
     fn message(&mut self) -> Result<Message, WireError> {
-        let header_raw = self.take(12)?;
-        let mut h = &header_raw[..];
+        let mut h = self.take(12)?;
         let id = h.get_u16();
         let flags = h.get_u16();
         let qdcount = h.get_u16();
@@ -388,8 +387,7 @@ impl<'a> Decoder<'a> {
         let mut questions = Vec::with_capacity(qdcount as usize);
         for _ in 0..qdcount {
             let name = self.name()?;
-            let raw = self.take(4)?;
-            let mut r = &raw[..];
+            let mut r = self.take(4)?;
             let tcode = r.get_u16();
             let _class = r.get_u16();
             let rtype = RecordType::from_code(tcode).ok_or(WireError::BadRecord {
@@ -430,8 +428,7 @@ impl<'a> Decoder<'a> {
 
     fn record(&mut self) -> Result<ResourceRecord, WireError> {
         let name = self.name()?;
-        let raw = self.take(10)?;
-        let mut r = &raw[..];
+        let mut r = self.take(10)?;
         let tcode = r.get_u16();
         let _class = r.get_u16();
         let ttl = r.get_u32();

@@ -15,7 +15,9 @@
 //! * [`providers`] — Table 4's top-20 includes, fat includes (Figure 4),
 //!   the multi-record target, the Table 3 long tail;
 //! * [`population`] — the cohort-calibrated domain population;
-//! * [`hosting`] — the five-provider case-study world (Table 5).
+//! * [`hosting`] — the five-provider case-study world (Table 5);
+//! * [`wirelab`] — per-shard fault/latency presets for the wire-path
+//!   crawl's server fleet.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@ pub mod hosting;
 pub mod population;
 pub mod providers;
 pub mod scale;
+pub mod wirelab;
 
 pub use blocks::AddressAllocator;
 pub use hosting::{build_hosting, HostingProvider, HostingWorld, SPOOFABLE_TOTAL_FULL};

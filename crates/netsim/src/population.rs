@@ -87,7 +87,7 @@ enum Cohort {
     MiscSpfNoMx,
     /// Clean, tight, direct-only record (`mx` + a couple of `ip4` hosts).
     DirectClean,
-    /// >100k addresses via several /17 blocks — direct-lax domains beyond
+    /// Over 100k addresses via several /17 blocks — direct-lax domains beyond
     /// Table 3's /0../16 classes (§6.2's 9,994 minus the ≤/15 rows).
     DirectLaxMulti,
     /// §5.5: record without a restrictive `all` (427,767).
@@ -731,7 +731,11 @@ impl Builder {
             format!("v=spf1 ip4: {host} -all")
         } else {
             // The -al / -all; style dead-all typos of §5.5.
-            let typo = if rank % 2 == 0 { "-al" } else { "-all;" };
+            let typo = if rank.is_multiple_of(2) {
+                "-al"
+            } else {
+                "-all;"
+            };
             format!("v=spf1 ip4:{host} {typo}")
         }
     }

@@ -1,9 +1,19 @@
 //! The paper's published values, transcribed once so every experiment can
 //! print paper-vs-measured comparisons from a single source of truth.
 
-/// Table 1 prior-work rows: (study, year, list, size-label, spf, dmarc).
+/// One Table 1 prior-work row: (study, year, list, size-label, spf, dmarc).
 /// `None` means the study did not report DMARC.
-pub const TABLE1_PRIOR: [(&str, u16, &str, &str, f64, Option<f64>); 10] = [
+pub type Table1Row = (
+    &'static str,
+    u16,
+    &'static str,
+    &'static str,
+    f64,
+    Option<f64>,
+);
+
+/// Table 1 prior-work rows.
+pub const TABLE1_PRIOR: [Table1Row; 10] = [
     ("Gojmerac et al.", 2014, "Alexa", "1M", 0.367, Some(0.005)),
     ("Foster et al.", 2015, "Alexa", "1M", 0.422, Some(0.010)),
     ("Foster et al.", 2015, "Adobe", "1M", 0.436, Some(0.009)),

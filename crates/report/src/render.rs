@@ -124,7 +124,7 @@ pub fn fmt_count(n: u64) -> String {
     let bytes = raw.as_bytes();
     let mut out = String::with_capacity(raw.len() + raw.len() / 3);
     for (i, b) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(*b as char);

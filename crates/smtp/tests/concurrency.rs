@@ -63,7 +63,7 @@ fn parallel_sessions_keep_their_own_verdicts() {
             .unwrap()
             .parse()
             .unwrap();
-        let expected = if i % 2 == 0 { "pass" } else { "fail" };
+        let expected = if i.is_multiple_of(2) { "pass" } else { "fail" };
         assert_eq!(msg.spf_result.to_string(), expected, "message {i}");
         assert!(msg.body.contains(&format!("marker-{i}")));
     }

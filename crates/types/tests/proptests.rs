@@ -106,7 +106,7 @@ proptest! {
         let name = labels.join(".");
         let d = DomainName::parse(&name).unwrap();
         prop_assert_eq!(d.as_str(), name.as_str());
-        let reparsed = DomainName::parse(&d.to_string()).unwrap();
+        let reparsed = DomainName::parse(d.as_str()).unwrap();
         prop_assert_eq!(d, reparsed);
     }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Bench-regression gate (CI `bench-smoke` job, and part of ci_local.sh):
+# re-run the quick-mode benches and compare their guard points against
+# the committed BENCH_2.json / BENCH_3.json baselines.
+#
+# Every bench report carries `quick_points` — a small fixed configuration
+# matrix measured at quick scale with the same plain best-of-N loop in
+# both full and quick runs — so a smoke run is directly comparable to the
+# committed artifact. A configuration more than 30 % below its baseline
+# fails the bench process (see `spf_bench::guard`); override the
+# tolerance with BENCH_GUARD_TOLERANCE (a fraction, e.g. 0.5).
+#
+# Fresh quick artifacts land in target/bench_guard/ (the committed
+# baselines at the repo root are never overwritten by this script).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+GUARD_DIR="$ROOT/target/bench_guard"
+mkdir -p "$GUARD_DIR"
+
+echo "== bench_guard: quick crawl_scaling vs committed BENCH_2.json"
+BENCH_2_OUT="$GUARD_DIR/BENCH_2.json" \
+BENCH_GUARD_BASELINE="$ROOT/BENCH_2.json" \
+CRAWL_SCALING_QUICK=1 cargo bench --bench crawl_scaling
+
+echo "== bench_guard: quick wire_throughput vs committed BENCH_3.json"
+BENCH_3_OUT="$GUARD_DIR/BENCH_3.json" \
+BENCH_GUARD_BASELINE="$ROOT/BENCH_3.json" \
+WIRE_THROUGHPUT_QUICK=1 cargo bench --bench wire_throughput
+
+echo "OK: quick throughput within tolerance of the committed baselines"

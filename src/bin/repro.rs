@@ -28,6 +28,13 @@
 //!   elapsed-time lines vary between runs).
 //! * `--workers W` — crawl worker threads (default: available
 //!   parallelism). Results are rank-ordered and identical for any W.
+//! * `--mode memory|wire` — resolver substrate (default `memory`).
+//!   `wire` shards the zone across UDP name servers and crawls over real
+//!   sockets through the coalescing, TTL-caching `WireResolver`; reports
+//!   are byte-identical to memory mode, and the CLI prints the wire
+//!   telemetry line (query amplification, coalescing, TCP fallbacks).
+//! * `--servers N` — authoritative server shards in wire mode
+//!   (default 4; ignored in memory mode).
 //! * `--out PATH` — where to write the paper-vs-measured experiment log
 //!   (default `EXPERIMENTS.md`).
 //! * `--no-write` — print artifacts only; skip the experiment log.
@@ -36,6 +43,7 @@
 use std::time::Instant;
 
 use spf_bench::{self as bench, Repro};
+use spf_crawler::{CrawlConfig, CrawlMode, DEFAULT_WIRE_SERVERS};
 use spf_report::ExperimentLog;
 
 const DEFAULT_SCALE: u64 = 100;
@@ -46,7 +54,17 @@ struct Args {
     scale: u64,
     seed: u64,
     workers: usize,
+    mode: CrawlMode,
+    servers: usize,
     out_path: Option<String>,
+}
+
+impl Args {
+    fn crawl_config(&self) -> CrawlConfig {
+        CrawlConfig::with_workers(self.workers)
+            .mode(self.mode)
+            .wire_servers(self.servers)
+    }
 }
 
 fn parse_args() -> Args {
@@ -57,6 +75,8 @@ fn parse_args() -> Args {
         workers: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4),
+        mode: CrawlMode::InMemory,
+        servers: DEFAULT_WIRE_SERVERS,
         out_path: Some("EXPERIMENTS.md".to_string()),
     };
     let mut it = std::env::args().skip(1);
@@ -79,6 +99,20 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --workers"));
+            }
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("memory") | Some("in-memory") => CrawlMode::InMemory,
+                    Some("wire") => CrawlMode::Wire,
+                    _ => usage("--mode must be `memory` or `wire`"),
+                };
+            }
+            "--servers" => {
+                args.servers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage("--servers must be a positive integer"));
             }
             "--no-write" => args.out_path = None,
             "--out" => {
@@ -115,9 +149,12 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro [targets...] [--scale N] [--seed S] [--workers W] [--out PATH | --no-write]\n\n\
+         usage: repro [targets...] [--scale N] [--seed S] [--workers W]\n\
+         \x20             [--mode memory|wire] [--servers N] [--out PATH | --no-write]\n\n\
          targets: all (default), table1..table5, fig1..fig8, extras\n\
-         scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n"
+         scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n\
+         mode:    memory resolves in-process; wire crawls over UDP/TCP against\n\
+         \x20        --servers N hash-sharded authoritative name servers\n"
     );
     std::process::exit(2)
 }
@@ -132,17 +169,21 @@ fn main() {
     let needs_scan = t.iter().any(|x| x != "table5");
 
     println!(
-        "Lazy Gatekeepers reproduction — scale 1:{} (≈{} domains), seed 0x{:x}\n",
+        "Lazy Gatekeepers reproduction — scale 1:{} (≈{} domains), seed 0x{:x}, {} mode\n",
         args.scale,
         12_823_598 / args.scale,
-        args.seed
+        args.seed,
+        match args.mode {
+            CrawlMode::InMemory => "in-memory".to_string(),
+            CrawlMode::Wire => format!("wire ({} server shards)", args.servers),
+        }
     );
 
     let mut log = ExperimentLog::new(args.scale, args.seed);
     let started = Instant::now();
     let repro: Option<Repro> = if needs_scan {
         println!("[generate + crawl] building the synthetic Internet and scanning it ...");
-        let r = bench::prepare(args.scale, args.seed, args.workers);
+        let r = bench::prepare_with(args.scale, args.seed, args.crawl_config());
         println!(
             "[generate + crawl] {} domains, {} zone records, {} cached include analyses ({:.1?})",
             r.reports.len(),
@@ -150,7 +191,11 @@ fn main() {
             r.walker.cache_len(),
             started.elapsed()
         );
-        println!("{}\n", throughput_line(&r.stats));
+        println!("{}", throughput_line(&r.stats));
+        if let Some(wire) = &r.wire {
+            println!("{}", wire_line(wire, r.stats.domains));
+        }
+        println!();
         Some(r)
     } else {
         None
@@ -268,6 +313,26 @@ fn throughput_line(stats: &spf_crawler::CrawlStats) -> String {
         stats.cache_hits,
         stats.cache_misses,
         stats.peak_queue_depth,
+    )
+}
+
+/// The wire-mode companion of [`throughput_line`]: how many packets each
+/// domain cost and how much the coalescing/caching layers absorbed.
+fn wire_line(wire: &bench::WireRun, domains: u64) -> String {
+    let snap = wire.snapshot();
+    format!(
+        "[wire] {:.2} queries/domain amplification ({} datagrams, {} TCP fallbacks) — \
+         coalesced {:.1} %, wire-cache hits {:.1} %, {} retries, {} temp errors, \
+         fleet answered {} UDP / {} TCP",
+        snap.amplification(domains),
+        snap.wire_queries,
+        snap.tcp_fallbacks,
+        snap.coalesce_rate() * 100.0,
+        snap.cache_hit_rate() * 100.0,
+        snap.retries,
+        snap.temp_errors,
+        wire.fleet.answered(),
+        wire.fleet.tcp_answered(),
     )
 }
 

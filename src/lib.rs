@@ -50,8 +50,13 @@ pub mod prelude {
         analyze_domain, recommend, CacheStats, DomainReport, ErrorClass, WalkPolicy, Walker,
     };
     pub use spf_core::{check_host, parse, parse_lenient, EvalContext, EvalPolicy, SpfResult};
-    pub use spf_crawler::{crawl, include_ecosystem, CrawlConfig, CrawlStats, ScanAggregates};
-    pub use spf_dns::{Resolver, ZoneResolver, ZoneStore};
+    pub use spf_crawler::{
+        crawl, include_ecosystem, CrawlConfig, CrawlMode, CrawlStats, ScanAggregates,
+    };
+    pub use spf_dns::{
+        Resolver, ServerConfig, WireClientConfig, WireFleet, WireResolver, WireSnapshot,
+        ZoneResolver, ZoneStore,
+    };
     pub use spf_netsim::{build_hosting, Population, PopulationConfig, Scale};
     pub use spf_types::{DomainName, Ipv4Cidr, Ipv4Set, SpfRecord};
 }

@@ -1,0 +1,150 @@
+//! Wire-path crawl determinism under stress (ISSUE 3's acceptance
+//! matrix): crawling the 1:500 population over real UDP/TCP sockets —
+//! sharded authoritative servers, pooled client sockets, single-flight
+//! coalescing, TTL caching, retry budgets — must produce a report stream
+//! *byte-identical* to the in-memory crawl, across the full
+//! workers × server-shards matrix, under a zero-fault shard profile.
+//!
+//! The suite also drives the truncation → TCP fallback path through a
+//! whole crawl (512-byte server payloads) and checks the wire telemetry
+//! (query amplification, coalescing) and the degraded-shard preset.
+
+use lazy_gatekeepers::prelude::*;
+use spf_netsim::wirelab;
+use std::sync::Arc;
+
+const SEED: u64 = 0x5bf1_2023;
+
+fn population_at(denominator: u64) -> Population {
+    Population::build(PopulationConfig {
+        scale: Scale { denominator },
+        seed: SEED,
+    })
+}
+
+/// In-memory reference crawl, serialized.
+fn memory_reports_json(population: &Population) -> String {
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
+    let out = crawl(&walker, &population.domains, CrawlConfig::with_workers(4));
+    serde_json::to_string(&out.reports).expect("reports serialize")
+}
+
+/// One wire-mode crawl: fresh fleet, fresh resolver, fresh walker.
+fn wire_crawl(
+    population: &Population,
+    workers: usize,
+    servers: usize,
+    server_config: ServerConfig,
+) -> (Vec<DomainReport>, WireSnapshot, u64) {
+    let fleet = WireFleet::spawn(&population.store, servers, server_config).expect("fleet spawns");
+    let resolver = Arc::new(
+        fleet
+            .resolver(WireClientConfig::crawl())
+            .with_behaviors(wirelab::zero_faults(servers), SEED),
+    );
+    let out = crawl(
+        &Walker::new(Arc::clone(&resolver)),
+        &population.domains,
+        CrawlConfig::wire(workers, servers),
+    );
+    let tcp_answered = fleet.tcp_answered();
+    (out.reports, resolver.snapshot(), tcp_answered)
+}
+
+#[test]
+fn wire_reports_byte_identical_to_in_memory_across_matrix() {
+    // The acceptance matrix: workers ∈ {1, 4, 32} × server shards
+    // ∈ {1, 4} at scale 1:500 (≈25.6k domains), zero-fault profile,
+    // compared through the fully serialized report stream so every field
+    // is covered.
+    let population = population_at(500);
+    let reference = memory_reports_json(&population);
+    for workers in [1usize, 4, 32] {
+        for servers in [1usize, 4] {
+            let (reports, snapshot, _) =
+                wire_crawl(&population, workers, servers, ServerConfig::default());
+            let json = serde_json::to_string(&reports).expect("reports serialize");
+            assert!(
+                json == reference,
+                "wire crawl diverged from in-memory at workers={workers} servers={servers}"
+            );
+            // The crawl really ran over the wire, not a cached shortcut.
+            assert!(
+                snapshot.wire_queries > population.domains.len() as u64,
+                "suspiciously few datagrams at workers={workers} servers={servers}: {snapshot:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_fallback_path_survives_a_full_crawl() {
+    // With classic 512-byte payloads the fat provider records exceed UDP:
+    // the crawl must transparently retry them over TCP (RFC 7766) and
+    // still match the in-memory report stream byte for byte.
+    let population = population_at(5_000);
+    let reference = memory_reports_json(&population);
+    let (reports, snapshot, tcp_answered) =
+        wire_crawl(&population, 4, 2, ServerConfig { max_payload: 512 });
+    let json = serde_json::to_string(&reports).expect("reports serialize");
+    assert!(json == reference, "truncation fallback changed the reports");
+    assert!(
+        snapshot.tcp_fallbacks > 0,
+        "a 512-byte payload cap must force TCP fallbacks: {snapshot:?}"
+    );
+    assert_eq!(
+        snapshot.tcp_fallbacks, tcp_answered,
+        "every fallback is served by a fleet TCP listener"
+    );
+}
+
+#[test]
+fn wire_telemetry_accounts_for_the_crawl() {
+    let population = population_at(5_000);
+    let (reports, snapshot, _) = wire_crawl(&population, 8, 4, ServerConfig::default());
+    let domains = reports.len() as u64;
+    assert_eq!(domains, population.domains.len() as u64);
+    // Amplification: every domain costs at least its own TXT lookup, and
+    // the caching/coalescing layers keep the multiplier in check.
+    let amplification = snapshot.amplification(domains);
+    assert!(
+        (1.0..20.0).contains(&amplification),
+        "implausible amplification {amplification}: {snapshot:?}"
+    );
+    // The TTL cache and single-flight layers both absorbed repeats: the
+    // walker asks more questions than datagrams leave the host.
+    assert!(
+        snapshot.queries > snapshot.wire_queries,
+        "caching/coalescing absorbed nothing: {snapshot:?}"
+    );
+    assert!(snapshot.cache_hits > 0, "no wire-cache hits: {snapshot:?}");
+}
+
+#[test]
+fn degraded_shard_preset_degrades_to_temperror_not_divergence() {
+    // One victim shard timing out must surface as transient DNS errors
+    // (the paper's temperror cohort) — never as a hang, a crash, or
+    // missing reports.
+    let population = population_at(20_000);
+    let servers = 4;
+    let fleet = WireFleet::spawn(&population.store, servers, ServerConfig::default())
+        .expect("fleet spawns");
+    let resolver = Arc::new(fleet.resolver(WireClientConfig::crawl()).with_behaviors(
+        wirelab::degraded_shard(servers, 1, std::time::Duration::ZERO),
+        SEED,
+    ));
+    let out = crawl(
+        &Walker::new(Arc::clone(&resolver)),
+        &population.domains,
+        CrawlConfig::wire(4, servers),
+    );
+    assert_eq!(out.reports.len(), population.domains.len());
+    let snapshot = resolver.snapshot();
+    assert!(
+        snapshot.injected_faults > 0,
+        "the degraded shard never fired: {snapshot:?}"
+    );
+    // Injected timeouts surface through the same temperror accounting as
+    // genuine budget exhaustion.
+    assert!(snapshot.temp_errors > 0, "{snapshot:?}");
+}
