@@ -25,7 +25,7 @@ use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use spf_analyzer::{analyze_domain, DomainReport, Walker};
 use spf_dns::Resolver;
-use spf_types::DomainName;
+use spf_types::{CoverageMap, DomainName};
 
 /// Default work-batch size; the `crawl_scaling` bench sweep (BENCH_2.json)
 /// showed throughput flat from 16 upward with the knee below 16, so 64
@@ -170,6 +170,13 @@ pub struct CrawlOutput {
     pub elapsed: Duration,
     /// Throughput and queue counters for this crawl.
     pub stats: CrawlStats,
+    /// The population's address-space coverage, accumulated per worker
+    /// during the crawl and merged on the way out: every SPF-bearing
+    /// domain's flattened range set contributes its boundary deltas, so
+    /// `coverage.into_weighted()` answers "how many domains authorize
+    /// each address" without revisiting a single report (see
+    /// [`crate::overlap`]).
+    pub coverage: CoverageMap,
 }
 
 /// Crawl `domains` through `walker` with a worker pool.
@@ -194,6 +201,7 @@ pub fn crawl<R: Resolver>(
     let batches = AtomicUsize::new(0);
 
     let mut slots: Vec<Option<DomainReport>> = (0..domains.len()).map(|_| None).collect();
+    let mut coverage = CoverageMap::new();
 
     {
         // Feeder blocks once 2×workers batches queue up, so dispatched-but-
@@ -203,6 +211,12 @@ pub fn crawl<R: Resolver>(
         // Results travel in batches too: one channel operation per work
         // batch instead of per domain, drained live by the collector below.
         let (result_tx, result_rx) = channel::unbounded::<Vec<(usize, DomainReport)>>();
+        // Each worker folds the flattened range sets it analyzes into a
+        // bounded local accumulator and ships it exactly once, at worker
+        // exit. Deltas form a commutative monoid, so the merged coverage
+        // is identical however domains were batched across workers
+        // (DESIGN.md §7).
+        let (coverage_tx, coverage_rx) = channel::unbounded::<CoverageMap>();
         let queue_depth = &queue_depth;
         let peak_depth = &peak_depth;
         let batches = &batches;
@@ -229,27 +243,43 @@ pub fn crawl<R: Resolver>(
             for _ in 0..workers {
                 let work_rx = work_rx.clone();
                 let result_tx = result_tx.clone();
+                let coverage_tx = coverage_tx.clone();
                 scope.spawn(move || {
+                    let mut local_coverage = CoverageMap::new();
                     while let Ok(batch) = work_rx.recv() {
                         let mut results = Vec::with_capacity(batch.len());
                         for (index, domain) in batch {
                             let report = analyze_domain(walker, &domain);
                             queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            // Only SPF-bearing domains authorize space —
+                            // the same population Figure 5 counts.
+                            if report.has_spf {
+                                if let Some(record) = report.record.as_ref() {
+                                    local_coverage.add_set(&record.ips);
+                                }
+                            }
                             results.push((index, report));
                         }
                         if result_tx.send(results).is_err() {
                             return;
                         }
                     }
+                    let _ = coverage_tx.send(local_coverage);
                 });
             }
             drop(work_rx);
             drop(result_tx);
+            drop(coverage_tx);
             // Place results by rank as they arrive; no post-hoc sort.
             for results in result_rx.iter() {
                 for (index, report) in results {
                     slots[index] = Some(report);
                 }
+            }
+            // All workers have exited once the result channel closes;
+            // merge their accumulators (order-independent).
+            for worker_coverage in coverage_rx.iter() {
+                coverage.merge(worker_coverage);
             }
         });
     }
@@ -272,6 +302,7 @@ pub fn crawl<R: Resolver>(
         reports,
         elapsed,
         stats,
+        coverage,
     }
 }
 
@@ -412,5 +443,28 @@ mod tests {
         assert!(out.reports.is_empty());
         assert_eq!(out.stats.domains, 0);
         assert_eq!(out.stats.batches, 0);
+        assert!(out.coverage.is_empty());
+    }
+
+    #[test]
+    fn coverage_merges_identically_across_workers() {
+        // Every customer includes the same /24, so the merged coverage is
+        // one range at weight = population — and it must come out the
+        // same whether one worker saw everything or eight split it.
+        let (store, domains) = build_world(40);
+        let run = |workers: usize| {
+            let walker = Walker::new(ZoneResolver::new(Arc::clone(&store)));
+            let out = crawl(
+                &walker,
+                &domains,
+                CrawlConfig::with_workers(workers).batch_size(4),
+            );
+            assert_eq!(out.coverage.set_count(), 40);
+            out.coverage.into_weighted()
+        };
+        let reference = run(1);
+        assert_eq!(reference.max_weight(), 40);
+        assert_eq!(reference.total_covered(), 256);
+        assert_eq!(reference, run(8));
     }
 }

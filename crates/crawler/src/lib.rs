@@ -3,9 +3,12 @@
 //! Drives the full measurement: a worker pool crawls a ranked domain list
 //! through the shared, memoizing [`spf_analyzer::Walker`], then
 //! [`ScanAggregates`] distills every population-level count the paper
-//! reports (adoption, error classes, permissiveness) and
+//! reports (adoption, error classes, permissiveness),
 //! [`include_ecosystem`] builds the per-include view behind Table 4 and
-//! Figures 4/7/8.
+//! Figures 4/7/8, and [`OverlapReport`] answers the cross-population
+//! address-space overlap questions of §6 (most-spoofable address,
+//! coverage histogram, provider concentration) from the coverage map the
+//! crawl accumulates as it goes.
 //!
 //! # Crawl engine invariants
 //!
@@ -32,6 +35,7 @@
 pub mod aggregate;
 pub mod crawl;
 pub mod ecosystem;
+pub mod overlap;
 
 pub use aggregate::{ScanAggregates, LARGE_RANGE_MAX_PREFIX};
 pub use crawl::{
@@ -39,6 +43,7 @@ pub use crawl::{
     DEFAULT_WIRE_SERVERS,
 };
 pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
+pub use overlap::{OverlapReport, ProviderConcentration, DEFAULT_PROVIDER_ROWS};
 
 /// Re-export of the analyzer's lax-authorization threshold (100,000 IPs).
 pub use spf_analyzer::LAX_IP_THRESHOLD;

@@ -16,6 +16,8 @@
 //!   the multi-record target, the Table 3 long tail;
 //! * [`population`] — the cohort-calibrated domain population;
 //! * [`hosting`] — the five-provider case-study world (Table 5);
+//! * [`tenancy`] — cloud-tenancy presets (mega-providers vs long tail)
+//!   for sweeping the overlap engine's shape variable;
 //! * [`wirelab`] — per-shard fault/latency presets for the wire-path
 //!   crawl's server fleet.
 
@@ -27,6 +29,7 @@ pub mod hosting;
 pub mod population;
 pub mod providers;
 pub mod scale;
+pub mod tenancy;
 pub mod wirelab;
 
 pub use blocks::AddressAllocator;
@@ -40,3 +43,4 @@ pub use providers::{
     TABLE3_INCLUDE_COLUMN, TABLE4,
 };
 pub use scale::{apportion, Scale};
+pub use tenancy::{build_tenancy, TenancyConfig, TenancyPreset, TenancyWorld};

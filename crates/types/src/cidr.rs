@@ -363,6 +363,13 @@ impl Ipv6Cidr {
             1u128 << (128 - self.prefix_len as u32)
         }
     }
+
+    /// The inclusive `(first, last)` range as u128s, for interval-set math
+    /// (the IPv6 counterpart of [`Ipv4Cidr::range_u32`]).
+    pub fn range_u128(&self) -> (u128, u128) {
+        let base = u128::from(self.addr) & self.mask();
+        (base, base | !self.mask())
+    }
 }
 
 impl fmt::Display for Ipv6Cidr {

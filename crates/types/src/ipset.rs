@@ -8,6 +8,10 @@
 //! inclusive `u32` ranges; union/insert are `O(n log n)` in the number of
 //! ranges, and counting is a sum of range widths. The bench
 //! `ipset_union` contrasts this with naive enumeration (see DESIGN.md §5).
+//!
+//! The range algebra itself (union / intersection / difference / subset
+//! and overlap tests) lives in the width-generic `interval` core shared
+//! with [`crate::Ipv6Set`]; DESIGN.md §7 states the invariants.
 
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -15,6 +19,7 @@ use std::net::Ipv4Addr;
 use serde::{Deserialize, Serialize};
 
 use crate::cidr::Ipv4Cidr;
+use crate::interval;
 
 /// A set of IPv4 addresses stored as sorted, disjoint, non-adjacent
 /// inclusive ranges.
@@ -67,29 +72,7 @@ impl Ipv4Set {
 
     /// Insert an inclusive range, merging with overlapping/adjacent ranges.
     pub fn insert_range(&mut self, lo: u32, hi: u32) {
-        assert!(lo <= hi, "inverted range");
-        // Ranges strictly before the merge window end at least two below
-        // `lo` (i.e. not even adjacent). Because stored ranges are sorted
-        // and disjoint, their end points are ascending, so partition_point
-        // applies.
-        let start = self.ranges.partition_point(|&(_, e)| lo > 0 && e < lo - 1);
-        let mut merged_lo = lo;
-        let mut merged_hi = hi;
-        let mut end = start;
-        while end < self.ranges.len() {
-            let (s, e) = self.ranges[end];
-            // A range starting at least two above `hi` cannot merge;
-            // when hi == u32::MAX nothing can start above it.
-            if hi < u32::MAX && s > hi + 1 {
-                break;
-            }
-            merged_lo = merged_lo.min(s);
-            merged_hi = merged_hi.max(e);
-            end += 1;
-        }
-        self.ranges
-            .splice(start..end, std::iter::once((merged_lo, merged_hi)));
-        debug_assert!(self.check_invariants());
+        interval::insert_range(&mut self.ranges, lo, hi);
     }
 
     /// Union with another set, in place.
@@ -97,22 +80,7 @@ impl Ipv4Set {
         if other.ranges.len() > 4 && self.ranges.len() > 4 {
             // Merge-sort both range lists then coalesce in one pass; cheaper
             // than repeated splicing for the big provider sets.
-            let mut all: Vec<(u32, u32)> =
-                Vec::with_capacity(self.ranges.len() + other.ranges.len());
-            all.extend_from_slice(&self.ranges);
-            all.extend_from_slice(&other.ranges);
-            all.sort_unstable();
-            let mut out: Vec<(u32, u32)> = Vec::with_capacity(all.len());
-            for (lo, hi) in all {
-                match out.last_mut() {
-                    Some((_, last_hi)) if *last_hi == u32::MAX || lo <= *last_hi + 1 => {
-                        *last_hi = (*last_hi).max(hi);
-                    }
-                    _ => out.push((lo, hi)),
-                }
-            }
-            self.ranges = out;
-            debug_assert!(self.check_invariants());
+            self.ranges = interval::union_merge(&self.ranges, &other.ranges);
         } else {
             for &(lo, hi) in &other.ranges {
                 self.insert_range(lo, hi);
@@ -127,11 +95,80 @@ impl Ipv4Set {
         out
     }
 
+    /// Intersection, returning a new set — the addresses two SPF trees
+    /// *share*, the primitive behind the cross-population overlap engine.
+    ///
+    /// ```
+    /// use spf_types::Ipv4Set;
+    /// let mut a = Ipv4Set::new();
+    /// a.insert_cidr(&"10.0.0.0/24".parse().unwrap());
+    /// let mut b = Ipv4Set::new();
+    /// b.insert_cidr(&"10.0.0.128/25".parse().unwrap());
+    /// assert_eq!(a.intersect(&b).address_count(), 128);
+    /// ```
+    pub fn intersect(&self, other: &Ipv4Set) -> Ipv4Set {
+        Ipv4Set {
+            ranges: interval::intersect(&self.ranges, &other.ranges),
+        }
+    }
+
+    /// Set difference `self \ other`, returning a new set — e.g. the
+    /// space a domain authorizes *beyond* its provider's include.
+    ///
+    /// ```
+    /// use spf_types::Ipv4Set;
+    /// let mut a = Ipv4Set::new();
+    /// a.insert_cidr(&"10.0.0.0/24".parse().unwrap());
+    /// let mut b = Ipv4Set::new();
+    /// b.insert_cidr(&"10.0.0.0/25".parse().unwrap());
+    /// let only_a = a.difference(&b);
+    /// assert_eq!(only_a.address_count(), 128);
+    /// assert!(!only_a.contains("10.0.0.1".parse().unwrap()));
+    /// assert!(only_a.contains("10.0.0.200".parse().unwrap()));
+    /// ```
+    pub fn difference(&self, other: &Ipv4Set) -> Ipv4Set {
+        Ipv4Set {
+            ranges: interval::difference(&self.ranges, &other.ranges),
+        }
+    }
+
+    /// True when the two sets share at least one address (early-exit
+    /// sweep; no allocation).
+    ///
+    /// ```
+    /// use spf_types::Ipv4Set;
+    /// let mut a = Ipv4Set::new();
+    /// a.insert_range(0, 10);
+    /// let mut b = Ipv4Set::new();
+    /// b.insert_range(10, 20);
+    /// assert!(a.intersects(&b));
+    /// b = Ipv4Set::new();
+    /// b.insert_range(11, 20);
+    /// assert!(!a.intersects(&b));
+    /// ```
+    pub fn intersects(&self, other: &Ipv4Set) -> bool {
+        interval::intersects(&self.ranges, &other.ranges)
+    }
+
+    /// True when every address of `self` is in `other`.
+    ///
+    /// ```
+    /// use spf_types::Ipv4Set;
+    /// let mut provider = Ipv4Set::new();
+    /// provider.insert_cidr(&"198.51.100.0/24".parse().unwrap());
+    /// let mut customer = Ipv4Set::new();
+    /// customer.insert_cidr(&"198.51.100.64/26".parse().unwrap());
+    /// assert!(customer.is_subset(&provider));
+    /// assert!(!provider.is_subset(&customer));
+    /// assert!(Ipv4Set::new().is_subset(&customer));
+    /// ```
+    pub fn is_subset(&self, other: &Ipv4Set) -> bool {
+        interval::is_subset(&self.ranges, &other.ranges)
+    }
+
     /// Membership test (binary search).
     pub fn contains(&self, addr: Ipv4Addr) -> bool {
-        let v = u32::from(addr);
-        let idx = self.ranges.partition_point(|&(s, _)| s <= v);
-        idx > 0 && self.ranges[idx - 1].1 >= v
+        interval::contains(&self.ranges, u32::from(addr))
     }
 
     /// Total number of addresses in the set. `2^32` for the full space,
@@ -153,6 +190,12 @@ impl Ipv4Set {
         self.ranges
             .iter()
             .map(|&(lo, hi)| (Ipv4Addr::from(lo), Ipv4Addr::from(hi)))
+    }
+
+    /// Iterate the disjoint inclusive ranges as raw `u32` bounds, in
+    /// ascending order — the form the coverage sweep consumes.
+    pub fn iter_ranges_u32(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ranges.iter().copied()
     }
 
     /// An arbitrary member address, if the set is non-empty. The spoofing
@@ -189,14 +232,6 @@ impl Ipv4Set {
             }
         }
         out
-    }
-
-    fn check_invariants(&self) -> bool {
-        self.ranges.windows(2).all(|w| {
-            let (_, e1) = w[0];
-            let (s2, _) = w[1];
-            e1 < s2 && (e1 == u32::MAX || e1 + 1 < s2)
-        }) && self.ranges.iter().all(|&(s, e)| s <= e)
     }
 }
 
@@ -341,6 +376,55 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(u.range_count(), 10);
         assert_eq!(u.address_count(), 10 * 21);
+    }
+
+    #[test]
+    fn intersect_basics() {
+        let mut a = Ipv4Set::new();
+        a.insert_cidr(&cidr("10.0.0.0/16"));
+        a.insert_cidr(&cidr("192.168.0.0/24"));
+        let mut b = Ipv4Set::new();
+        b.insert_cidr(&cidr("10.0.128.0/17"));
+        let i = a.intersect(&b);
+        assert_eq!(i.address_count(), 1 << 15);
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(a.intersect(&Ipv4Set::new()).is_empty());
+        assert_eq!(a.intersect(&Ipv4Set::full()), a);
+    }
+
+    #[test]
+    fn difference_basics() {
+        let mut a = Ipv4Set::new();
+        a.insert_range(0, 100);
+        let mut b = Ipv4Set::new();
+        b.insert_range(10, 20);
+        b.insert_range(30, 40);
+        let d = a.difference(&b);
+        assert_eq!(d.address_count(), 101 - 11 - 11);
+        assert_eq!(d.range_count(), 3);
+        assert!(!d.intersects(&b));
+        assert_eq!(d.union(&a.intersect(&b)), a);
+        assert!(a.difference(&Ipv4Set::full()).is_empty());
+        assert_eq!(a.difference(&Ipv4Set::new()), a);
+    }
+
+    #[test]
+    fn subset_and_overlap_predicates() {
+        let mut provider = Ipv4Set::new();
+        provider.insert_cidr(&cidr("198.51.100.0/24"));
+        let mut inside = Ipv4Set::new();
+        inside.insert_cidr(&cidr("198.51.100.128/25"));
+        let mut straddling = Ipv4Set::new();
+        straddling.insert_range(
+            u32::from(Ipv4Addr::new(198, 51, 100, 200)),
+            u32::from(Ipv4Addr::new(198, 51, 101, 5)),
+        );
+        assert!(inside.is_subset(&provider));
+        assert!(!provider.is_subset(&inside));
+        assert!(straddling.intersects(&provider));
+        assert!(!straddling.is_subset(&provider));
+        assert!(Ipv4Set::new().is_subset(&Ipv4Set::new()));
+        assert!(!Ipv4Set::new().intersects(&provider));
     }
 
     #[test]

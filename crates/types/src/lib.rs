@@ -2,10 +2,12 @@
 //!
 //! Shared, dependency-free types used by every other crate in the
 //! workspace: validated [`DomainName`]s, IPv4/IPv6 [`Ipv4Cidr`]/[`Ipv6Cidr`]
-//! networks with the paper's invalid-IP error taxonomy, the [`Ipv4Set`]
-//! interval set used to count authorized addresses (Figure 5 / Table 4),
-//! and the typed SPF record model ([`SpfRecord`], [`Mechanism`],
-//! [`Qualifier`], [`Modifier`], [`MacroString`]).
+//! networks with the paper's invalid-IP error taxonomy, the [`Ipv4Set`]/
+//! [`Ipv6Set`] interval sets used to count and intersect authorized
+//! addresses (Figure 5 / Table 4), the [`CoverageMap`]/[`WeightedRanges`]
+//! cross-population overlap primitives (DESIGN.md §7), and the typed SPF
+//! record model ([`SpfRecord`], [`Mechanism`], [`Qualifier`],
+//! [`Modifier`], [`MacroString`]).
 //!
 //! Reproduces the data model underlying *Lazy Gatekeepers: A Large-Scale
 //! Study on SPF Configuration in the Wild* (Czybik, Horlboge, Rieck —
@@ -16,8 +18,11 @@
 
 mod cidr;
 mod domain;
+mod interval;
 mod ipset;
+mod ipv6set;
 mod macrostring;
+mod overlap;
 mod term;
 
 pub use cidr::{parse_ipv4_strict, DualCidr, Ip4ParseError, Ip6ParseError, Ipv4Cidr, Ipv6Cidr};
@@ -25,7 +30,9 @@ pub use domain::{
     DomainError, DomainHashBuilder, DomainHasher, DomainName, MAX_LABEL_LEN, MAX_NAME_LEN,
 };
 pub use ipset::Ipv4Set;
+pub use ipv6set::Ipv6Set;
 pub use macrostring::{MacroError, MacroExpand, MacroLetter, MacroString, MacroToken};
+pub use overlap::{CoverageMap, WeightedRange, WeightedRanges};
 pub use term::{Directive, Mechanism, Modifier, Qualifier, SpfRecord, Term};
 
 /// The SPF version tag every record must start with (RFC 7208 §4.5).

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Manifest/docs health smoke check (CI-runnable):
-#  1. `cargo doc --no-deps` must emit zero warnings — every workspace
+#  1. `cargo doc --no-deps` must emit zero warnings — every first-party
 #     crate declares #![warn(missing_docs)], so an undocumented public
 #     item anywhere fails this check.
-#  2. The crawl-engine crates (`spf-crawler`, `spf-analyzer`) are held to
-#     a hard gate: missing docs on any public item are a *build error*,
-#     not a grep — their public surface documents the cache/dispatch
-#     invariants DESIGN.md §3 depends on.
-#  3. Every example must build.
+#  2. The *whole workspace* is additionally held to a hard gate: with
+#     RUSTDOCFLAGS="--deny missing_docs", missing docs on any public item
+#     of any workspace crate — the ten spf-* crates, the façade, and the
+#     vendored stand-ins — are a build error, not a grep.
+#  3. The set-algebra doctests (Ipv4Set / Ipv6Set / CoverageMap rustdoc
+#     examples) must run, so the examples stay executable, not decorative.
+#  4. Every example must build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,11 +21,14 @@ if echo "$doc_log" | grep -q "^warning"; then
     exit 1
 fi
 
-echo "== missing-docs hard gate for the crawl engine (spf-crawler, spf-analyzer)"
-RUSTDOCFLAGS="--deny missing_docs" cargo doc --no-deps -p spf-crawler -p spf-analyzer \
+echo "== missing-docs hard gate, workspace-wide (--deny missing_docs)"
+RUSTDOCFLAGS="--deny missing_docs" cargo doc --no-deps --workspace \
     --target-dir target/docs-gate
+
+echo "== doctests on the spf-types public API (cargo test --doc)"
+cargo test -q --doc -p spf-types -p lazy-gatekeepers
 
 echo "== cargo build --examples"
 cargo build --examples
 
-echo "OK: docs are warning-free, crawl-engine docs pass the deny gate, all examples build"
+echo "OK: docs are warning-free workspace-wide, the deny gate and doctests pass, all examples build"

@@ -12,10 +12,12 @@
 //!
 //! Positional arguments select what to regenerate (case-insensitive, a
 //! leading `--` is tolerated): `all` (the default when none are given),
-//! `table1` … `table5`, `fig1` … `fig8`, and `extras` (the §5.1/§5.5
-//! additional findings). Every target except `table5` shares one
-//! generate-and-crawl pass; `table5` runs the live-TCP spoofing case
-//! study on its own hosting world.
+//! `table1` … `table5`, `fig1` … `fig8`, `extras` (the §5.1/§5.5
+//! additional findings), and `overlap` (the cross-population
+//! address-space overlap engine: most-spoofable address, coverage
+//! histogram, provider concentration — §6 in overlap form). Every target
+//! except `table5` shares one generate-and-crawl pass; `table5` runs the
+//! live-TCP spoofing case study on its own hosting world.
 //!
 //! # Flags
 //!
@@ -130,9 +132,9 @@ fn parse_args() -> Args {
     if args.scale == 0 {
         usage("--scale must be at least 1");
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all", "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4",
-        "fig5", "fig6", "fig7", "fig8", "extras",
+        "fig5", "fig6", "fig7", "fig8", "extras", "overlap",
     ];
     if let Some(unknown) = args.targets.iter().find(|t| !KNOWN.contains(&t.as_str())) {
         usage(&format!("unknown target `{unknown}`"));
@@ -151,7 +153,7 @@ fn usage(problem: &str) -> ! {
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [targets...] [--scale N] [--seed S] [--workers W]\n\
          \x20             [--mode memory|wire] [--servers N] [--out PATH | --no-write]\n\n\
-         targets: all (default), table1..table5, fig1..fig8, extras\n\
+         targets: all (default), table1..table5, fig1..fig8, extras, overlap\n\
          scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n\
          mode:    memory resolves in-process; wire crawls over UDP/TCP against\n\
          \x20        --servers N hash-sharded authoritative name servers\n"
@@ -260,6 +262,11 @@ fn main() {
         if wants(t, "extras") {
             let (table, exp) = bench::extras(r);
             println!("{}", table.render());
+            log.push(exp);
+        }
+        if wants(t, "overlap") {
+            let (section, exp) = bench::overlap(r);
+            println!("{section}");
             log.push(exp);
         }
         // Table 2 mutates the zone (remediation), so it runs last.

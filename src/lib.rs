@@ -51,12 +51,14 @@ pub mod prelude {
     };
     pub use spf_core::{check_host, parse, parse_lenient, EvalContext, EvalPolicy, SpfResult};
     pub use spf_crawler::{
-        crawl, include_ecosystem, CrawlConfig, CrawlMode, CrawlStats, ScanAggregates,
+        crawl, include_ecosystem, CrawlConfig, CrawlMode, CrawlStats, OverlapReport, ScanAggregates,
     };
     pub use spf_dns::{
         Resolver, ServerConfig, WireClientConfig, WireFleet, WireResolver, WireSnapshot,
         ZoneResolver, ZoneStore,
     };
     pub use spf_netsim::{build_hosting, Population, PopulationConfig, Scale};
-    pub use spf_types::{DomainName, Ipv4Cidr, Ipv4Set, SpfRecord};
+    pub use spf_types::{
+        CoverageMap, DomainName, Ipv4Cidr, Ipv4Set, Ipv6Set, SpfRecord, WeightedRanges,
+    };
 }
