@@ -31,13 +31,35 @@
 //! Per-shard hit/miss counters ([`CacheStats`]) are maintained with relaxed
 //! atomics: they never influence control flow, only reporting (the `repro`
 //! CLI's throughput line and the `crawl_scaling` bench).
+//!
+//! The cache is generic over its key through [`CacheKey`]: the walker memo
+//! keeps the historical [`DomainName`] keying (the default type
+//! parameter), and the spoofability verdict cache keys on
+//! `(domain, vantage, budget)` composites — both supply a *precomputed*
+//! shard hash so stripe placement stays deterministic across runs.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use spf_types::{DomainHashBuilder, DomainName};
+
+/// A key a [`ShardedCache`] can stripe on: hashable/equatable for the
+/// per-shard map, plus a deterministic, precomputed hash for shard
+/// selection (never `RandomState`, so per-shard counters are
+/// reproducible).
+pub trait CacheKey: Hash + Eq + Clone {
+    /// The deterministic hash used to pick a stripe.
+    fn shard_hash(&self) -> u64;
+}
+
+impl CacheKey for DomainName {
+    fn shard_hash(&self) -> u64 {
+        self.precomputed_hash()
+    }
+}
 
 /// Default stripe count for [`ShardedCache`] (and thus the walker).
 ///
@@ -69,13 +91,13 @@ impl CacheStats {
     }
 }
 
-struct Shard<V> {
-    map: RwLock<HashMap<DomainName, V, DomainHashBuilder>>,
+struct Shard<K, V> {
+    map: RwLock<HashMap<K, V, DomainHashBuilder>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl<V> Default for Shard<V> {
+impl<K, V> Default for Shard<K, V> {
     fn default() -> Self {
         Shard {
             map: RwLock::new(HashMap::default()),
@@ -85,14 +107,15 @@ impl<V> Default for Shard<V> {
     }
 }
 
-/// A lock-striped, domain-keyed memo map (see the module docs for the
-/// invariants). `V` is cloned out on hit, so it should be a cheap handle —
-/// the walker stores `Arc<RecordAnalysis>`.
-pub struct ShardedCache<V> {
-    shards: Box<[Shard<V>]>,
+/// A lock-striped memo map (see the module docs for the invariants),
+/// keyed by any [`CacheKey`] (domain names by default). `V` is cloned out
+/// on hit, so it should be a cheap handle — the walker stores
+/// `Arc<RecordAnalysis>`.
+pub struct ShardedCache<V, K = DomainName> {
+    shards: Box<[Shard<K, V>]>,
 }
 
-impl<V: Clone> ShardedCache<V> {
+impl<V: Clone, K: CacheKey> ShardedCache<V, K> {
     /// A cache with `shard_count` stripes (clamped to at least 1).
     pub fn new(shard_count: usize) -> Self {
         let shard_count = shard_count.max(1);
@@ -101,8 +124,8 @@ impl<V: Clone> ShardedCache<V> {
         }
     }
 
-    fn shard(&self, key: &DomainName) -> &Shard<V> {
-        let idx = (key.precomputed_hash() % self.shards.len() as u64) as usize;
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        let idx = (key.shard_hash() % self.shards.len() as u64) as usize;
         &self.shards[idx]
     }
 
@@ -112,7 +135,7 @@ impl<V: Clone> ShardedCache<V> {
     }
 
     /// Probe for `key`, counting the probe as a hit or miss on its shard.
-    pub fn get(&self, key: &DomainName) -> Option<V> {
+    pub fn get(&self, key: &K) -> Option<V> {
         let shard = self.shard(key);
         let found = shard.map.read().get(key).cloned();
         match found {
@@ -129,7 +152,7 @@ impl<V: Clone> ShardedCache<V> {
 
     /// Insert `value` unless `key` is already present; returns the resident
     /// value either way (the racing loser's value is dropped).
-    pub fn insert_if_absent(&self, key: &DomainName, value: V) -> V {
+    pub fn insert_if_absent(&self, key: &K, value: V) -> V {
         self.shard(key)
             .map
             .write()
@@ -157,7 +180,7 @@ impl<V: Clone> ShardedCache<V> {
     }
 
     /// Copy out every `(key, value)` pair, shard by shard.
-    pub fn snapshot(&self) -> Vec<(DomainName, V)> {
+    pub fn snapshot(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len());
         for shard in self.shards.iter() {
             out.extend(shard.map.read().iter().map(|(k, v)| (k.clone(), v.clone())));
@@ -241,6 +264,36 @@ mod tests {
         assert_eq!(cache.shard_count(), 1);
         cache.insert_if_absent(&dom("a.example"), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn composite_keys_stripe_deterministically() {
+        #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+        struct Key(DomainName, u32);
+        impl CacheKey for Key {
+            fn shard_hash(&self) -> u64 {
+                self.0
+                    .precomputed_hash()
+                    .rotate_left(7)
+                    .wrapping_mul(0x100000001b3)
+                    ^ u64::from(self.1)
+            }
+        }
+        let cache: ShardedCache<u32, Key> = ShardedCache::new(4);
+        let a = Key(dom("a.example"), 1);
+        let b = Key(dom("a.example"), 2);
+        cache.insert_if_absent(&a, 10);
+        cache.insert_if_absent(&b, 20);
+        // Same domain, different composite component: distinct entries.
+        assert_eq!(cache.get(&a), Some(10));
+        assert_eq!(cache.get(&b), Some(20));
+        assert_eq!(cache.len(), 2);
+        // Shard placement is a pure function of the key.
+        let before = cache.shard_stats();
+        assert_eq!(cache.get(&a), Some(10));
+        let after = cache.shard_stats();
+        let changed: Vec<usize> = (0..4).filter(|&i| before[i] != after[i]).collect();
+        assert_eq!(changed.len(), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod recommend;
 pub mod taxonomy;
 pub mod walker;
 
-pub use cache::{CacheStats, ShardedCache, DEFAULT_CACHE_SHARDS};
+pub use cache::{CacheKey, CacheStats, ShardedCache, DEFAULT_CACHE_SHARDS};
 pub use findings::{analyze_domain, DomainReport, LAX_IP_THRESHOLD};
 pub use flatten::{flatten, FlattenProblem, Flattened};
 pub use recommend::{recommend, Recommendation, Severity};

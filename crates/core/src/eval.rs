@@ -35,7 +35,7 @@ use crate::macroexpand::expand_domain;
 use crate::parse::{self, SyntaxError};
 
 /// How DNS-querying terms are counted against the §4.6.4 limit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LookupAccounting {
     /// One global budget across the whole recursive evaluation — the
     /// `checkdmarc` reading used by the paper.
@@ -175,12 +175,137 @@ pub struct Evaluation {
     pub explanation: Option<String>,
 }
 
+/// Remaining evaluation budget at include/redirect subtree entry — part
+/// of the verdict-cache key (see [`VerdictCache`]).
+///
+/// A subtree's behaviour under RFC 7208's limits depends on how much
+/// budget the caller has already consumed: the same include chain can
+/// complete from a fresh record and trip `permerror` nine lookups into
+/// another, so a memoized subtree verdict is only replayable when the
+/// remaining budgets match the ones it was recorded under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BudgetKey {
+    /// The accounting mode in force — part of the key because the same
+    /// remaining budget means different things under global and
+    /// per-record accounting.
+    pub accounting: LookupAccounting,
+    /// Remaining DNS-querying-term budget. Under
+    /// [`LookupAccounting::PerRecord`] every record starts a fresh local
+    /// counter, so the entry state is always the full
+    /// [`EvalPolicy::max_dns_lookups`] — which is what this field holds
+    /// there, keying verdicts to the policy's limit instead of the
+    /// caller's consumption.
+    pub lookups_left: usize,
+    /// Remaining void-lookup budget (void accounting is global in both
+    /// modes).
+    pub voids_left: usize,
+    /// Remaining recursion depth before [`EvalPolicy::max_recursion_depth`]
+    /// trips.
+    pub depth_left: usize,
+}
+
+/// A memoized include/redirect subtree evaluation: everything
+/// `check_host()` needs to replay the subtree without touching the
+/// resolver, with *byte-identical* observable effects.
+///
+/// Counter-carrying problems ([`EvalProblem::TooManyLookups`] under
+/// global accounting, [`EvalProblem::TooManyVoidLookups`] always) store
+/// their `used` values relative to subtree entry; replay re-absolutizes
+/// them against the live counters, so a cached trip reports exactly the
+/// numbers the uncached walk would have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeVerdict {
+    /// How the subtree evaluation ended (entry-relative `used` counters,
+    /// see above).
+    pub outcome: Result<SpfResult, EvalProblem>,
+    /// DNS-querying terms the subtree charged.
+    pub lookups: usize,
+    /// Void lookups the subtree observed.
+    pub void_lookups: usize,
+    /// The matched-directive text assigned within the subtree, when one
+    /// was (`None` leaves the caller's value untouched on replay).
+    pub matched: Option<String>,
+    /// The final-domain value at subtree exit.
+    pub final_domain: DomainName,
+    /// Every include/redirect target the subtree tested against the
+    /// recursion stack. A verdict is recorded only when none of them hit
+    /// the caller's stack, and replayed only under stacks equally
+    /// disjoint from them — so loop detection behaves identically on
+    /// both paths.
+    pub probed: Vec<DomainName>,
+}
+
+/// A memo store for include/redirect subtree verdicts, shared across
+/// `check_host()` calls.
+///
+/// Implementations key on `(domain, ip, budget)`; the evaluator
+/// guarantees a verdict is a pure function of that triple (plus the
+/// zone) before offering it:
+///
+/// * subtrees that expanded session-dependent macros (`%{s}`, `%{l}`,
+///   `%{o}`, `%{h}`, …) are never offered — their behaviour depends on
+///   the sender identity, which is not in the key;
+/// * subtrees whose loop probes touched the caller's recursion stack are
+///   never offered, and replay re-checks stack disjointness.
+///
+/// # Scoping
+///
+/// A cache instance must be scoped to **one resolver (one zone
+/// state)**: the key carries the accounting mode and every
+/// remaining-budget dimension (so differing policies key apart), but
+/// *not* the zone contents — verdicts are memoized DNS answers, so
+/// sharing a cache across resolvers, or across a zone mutation such as
+/// the Table 2 remediation rescan, replays stale data. The matrix
+/// engine builds a fresh cache per run for exactly this reason.
+///
+/// The spoofability matrix engine (`spf-crawler`) implements this over
+/// the analyzer's lock-striped `ShardedCache` so include-heavy
+/// populations evaluate each shared provider subtree once per vantage
+/// instead of once per customer.
+pub trait VerdictCache: Send + Sync {
+    /// Look up the verdict for `(domain, ip, budget)`.
+    fn get(
+        &self,
+        domain: &DomainName,
+        ip: IpAddr,
+        budget: BudgetKey,
+    ) -> Option<Arc<SubtreeVerdict>>;
+    /// Store a verdict for `(domain, ip, budget)`.
+    fn put(&self, domain: &DomainName, ip: IpAddr, budget: BudgetKey, verdict: Arc<SubtreeVerdict>);
+}
+
 /// Evaluate `check_host(ip, domain, sender)` against `resolver`.
 pub fn check_host<R: Resolver + ?Sized>(
     resolver: &R,
     ctx: &EvalContext,
     domain: &DomainName,
     policy: &EvalPolicy,
+) -> Evaluation {
+    check_host_impl(resolver, ctx, domain, policy, None)
+}
+
+/// [`check_host`] with a shared subtree-verdict memo: include/redirect
+/// subtrees already evaluated for this `(domain, ip, remaining budget)`
+/// are replayed from `cache` instead of re-walked. Results — verdicts,
+/// lookup and void charges, matched directives, problems — are
+/// byte-identical to the uncached path (asserted by this module's tests
+/// and the `spoof_matrix_stress` proptests).
+pub fn check_host_cached<R: Resolver + ?Sized>(
+    resolver: &R,
+    ctx: &EvalContext,
+    domain: &DomainName,
+    policy: &EvalPolicy,
+    cache: &dyn VerdictCache,
+) -> Evaluation {
+    check_host_impl(resolver, ctx, domain, policy, Some(cache))
+}
+
+fn check_host_impl<R: Resolver + ?Sized>(
+    resolver: &R,
+    ctx: &EvalContext,
+    domain: &DomainName,
+    policy: &EvalPolicy,
+    cache: Option<&dyn VerdictCache>,
 ) -> Evaluation {
     let mut state = EvalState {
         resolver,
@@ -192,6 +317,10 @@ pub fn check_host<R: Resolver + ?Sized>(
         matched: None,
         final_domain: domain.clone(),
         explanation_source: None,
+        cache,
+        probed: Vec::new(),
+        ctx_macro_uses: 0,
+        matched_sets: 0,
     };
     let outcome = state.eval_domain(domain, 0, true);
     let (result, problem) = match outcome {
@@ -237,6 +366,24 @@ struct EvalState<'a, R: ?Sized> {
     matched: Option<String>,
     final_domain: DomainName,
     explanation_source: Option<(DomainName, MacroString)>,
+    /// Shared subtree-verdict memo, when evaluating through
+    /// [`check_host_cached`].
+    cache: Option<&'a dyn VerdictCache>,
+    /// Every include/redirect target tested against `stack` so far
+    /// (append-only; frames slice it by start index to learn what *they*
+    /// probed, nested frames included).
+    probed: Vec<DomainName>,
+    /// How many times a session-dependent macro string was expanded; a
+    /// frame whose evaluation bumped this is not a pure function of
+    /// `(domain, ip, budget)` and is never cached.
+    ctx_macro_uses: usize,
+    /// How many times `matched` was *assigned* (not merely left equal).
+    /// Frames compare before/after to learn whether their subtree set a
+    /// matched directive — value comparison is not enough, because a
+    /// subtree can assign the same text the caller already had, and the
+    /// resulting verdict must still assign it on replay under callers
+    /// holding a different value.
+    matched_sets: usize,
 }
 
 impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
@@ -292,7 +439,12 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
         }
     }
 
-    /// Charge one DNS-querying term against the budget.
+    /// Charge one DNS-querying term against the budget. The reported
+    /// `used` is the counter that actually tripped: the global one under
+    /// [`LookupAccounting::GlobalRecursive`], the current record's local
+    /// one under [`LookupAccounting::PerRecord`] (reporting the global
+    /// counter there would overstate how many lookups were charged
+    /// against the budget that failed).
     fn charge_lookup(&mut self, local_counter: &mut usize) -> Result<(), EvalProblem> {
         self.lookups += 1;
         *local_counter += 1;
@@ -301,9 +453,84 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
             LookupAccounting::PerRecord => *local_counter,
         };
         if used > self.policy.max_dns_lookups {
-            Err(EvalProblem::TooManyLookups { used: self.lookups })
+            Err(EvalProblem::TooManyLookups { used })
         } else {
             Ok(())
+        }
+    }
+
+    /// The budget state a subtree entered with, as a cache-key component.
+    fn budget_key(&self, depth: usize) -> BudgetKey {
+        BudgetKey {
+            accounting: self.policy.accounting,
+            lookups_left: match self.policy.accounting {
+                LookupAccounting::GlobalRecursive => {
+                    self.policy.max_dns_lookups.saturating_sub(self.lookups)
+                }
+                LookupAccounting::PerRecord => self.policy.max_dns_lookups,
+            },
+            voids_left: self
+                .policy
+                .max_void_lookups
+                .saturating_sub(self.void_lookups),
+            depth_left: self.policy.max_recursion_depth.saturating_sub(depth),
+        }
+    }
+
+    /// Convert an absolute problem to its subtree-entry-relative form for
+    /// storage in a [`SubtreeVerdict`] (see the struct docs).
+    fn relativize(
+        &self,
+        problem: EvalProblem,
+        entry_lookups: usize,
+        entry_voids: usize,
+    ) -> EvalProblem {
+        match problem {
+            EvalProblem::TooManyLookups { used }
+                if self.policy.accounting == LookupAccounting::GlobalRecursive =>
+            {
+                EvalProblem::TooManyLookups {
+                    used: used - entry_lookups,
+                }
+            }
+            EvalProblem::TooManyVoidLookups { used } => EvalProblem::TooManyVoidLookups {
+                used: used - entry_voids,
+            },
+            other => other,
+        }
+    }
+
+    /// Replay a memoized subtree: apply its counter deltas and state
+    /// effects, then return its outcome with trip counters re-absolutized
+    /// against the live budget.
+    fn replay(&mut self, verdict: &SubtreeVerdict) -> Result<SpfResult, EvalProblem> {
+        let entry_lookups = self.lookups;
+        let entry_voids = self.void_lookups;
+        self.lookups += verdict.lookups;
+        self.void_lookups += verdict.void_lookups;
+        if let Some(matched) = &verdict.matched {
+            self.matched = Some(matched.clone());
+            // Replay counts as an assignment: an enclosing frame being
+            // recorded must see this subtree as one that set `matched`.
+            self.matched_sets += 1;
+        }
+        self.final_domain = verdict.final_domain.clone();
+        self.probed.extend(verdict.probed.iter().cloned());
+        match &verdict.outcome {
+            Ok(result) => Ok(*result),
+            Err(problem) => Err(match problem.clone() {
+                EvalProblem::TooManyLookups { used }
+                    if self.policy.accounting == LookupAccounting::GlobalRecursive =>
+                {
+                    EvalProblem::TooManyLookups {
+                        used: used + entry_lookups,
+                    }
+                }
+                EvalProblem::TooManyVoidLookups { used } => EvalProblem::TooManyVoidLookups {
+                    used: used + entry_voids,
+                },
+                other => other,
+            }),
         }
     }
 
@@ -316,6 +543,59 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
         if depth > self.policy.max_recursion_depth {
             return Err(EvalProblem::TooDeep);
         }
+        // Only include/redirect subtrees are memoizable — the initial
+        // domain's evaluation *is* the result the caller asked for.
+        let Some(cache) = (if initial { None } else { self.cache }) else {
+            return self.eval_domain_fresh(domain, depth, initial);
+        };
+        let budget = self.budget_key(depth);
+        if let Some(verdict) = cache.get(domain, self.ctx.ip, budget) {
+            // Sound only when loop detection would behave identically:
+            // none of the subtree's probes may hit the current stack.
+            if verdict.probed.iter().all(|d| !self.stack.contains(d)) {
+                return self.replay(&verdict);
+            }
+        }
+        let entry_lookups = self.lookups;
+        let entry_voids = self.void_lookups;
+        let matched_sets_before = self.matched_sets;
+        let probed_start = self.probed.len();
+        let ctx_uses_before = self.ctx_macro_uses;
+        let outcome = self.eval_domain_fresh(domain, depth, initial);
+        let fresh_probes = &self.probed[probed_start..];
+        // Cache only pure-in-(domain, ip, budget) subtrees: no
+        // session-macro expansions, no loop probe touching the caller's
+        // stack (internal loops are fine — they re-form on every replay).
+        let cacheable = self.ctx_macro_uses == ctx_uses_before
+            && fresh_probes.iter().all(|d| !self.stack.contains(d));
+        if cacheable {
+            let outcome_rel = match &outcome {
+                Ok(result) => Ok(*result),
+                Err(problem) => Err(self.relativize(problem.clone(), entry_lookups, entry_voids)),
+            };
+            let verdict = SubtreeVerdict {
+                outcome: outcome_rel,
+                lookups: self.lookups - entry_lookups,
+                void_lookups: self.void_lookups - entry_voids,
+                matched: if self.matched_sets != matched_sets_before {
+                    self.matched.clone()
+                } else {
+                    None
+                },
+                final_domain: self.final_domain.clone(),
+                probed: fresh_probes.to_vec(),
+            };
+            cache.put(domain, self.ctx.ip, budget, Arc::new(verdict));
+        }
+        outcome
+    }
+
+    fn eval_domain_fresh(
+        &mut self,
+        domain: &DomainName,
+        depth: usize,
+        initial: bool,
+    ) -> Result<SpfResult, EvalProblem> {
         self.final_domain = domain.clone();
         let record = match self.fetch_record(domain) {
             Ok(r) => r,
@@ -406,6 +686,7 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                     self.check_void_budget()?;
                     if matched {
                         self.matched = Some(directive.to_string());
+                        self.matched_sets += 1;
                         self.final_domain = domain.clone();
                         return Ok(qualifier_result(directive.qualifier));
                     }
@@ -419,12 +700,8 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
         if !saw_all {
             if let Some(target) = record.redirect() {
                 self.charge_lookup(&mut local_counter)?;
-                let target_domain =
-                    expand_domain(target, self.ctx, domain, None).map_err(|_| {
-                        EvalProblem::BadExpansion {
-                            text: target.to_string(),
-                        }
-                    })?;
+                let target_domain = self.expand_target(target, domain)?;
+                self.probed.push(target_domain.clone());
                 if self.stack.contains(&target_domain) {
                     return Err(EvalProblem::RedirectLoop {
                         domain: target_domain,
@@ -513,11 +790,7 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                 self.ptr_match(&scope)
             }
             Mechanism::Exists { domain: target } => {
-                let name = expand_domain(target, self.ctx, domain, None).map_err(|_| {
-                    EvalProblem::BadExpansion {
-                        text: target.to_string(),
-                    }
-                })?;
+                let name = self.expand_target(target, domain)?;
                 // `exists` always queries A, even for IPv6 senders.
                 match self.resolver.query(&name, RecordType::A) {
                     Ok(rrs) if !rrs.is_empty() => Ok(true),
@@ -534,12 +807,8 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
                 }
             }
             Mechanism::Include { domain: target } => {
-                let target_domain =
-                    expand_domain(target, self.ctx, domain, None).map_err(|_| {
-                        EvalProblem::BadExpansion {
-                            text: target.to_string(),
-                        }
-                    })?;
+                let target_domain = self.expand_target(target, domain)?;
+                self.probed.push(target_domain.clone());
                 if self.stack.contains(&target_domain) {
                     return Err(EvalProblem::IncludeLoop {
                         domain: target_domain,
@@ -573,12 +842,24 @@ impl<'a, R: Resolver + ?Sized> EvalState<'a, R> {
     ) -> Result<DomainName, EvalProblem> {
         match target {
             None => Ok(domain.clone()),
-            Some(ms) => {
-                expand_domain(ms, self.ctx, domain, None).map_err(|_| EvalProblem::BadExpansion {
-                    text: ms.to_string(),
-                })
-            }
+            Some(ms) => self.expand_target(ms, domain),
         }
+    }
+
+    /// Macro-expand a mechanism/modifier target, flagging the evaluation
+    /// as session-dependent (and thus uncacheable) when the string uses
+    /// sender/HELO-derived macros.
+    fn expand_target(
+        &mut self,
+        ms: &MacroString,
+        domain: &DomainName,
+    ) -> Result<DomainName, EvalProblem> {
+        if ms.uses_session_macros() {
+            self.ctx_macro_uses += 1;
+        }
+        expand_domain(ms, self.ctx, domain, None).map_err(|_| EvalProblem::BadExpansion {
+            text: ms.to_string(),
+        })
     }
 
     /// A/AAAA lookup + dual-CIDR match against the sending IP.
@@ -1243,6 +1524,381 @@ mod tests {
             e.explanation.as_deref(),
             Some("192.0.2.3 is not allowed to send for x.example")
         );
+    }
+
+    /// A plain mutex-map [`VerdictCache`] for exercising the cached path
+    /// without the crawler's sharded implementation.
+    #[derive(Default)]
+    struct MapCache {
+        map: std::sync::Mutex<
+            std::collections::HashMap<(DomainName, IpAddr, BudgetKey), Arc<SubtreeVerdict>>,
+        >,
+        hits: std::sync::atomic::AtomicUsize,
+    }
+
+    impl VerdictCache for MapCache {
+        fn get(
+            &self,
+            domain: &DomainName,
+            ip: IpAddr,
+            budget: BudgetKey,
+        ) -> Option<Arc<SubtreeVerdict>> {
+            let hit = self
+                .map
+                .lock()
+                .unwrap()
+                .get(&(domain.clone(), ip, budget))
+                .cloned();
+            if hit.is_some() {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            hit
+        }
+
+        fn put(
+            &self,
+            domain: &DomainName,
+            ip: IpAddr,
+            budget: BudgetKey,
+            verdict: Arc<SubtreeVerdict>,
+        ) {
+            self.map
+                .lock()
+                .unwrap()
+                .insert((domain.clone(), ip, budget), verdict);
+        }
+    }
+
+    fn eval_cached(store: &Arc<ZoneStore>, cache: &MapCache, ip: &str, domain: &str) -> Evaluation {
+        let resolver = ZoneResolver::new(Arc::clone(store));
+        check_host_cached(
+            &resolver,
+            &ctx(ip),
+            &dom(domain),
+            &EvalPolicy::default(),
+            cache,
+        )
+    }
+
+    #[test]
+    fn global_trip_reports_the_global_counter() {
+        let s = store();
+        for i in 0..12 {
+            let name = dom(&format!("g{i}.example"));
+            let next = format!("g{}.example", i + 1);
+            s.add_txt(&name, &format!("v=spf1 include:{next} -all"));
+        }
+        let e = eval(&s, "10.0.0.1", "g0.example");
+        // The 11th charge trips; under global accounting the reported
+        // counter is the global one.
+        assert_eq!(e.problem, Some(EvalProblem::TooManyLookups { used: 11 }));
+        assert_eq!(e.dns_lookups, 11);
+    }
+
+    #[test]
+    fn per_record_trip_reports_the_local_counter() {
+        // Regression for the `used` misreport: one include (1 global
+        // lookup) leads to a record with 11 includes of its own. Under
+        // per-record accounting the 11th *local* charge trips — the old
+        // code reported the global counter (12), overstating what the
+        // tripped budget was actually charged.
+        let s = store();
+        let fat_terms: Vec<String> = (0..11)
+            .map(|i| format!("include:leaf{i}.example"))
+            .collect();
+        s.add_txt(&dom("entry.example"), "v=spf1 include:fat.example -all");
+        s.add_txt(
+            &dom("fat.example"),
+            &format!("v=spf1 {} -all", fat_terms.join(" ")),
+        );
+        for i in 0..11 {
+            s.add_txt(
+                &dom(&format!("leaf{i}.example")),
+                "v=spf1 ip4:203.0.113.250 -all",
+            );
+        }
+        let resolver = ZoneResolver::new(Arc::clone(&s));
+        let policy = EvalPolicy {
+            accounting: LookupAccounting::PerRecord,
+            ..Default::default()
+        };
+        let e = check_host(&resolver, &ctx("10.0.0.1"), &dom("entry.example"), &policy);
+        assert_eq!(e.result, SpfResult::PermError);
+        assert_eq!(e.problem, Some(EvalProblem::TooManyLookups { used: 11 }));
+        // The global counter kept counting: 1 entry include + 11 charges
+        // inside fat.example.
+        assert_eq!(e.dns_lookups, 12);
+    }
+
+    #[test]
+    fn void_boundary_exactly_two_pass_third_fails() {
+        // Pin the §4.6.4 boundary: `check_void_budget` uses `>`, so the
+        // 2nd void lookup passes and the 3rd is the permerror.
+        let s = store();
+        s.add_txt(
+            &dom("vb.example"),
+            "v=spf1 a:n1.example a:n2.example ip4:10.2.2.2 -all",
+        );
+        s.add_txt(
+            &dom("vc.example"),
+            "v=spf1 a:n1.example a:n2.example a:n3.example ip4:10.2.2.2 -all",
+        );
+        for n in ["n1.example", "n2.example", "n3.example"] {
+            s.add_txt(&dom(n), "placeholder"); // exists, no A record
+        }
+        let two = eval(&s, "10.2.2.2", "vb.example");
+        assert_eq!(two.result, SpfResult::Pass);
+        assert_eq!(two.void_lookups, 2);
+        let three = eval(&s, "10.2.2.2", "vc.example");
+        assert_eq!(three.result, SpfResult::PermError);
+        assert_eq!(
+            three.problem,
+            Some(EvalProblem::TooManyVoidLookups { used: 3 })
+        );
+    }
+
+    /// A world where two customers share one provider include whose
+    /// subtree costs lookups *and* void lookups.
+    fn shared_include_store() -> Arc<ZoneStore> {
+        let s = store();
+        s.add_txt(
+            &dom("spf.shared.example"),
+            "v=spf1 a:void1.shared.example mx:hub.shared.example ip4:198.51.100.0/24 -all",
+        );
+        s.add_txt(&dom("void1.shared.example"), "placeholder"); // void A
+        s.add_mx(&dom("hub.shared.example"), 10, &dom("mx.shared.example"));
+        s.add_a(&dom("mx.shared.example"), Ipv4Addr::new(198, 51, 100, 25));
+        for c in ["c1.example", "c2.example"] {
+            s.add_txt(&dom(c), "v=spf1 include:spf.shared.example -all");
+        }
+        s
+    }
+
+    #[test]
+    fn cached_path_is_byte_identical_to_uncached() {
+        let s = shared_include_store();
+        let cache = MapCache::default();
+        for ip in ["198.51.100.42", "203.0.113.9"] {
+            for domain in ["c1.example", "c2.example"] {
+                let uncached = eval(&s, ip, domain);
+                let cold_or_warm = eval_cached(&s, &cache, ip, domain);
+                assert_eq!(uncached, cold_or_warm, "{domain} from {ip}");
+            }
+        }
+        // c2 (and every repeat) replayed the shared subtree.
+        assert!(cache.hits.load(std::sync::atomic::Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn cached_void_lookups_charge_identically() {
+        // The shared subtree carries one void lookup; a root that enters
+        // it with only one void slot left must trip on replay exactly as
+        // it does on a fresh walk — same problem, same `used`.
+        let s = shared_include_store();
+        s.add_txt(
+            &dom("tight.example"),
+            "v=spf1 a:gone1.example a:gone2.example include:spf.shared.example -all",
+        );
+        for n in ["gone1.example", "gone2.example"] {
+            s.add_txt(&dom(n), "placeholder");
+        }
+        let cache = MapCache::default();
+        // Warm the provider subtree from a void-budget-rich root.
+        let warm = eval_cached(&s, &cache, "203.0.113.9", "c1.example");
+        assert_eq!(warm.void_lookups, 1);
+        let uncached = eval(&s, "203.0.113.9", "tight.example");
+        let cached = eval_cached(&s, &cache, "203.0.113.9", "tight.example");
+        assert_eq!(uncached, cached);
+        assert_eq!(cached.result, SpfResult::PermError);
+        assert_eq!(
+            cached.problem,
+            Some(EvalProblem::TooManyVoidLookups { used: 3 })
+        );
+        assert_eq!(cached.void_lookups, 3);
+    }
+
+    #[test]
+    fn cached_lookup_budget_trips_identically() {
+        // deep.example consumes 4 lookups; entered with 9 left it
+        // completes, entered with 3 left it trips mid-subtree. The cache
+        // must never replay the rich-budget verdict into the poor-budget
+        // entry (the budget is part of the key).
+        let s = store();
+        s.add_txt(
+            &dom("deep.example"),
+            "v=spf1 mx:hub.deep.example a:a1.deep.example a:a2.deep.example \
+             a:a3.deep.example ip4:198.51.100.0/24 -all",
+        );
+        s.add_mx(&dom("hub.deep.example"), 10, &dom("mx.deep.example"));
+        for n in [
+            "mx.deep.example",
+            "a1.deep.example",
+            "a2.deep.example",
+            "a3.deep.example",
+        ] {
+            s.add_a(&dom(n), Ipv4Addr::new(203, 0, 113, 77));
+        }
+        s.add_txt(&dom("rich.example"), "v=spf1 include:deep.example -all");
+        let mut poor_terms = vec!["v=spf1".to_string()];
+        for i in 0..7 {
+            poor_terms.push(format!("include:hop{i}.example"));
+            s.add_txt(
+                &dom(&format!("hop{i}.example")),
+                "v=spf1 ip4:203.0.113.250 -all",
+            );
+        }
+        poor_terms.push("include:deep.example".to_string());
+        poor_terms.push("-all".to_string());
+        s.add_txt(&dom("poor.example"), &poor_terms.join(" "));
+        let cache = MapCache::default();
+        for domain in [
+            "rich.example",
+            "poor.example",
+            "rich.example",
+            "poor.example",
+        ] {
+            let uncached = eval(&s, "198.51.100.5", domain);
+            let cached = eval_cached(&s, &cache, "198.51.100.5", domain);
+            assert_eq!(uncached, cached, "{domain}");
+        }
+        let poor = eval(&s, "198.51.100.5", "poor.example");
+        assert_eq!(poor.result, SpfResult::PermError);
+        assert!(matches!(
+            poor.problem,
+            Some(EvalProblem::TooManyLookups { used: 11 })
+        ));
+    }
+
+    #[test]
+    fn shared_cache_keys_policies_apart() {
+        // Regression: under per-record accounting the key holds the
+        // policy's own limit, so one cache serving two policies must
+        // never replay the lenient policy's verdict into the strict one.
+        let s = store();
+        s.add_txt(
+            &dom("sub5.example"),
+            "v=spf1 a:h1.example a:h2.example a:h3.example a:h4.example a:h5.example -all",
+        );
+        for n in [
+            "h1.example",
+            "h2.example",
+            "h3.example",
+            "h4.example",
+            "h5.example",
+        ] {
+            s.add_a(&dom(n), Ipv4Addr::new(203, 0, 113, 200));
+        }
+        s.add_txt(&dom("entry.example"), "v=spf1 include:sub5.example -all");
+        let resolver = ZoneResolver::new(Arc::clone(&s));
+        let cache = MapCache::default();
+        let policy = |max: usize| EvalPolicy {
+            accounting: LookupAccounting::PerRecord,
+            max_dns_lookups: max,
+            ..Default::default()
+        };
+        let run = |p: &EvalPolicy, cached: bool| {
+            if cached {
+                check_host_cached(
+                    &resolver,
+                    &ctx("192.0.2.9"),
+                    &dom("entry.example"),
+                    p,
+                    &cache,
+                )
+            } else {
+                check_host(&resolver, &ctx("192.0.2.9"), &dom("entry.example"), p)
+            }
+        };
+        // Warm the cache under the lenient limit, then evaluate under
+        // the strict one: each must match its own uncached reference.
+        let lenient = policy(10);
+        let strict = policy(2);
+        assert_eq!(run(&lenient, true), run(&lenient, false));
+        let strict_cached = run(&strict, true);
+        assert_eq!(strict_cached, run(&strict, false));
+        assert_eq!(strict_cached.result, SpfResult::PermError);
+        assert_eq!(
+            strict_cached.problem,
+            Some(EvalProblem::TooManyLookups { used: 3 })
+        );
+    }
+
+    #[test]
+    fn session_macro_subtrees_are_never_cached() {
+        // The include target authorizes via an %{o} (sender-domain)
+        // exists-check: its verdict depends on the session, not on
+        // (domain, ip), so sharing a cache across senders must not leak
+        // one sender's answer to another.
+        let s = store();
+        s.add_txt(&dom("macro.example"), "v=spf1 exists:%{o}.chk.example -all");
+        for r in ["r1.example", "r2.example"] {
+            s.add_txt(&dom(r), "v=spf1 include:macro.example -all");
+        }
+        s.add_a(&dom("r1.example.chk.example"), Ipv4Addr::new(127, 0, 0, 2));
+        let resolver = ZoneResolver::new(Arc::clone(&s));
+        let cache = MapCache::default();
+        let policy = EvalPolicy::default();
+        let eval_for = |root: &str| {
+            let c = EvalContext::mail_from("192.0.2.55".parse().unwrap(), "ceo", dom(root));
+            check_host_cached(&resolver, &c, &dom(root), &policy, &cache)
+        };
+        assert_eq!(eval_for("r1.example").result, SpfResult::Pass);
+        assert_eq!(eval_for("r2.example").result, SpfResult::Fail);
+        // And nothing about the macro subtree was memoized.
+        assert_eq!(cache.hits.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn replayed_subtree_still_assigns_an_equal_matched_directive() {
+        // Regression: a subtree that assigns the *same* matched text the
+        // caller already had must still be recorded as assigning it —
+        // otherwise its verdict replays as a no-op under callers whose
+        // pre-entry matched value differs, dropping matched_directive.
+        let s = store();
+        s.add_txt(&dom("a1.example"), "v=spf1 -all");
+        s.add_txt(&dom("a2.example"), "v=spf1");
+        s.add_txt(&dom("sub.example"), "v=spf1 -all");
+        // c1 warms the cache: at sub entry, matched is already
+        // Some("-all") from a1's inner match, and sub matches "-all"
+        // again (same text).
+        s.add_txt(
+            &dom("c1.example"),
+            "v=spf1 include:a1.example include:sub.example",
+        );
+        // x enters sub with matched = None (a2 matched nothing).
+        s.add_txt(
+            &dom("x.example"),
+            "v=spf1 include:a2.example include:sub.example",
+        );
+        let cache = MapCache::default();
+        for domain in ["c1.example", "x.example"] {
+            let uncached = eval(&s, "198.51.100.1", domain);
+            let cached = eval_cached(&s, &cache, "198.51.100.1", domain);
+            assert_eq!(uncached, cached, "{domain}");
+        }
+        let x = eval_cached(&s, &cache, "198.51.100.1", "x.example");
+        assert_eq!(x.matched_directive.as_deref(), Some("-all"));
+    }
+
+    #[test]
+    fn loop_probes_respect_the_caller_stack() {
+        // mid.example ↔ back.example form a loop. Warming the cache from
+        // a neutral root and then evaluating *from inside the loop* must
+        // not replay the neutral root's view of it.
+        let s = store();
+        s.add_txt(&dom("mid.example"), "v=spf1 include:back.example -all");
+        s.add_txt(&dom("back.example"), "v=spf1 include:mid.example -all");
+        s.add_txt(&dom("other.example"), "v=spf1 include:mid.example -all");
+        let cache = MapCache::default();
+        for domain in ["other.example", "back.example", "mid.example"] {
+            let uncached = eval(&s, "198.51.100.1", domain);
+            let cached = eval_cached(&s, &cache, "198.51.100.1", domain);
+            assert_eq!(uncached, cached, "{domain}");
+            assert!(matches!(
+                cached.problem,
+                Some(EvalProblem::IncludeLoop { .. })
+            ));
+        }
     }
 
     #[test]

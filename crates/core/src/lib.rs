@@ -29,8 +29,8 @@ pub use dmarc::{
     DmarcRecord,
 };
 pub use eval::{
-    check_host, check_host_dyn, EvalPolicy, EvalProblem, Evaluation, LookupAccounting,
-    RecordNotFoundCause,
+    check_host, check_host_cached, check_host_dyn, BudgetKey, EvalPolicy, EvalProblem, Evaluation,
+    LookupAccounting, RecordNotFoundCause, SubtreeVerdict, VerdictCache,
 };
 pub use header::received_spf_header;
 pub use macroexpand::{expand, expand_domain, ExpandError};

@@ -8,7 +8,10 @@
 //! Figures 4/7/8, and [`OverlapReport`] answers the cross-population
 //! address-space overlap questions of §6 (most-spoofable address,
 //! coverage histogram, provider concentration) from the coverage map the
-//! crawl accumulates as it goes.
+//! crawl accumulates as it goes. [`spoof_matrix`] closes the §6 loop:
+//! real `check_host()` verdicts for the whole population from attacker
+//! vantage addresses, deduplicated through a lock-striped subtree
+//! verdict cache (see [`mod@spoof`]).
 //!
 //! # Crawl engine invariants
 //!
@@ -36,6 +39,7 @@ pub mod aggregate;
 pub mod crawl;
 pub mod ecosystem;
 pub mod overlap;
+pub mod spoof;
 
 pub use aggregate::{ScanAggregates, LARGE_RANGE_MAX_PREFIX};
 pub use crawl::{
@@ -44,6 +48,11 @@ pub use crawl::{
 };
 pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
 pub use overlap::{OverlapReport, ProviderConcentration, DEFAULT_PROVIDER_ROWS};
+pub use spoof::{
+    select_vantages, spoof_matrix, ProviderVantage, SpoofMatrix, SpoofMatrixConfig,
+    SpoofMatrixStats, SpoofVerdictCache, VantageKind, VantagePoint, VantageReport,
+    DEFAULT_CONTROLS, DEFAULT_TOP_COVERAGE, SPOOF_SENDER_LOCAL,
+};
 
 /// Re-export of the analyzer's lax-authorization threshold (100,000 IPs).
 pub use spf_analyzer::LAX_IP_THRESHOLD;

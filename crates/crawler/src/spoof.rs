@@ -1,0 +1,846 @@
+//! The population-scale spoofability verdict matrix (§6 of the paper).
+//!
+//! PR 4's overlap engine answers *which addresses the most domains
+//! authorize*; this module closes the loop by computing what a receiving
+//! MTA would actually decide: it batch-evaluates
+//! [`spf_core::check_host`]`(ip, domain, sender)` for every scanned
+//! domain × a set of attacker vantage addresses, through the same
+//! bounded worker-pool dispatch the crawl engine uses.
+//!
+//! # Vantage families
+//!
+//! * [`VantageKind::SharedCoverage`] — the top-K most-authorized
+//!   addresses from the population's [`WeightedRanges`] profile: shared
+//!   cloud infrastructure an attacker can rent into;
+//! * [`VantageKind::ProviderWeb`] / [`VantageKind::ProviderMta`] — the
+//!   §6.4 hosting-provider web-space and MTA addresses
+//!   (`spf_netsim::hosting`);
+//! * [`VantageKind::Control`] — deterministic random addresses *outside*
+//!   every authorized range, the matrix's negative baseline (only
+//!   `+all`-style records pass from these).
+//!
+//! # The verdict cache
+//!
+//! Include-heavy populations would re-walk each shared provider subtree
+//! once per customer per vantage; [`SpoofVerdictCache`] memoizes subtree
+//! verdicts in the analyzer's lock-striped [`ShardedCache`], keyed by
+//! `(domain precomputed-hash, vantage, remaining budget)` — the exact
+//! purity domain `spf_core::eval` guarantees, so cached and uncached
+//! matrices serialize byte-identically (`tests/spoof_matrix_stress.rs`
+//! and the proptests pin this, BENCH_5.json quantifies the speedup).
+//!
+//! # Determinism
+//!
+//! Every [`SpoofMatrix`] field is a sum of per-domain facts that are
+//! pure functions of `(zone, domain, vantage)`, merged commutatively
+//! from per-worker accumulators — so the serialized report is identical
+//! across worker counts, batch sizes, cache shard counts, cache on/off,
+//! and resolver substrates (in-memory vs wire under zero faults).
+
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+use serde::{Deserialize, Serialize};
+use spf_analyzer::{CacheKey, CacheStats, ShardedCache, DEFAULT_CACHE_SHARDS};
+use spf_core::{
+    check_host, check_host_cached, BudgetKey, EvalContext, EvalPolicy, Evaluation, SpfResult,
+    SubtreeVerdict, VerdictCache,
+};
+use spf_dns::Resolver;
+use spf_types::{DomainName, WeightedRanges};
+
+use crate::crawl::DEFAULT_BATCH_SIZE;
+
+/// The MAIL FROM local-part every matrix evaluation claims. A constant:
+/// the engine's verdict cache is sound only for session-independent
+/// subtrees, and a fixed local-part keeps the rare `%{l}` record from
+/// varying within one run.
+pub const SPOOF_SENDER_LOCAL: &str = "attacker";
+
+/// Default number of top-coverage vantage addresses.
+pub const DEFAULT_TOP_COVERAGE: usize = 5;
+
+/// Default number of control vantage addresses.
+pub const DEFAULT_CONTROLS: usize = 3;
+
+/// Which family a vantage address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VantageKind {
+    /// A top-K most-authorized address from the overlap profile.
+    SharedCoverage,
+    /// A hosting provider's shared web-space address.
+    ProviderWeb,
+    /// A hosting provider's outbound MTA address.
+    ProviderMta,
+    /// A random address no domain authorizes.
+    Control,
+}
+
+impl VantageKind {
+    /// True for addresses an attacker can plausibly send from (rent the
+    /// shared infrastructure, the web space, or the provider MTA) —
+    /// i.e. every family except the synthetic controls.
+    pub fn attacker_reachable(self) -> bool {
+        !matches!(self, VantageKind::Control)
+    }
+}
+
+/// One attacker vantage address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VantagePoint {
+    /// Human-readable label (rendered by `repro -- spoof-matrix`).
+    pub label: String,
+    /// The vantage family.
+    pub kind: VantageKind,
+    /// The connecting address the matrix evaluates from.
+    pub ip: Ipv4Addr,
+}
+
+/// A hosting provider's two attacker-reachable addresses, as vantage
+/// input (built from `spf_netsim::HostingProvider` by the pipeline
+/// assemblers — the crawler stays independent of the world generator).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProviderVantage {
+    /// Provider label (e.g. `hosting1`).
+    pub label: String,
+    /// The shared web-space address.
+    pub web: Ipv4Addr,
+    /// The provider MTA address.
+    pub mta: Ipv4Addr,
+}
+
+/// splitmix64: the control sampler's deterministic stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Assemble the matrix's vantage set: the `top_k` most-covered addresses
+/// from the overlap profile, each provider's web and MTA addresses, and
+/// `controls` addresses with the *least* coverage — seeded-random
+/// zero-coverage addresses when any exist, falling back to
+/// representatives of the lowest-weight ranges when the population
+/// covers the whole space (calibrated worlds do: their `+all`-shaped
+/// records authorize every address, which is exactly the cohort the
+/// control column is meant to isolate). Deterministic in
+/// `(weighted, providers, top_k, controls, seed)`.
+///
+/// A provider address that happens to coincide with a top-coverage
+/// address is kept in both rows (each row reports its own family);
+/// control selection rejects already-selected addresses.
+pub fn select_vantages(
+    weighted: &WeightedRanges,
+    providers: &[ProviderVantage],
+    top_k: usize,
+    controls: usize,
+    seed: u64,
+) -> Vec<VantagePoint> {
+    let mut vantages = Vec::new();
+    for (rank, (ip, domains)) in weighted.top_coverage(top_k).into_iter().enumerate() {
+        vantages.push(VantagePoint {
+            label: format!("shared#{} ({domains} domains)", rank + 1),
+            kind: VantageKind::SharedCoverage,
+            ip,
+        });
+    }
+    for provider in providers {
+        vantages.push(VantagePoint {
+            label: format!("{}-web", provider.label),
+            kind: VantageKind::ProviderWeb,
+            ip: provider.web,
+        });
+        vantages.push(VantagePoint {
+            label: format!("{}-mta", provider.label),
+            kind: VantageKind::ProviderMta,
+            ip: provider.mta,
+        });
+    }
+    let mut state = seed ^ 0x5bf1_2023_0000_0001;
+    let mut found = 0usize;
+    // Bounded rejection sampling for zero-coverage addresses (when the
+    // covered space doesn't swallow the sampler, this converges almost
+    // immediately).
+    for _ in 0..controls.saturating_mul(512) {
+        if found == controls {
+            break;
+        }
+        let candidate = Ipv4Addr::from(splitmix64(&mut state) as u32);
+        if weighted.weight_at(candidate) > 0 || vantages.iter().any(|v| v.ip == candidate) {
+            continue;
+        }
+        found += 1;
+        vantages.push(VantagePoint {
+            label: format!("control#{found}"),
+            kind: VantageKind::Control,
+            ip: candidate,
+        });
+    }
+    if found < controls {
+        // Fully-covered space: take the lowest-weight ranges'
+        // representative addresses instead (weight ascending, address
+        // ascending — deterministic like top_coverage).
+        let mut ranked: Vec<(Ipv4Addr, u64)> = weighted
+            .iter()
+            .map(|r| (Ipv4Addr::from(r.lo), r.weight))
+            .collect();
+        ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for (ip, weight) in ranked {
+            if found == controls {
+                break;
+            }
+            if vantages.iter().any(|v| v.ip == ip) {
+                continue;
+            }
+            found += 1;
+            vantages.push(VantagePoint {
+                label: format!("control#{found} (floor {weight} domains)"),
+                kind: VantageKind::Control,
+                ip,
+            });
+        }
+    }
+    vantages
+}
+
+/// The verdict-cache key: domain × vantage × remaining budget (see
+/// [`spf_core::BudgetKey`] for why the budget is part of it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct VerdictKey {
+    domain: DomainName,
+    ip: IpAddr,
+    budget: BudgetKey,
+}
+
+impl CacheKey for VerdictKey {
+    fn shard_hash(&self) -> u64 {
+        // The canonical deterministic mixer: DomainName's component
+        // feeds its precomputed FNV through write_u64, the ip/budget
+        // words follow through the same hasher — one mixing
+        // implementation for map and stripe placement alike.
+        let mut hasher = spf_types::DomainHasher::default();
+        std::hash::Hash::hash(self, &mut hasher);
+        std::hash::Hasher::finish(&hasher)
+    }
+}
+
+/// The engine's lock-striped subtree-verdict memo: the analyzer's
+/// [`ShardedCache`] under a `(domain, ip, budget)` key, implementing
+/// [`spf_core::VerdictCache`] so `check_host_cached` can share provider
+/// subtrees across every customer that includes them.
+pub struct SpoofVerdictCache {
+    inner: ShardedCache<Arc<SubtreeVerdict>, VerdictKey>,
+}
+
+impl SpoofVerdictCache {
+    /// A cache with `shards` stripes (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        SpoofVerdictCache {
+            inner: ShardedCache::new(shards),
+        }
+    }
+
+    /// A cache with the analyzer's default stripe count.
+    pub fn with_default_shards() -> Self {
+        Self::new(DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Hit/miss/entry counters summed over all stripes.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Memoized subtree verdicts currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+}
+
+impl VerdictCache for SpoofVerdictCache {
+    fn get(
+        &self,
+        domain: &DomainName,
+        ip: IpAddr,
+        budget: BudgetKey,
+    ) -> Option<Arc<SubtreeVerdict>> {
+        self.inner.get(&VerdictKey {
+            domain: domain.clone(),
+            ip,
+            budget,
+        })
+    }
+
+    fn put(
+        &self,
+        domain: &DomainName,
+        ip: IpAddr,
+        budget: BudgetKey,
+        verdict: Arc<SubtreeVerdict>,
+    ) {
+        self.inner.insert_if_absent(
+            &VerdictKey {
+                domain: domain.clone(),
+                ip,
+                budget,
+            },
+            verdict,
+        );
+    }
+}
+
+/// Matrix-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpoofMatrixConfig {
+    /// Worker threads evaluating `(domain, vantage)` cells.
+    pub workers: usize,
+    /// Domains per dispatch batch (clamped to ≥ 1).
+    pub batch_size: usize,
+    /// Whether the shared subtree-verdict cache is consulted.
+    pub use_cache: bool,
+    /// Verdict-cache stripe count (ignored when `use_cache` is false).
+    pub cache_shards: usize,
+    /// The `check_host()` limits and accounting mode to evaluate under.
+    pub policy: EvalPolicy,
+}
+
+impl Default for SpoofMatrixConfig {
+    fn default() -> Self {
+        SpoofMatrixConfig {
+            workers: 8,
+            batch_size: DEFAULT_BATCH_SIZE,
+            use_cache: true,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            policy: EvalPolicy::default(),
+        }
+    }
+}
+
+impl SpoofMatrixConfig {
+    /// A config with `workers` threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        SpoofMatrixConfig {
+            workers,
+            ..SpoofMatrixConfig::default()
+        }
+    }
+
+    /// Builder-style override of [`SpoofMatrixConfig::batch_size`].
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style override of [`SpoofMatrixConfig::use_cache`].
+    pub fn cached(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Builder-style override of [`SpoofMatrixConfig::cache_shards`].
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+}
+
+/// Per-vantage verdict tallies over the whole population.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VantageReport {
+    /// The vantage's label.
+    pub label: String,
+    /// The vantage's family.
+    pub kind: VantageKind,
+    /// The vantage address.
+    pub ip: Ipv4Addr,
+    /// Domains whose `check_host()` returned `pass` from here.
+    pub pass: u64,
+    /// … `fail`.
+    pub fail: u64,
+    /// … `softfail`.
+    pub softfail: u64,
+    /// … `neutral`.
+    pub neutral: u64,
+    /// … `none` (no SPF record; identical across vantages).
+    pub none: u64,
+    /// … `temperror`.
+    pub temperror: u64,
+    /// … `permerror`.
+    pub permerror: u64,
+    /// DNS-querying terms charged across all evaluations from here —
+    /// cached replays charge exactly what the fresh walks would.
+    pub dns_lookups: u64,
+    /// Void lookups observed across all evaluations from here.
+    pub void_lookups: u64,
+}
+
+impl VantageReport {
+    fn new(vantage: &VantagePoint) -> Self {
+        VantageReport {
+            label: vantage.label.clone(),
+            kind: vantage.kind,
+            ip: vantage.ip,
+            pass: 0,
+            fail: 0,
+            softfail: 0,
+            neutral: 0,
+            none: 0,
+            temperror: 0,
+            permerror: 0,
+            dns_lookups: 0,
+            void_lookups: 0,
+        }
+    }
+
+    fn add(&mut self, eval: &Evaluation) {
+        match eval.result {
+            SpfResult::Pass => self.pass += 1,
+            SpfResult::Fail => self.fail += 1,
+            SpfResult::SoftFail => self.softfail += 1,
+            SpfResult::Neutral => self.neutral += 1,
+            SpfResult::None => self.none += 1,
+            SpfResult::TempError => self.temperror += 1,
+            SpfResult::PermError => self.permerror += 1,
+        }
+        self.dns_lookups += eval.dns_lookups as u64;
+        self.void_lookups += eval.void_lookups as u64;
+    }
+
+    fn merge(&mut self, other: &VantageReport) {
+        self.pass += other.pass;
+        self.fail += other.fail;
+        self.softfail += other.softfail;
+        self.neutral += other.neutral;
+        self.none += other.none;
+        self.temperror += other.temperror;
+        self.permerror += other.permerror;
+        self.dns_lookups += other.dns_lookups;
+        self.void_lookups += other.void_lookups;
+    }
+}
+
+/// The distilled verdict matrix: per-vantage tallies plus the §6
+/// population summary. Every field is a commutative sum, so the
+/// serialized report is byte-identical across engine configurations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpoofMatrix {
+    /// Domains evaluated.
+    pub domains: u64,
+    /// Domains publishing an SPF record (non-`none` verdicts).
+    pub spf_domains: u64,
+    /// One tally row per vantage, in vantage input order.
+    pub vantages: Vec<VantageReport>,
+    /// Domains that pass from at least one attacker-reachable vantage
+    /// (shared coverage, provider web, provider MTA) — the paper's
+    /// spoofable-from-shared-infrastructure population.
+    pub spoofable_shared: u64,
+    /// Domains that pass from at least one control vantage (essentially
+    /// the `+all`-style cohort: the record authorizes everyone).
+    pub spoofable_control: u64,
+    /// Domains that pass from at least one matrix vantage of any family
+    /// — every such address is one the domain owner plausibly does not
+    /// (exclusively) control, the paper's lazy-gatekeeper population.
+    pub lazy_gatekeepers: u64,
+}
+
+impl SpoofMatrix {
+    /// Lazy gatekeepers as a fraction of SPF-publishing domains.
+    pub fn lazy_gatekeeper_rate(&self) -> f64 {
+        if self.spf_domains == 0 {
+            0.0
+        } else {
+            self.lazy_gatekeepers as f64 / self.spf_domains as f64
+        }
+    }
+}
+
+/// Engine observability counters (worker-scheduling dependent — kept out
+/// of [`SpoofMatrix`] so the report stays byte-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpoofMatrixStats {
+    /// `check_host()` evaluations performed (domains × vantages).
+    pub evaluations: u64,
+    /// Wall-clock seconds the matrix took.
+    pub elapsed_secs: f64,
+    /// Verdict-cache hits during this run (0 when uncached).
+    pub cache_hits: u64,
+    /// Verdict-cache misses during this run (0 when uncached).
+    pub cache_misses: u64,
+    /// Highest dispatched-but-unfinished domain count observed.
+    pub peak_queue_depth: usize,
+    /// Batches dispatched.
+    pub batches: u64,
+}
+
+impl SpoofMatrixStats {
+    /// Evaluations per second.
+    pub fn evals_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.evaluations as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Verdict-cache hits as a fraction of probes (0.0 uncached).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Per-worker accumulator: vantage tallies plus the population summary
+/// counts, merged commutatively on the way out.
+struct WorkerTally {
+    vantages: Vec<VantageReport>,
+    spf_domains: u64,
+    spoofable_shared: u64,
+    spoofable_control: u64,
+    lazy_gatekeepers: u64,
+}
+
+impl WorkerTally {
+    fn new(vantages: &[VantagePoint]) -> Self {
+        WorkerTally {
+            vantages: vantages.iter().map(VantageReport::new).collect(),
+            spf_domains: 0,
+            spoofable_shared: 0,
+            spoofable_control: 0,
+            lazy_gatekeepers: 0,
+        }
+    }
+}
+
+/// Evaluate the full verdict matrix for `domains` × `vantages` over
+/// `resolver`, through a bounded batched worker pool (the crawl engine's
+/// dispatch shape). Returns the deterministic [`SpoofMatrix`] and the
+/// run's scheduling-dependent [`SpoofMatrixStats`].
+pub fn spoof_matrix<R: Resolver>(
+    resolver: &R,
+    domains: &[DomainName],
+    vantages: &[VantagePoint],
+    config: SpoofMatrixConfig,
+) -> (SpoofMatrix, SpoofMatrixStats) {
+    let started = Instant::now();
+    let workers = config.workers.max(1);
+    let batch_size = config.batch_size.max(1);
+    let cache = config
+        .use_cache
+        .then(|| SpoofVerdictCache::new(config.cache_shards));
+
+    let queue_depth = AtomicUsize::new(0);
+    let peak_depth = AtomicUsize::new(0);
+    let batches = AtomicUsize::new(0);
+
+    let mut merged = WorkerTally::new(vantages);
+    {
+        let (work_tx, work_rx) = channel::bounded::<Vec<DomainName>>(workers * 2);
+        let (tally_tx, tally_rx) = channel::unbounded::<WorkerTally>();
+        let queue_depth = &queue_depth;
+        let peak_depth = &peak_depth;
+        let batches = &batches;
+        let cache = cache.as_ref();
+        let policy = &config.policy;
+
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for chunk in domains.chunks(batch_size) {
+                    let batch: Vec<DomainName> = chunk.to_vec();
+                    let depth = queue_depth.fetch_add(batch.len(), Ordering::Relaxed) + batch.len();
+                    peak_depth.fetch_max(depth, Ordering::Relaxed);
+                    batches.fetch_add(1, Ordering::Relaxed);
+                    if work_tx.send(batch).is_err() {
+                        return;
+                    }
+                }
+            });
+            for _ in 0..workers {
+                let work_rx = work_rx.clone();
+                let tally_tx = tally_tx.clone();
+                scope.spawn(move || {
+                    let mut tally = WorkerTally::new(vantages);
+                    while let Ok(batch) = work_rx.recv() {
+                        for domain in batch {
+                            evaluate_domain(resolver, &domain, vantages, policy, cache, &mut tally);
+                            queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _ = tally_tx.send(tally);
+                });
+            }
+            drop(work_rx);
+            drop(tally_tx);
+            for worker in tally_rx.iter() {
+                merged.spf_domains += worker.spf_domains;
+                merged.spoofable_shared += worker.spoofable_shared;
+                merged.spoofable_control += worker.spoofable_control;
+                merged.lazy_gatekeepers += worker.lazy_gatekeepers;
+                for (into, from) in merged.vantages.iter_mut().zip(&worker.vantages) {
+                    into.merge(from);
+                }
+            }
+        });
+    }
+
+    let elapsed = started.elapsed();
+    let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+    let matrix = SpoofMatrix {
+        domains: domains.len() as u64,
+        spf_domains: merged.spf_domains,
+        vantages: merged.vantages,
+        spoofable_shared: merged.spoofable_shared,
+        spoofable_control: merged.spoofable_control,
+        lazy_gatekeepers: merged.lazy_gatekeepers,
+    };
+    let stats = SpoofMatrixStats {
+        evaluations: (domains.len() * vantages.len()) as u64,
+        elapsed_secs: elapsed.as_secs_f64(),
+        cache_hits: cache_stats.hits,
+        cache_misses: cache_stats.misses,
+        peak_queue_depth: peak_depth.load(Ordering::Relaxed),
+        batches: batches.load(Ordering::Relaxed) as u64,
+    };
+    (matrix, stats)
+}
+
+/// One domain's row of the matrix: evaluate it from every vantage and
+/// fold the results into `tally`.
+fn evaluate_domain<R: Resolver>(
+    resolver: &R,
+    domain: &DomainName,
+    vantages: &[VantagePoint],
+    policy: &EvalPolicy,
+    cache: Option<&SpoofVerdictCache>,
+    tally: &mut WorkerTally,
+) {
+    let mut has_record = false;
+    let mut passes_shared = false;
+    let mut passes_control = false;
+    for (index, vantage) in vantages.iter().enumerate() {
+        let ctx =
+            EvalContext::mail_from(IpAddr::V4(vantage.ip), SPOOF_SENDER_LOCAL, domain.clone());
+        let eval = match cache {
+            Some(cache) => check_host_cached(resolver, &ctx, domain, policy, cache),
+            None => check_host(resolver, &ctx, domain, policy),
+        };
+        tally.vantages[index].add(&eval);
+        if eval.result != SpfResult::None {
+            has_record = true;
+        }
+        if eval.result == SpfResult::Pass {
+            if vantage.kind.attacker_reachable() {
+                passes_shared = true;
+            } else {
+                passes_control = true;
+            }
+        }
+    }
+    if has_record {
+        tally.spf_domains += 1;
+    }
+    if passes_shared {
+        tally.spoofable_shared += 1;
+    }
+    if passes_control {
+        tally.spoofable_control += 1;
+    }
+    if passes_shared || passes_control {
+        tally.lazy_gatekeepers += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_dns::{ZoneResolver, ZoneStore};
+    use spf_types::CoverageMap;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    /// Three cohorts: shared-provider customers, an open `+all` domain,
+    /// and a tight direct-range domain.
+    fn build_world() -> (Arc<ZoneStore>, Vec<DomainName>, WeightedRanges) {
+        let store = Arc::new(ZoneStore::new());
+        store.add_txt(&dom("spf.cloud.example"), "v=spf1 ip4:198.51.100.0/24 -all");
+        let mut domains = Vec::new();
+        for i in 0..6 {
+            let d = dom(&format!("c{i}.example"));
+            store.add_txt(&d, "v=spf1 include:spf.cloud.example -all");
+            domains.push(d);
+        }
+        let open = dom("open.example");
+        store.add_txt(&open, "v=spf1 +all");
+        domains.push(open);
+        let tight = dom("tight.example");
+        store.add_txt(&tight, "v=spf1 ip4:203.0.113.7 -all");
+        domains.push(tight);
+        domains.push(dom("norecord.example")); // no SPF at all
+        let mut coverage = CoverageMap::new();
+        let mut cloud = spf_types::Ipv4Set::new();
+        cloud.insert_cidr(&spf_types::Ipv4Cidr::parse("198.51.100.0/24").unwrap());
+        for _ in 0..6 {
+            coverage.add_set(&cloud);
+        }
+        let mut own = spf_types::Ipv4Set::new();
+        own.insert_addr("203.0.113.7".parse().unwrap());
+        coverage.add_set(&own);
+        (store, domains, coverage.into_weighted())
+    }
+
+    fn vantage_set(weighted: &WeightedRanges, top_k: usize) -> Vec<VantagePoint> {
+        let providers = [ProviderVantage {
+            label: "hosting1".into(),
+            web: "12.0.0.1".parse().unwrap(),
+            mta: "12.0.0.2".parse().unwrap(),
+        }];
+        select_vantages(weighted, &providers, top_k, 2, 0xfeed)
+    }
+
+    #[test]
+    fn vantage_selection_is_deterministic_and_layered() {
+        let (_, _, weighted) = build_world();
+        let a = vantage_set(&weighted, 2);
+        let b = vantage_set(&weighted, 2);
+        assert_eq!(a, b);
+        // 2 shared + 2 provider + 2 controls.
+        assert_eq!(a.len(), 6);
+        assert_eq!(a[0].kind, VantageKind::SharedCoverage);
+        assert_eq!(a[0].ip, "198.51.100.0".parse::<Ipv4Addr>().unwrap());
+        // The second shared vantage is the weight-1 direct range.
+        assert_eq!(a[1].ip, "203.0.113.7".parse::<Ipv4Addr>().unwrap());
+        assert!(a.iter().filter(|v| v.kind == VantageKind::Control).count() == 2);
+        // Controls are genuinely uncovered.
+        for v in a.iter().filter(|v| v.kind == VantageKind::Control) {
+            assert_eq!(weighted.weight_at(v.ip), 0);
+        }
+    }
+
+    #[test]
+    fn control_selection_falls_back_on_fully_covered_space() {
+        // One +all-style domain covers everything, one /24 stacks on
+        // top: no zero-coverage address exists, so controls come from
+        // the lowest-weight ranges instead.
+        let mut coverage = CoverageMap::new();
+        coverage.add_set(&spf_types::Ipv4Set::full());
+        let mut hot = spf_types::Ipv4Set::new();
+        hot.insert_cidr(&spf_types::Ipv4Cidr::parse("198.51.100.0/24").unwrap());
+        coverage.add_set(&hot);
+        let weighted = coverage.into_weighted();
+        let a = select_vantages(&weighted, &[], 1, 2, 0xfeed);
+        let b = select_vantages(&weighted, &[], 1, 2, 0xfeed);
+        assert_eq!(a, b);
+        let controls: Vec<&VantagePoint> = a
+            .iter()
+            .filter(|v| v.kind == VantageKind::Control)
+            .collect();
+        assert_eq!(controls.len(), 2);
+        for v in &controls {
+            assert!(v.label.contains("floor 1"), "{}", v.label);
+            assert_eq!(weighted.weight_at(v.ip), 1);
+        }
+    }
+
+    #[test]
+    fn matrix_counts_the_three_cohorts() {
+        let (store, domains, weighted) = build_world();
+        let resolver = ZoneResolver::new(store);
+        let vantages = vantage_set(&weighted, 1);
+        let (matrix, stats) = spoof_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(4),
+        );
+        assert_eq!(matrix.domains, 9);
+        assert_eq!(matrix.spf_domains, 8);
+        // The top shared vantage (inside the cloud /24) passes the six
+        // customers plus the +all domain.
+        assert_eq!(matrix.vantages[0].pass, 7);
+        assert_eq!(matrix.vantages[0].none, 1);
+        // Every attacker-reachable pass: 6 customers + open.example
+        // (tight.example's own /32 is not in this vantage set).
+        assert_eq!(matrix.spoofable_shared, 7);
+        // Controls only pass the +all record.
+        assert_eq!(matrix.spoofable_control, 1);
+        assert_eq!(matrix.lazy_gatekeepers, 7);
+        assert!((matrix.lazy_gatekeeper_rate() - 7.0 / 8.0).abs() < 1e-12);
+        assert_eq!(stats.evaluations, 9 * 5);
+        assert!(stats.cache_hits + stats.cache_misses > 0);
+    }
+
+    #[test]
+    fn cached_and_uncached_matrices_serialize_identically() {
+        let (store, domains, weighted) = build_world();
+        let vantages = vantage_set(&weighted, 2);
+        let run = |config: SpoofMatrixConfig| {
+            let resolver = ZoneResolver::new(Arc::clone(&store));
+            let (matrix, _) = spoof_matrix(&resolver, &domains, &vantages, config);
+            serde_json::to_string(&matrix).unwrap()
+        };
+        let reference = run(SpoofMatrixConfig::with_workers(1).cached(false));
+        for workers in [1usize, 4] {
+            for shards in [1usize, 16] {
+                assert_eq!(
+                    reference,
+                    run(SpoofMatrixConfig::with_workers(workers).cache_shards(shards)),
+                    "diverged at workers={workers} shards={shards}"
+                );
+            }
+        }
+        assert_eq!(
+            reference,
+            run(SpoofMatrixConfig::with_workers(4).batch_size(1))
+        );
+    }
+
+    #[test]
+    fn verdict_cache_dedupes_shared_subtrees() {
+        let (store, domains, weighted) = build_world();
+        let resolver = ZoneResolver::new(store);
+        let vantages = vantage_set(&weighted, 2);
+        let (_, stats) = spoof_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(1),
+        );
+        // Six customers share one provider subtree per vantage: at least
+        // five of the six probes per vantage hit the memo.
+        assert!(
+            stats.cache_hits >= 5 * vantages.len() as u64,
+            "hits = {}",
+            stats.cache_hits
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let store = Arc::new(ZoneStore::new());
+        let resolver = ZoneResolver::new(store);
+        let (matrix, stats) = spoof_matrix(&resolver, &[], &[], SpoofMatrixConfig::default());
+        assert_eq!(matrix.domains, 0);
+        assert_eq!(matrix.spf_domains, 0);
+        assert!(matrix.vantages.is_empty());
+        assert_eq!(stats.evaluations, 0);
+    }
+}

@@ -125,6 +125,17 @@ pub const SPOOFABLE_TOTAL_FULL: u64 = 26_095;
 /// is sized arbitrarily — none of them are spoofable).
 pub fn build_hosting(scale: Scale) -> HostingWorld {
     let store = Arc::new(ZoneStore::new());
+    let providers = build_hosting_into(&store, scale);
+    HostingWorld { store, providers }
+}
+
+/// Build the five hosting providers *into an existing zone store* — the
+/// spoofability-matrix world (`crate::spooflab`) co-locates them with the
+/// calibrated population so provider web/MTA vantage points evaluate
+/// against real hosted customers. The case-study address space
+/// (12.0.0.0/6) is disjoint from every population region by
+/// construction, so the merge never collides.
+pub fn build_hosting_into(store: &Arc<ZoneStore>, scale: Scale) -> Vec<HostingProvider> {
     // Case-study space: 12.0.0.0/6, disjoint from the population regions.
     let mut alloc = AddressAllocator::new(Ipv4Addr::new(12, 0, 0, 0), 6);
     let mut providers = Vec::with_capacity(SPECS.len());
@@ -171,7 +182,7 @@ pub fn build_hosting(scale: Scale) -> HostingWorld {
             mta_requires_auth: spec.mta_requires_auth,
         });
     }
-    HostingWorld { store, providers }
+    providers
 }
 
 #[cfg(test)]

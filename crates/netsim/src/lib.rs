@@ -16,6 +16,8 @@
 //!   the multi-record target, the Table 3 long tail;
 //! * [`population`] — the cohort-calibrated domain population;
 //! * [`hosting`] — the five-provider case-study world (Table 5);
+//! * [`spooflab`] — the spoofability-matrix worlds: population + hosting
+//!   merged into one zone, plus the include-heavy cache stress shape;
 //! * [`tenancy`] — cloud-tenancy presets (mega-providers vs long tail)
 //!   for sweeping the overlap engine's shape variable;
 //! * [`wirelab`] — per-shard fault/latency presets for the wire-path
@@ -29,11 +31,14 @@ pub mod hosting;
 pub mod population;
 pub mod providers;
 pub mod scale;
+pub mod spooflab;
 pub mod tenancy;
 pub mod wirelab;
 
 pub use blocks::AddressAllocator;
-pub use hosting::{build_hosting, HostingProvider, HostingWorld, SPOOFABLE_TOTAL_FULL};
+pub use hosting::{
+    build_hosting, build_hosting_into, HostingProvider, HostingWorld, SPOOFABLE_TOTAL_FULL,
+};
 pub use population::{
     Population, PopulationConfig, DEPRECATED_RR_FULL, TOP_DMARC_FULL, TOP_SEGMENT_FULL,
     TOP_SPF_FULL, TOTAL_DOMAINS_FULL, WITH_DMARC_FULL, WITH_MX_FULL, WITH_SPF_FULL,
@@ -43,4 +48,8 @@ pub use providers::{
     TABLE3_INCLUDE_COLUMN, TABLE4,
 };
 pub use scale::{apportion, Scale};
+pub use spooflab::{
+    build_include_heavy, build_spoof_world, IncludeHeavyWorld, SpoofWorld, INCLUDE_HEAVY_CHAINS,
+    INCLUDE_HEAVY_DEPTH,
+};
 pub use tenancy::{build_tenancy, TenancyConfig, TenancyPreset, TenancyWorld};

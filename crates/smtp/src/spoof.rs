@@ -37,6 +37,27 @@ pub enum SpoofSuccess {
     None,
 }
 
+impl SpoofSuccess {
+    /// The Table 5 label for a pair of delivery-path outcomes: direct
+    /// SMTP from the web space, and relay through the provider MTA. The
+    /// spoofability-matrix engine reuses this to label per-provider
+    /// verdict pairs exactly like the live case study does.
+    pub fn from_paths(smtp_ok: bool, mta_ok: bool) -> SpoofSuccess {
+        match (smtp_ok, mta_ok) {
+            (true, true) => SpoofSuccess::SmtpAndMta,
+            (false, true) => SpoofSuccess::MtaOnly,
+            (true, false) => SpoofSuccess::SmtpOnly,
+            (false, false) => SpoofSuccess::None,
+        }
+    }
+
+    /// True when at least one delivery path produced an SPF-passing
+    /// spoof.
+    pub fn any(self) -> bool {
+        self != SpoofSuccess::None
+    }
+}
+
 impl std::fmt::Display for SpoofSuccess {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -99,16 +120,11 @@ pub fn run_case_study<R: Resolver + 'static>(
                 provider.mta_ip.into(),
             )?
         };
-        let success = match (smtp_ok, mta_ok) {
-            (true, true) => SpoofSuccess::SmtpAndMta,
-            (false, true) => SpoofSuccess::MtaOnly,
-            (true, false) => SpoofSuccess::SmtpOnly,
-            (false, false) => SpoofSuccess::None,
-        };
-        let domains = if success == SpoofSuccess::None {
-            0
-        } else {
+        let success = SpoofSuccess::from_paths(smtp_ok, mta_ok);
+        let domains = if success.any() {
             provider.customers.len() as u64
+        } else {
+            0
         };
         rows.push(CaseStudyRow {
             provider: provider.id,

@@ -80,6 +80,25 @@ impl MacroLetter {
             MacroLetter::SmtpClientIp | MacroLetter::ReceivingDomain | MacroLetter::Timestamp
         )
     }
+
+    /// True when the letter expands from the SMTP *session* (sender
+    /// identity, HELO name, receiver, timestamp) rather than from the
+    /// `(ip, domain, zone)` triple alone. `d`, `i`, `v` and `p` are
+    /// session-independent: they derive from the evaluated domain, the
+    /// connecting address and the DNS — the inputs a per-`(domain, ip)`
+    /// verdict cache keys on.
+    pub fn session_dependent(self) -> bool {
+        matches!(
+            self,
+            MacroLetter::Sender
+                | MacroLetter::LocalPart
+                | MacroLetter::SenderDomain
+                | MacroLetter::Helo
+                | MacroLetter::SmtpClientIp
+                | MacroLetter::ReceivingDomain
+                | MacroLetter::Timestamp
+        )
+    }
 }
 
 /// One parsed `%{...}` expansion.
@@ -358,6 +377,17 @@ impl MacroString {
     pub fn uses_exp_only_macros(&self) -> bool {
         self.tokens.iter().any(|t| match t {
             MacroToken::Expand(e) => e.letter.exp_only(),
+            _ => false,
+        })
+    }
+
+    /// True if any expansion uses a [`MacroLetter::session_dependent`]
+    /// letter. An evaluation that expanded such a string is *not* a pure
+    /// function of `(ip, domain, zone)`, so subtree verdict caches must
+    /// skip it (see `spf_core::eval`'s cached evaluation path).
+    pub fn uses_session_macros(&self) -> bool {
+        self.tokens.iter().any(|t| match t {
+            MacroToken::Expand(e) => e.letter.session_dependent(),
             _ => false,
         })
     }

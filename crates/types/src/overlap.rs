@@ -277,6 +277,39 @@ impl WeightedRanges {
         }
     }
 
+    /// The `k` most-covered addresses: one representative address (the
+    /// range's low end) per weighted range, ranked by domain count
+    /// descending with ties broken on the address, so the answer is a
+    /// deterministic function of the profile alone. These are the
+    /// shared-infrastructure vantage points the spoofability matrix
+    /// evaluates the population from.
+    ///
+    /// ```
+    /// use spf_types::{CoverageMap, Ipv4Set, Ipv4Cidr};
+    /// let mut map = CoverageMap::new();
+    /// let mut shared = Ipv4Set::new();
+    /// shared.insert_cidr(&Ipv4Cidr::parse("10.0.0.0/24").unwrap());
+    /// map.add_set(&shared);
+    /// map.add_set(&shared);
+    /// let mut own = Ipv4Set::new();
+    /// own.insert_addr("192.0.2.7".parse().unwrap());
+    /// map.add_set(&own);
+    /// let weighted = map.into_weighted();
+    /// let top = weighted.top_coverage(2);
+    /// assert_eq!(top[0], ("10.0.0.0".parse().unwrap(), 2));
+    /// assert_eq!(top[1], ("192.0.2.7".parse().unwrap(), 1));
+    /// ```
+    pub fn top_coverage(&self, k: usize) -> Vec<(Ipv4Addr, u64)> {
+        let mut ranked: Vec<(Ipv4Addr, u64)> = self
+            .ranges
+            .iter()
+            .map(|r| (Ipv4Addr::from(r.lo), r.weight))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
     /// Number of addresses authorized by at least `k` domains (`k = 0`
     /// trivially yields the full space).
     pub fn addresses_with_at_least(&self, k: u64) -> u64 {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Bench-regression gate (CI `bench-smoke` job, and part of ci_local.sh):
 # re-run the quick-mode benches and compare their guard points against
-# the committed BENCH_2.json / BENCH_3.json / BENCH_4.json baselines.
+# the committed BENCH_2.json / BENCH_3.json / BENCH_4.json / BENCH_5.json
+# baselines.
 #
 # Every bench report carries `quick_points` — a small fixed configuration
 # matrix measured at quick scale with the same plain best-of-N loop in
@@ -32,5 +33,10 @@ echo "== bench_guard: quick overlap_scaling vs committed BENCH_4.json"
 BENCH_4_OUT="$GUARD_DIR/BENCH_4.json" \
 BENCH_GUARD_BASELINE="$ROOT/BENCH_4.json" \
 OVERLAP_SCALING_QUICK=1 cargo bench --bench overlap_scaling
+
+echo "== bench_guard: quick spoof_matrix_scaling vs committed BENCH_5.json"
+BENCH_5_OUT="$GUARD_DIR/BENCH_5.json" \
+BENCH_GUARD_BASELINE="$ROOT/BENCH_5.json" \
+SPOOF_MATRIX_QUICK=1 cargo bench --bench spoof_matrix_scaling
 
 echo "OK: quick throughput within tolerance of the committed baselines"

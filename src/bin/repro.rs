@@ -13,11 +13,17 @@
 //! Positional arguments select what to regenerate (case-insensitive, a
 //! leading `--` is tolerated): `all` (the default when none are given),
 //! `table1` … `table5`, `fig1` … `fig8`, `extras` (the §5.1/§5.5
-//! additional findings), and `overlap` (the cross-population
-//! address-space overlap engine: most-spoofable address, coverage
-//! histogram, provider concentration — §6 in overlap form). Every target
-//! except `table5` shares one generate-and-crawl pass; `table5` runs the
-//! live-TCP spoofing case study on its own hosting world.
+//! additional findings), `overlap` (the cross-population address-space
+//! overlap engine: most-spoofable address, coverage histogram, provider
+//! concentration — §6 in overlap form), and `spoof-matrix` (the
+//! population-scale spoofability verdict matrix: `check_host()` verdicts
+//! for every domain from attacker vantage addresses). The single source
+//! of truth for the target list is the [`TARGETS`] table — the usage
+//! string and the validity check both derive from it, and unit tests pin
+//! the two to each other. Every target except `table5` and
+//! `spoof-matrix` shares one generate-and-crawl pass; those two build
+//! their own worlds (the hosting case study, and population + hosting
+//! merged).
 //!
 //! # Flags
 //!
@@ -50,6 +56,57 @@ use spf_report::ExperimentLog;
 
 const DEFAULT_SCALE: u64 = 100;
 const DEFAULT_SEED: u64 = 0x5bf1_2023;
+
+/// The one target table: `(name, what it regenerates)`. The usage
+/// string's target line and the argument validator are both generated
+/// from this, so the advertised and accepted sets cannot drift (the
+/// `targets` test module pins both directions).
+const TARGETS: &[(&str, &str)] = &[
+    ("all", "every target below (the default)"),
+    ("table1", "SPF and DMARC usage in the wild"),
+    ("table2", "errors before/after the notification campaign"),
+    ("table3", "very large IP ranges by CIDR class"),
+    ("table4", "top 20 included domains"),
+    ("table5", "the live-TCP web-hosting spoofing case study"),
+    ("fig1", "implementation of email and security mechanisms"),
+    ("fig2", "appearance of different error types"),
+    ("fig3", "distribution of record-not-found errors"),
+    ("fig4", "includes exceeding the DNS lookup limit"),
+    ("fig5", "CDF of authorized IPv4 addresses"),
+    ("fig6", "number of includes in the top-level record"),
+    ("fig7", "distribution of subnet sizes in includes"),
+    ("fig8", "heatmap of include usage vs. allowed IPs"),
+    ("extras", "the §5.1/§5.5 additional findings"),
+    (
+        "overlap",
+        "the cross-population address-space overlap engine",
+    ),
+    (
+        "spoof-matrix",
+        "the population-scale spoofability verdict matrix",
+    ),
+];
+
+/// Targets that build their own world instead of sharing the main
+/// generate-and-crawl pass.
+const STANDALONE_TARGETS: &[&str] = &["table5", "spoof-matrix"];
+
+/// Normalize a positional argument into target form (a leading `--` is
+/// tolerated, matching is case-insensitive).
+fn normalize_target(raw: &str) -> String {
+    raw.trim_start_matches("--").to_lowercase()
+}
+
+/// Whether a (normalized) target name is in [`TARGETS`].
+fn is_known_target(target: &str) -> bool {
+    TARGETS.iter().any(|(name, _)| *name == target)
+}
+
+/// The usage string's target line, generated from [`TARGETS`].
+fn target_usage_line() -> String {
+    let names: Vec<&str> = TARGETS.iter().map(|(name, _)| *name).collect();
+    format!("targets: {}", names.join(", "))
+}
 
 struct Args {
     targets: Vec<String>,
@@ -124,19 +181,13 @@ fn parse_args() -> Args {
                 );
             }
             "-h" | "--help" => usage(""),
-            other => args
-                .targets
-                .push(other.trim_start_matches("--").to_lowercase()),
+            other => args.targets.push(normalize_target(other)),
         }
     }
     if args.scale == 0 {
         usage("--scale must be at least 1");
     }
-    const KNOWN: [&str; 16] = [
-        "all", "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4",
-        "fig5", "fig6", "fig7", "fig8", "extras", "overlap",
-    ];
-    if let Some(unknown) = args.targets.iter().find(|t| !KNOWN.contains(&t.as_str())) {
+    if let Some(unknown) = args.targets.iter().find(|t| !is_known_target(t)) {
         usage(&format!("unknown target `{unknown}`"));
     }
     if args.targets.is_empty() {
@@ -153,10 +204,11 @@ fn usage(problem: &str) -> ! {
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [targets...] [--scale N] [--seed S] [--workers W]\n\
          \x20             [--mode memory|wire] [--servers N] [--out PATH | --no-write]\n\n\
-         targets: all (default), table1..table5, fig1..fig8, extras, overlap\n\
+         {}\n\
          scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n\
          mode:    memory resolves in-process; wire crawls over UDP/TCP against\n\
-         \x20        --servers N hash-sharded authoritative name servers\n"
+         \x20        --servers N hash-sharded authoritative name servers\n",
+        target_usage_line()
     );
     std::process::exit(2)
 }
@@ -168,7 +220,7 @@ fn wants(targets: &[String], name: &str) -> bool {
 fn main() {
     let args = parse_args();
     let t = &args.targets;
-    let needs_scan = t.iter().any(|x| x != "table5");
+    let needs_scan = t.iter().any(|x| !STANDALONE_TARGETS.contains(&x.as_str()));
 
     println!(
         "Lazy Gatekeepers reproduction — scale 1:{} (≈{} domains), seed 0x{:x}, {} mode\n",
@@ -296,6 +348,16 @@ fn main() {
         log.push(exp);
     }
 
+    if wants(t, "spoof-matrix") {
+        println!(
+            "[spoof matrix] evaluating check_host() for the whole population from \
+             attacker vantage addresses ..."
+        );
+        let (section, exp) = bench::spoof_matrix(args.scale, args.seed, args.crawl_config());
+        println!("{section}");
+        log.push(exp);
+    }
+
     println!("done in {:.1?}", started.elapsed());
 
     if let Some(path) = args.out_path {
@@ -351,5 +413,65 @@ fn humantime(d: std::time::Duration) -> String {
         format!("{}m{:02}s", s / 60, s % 60)
     } else {
         format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod targets {
+    use super::*;
+
+    #[test]
+    fn every_advertised_target_is_accepted() {
+        // The usage line is generated from TARGETS; split it back apart
+        // and check each advertised name round-trips through the
+        // normalizer into an accepted target.
+        let line = target_usage_line();
+        let advertised = line.strip_prefix("targets: ").expect("usage line shape");
+        for name in advertised.split(", ") {
+            assert!(
+                is_known_target(&normalize_target(name)),
+                "advertised target `{name}` is not accepted"
+            );
+            // The documented `--target` spelling is accepted too.
+            assert!(is_known_target(&normalize_target(&format!("--{name}"))));
+            // And so is any case the user types.
+            assert!(is_known_target(&normalize_target(
+                &name.to_ascii_uppercase()
+            )));
+        }
+    }
+
+    #[test]
+    fn every_known_target_is_advertised() {
+        let line = target_usage_line();
+        let advertised: Vec<&str> = line
+            .strip_prefix("targets: ")
+            .expect("usage line shape")
+            .split(", ")
+            .collect();
+        for (name, help) in TARGETS {
+            assert!(
+                advertised.contains(name),
+                "known target `{name}` missing from the usage line"
+            );
+            assert!(!help.is_empty(), "target `{name}` has no help text");
+        }
+        assert_eq!(advertised.len(), TARGETS.len(), "duplicate advertisement");
+    }
+
+    #[test]
+    fn standalone_targets_are_known() {
+        for name in STANDALONE_TARGETS {
+            assert!(is_known_target(name));
+        }
+        // Everything else shares the scan pass; `all` implies it.
+        assert!(!STANDALONE_TARGETS.contains(&"all"));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        for bad in ["fig9", "table6", "spoofmatrix", ""] {
+            assert!(!is_known_target(&normalize_target(bad)), "{bad}");
+        }
     }
 }

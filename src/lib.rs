@@ -51,13 +51,17 @@ pub mod prelude {
     };
     pub use spf_core::{check_host, parse, parse_lenient, EvalContext, EvalPolicy, SpfResult};
     pub use spf_crawler::{
-        crawl, include_ecosystem, CrawlConfig, CrawlMode, CrawlStats, OverlapReport, ScanAggregates,
+        crawl, include_ecosystem, select_vantages, spoof_matrix, CrawlConfig, CrawlMode,
+        CrawlStats, OverlapReport, ProviderVantage, ScanAggregates, SpoofMatrix, SpoofMatrixConfig,
+        VantagePoint,
     };
     pub use spf_dns::{
         Resolver, ServerConfig, WireClientConfig, WireFleet, WireResolver, WireSnapshot,
         ZoneResolver, ZoneStore,
     };
-    pub use spf_netsim::{build_hosting, Population, PopulationConfig, Scale};
+    pub use spf_netsim::{
+        build_hosting, build_spoof_world, Population, PopulationConfig, Scale, SpoofWorld,
+    };
     pub use spf_types::{
         CoverageMap, DomainName, Ipv4Cidr, Ipv4Set, Ipv6Set, SpfRecord, WeightedRanges,
     };

@@ -152,3 +152,141 @@ fn qualifier_helper_is_consistent_with_grammar() {
         assert_eq!(Qualifier::from_symbol(sym), Some(q));
     }
 }
+
+// ---------------------------------------------------------------------
+// Spoofability-matrix identity: cached engine vs bare check_host.
+// ---------------------------------------------------------------------
+
+/// A term generator whose include/a/mx targets point back into the
+/// generated population (`d0.test` … `d{n-1}.test`), so random worlds
+/// form real shared subtrees, self-includes and loops — the shapes the
+/// subtree verdict cache must stay invisible on.
+fn arb_pop_term(n: usize) -> impl Strategy<Value = String> {
+    let ip = any::<u32>().prop_map(|v| std::net::Ipv4Addr::from(v).to_string());
+    prop_oneof![
+        (arb_qualifier(), ip.clone(), 8u8..=32).prop_map(|(q, ip, p)| format!("{q}ip4:{ip}/{p}")),
+        (arb_qualifier(), ip).prop_map(|(q, ip)| format!("{q}ip4:{ip}")),
+        (arb_qualifier(), 0..n).prop_map(|(q, j)| format!("{q}include:d{j}.test")),
+        (arb_qualifier(), 0..n).prop_map(|(q, j)| format!("{q}a:d{j}.test")),
+        (arb_qualifier(), 0..n).prop_map(|(q, j)| format!("{q}mx:d{j}.test")),
+        (arb_qualifier(), 0..n).prop_map(|(q, j)| format!("{q}exists:d{j}.test")),
+        (0..n).prop_map(|j| format!("redirect=d{j}.test")),
+    ]
+}
+
+/// One random domain: an optional SPF record plus an optional A record
+/// (present A records make `a:`/`mx:` terms resolvable; absent ones
+/// produce void lookups, exercising the void budget through the cache).
+fn arb_pop_domain(n: usize) -> impl Strategy<Value = (Option<String>, Option<u32>)> {
+    (
+        0u8..10,
+        proptest::collection::vec(arb_pop_term(n), 0..5),
+        prop_oneof![Just(""), Just(" -all"), Just(" ~all"), Just(" +all")],
+        0u8..2,
+        any::<u32>(),
+    )
+        .prop_map(|(has_spf, terms, all, has_a, addr)| {
+            let record = (has_spf < 9).then(|| {
+                let mut s = String::from("v=spf1");
+                for t in &terms {
+                    s.push(' ');
+                    s.push_str(t);
+                }
+                s.push_str(all);
+                s
+            });
+            (record, (has_a == 1).then_some(addr))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ISSUE 5: the cached `SpoofMatrix` must agree *exactly* — verdict
+    /// tallies, DNS-lookup charges and void-lookup charges — with
+    /// per-domain uncached `check_host` calls, on arbitrary small
+    /// populations full of shared includes, loops and void lookups.
+    #[test]
+    fn cached_matrix_matches_uncached_check_host(
+        world in proptest::collection::vec(arb_pop_domain(6), 6),
+        vantage_bits in proptest::collection::vec(any::<u32>(), 2),
+    ) {
+        use spf_crawler::{spoof_matrix, SpoofMatrixConfig, VantageKind, VantagePoint};
+
+        let store = Arc::new(ZoneStore::new());
+        let mut domains = Vec::new();
+        let mut first_ip4: Option<std::net::Ipv4Addr> = None;
+        for (i, (record, a_addr)) in world.iter().enumerate() {
+            let d = DomainName::parse(&format!("d{i}.test")).unwrap();
+            if let Some(text) = record {
+                store.add_txt(&d, text);
+                if first_ip4.is_none() {
+                    if let Some(pos) = text.find("ip4:") {
+                        let rest = &text[pos + 4..];
+                        let end = rest.find([' ', '/']).unwrap_or(rest.len());
+                        first_ip4 = rest[..end].parse().ok();
+                    }
+                }
+            }
+            if let Some(addr) = a_addr {
+                store.add_a(&d, std::net::Ipv4Addr::from(*addr));
+            }
+            domains.push(d);
+        }
+        // Two random vantages plus (when available) one drawn from a
+        // published ip4 term, so pass verdicts are exercised too.
+        let mut vantages: Vec<VantagePoint> = vantage_bits
+            .iter()
+            .enumerate()
+            .map(|(i, bits)| VantagePoint {
+                label: format!("v{i}"),
+                kind: if i == 0 { VantageKind::SharedCoverage } else { VantageKind::Control },
+                ip: std::net::Ipv4Addr::from(*bits),
+            })
+            .collect();
+        if let Some(ip) = first_ip4 {
+            vantages.push(VantagePoint {
+                label: "inside".into(),
+                kind: VantageKind::SharedCoverage,
+                ip,
+            });
+        }
+
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        let (matrix, _) = spoof_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(2).cache_shards(4),
+        );
+
+        // The uncached reference: bare per-cell check_host.
+        let policy = EvalPolicy::default();
+        for (vi, vantage) in vantages.iter().enumerate() {
+            let (mut pass, mut lookups, mut voids) = (0u64, 0u64, 0u64);
+            let (mut none, mut errs) = (0u64, 0u64);
+            for d in &domains {
+                let ctx = EvalContext::mail_from(
+                    vantage.ip.into(),
+                    spf_crawler::SPOOF_SENDER_LOCAL,
+                    d.clone(),
+                );
+                let eval = check_host(&resolver, &ctx, d, &policy);
+                match eval.result {
+                    SpfResult::Pass => pass += 1,
+                    SpfResult::None => none += 1,
+                    SpfResult::TempError | SpfResult::PermError => errs += 1,
+                    _ => {}
+                }
+                lookups += eval.dns_lookups as u64;
+                voids += eval.void_lookups as u64;
+            }
+            let row = &matrix.vantages[vi];
+            prop_assert_eq!(row.pass, pass, "pass diverged at vantage {}", vi);
+            prop_assert_eq!(row.none, none);
+            prop_assert_eq!(row.temperror + row.permerror, errs);
+            prop_assert_eq!(row.dns_lookups, lookups, "lookup charges diverged at vantage {}", vi);
+            prop_assert_eq!(row.void_lookups, voids, "void charges diverged at vantage {}", vi);
+        }
+    }
+}

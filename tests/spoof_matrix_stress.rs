@@ -1,0 +1,159 @@
+//! Spoofability-matrix determinism under stress (ISSUE 5's acceptance
+//! matrix): the serialized [`SpoofMatrix`] must be *byte-identical*
+//! across workers {1, 4, 32} × verdict-cache shards {1, 16}, with the
+//! cache on or off, and between the wire and in-memory resolver
+//! substrates, at scale 1:500.
+//!
+//! The matrix is merged from per-worker tallies whose content depends on
+//! which worker evaluated which domain, and the cached path replays
+//! memoized subtree verdicts instead of walking them — the suite pins
+//! DESIGN.md §8's claim that neither scheduling freedom nor the cache is
+//! observable in the report.
+
+use lazy_gatekeepers::prelude::*;
+use spf_netsim::wirelab;
+use std::sync::Arc;
+
+const SEED: u64 = 0x5bf1_2023;
+
+/// The world plus its vantage set, built once per scale (vantage
+/// selection is deterministic, so every configuration shares it).
+fn world_at(denominator: u64) -> (SpoofWorld, Vec<VantagePoint>) {
+    let world = build_spoof_world(Scale { denominator }, SEED);
+    // The coverage profile comes from a plain single-threaded crawl —
+    // the crawl engine's own determinism is pinned by crawl_stress.
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&world.store)));
+    let out = crawl(&walker, &world.domains, CrawlConfig::with_workers(4));
+    let weighted = out.coverage.into_weighted();
+    // A trimmed vantage set (2 shared + 2 providers ×2 + 1 control = 7):
+    // what the matrix stresses is the workers × shards × substrate grid,
+    // and per-vantage work only scales the wall clock.
+    let providers: Vec<ProviderVantage> = world
+        .providers
+        .iter()
+        .take(2)
+        .map(|p| ProviderVantage {
+            label: format!("hosting{}", p.id),
+            web: p.web_ip,
+            mta: p.mta_ip,
+        })
+        .collect();
+    let vantages = select_vantages(&weighted, &providers, 2, 1, SEED);
+    (world, vantages)
+}
+
+fn matrix_json<R: Resolver>(
+    resolver: &R,
+    world: &SpoofWorld,
+    vantages: &[VantagePoint],
+    config: SpoofMatrixConfig,
+) -> String {
+    let (matrix, _) = spoof_matrix(resolver, &world.domains, vantages, config);
+    serde_json::to_string(&matrix).expect("matrix serializes")
+}
+
+#[test]
+fn matrix_byte_identical_across_memory_matrix() {
+    let (world, vantages) = world_at(500);
+    let resolver = ZoneResolver::new(Arc::clone(&world.store));
+    let reference = matrix_json(
+        &resolver,
+        &world,
+        &vantages,
+        SpoofMatrixConfig::with_workers(1).cached(false),
+    );
+    assert!(reference.contains("\"spoofable_shared\""));
+    for workers in [1usize, 4, 32] {
+        for shards in [1usize, 16] {
+            let cached = matrix_json(
+                &resolver,
+                &world,
+                &vantages,
+                SpoofMatrixConfig::with_workers(workers).cache_shards(shards),
+            );
+            assert!(
+                cached == reference,
+                "cached matrix diverged at workers={workers} shards={shards}"
+            );
+        }
+    }
+    // One uncached multi-worker run: scheduling freedom without the
+    // cache must be invisible too (the single-worker uncached run is the
+    // reference itself).
+    let uncached = matrix_json(
+        &resolver,
+        &world,
+        &vantages,
+        SpoofMatrixConfig::with_workers(32).cached(false),
+    );
+    assert!(
+        uncached == reference,
+        "uncached matrix diverged at workers=32"
+    );
+}
+
+#[test]
+fn matrix_byte_identical_between_wire_and_memory() {
+    let (world, vantages) = world_at(500);
+    let memory_resolver = ZoneResolver::new(Arc::clone(&world.store));
+    let reference = matrix_json(
+        &memory_resolver,
+        &world,
+        &vantages,
+        SpoofMatrixConfig::with_workers(1).cached(false),
+    );
+    let (workers, servers) = (32usize, 4usize);
+    let fleet =
+        WireFleet::spawn(&world.store, servers, ServerConfig::default()).expect("fleet spawns");
+    let resolver = Arc::new(
+        fleet
+            .resolver(WireClientConfig::crawl())
+            .with_behaviors(wirelab::zero_faults(servers), SEED),
+    );
+    let wire = matrix_json(
+        &*resolver,
+        &world,
+        &vantages,
+        SpoofMatrixConfig::with_workers(workers),
+    );
+    assert!(
+        wire == reference,
+        "wire matrix diverged at workers={workers} servers={servers}"
+    );
+}
+
+#[test]
+fn matrix_is_independent_of_batch_size() {
+    let (world, vantages) = world_at(2_000);
+    let resolver = ZoneResolver::new(Arc::clone(&world.store));
+    let run = |batch: usize| {
+        matrix_json(
+            &resolver,
+            &world,
+            &vantages,
+            SpoofMatrixConfig::with_workers(4).batch_size(batch),
+        )
+    };
+    let reference = run(1);
+    assert_eq!(reference, run(7));
+    assert_eq!(reference, run(1_000_000)); // one batch larger than the input
+}
+
+#[test]
+fn queue_depth_stays_bounded() {
+    let (world, vantages) = world_at(2_000);
+    let resolver = ZoneResolver::new(Arc::clone(&world.store));
+    let config = SpoofMatrixConfig::with_workers(4).batch_size(16);
+    let (_, stats) = spoof_matrix(&resolver, &world.domains, &vantages, config);
+    // 2×workers queued batches + workers in-hand + the feeder's one
+    // in-flight batch — the crawl engine's dispatch bound.
+    let bound = (2 * 4 + 4 + 1) * 16;
+    assert!(stats.peak_queue_depth >= 1);
+    assert!(
+        stats.peak_queue_depth <= bound,
+        "peak {} > bound {bound}",
+        stats.peak_queue_depth
+    );
+    assert!(stats.evals_per_sec() > 0.0);
+    assert!(stats.cache_hit_rate() > 0.0);
+}
