@@ -1118,6 +1118,58 @@ pub fn spoof_matrix(denominator: u64, seed: u64, config: CrawlConfig) -> (String
     (out, exp)
 }
 
+/// Everything the verdict service needs from a prepared world: the
+/// shared zone store, the population in rank order, and the attacker
+/// vantage addresses (top-coverage first) traffic mixes target.
+///
+/// Built once by [`service_lab`] and shared by `repro -- serve`,
+/// `repro -- traffic`, and the `service_throughput` bench, so all three
+/// serve the same world the spoof matrix scored.
+pub struct ServiceLab {
+    /// The merged population + hosting zone store.
+    pub store: Arc<ZoneStore>,
+    /// Population domains in rank order (hot-set sampling relies on it).
+    pub domains: Vec<spf_types::DomainName>,
+    /// Vantage addresses, shared-coverage first — the IPs attacker-burst
+    /// traffic queries from.
+    pub vantage_ips: Vec<std::net::IpAddr>,
+}
+
+/// Build the verdict service's world at `1:denominator` scale: generate
+/// the spoof world, run one coverage crawl, and select the overlap
+/// engine's vantage addresses.
+pub fn service_lab(denominator: u64, seed: u64, workers: usize) -> ServiceLab {
+    let world = build_spoof_world(Scale { denominator }, seed);
+    let resolver = ZoneResolver::new(Arc::clone(&world.store));
+    let walker = Walker::new(resolver);
+    let output = crawl(&walker, &world.domains, CrawlConfig::with_workers(workers));
+    let weighted = output.coverage.into_weighted();
+    let provider_vantages: Vec<ProviderVantage> = world
+        .providers
+        .iter()
+        .map(|p| ProviderVantage {
+            label: format!("hosting{}", p.id),
+            web: p.web_ip,
+            mta: p.mta_ip,
+        })
+        .collect();
+    let vantages = select_vantages(
+        &weighted,
+        &provider_vantages,
+        DEFAULT_TOP_COVERAGE,
+        DEFAULT_CONTROLS,
+        seed,
+    );
+    ServiceLab {
+        store: Arc::clone(&world.store),
+        domains: world.domains,
+        vantage_ips: vantages
+            .iter()
+            .map(|v| std::net::IpAddr::V4(v.ip))
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

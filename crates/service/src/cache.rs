@@ -1,0 +1,516 @@
+//! TTL-aware sharded LRU cache, and its [`VerdictCache`] adapter.
+//!
+//! PR 5's [`VerdictCache`] memo is scoped to one zone state: the batch
+//! engines build it, drain a scan, and drop it. A resident service needs
+//! two more policies on top, both provided here:
+//!
+//! * **TTL expiry** on the pluggable [`Clock`]: a resident entry older
+//!   than the configured TTL is never served — the probe removes it and
+//!   reports a miss, so the caller re-resolves against the live zone
+//!   (the service's analogue of DNS record TTLs; `VirtualClock` makes the
+//!   policy testable without wall-clock sleeps).
+//! * **LRU eviction** per stripe: capacity is divided across the same
+//!   deterministic [`CacheKey`] stripes the analyzer cache uses, and each
+//!   stripe evicts its least-recently-probed entry at capacity, so hot
+//!   domains stay resident under cold-miss floods.
+//!
+//! Counter discipline: every counter mutates *inside* its stripe's lock,
+//! in the same critical section as the map mutation it describes. That
+//! buys the accounting invariant the service telemetry (and the
+//! shard-counter-sum test) relies on:
+//!
+//! ```text
+//! inserts == entries + evictions + insert-side expirations
+//! probes  == hits + misses            (probes is derived, never stored)
+//! ```
+//!
+//! with no transient window where a concurrent reader can observe a
+//! removed entry still counted resident.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::IpAddr;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::Serialize;
+use spf_analyzer::{CacheKey, DEFAULT_CACHE_SHARDS};
+use spf_core::{BudgetKey, SubtreeVerdict, VerdictCache};
+use spf_dns::Clock;
+use spf_types::{DomainHashBuilder, DomainName};
+
+/// Capacity / striping / expiry policy for a [`TtlLru`].
+#[derive(Debug, Clone)]
+pub struct TtlLruConfig {
+    /// Total entry budget, divided evenly across stripes (each stripe
+    /// holds at least one entry, so tiny capacities still admit work).
+    pub capacity: usize,
+    /// Lock stripes; see [`DEFAULT_CACHE_SHARDS`].
+    pub shards: usize,
+    /// Entries older than this are never served.
+    pub ttl: Duration,
+}
+
+impl TtlLruConfig {
+    /// A config with `capacity` entries and `ttl` expiry at the default
+    /// stripe count.
+    pub fn new(capacity: usize, ttl: Duration) -> TtlLruConfig {
+        TtlLruConfig {
+            capacity,
+            shards: DEFAULT_CACHE_SHARDS,
+            ttl,
+        }
+    }
+
+    /// Override the stripe count.
+    pub fn shards(mut self, shards: usize) -> TtlLruConfig {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+impl Default for TtlLruConfig {
+    fn default() -> Self {
+        TtlLruConfig::new(65_536, Duration::from_secs(300))
+    }
+}
+
+/// Aggregated (or per-stripe) cache counters. All fields are maintained
+/// under the stripe lock, so a snapshot taken after quiescence satisfies
+/// [`TtlLruStats::is_consistent`] exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TtlLruStats {
+    /// Probes that returned a live entry.
+    pub hits: u64,
+    /// Probes that found nothing servable (absent or expired).
+    pub misses: u64,
+    /// Entries removed because their TTL had lapsed (discovered on
+    /// probe or on insert over a stale resident).
+    pub expirations: u64,
+    /// Entries removed to make room at capacity.
+    pub evictions: u64,
+    /// Entries admitted.
+    pub inserts: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl TtlLruStats {
+    /// Total probes (`hits + misses`).
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of probes that hit, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes() as f64
+        }
+    }
+
+    /// The conservation law every quiescent snapshot must satisfy:
+    /// every admitted entry is still resident, was evicted, or expired
+    /// (expirations are counted wherever discovered — probe or insert —
+    /// and both removal sites debit the same pool).
+    pub fn is_consistent(&self) -> bool {
+        self.inserts == self.entries + self.evictions + self.expirations
+    }
+
+    /// Sum two snapshots field-wise (stripe totals → cache totals).
+    pub fn merged(&self, other: &TtlLruStats) -> TtlLruStats {
+        TtlLruStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            expirations: self.expirations + other.expirations,
+            evictions: self.evictions + other.evictions,
+            inserts: self.inserts + other.inserts,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    expires_at: Duration,
+    seq: u64,
+}
+
+struct Stripe<K, V> {
+    map: HashMap<K, Entry<V>, DomainHashBuilder>,
+    /// Recency order: ascending `seq` = least recently used first. Keys
+    /// mirror `map`; the pair is only ever mutated together under the
+    /// stripe lock.
+    order: BTreeMap<u64, K>,
+    next_seq: u64,
+    stats: TtlLruStats,
+}
+
+impl<K, V> Default for Stripe<K, V> {
+    fn default() -> Self {
+        Stripe {
+            map: HashMap::default(),
+            order: BTreeMap::new(),
+            next_seq: 0,
+            stats: TtlLruStats::default(),
+        }
+    }
+}
+
+impl<K: CacheKey, V: Clone> Stripe<K, V> {
+    fn remove(&mut self, key: &K, seq: u64) {
+        self.map.remove(key);
+        self.order.remove(&seq);
+        self.stats.entries -= 1;
+    }
+
+    fn touch(&mut self, key: &K, old_seq: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.order.remove(&old_seq);
+        self.order.insert(seq, key.clone());
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.seq = seq;
+        }
+    }
+}
+
+/// A TTL-aware, lock-striped LRU map. See the module docs for the
+/// policy and counter discipline.
+pub struct TtlLru<K: CacheKey, V: Clone> {
+    stripes: Box<[Mutex<Stripe<K, V>>]>,
+    per_stripe_capacity: usize,
+    ttl: Duration,
+    clock: Arc<dyn Clock>,
+}
+
+impl<K: CacheKey, V: Clone> TtlLru<K, V> {
+    /// Build a cache with `config`'s policy, expiring on `clock`.
+    pub fn new(config: TtlLruConfig, clock: Arc<dyn Clock>) -> TtlLru<K, V> {
+        let shards = config.shards.max(1);
+        let per_stripe_capacity = config.capacity.div_ceil(shards).max(1);
+        TtlLru {
+            stripes: (0..shards).map(|_| Mutex::default()).collect(),
+            per_stripe_capacity,
+            ttl: config.ttl,
+            clock,
+        }
+    }
+
+    fn stripe(&self, key: &K) -> &Mutex<Stripe<K, V>> {
+        let idx = (key.shard_hash() % self.stripes.len() as u64) as usize;
+        &self.stripes[idx]
+    }
+
+    /// Probe for a live entry. An expired resident is removed, counted
+    /// as one expiration and one miss, and `None` is returned — a stale
+    /// value is never observable through this method.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let now = self.clock.now();
+        let mut stripe = self.stripe(key).lock().unwrap();
+        let (live, seq) = match stripe.map.get(key) {
+            Some(entry) => (entry.expires_at > now, entry.seq),
+            None => {
+                stripe.stats.misses += 1;
+                return None;
+            }
+        };
+        if !live {
+            stripe.remove(key, seq);
+            stripe.stats.expirations += 1;
+            stripe.stats.misses += 1;
+            return None;
+        }
+        stripe.touch(key, seq);
+        stripe.stats.hits += 1;
+        stripe.map.get(key).map(|e| e.value.clone())
+    }
+
+    /// Admit `value` under `key`. A live resident entry wins (keep-first,
+    /// mirroring the analyzer cache: concurrent computations of the same
+    /// key produce identical values, so the race is benign); a stale
+    /// resident is expired and replaced; at capacity the stripe's least
+    /// recently probed entry is evicted first.
+    pub fn insert(&self, key: K, value: V) {
+        let now = self.clock.now();
+        let mut stripe = self.stripe(&key).lock().unwrap();
+        if let Some(entry) = stripe.map.get(&key) {
+            if entry.expires_at > now {
+                return;
+            }
+            let seq = entry.seq;
+            stripe.remove(&key, seq);
+            stripe.stats.expirations += 1;
+        }
+        if stripe.map.len() >= self.per_stripe_capacity {
+            if let Some((&oldest, _)) = stripe.order.iter().next() {
+                if let Some(victim) = stripe.order.get(&oldest).cloned() {
+                    stripe.remove(&victim, oldest);
+                    stripe.stats.evictions += 1;
+                }
+            }
+        }
+        let seq = stripe.next_seq;
+        stripe.next_seq += 1;
+        stripe.order.insert(seq, key.clone());
+        stripe.map.insert(
+            key,
+            Entry {
+                value,
+                expires_at: now.saturating_add(self.ttl),
+                seq,
+            },
+        );
+        stripe.stats.inserts += 1;
+        stripe.stats.entries += 1;
+    }
+
+    /// Entries currently resident across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters (stripe totals summed).
+    pub fn stats(&self) -> TtlLruStats {
+        self.stripe_stats()
+            .iter()
+            .fold(TtlLruStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Per-stripe counter snapshots, in stripe order.
+    pub fn stripe_stats(&self) -> Vec<TtlLruStats> {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap().stats)
+            .collect()
+    }
+}
+
+/// The `(domain, ip, budget)` key `check_host_cached` memoizes on (see
+/// [`spf_core::BudgetKey`] for why the budget participates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct VerdictKey {
+    domain: DomainName,
+    ip: IpAddr,
+    budget: BudgetKey,
+}
+
+impl CacheKey for VerdictKey {
+    fn shard_hash(&self) -> u64 {
+        // Same deterministic mixer as the crawler's verdict memo: the
+        // domain's precomputed FNV and the ip/budget words all flow
+        // through DomainHasher, so stripe placement is reproducible.
+        let mut hasher = spf_types::DomainHasher::default();
+        std::hash::Hash::hash(self, &mut hasher);
+        std::hash::Hasher::finish(&hasher)
+    }
+}
+
+/// The service's [`VerdictCache`]: a [`TtlLru`] over subtree verdicts.
+///
+/// Layering note: `check_host_cached` consults this memo for whole
+/// subtree verdicts, so one query's work populates entries every later
+/// query sharing an include subtree reuses — until the TTL lapses, after
+/// which the next probe re-resolves against the live zone. Verdict
+/// bytes stay identical to bare `check_host` for the reasons DESIGN.md
+/// §8 establishes (entry-relative counters, cacheability guards); the
+/// TTL only bounds *staleness* relative to zone mutation.
+pub struct ServiceVerdictCache {
+    inner: TtlLru<VerdictKey, Arc<SubtreeVerdict>>,
+}
+
+impl ServiceVerdictCache {
+    /// Build the verdict memo with `config`'s policy on `clock`.
+    pub fn new(config: TtlLruConfig, clock: Arc<dyn Clock>) -> ServiceVerdictCache {
+        ServiceVerdictCache {
+            inner: TtlLru::new(config, clock),
+        }
+    }
+
+    /// Aggregated cache counters.
+    pub fn stats(&self) -> TtlLruStats {
+        self.inner.stats()
+    }
+
+    /// Per-stripe counters (the shard-counter-sum test's view).
+    pub fn stripe_stats(&self) -> Vec<TtlLruStats> {
+        self.inner.stripe_stats()
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl VerdictCache for ServiceVerdictCache {
+    fn get(
+        &self,
+        domain: &DomainName,
+        ip: IpAddr,
+        budget: BudgetKey,
+    ) -> Option<Arc<SubtreeVerdict>> {
+        self.inner.get(&VerdictKey {
+            domain: domain.clone(),
+            ip,
+            budget,
+        })
+    }
+
+    fn put(
+        &self,
+        domain: &DomainName,
+        ip: IpAddr,
+        budget: BudgetKey,
+        verdict: Arc<SubtreeVerdict>,
+    ) {
+        self.inner.insert(
+            VerdictKey {
+                domain: domain.clone(),
+                ip,
+                budget,
+            },
+            verdict,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_dns::VirtualClock;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Key(u64);
+    impl CacheKey for Key {
+        fn shard_hash(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn cache(
+        capacity: usize,
+        shards: usize,
+        ttl_secs: u64,
+    ) -> (TtlLru<Key, u64>, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        let lru = TtlLru::new(
+            TtlLruConfig::new(capacity, Duration::from_secs(ttl_secs)).shards(shards),
+            Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
+        );
+        (lru, clock)
+    }
+
+    #[test]
+    fn hit_then_expire_then_miss() {
+        let (lru, clock) = cache(8, 1, 10);
+        lru.insert(Key(1), 100);
+        assert_eq!(lru.get(&Key(1)), Some(100));
+        clock.advance(Duration::from_secs(11));
+        assert_eq!(lru.get(&Key(1)), None);
+        let stats = lru.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.entries, 0);
+        assert!(stats.is_consistent());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_probed() {
+        let (lru, _clock) = cache(2, 1, 1_000);
+        lru.insert(Key(1), 1);
+        lru.insert(Key(2), 2);
+        assert_eq!(lru.get(&Key(1)), Some(1)); // 2 is now LRU
+        lru.insert(Key(3), 3);
+        assert_eq!(lru.get(&Key(2)), None, "LRU victim must be key 2");
+        assert_eq!(lru.get(&Key(1)), Some(1));
+        assert_eq!(lru.get(&Key(3)), Some(3));
+        let stats = lru.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.is_consistent());
+    }
+
+    #[test]
+    fn keep_first_on_live_resident_replace_on_stale() {
+        let (lru, clock) = cache(8, 1, 10);
+        lru.insert(Key(1), 1);
+        lru.insert(Key(1), 2); // live resident wins
+        assert_eq!(lru.get(&Key(1)), Some(1));
+        clock.advance(Duration::from_secs(11));
+        lru.insert(Key(1), 3); // stale resident replaced
+        assert_eq!(lru.get(&Key(1)), Some(3));
+        let stats = lru.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.expirations, 1);
+        assert!(stats.is_consistent());
+    }
+
+    /// The shard-counter-sum pin (the analyzer cache carries its twin):
+    /// under genuinely concurrent probes, inserts, expirations, and
+    /// evictions, the per-stripe counters — mutated only inside each
+    /// stripe's lock, in the same critical section as the map — must
+    /// sum to a consistent whole at quiescence.
+    #[test]
+    fn stripe_counters_sum_consistently_under_concurrent_load() {
+        let (lru, clock) = cache(32, 4, 1);
+        let lru = Arc::new(lru);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let lru = Arc::clone(&lru);
+                let clock = Arc::clone(&clock);
+                scope.spawn(move || {
+                    for i in 0..4_000u64 {
+                        // Overlapping key ranges across threads, far
+                        // more keys than capacity, and a creeping clock:
+                        // every counter transition gets exercised.
+                        let k = (t * 1_000 + i) % 96;
+                        if i % 3 == 0 {
+                            lru.insert(Key(k), t);
+                        } else {
+                            let _ = lru.get(&Key(k));
+                        }
+                        if t == 0 && i % 512 == 0 {
+                            clock.advance(Duration::from_millis(200));
+                        }
+                    }
+                });
+            }
+        });
+        let merged = lru.stats();
+        let stripes = lru.stripe_stats();
+        let summed = stripes
+            .iter()
+            .fold(TtlLruStats::default(), |acc, s| acc.merged(s));
+        assert_eq!(merged, summed, "stats() must be the stripe sum");
+        assert!(merged.is_consistent(), "counters drifted: {merged:?}");
+        assert_eq!(merged.entries, lru.len() as u64);
+        assert!(merged.evictions > 0, "load never evicted: {merged:?}");
+        assert!(merged.expirations > 0, "load never expired: {merged:?}");
+        assert!(merged.hits > 0 && merged.misses > 0, "{merged:?}");
+    }
+
+    #[test]
+    fn tiny_capacity_still_admits_per_stripe() {
+        let (lru, _clock) = cache(1, 4, 1_000);
+        for k in 0..4 {
+            lru.insert(Key(k), k);
+        }
+        // One entry per stripe survives (capacity is clamped to ≥1 per
+        // stripe); keys 0..4 land on distinct stripes by construction.
+        assert_eq!(lru.len(), 4);
+        assert!(lru.stats().is_consistent());
+    }
+}

@@ -1,0 +1,296 @@
+//! A client for the verdict service: one socket, windowed pipelining.
+//!
+//! The client keeps up to `window` queries outstanding and matches
+//! responses by correlation id, so a single socket extracts concurrency
+//! from the service's worker pool without one thread per query. UDP
+//! adds a retransmit layer (same id, bounded attempts) because even
+//! loopback datagrams can be shed under receive-buffer pressure; the
+//! service re-evaluates retransmitted queries idempotently, and a late
+//! duplicate response is ignored by id. TCP needs neither — the stream
+//! is reliable and frames are reassembled with
+//! [`split_frame`].
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+use spf_types::DomainName;
+
+use crate::histogram::LogHistogram;
+use crate::proto::{
+    decode_datagram, decode_payload, encode_frame, split_frame, Frame, QueryFrame, ResponseFrame,
+    LEN_PREFIX, MAX_PAYLOAD,
+};
+
+/// Which transport a [`ServiceClient`] speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One datagram per frame; retransmit on loss.
+    Udp,
+    /// One stream, length-prefix reassembly; reliable.
+    Tcp,
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transport::Udp => "udp",
+            Transport::Tcp => "tcp",
+        })
+    }
+}
+
+/// One query's worth of input: the `(client-ip, domain, sender)` triple
+/// `check_host` evaluates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Connecting client IP.
+    pub ip: IpAddr,
+    /// MAIL FROM domain.
+    pub domain: DomainName,
+    /// MAIL FROM localpart.
+    pub sender_local: String,
+}
+
+/// Per-attempt receive timeout before a UDP retransmit (or a TCP poll
+/// re-check).
+const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+/// UDP retransmit timer.
+const RETRANSMIT_AFTER: Duration = Duration::from_millis(250);
+/// UDP attempts per query before the run fails.
+const MAX_ATTEMPTS: u32 = 5;
+/// Hard deadline for a whole pipelined run without any progress.
+const STALL_DEADLINE: Duration = Duration::from_secs(30);
+
+/// A connected verdict-service client. Not thread-safe by design — run
+/// one client per thread (the driver in [`crate::traffic`] does).
+pub struct ServiceClient {
+    state: State,
+    next_id: u64,
+}
+
+enum State {
+    Udp {
+        socket: UdpSocket,
+        server: SocketAddr,
+    },
+    Tcp {
+        stream: TcpStream,
+        acc: Vec<u8>,
+    },
+}
+
+impl ServiceClient {
+    /// Connect to a service at `server` over `transport`.
+    pub fn connect(server: SocketAddr, transport: Transport) -> std::io::Result<ServiceClient> {
+        let state = match transport {
+            Transport::Udp => {
+                let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+                socket.set_read_timeout(Some(POLL_TIMEOUT))?;
+                State::Udp { socket, server }
+            }
+            Transport::Tcp => {
+                let stream = TcpStream::connect(server)?;
+                stream.set_read_timeout(Some(POLL_TIMEOUT))?;
+                stream.set_nodelay(true)?;
+                State::Tcp {
+                    stream,
+                    acc: Vec::new(),
+                }
+            }
+        };
+        Ok(ServiceClient { state, next_id: 1 })
+    }
+
+    /// One synchronous query (a pipelined run of window 1).
+    pub fn query(
+        &mut self,
+        ip: IpAddr,
+        domain: &DomainName,
+        sender_local: &str,
+    ) -> std::io::Result<ResponseFrame> {
+        let spec = QuerySpec {
+            ip,
+            domain: domain.clone(),
+            sender_local: sender_local.to_string(),
+        };
+        let mut responses = self.run(std::slice::from_ref(&spec), 1, None)?;
+        Ok(responses.pop().expect("one response per query"))
+    }
+
+    /// Send every spec, keeping up to `window` outstanding, and return
+    /// the responses *in input order*. Per-query round-trip latencies
+    /// are recorded into `latency` when provided. Fails with
+    /// `TimedOut` if a query exhausts its attempts (UDP) or the run
+    /// stalls past its deadline.
+    pub fn run(
+        &mut self,
+        specs: &[QuerySpec],
+        window: usize,
+        latency: Option<&LogHistogram>,
+    ) -> std::io::Result<Vec<ResponseFrame>> {
+        let window = window.max(1);
+        let base_id = self.next_id;
+        self.next_id += specs.len() as u64;
+        match &mut self.state {
+            State::Udp { socket, server } => {
+                run_udp(socket, *server, specs, window, base_id, latency)
+            }
+            State::Tcp { stream, acc } => run_tcp(stream, acc, specs, window, base_id, latency),
+        }
+    }
+}
+
+fn encode_query(spec: &QuerySpec, id: u64) -> Vec<u8> {
+    encode_frame(&Frame::Query(QueryFrame {
+        id,
+        ip: spec.ip,
+        domain: spec.domain.clone(),
+        sender_local: spec.sender_local.clone(),
+    }))
+}
+
+fn stall_error() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        "verdict service stopped responding",
+    )
+}
+
+struct Pending {
+    index: usize,
+    sent_at: Instant,
+    attempts: u32,
+}
+
+fn run_udp(
+    socket: &UdpSocket,
+    server: SocketAddr,
+    specs: &[QuerySpec],
+    window: usize,
+    base_id: u64,
+    latency: Option<&LogHistogram>,
+) -> std::io::Result<Vec<ResponseFrame>> {
+    let mut results: Vec<Option<ResponseFrame>> = (0..specs.len()).map(|_| None).collect();
+    let mut outstanding: HashMap<u64, Pending> = HashMap::new();
+    let mut next = 0usize;
+    let mut done = 0usize;
+    let mut last_progress = Instant::now();
+    let mut buf = [0u8; MAX_PAYLOAD + LEN_PREFIX];
+    while done < specs.len() {
+        while outstanding.len() < window && next < specs.len() {
+            let id = base_id + next as u64;
+            socket.send_to(&encode_query(&specs[next], id), server)?;
+            outstanding.insert(
+                id,
+                Pending {
+                    index: next,
+                    sent_at: Instant::now(),
+                    attempts: 1,
+                },
+            );
+            next += 1;
+        }
+        match socket.recv_from(&mut buf) {
+            Ok((len, peer)) => {
+                if peer != server {
+                    continue; // stray packet
+                }
+                let Ok(Frame::Response(response)) = decode_datagram(&buf[..len]) else {
+                    continue; // garbled; the retransmit timer recovers
+                };
+                if let Some(pending) = outstanding.remove(&response.id) {
+                    if let Some(hist) = latency {
+                        hist.record(pending.sent_at.elapsed());
+                    }
+                    results[pending.index] = Some(response);
+                    done += 1;
+                    last_progress = Instant::now();
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_progress.elapsed() > STALL_DEADLINE {
+                    return Err(stall_error());
+                }
+                // Retransmit anything that has waited a full timer.
+                for (id, pending) in outstanding.iter_mut() {
+                    if pending.sent_at.elapsed() >= RETRANSMIT_AFTER {
+                        if pending.attempts >= MAX_ATTEMPTS {
+                            return Err(stall_error());
+                        }
+                        socket.send_to(&encode_query(&specs[pending.index], *id), server)?;
+                        pending.sent_at = Instant::now();
+                        pending.attempts += 1;
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(results.into_iter().map(|r| r.expect("all done")).collect())
+}
+
+fn run_tcp(
+    stream: &mut TcpStream,
+    acc: &mut Vec<u8>,
+    specs: &[QuerySpec],
+    window: usize,
+    base_id: u64,
+    latency: Option<&LogHistogram>,
+) -> std::io::Result<Vec<ResponseFrame>> {
+    let mut results: Vec<Option<ResponseFrame>> = (0..specs.len()).map(|_| None).collect();
+    let mut sent_at: HashMap<u64, (usize, Instant)> = HashMap::new();
+    let mut next = 0usize;
+    let mut done = 0usize;
+    let mut last_progress = Instant::now();
+    let mut tmp = [0u8; 4096];
+    while done < specs.len() {
+        while sent_at.len() < window && next < specs.len() {
+            let id = base_id + next as u64;
+            stream.write_all(&encode_query(&specs[next], id))?;
+            sent_at.insert(id, (next, Instant::now()));
+            next += 1;
+        }
+        stream.flush()?;
+        match stream.read(&mut tmp) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "service closed the connection",
+                ));
+            }
+            Ok(n) => {
+                acc.extend_from_slice(&tmp[..n]);
+                while let Some((used, payload)) =
+                    split_frame(acc).map_err(|e| std::io::Error::other(e.to_string()))?
+                {
+                    if let Ok(Frame::Response(response)) = decode_payload(payload) {
+                        if let Some((index, started)) = sent_at.remove(&response.id) {
+                            if let Some(hist) = latency {
+                                hist.record(started.elapsed());
+                            }
+                            results[index] = Some(response);
+                            done += 1;
+                            last_progress = Instant::now();
+                        }
+                    }
+                    acc.drain(..used);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_progress.elapsed() > STALL_DEADLINE {
+                    return Err(stall_error());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(results.into_iter().map(|r| r.expect("all done")).collect())
+}

@@ -17,13 +17,16 @@
 //! overlap engine: most-spoofable address, coverage histogram, provider
 //! concentration — §6 in overlap form), and `spoof-matrix` (the
 //! population-scale spoofability verdict matrix: `check_host()` verdicts
-//! for every domain from attacker vantage addresses). The single source
+//! for every domain from attacker vantage addresses). Two service
+//! targets must be named explicitly — `all` does not imply them:
+//! `serve` (run the resident socket-served verdict daemon until
+//! interrupted or `--duration`) and `traffic` (replay a generated load
+//! mix against it and print throughput/latency). The single source
 //! of truth for the target list is the [`TARGETS`] table — the usage
 //! string and the validity check both derive from it, and unit tests pin
-//! the two to each other. Every target except `table5` and
-//! `spoof-matrix` shares one generate-and-crawl pass; those two build
-//! their own worlds (the hosting case study, and population + hosting
-//! merged).
+//! the two to each other. Every target except `table5`, `spoof-matrix`,
+//! `serve`, and `traffic` shares one generate-and-crawl pass; those
+//! build their own worlds.
 //!
 //! # Flags
 //!
@@ -46,13 +49,23 @@
 //! * `--out PATH` — where to write the paper-vs-measured experiment log
 //!   (default `EXPERIMENTS.md`).
 //! * `--no-write` — print artifacts only; skip the experiment log.
+//! * `--queries N`, `--mix hot|burst|cold`, `--clients N`, `--window N`,
+//!   `--transport udp|tcp` — the `traffic` target's load shape: how many
+//!   queries of which [`TrafficMix`], replayed through how many pipelined
+//!   clients with what per-client window, over which transport.
+//! * `--duration SECS` — how long `serve` stays up (`0`, the default,
+//!   means until the process is interrupted).
 //! * `-h`, `--help` — usage.
 
 use std::time::Instant;
 
-use spf_bench::{self as bench, Repro};
+use std::sync::Arc;
+
+use spf_bench::{self as bench, Repro, ServiceLab};
 use spf_crawler::{CrawlConfig, CrawlMode, DEFAULT_WIRE_SERVERS};
+use spf_dns::{Resolver, ZoneResolver};
 use spf_report::ExperimentLog;
+use spf_service::{build_plan, drive, ServiceConfig, TrafficMix, Transport, VerdictService};
 
 const DEFAULT_SCALE: u64 = 100;
 const DEFAULT_SEED: u64 = 0x5bf1_2023;
@@ -85,11 +98,24 @@ const TARGETS: &[(&str, &str)] = &[
         "spoof-matrix",
         "the population-scale spoofability verdict matrix",
     ),
+    (
+        "serve",
+        "run the resident verdict service (not part of `all`)",
+    ),
+    (
+        "traffic",
+        "replay a generated mix against the service (not part of `all`)",
+    ),
 ];
 
 /// Targets that build their own world instead of sharing the main
 /// generate-and-crawl pass.
-const STANDALONE_TARGETS: &[&str] = &["table5", "spoof-matrix"];
+const STANDALONE_TARGETS: &[&str] = &["table5", "spoof-matrix", "serve", "traffic"];
+
+/// Targets `all` deliberately does *not* imply: `serve` blocks until
+/// interrupted (or `--duration`), and `traffic` is a load test, not an
+/// artifact. Both must be named explicitly.
+const EXPLICIT_ONLY_TARGETS: &[&str] = &["serve", "traffic"];
 
 /// Normalize a positional argument into target form (a leading `--` is
 /// tolerated, matching is case-insensitive).
@@ -116,6 +142,13 @@ struct Args {
     mode: CrawlMode,
     servers: usize,
     out_path: Option<String>,
+    // Service targets (`serve` / `traffic`) only:
+    queries: usize,
+    mix: TrafficMix,
+    clients: usize,
+    window: usize,
+    transport: Transport,
+    duration_secs: u64,
 }
 
 impl Args {
@@ -137,6 +170,12 @@ fn parse_args() -> Args {
         mode: CrawlMode::InMemory,
         servers: DEFAULT_WIRE_SERVERS,
         out_path: Some("EXPERIMENTS.md".to_string()),
+        queries: 20_000,
+        mix: TrafficMix::HotSkew,
+        clients: 4,
+        window: 32,
+        transport: Transport::Udp,
+        duration_secs: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -173,6 +212,47 @@ fn parse_args() -> Args {
                     .filter(|n| *n >= 1)
                     .unwrap_or_else(|| usage("--servers must be a positive integer"));
             }
+            "--queries" => {
+                args.queries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage("--queries must be a positive integer"));
+            }
+            "--mix" => {
+                args.mix = it
+                    .next()
+                    .as_deref()
+                    .and_then(TrafficMix::parse)
+                    .unwrap_or_else(|| usage("--mix must be `hot`, `burst`, or `cold`"));
+            }
+            "--clients" => {
+                args.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage("--clients must be a positive integer"));
+            }
+            "--window" => {
+                args.window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage("--window must be a positive integer"));
+            }
+            "--transport" => {
+                args.transport = match it.next().as_deref() {
+                    Some("udp") => Transport::Udp,
+                    Some("tcp") => Transport::Tcp,
+                    _ => usage("--transport must be `udp` or `tcp`"),
+                };
+            }
+            "--duration" => {
+                args.duration_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --duration"));
+            }
             "--no-write" => args.out_path = None,
             "--out" => {
                 args.out_path = Some(
@@ -203,11 +283,16 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [targets...] [--scale N] [--seed S] [--workers W]\n\
-         \x20             [--mode memory|wire] [--servers N] [--out PATH | --no-write]\n\n\
+         \x20             [--mode memory|wire] [--servers N] [--out PATH | --no-write]\n\
+         \x20             [--queries N] [--mix hot|burst|cold] [--clients N] [--window N]\n\
+         \x20             [--transport udp|tcp] [--duration SECS]\n\n\
          {}\n\
          scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n\
          mode:    memory resolves in-process; wire crawls over UDP/TCP against\n\
-         \x20        --servers N hash-sharded authoritative name servers\n",
+         \x20        --servers N hash-sharded authoritative name servers\n\
+         service: `serve` runs the resident verdict daemon (--workers pool,\n\
+         \x20        --duration 0 = until interrupted); `traffic` replays --queries\n\
+         \x20        of a --mix through --clients pipelined clients over --transport\n",
         target_usage_line()
     );
     std::process::exit(2)
@@ -215,6 +300,13 @@ fn usage(problem: &str) -> ! {
 
 fn wants(targets: &[String], name: &str) -> bool {
     targets.iter().any(|t| t == "all" || t == name)
+}
+
+/// The `wants` variant for [`EXPLICIT_ONLY_TARGETS`]: `all` does not
+/// count — the target must be named on the command line.
+fn explicitly_named(targets: &[String], name: &str) -> bool {
+    debug_assert!(EXPLICIT_ONLY_TARGETS.contains(&name));
+    targets.iter().any(|t| t == name)
 }
 
 fn main() {
@@ -358,6 +450,12 @@ fn main() {
         log.push(exp);
     }
 
+    let wants_serve = explicitly_named(t, "serve");
+    let wants_traffic = explicitly_named(t, "traffic");
+    if wants_serve || wants_traffic {
+        run_service(&args, wants_serve, wants_traffic);
+    }
+
     println!("done in {:.1?}", started.elapsed());
 
     if let Some(path) = args.out_path {
@@ -365,6 +463,88 @@ fn main() {
         match std::fs::write(&path, md) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// The `serve` / `traffic` targets: build the population once, spawn the
+/// resident [`VerdictService`], then either replay a generated mix
+/// through it, keep it up printing telemetry, or both (traffic first,
+/// then serve).
+fn run_service(args: &Args, wants_serve: bool, wants_traffic: bool) {
+    println!(
+        "[service] building the 1:{} population and its vantage set ...",
+        args.scale
+    );
+    let lab: ServiceLab = bench::service_lab(args.scale, args.seed, args.workers);
+    let resolver: Arc<dyn Resolver> = Arc::new(ZoneResolver::new(Arc::clone(&lab.store)));
+    let config = ServiceConfig::with_workers(args.workers);
+    let mut service = match VerdictService::spawn(resolver, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start the verdict service: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "[service] listening on udp+tcp {} — {} domains, {} vantage addresses, {} workers",
+        service.addr(),
+        lab.domains.len(),
+        lab.vantage_ips.len(),
+        args.workers,
+    );
+
+    if wants_traffic {
+        let plan = build_plan(
+            args.mix,
+            &lab.domains,
+            &lab.vantage_ips,
+            args.queries,
+            args.seed,
+        );
+        println!(
+            "[traffic] replaying {} `{}` queries over {} ({} clients, window {}) ...",
+            plan.len(),
+            args.mix,
+            args.transport,
+            args.clients,
+            args.window,
+        );
+        match drive(
+            service.addr(),
+            args.transport,
+            args.mix,
+            &plan,
+            args.clients,
+            args.window,
+        ) {
+            Ok(report) => println!("{report}"),
+            Err(e) => eprintln!("traffic run failed: {e}"),
+        }
+        println!("{}", service.telemetry());
+    }
+
+    if wants_serve {
+        serve_until_done(&service, args.duration_secs);
+    }
+    service.shutdown();
+}
+
+/// Keep the daemon up, printing a `[service]` telemetry line every five
+/// seconds. `duration_secs == 0` means run until the process is killed.
+fn serve_until_done(service: &VerdictService, duration_secs: u64) {
+    use std::time::Duration;
+    let started = Instant::now();
+    let mut last_report = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(250));
+        if duration_secs > 0 && started.elapsed() >= Duration::from_secs(duration_secs) {
+            println!("{}", service.telemetry());
+            return;
+        }
+        if last_report.elapsed() >= Duration::from_secs(5) {
+            println!("{}", service.telemetry());
+            last_report = Instant::now();
         }
     }
 }
@@ -466,6 +646,23 @@ mod targets {
         }
         // Everything else shares the scan pass; `all` implies it.
         assert!(!STANDALONE_TARGETS.contains(&"all"));
+    }
+
+    #[test]
+    fn explicit_only_targets_are_standalone_and_not_implied_by_all() {
+        let all = vec!["all".to_string()];
+        for name in EXPLICIT_ONLY_TARGETS {
+            assert!(is_known_target(name));
+            // They build their own world (never trigger the scan pass) ...
+            assert!(STANDALONE_TARGETS.contains(name));
+            // ... and `all` must never reach them: main() gates them on
+            // `explicitly_named`, which ignores `all`, precisely because
+            // plain `wants` would imply them.
+            assert!(wants(&all, name), "wants() itself would imply {name}");
+            assert!(!explicitly_named(&all, name));
+            let named = vec![name.to_string()];
+            assert!(explicitly_named(&named, name));
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * [`smtp`] — SMTP substrate and the spoofing case study;
 //! * [`notify`] — the notification campaign and remediation model;
 //! * [`report`] — statistics, rendering, paper constants;
+//! * [`service`] — the resident socket-served verdict daemon;
 //! * [`mod@bench`] — per-experiment regeneration pipelines.
 //!
 //! Quick start: parse and evaluate a record in five lines —
@@ -41,6 +42,7 @@ pub use spf_dns as dns;
 pub use spf_netsim as netsim;
 pub use spf_notify as notify;
 pub use spf_report as report;
+pub use spf_service as service;
 pub use spf_smtp as smtp;
 pub use spf_types as types;
 
@@ -61,6 +63,9 @@ pub mod prelude {
     };
     pub use spf_netsim::{
         build_hosting, build_spoof_world, Population, PopulationConfig, Scale, SpoofWorld,
+    };
+    pub use spf_service::{
+        ServiceClient, ServiceConfig, TrafficMix, Transport, TtlLruConfig, VerdictService,
     };
     pub use spf_types::{
         CoverageMap, DomainName, Ipv4Cidr, Ipv4Set, Ipv6Set, SpfRecord, WeightedRanges,

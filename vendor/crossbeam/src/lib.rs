@@ -74,6 +74,43 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent value
+    /// back to the caller, like real crossbeam.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True when the failure was a full (not disconnected) channel.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
     /// The sending half of a channel. Cloneable (multi-producer).
     pub struct Sender<T> {
         chan: Arc<Chan<T>>,
@@ -127,6 +164,25 @@ pub mod channel {
                         state = self.chan.send_ready.wait(state).unwrap();
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.chan.recv_ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue `value` without blocking: a bounded channel at
+        /// capacity returns [`TrySendError::Full`] immediately instead of
+        /// waiting for a receiver to drain it.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = state.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             state.queue.push_back(value);
@@ -272,6 +328,20 @@ pub mod channel {
             });
             seen.sort_unstable();
             assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn try_send_reports_full_then_succeeds_after_drain() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert!(tx.try_send(3).unwrap_err().is_full());
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+            assert_eq!(tx.try_send(4).unwrap_err().into_inner(), 4);
         }
 
         #[test]
