@@ -1,0 +1,494 @@
+//! The compiled-backend throughput sweep behind BENCH_7.json and
+//! DESIGN.md §10.
+//!
+//! One `compiled_throughput` criterion group measures steady-state
+//! verdict serving over two world shapes — the combined population +
+//! hosting spoof world and the include-heavy stress preset — through
+//! three backends on the identical `(domain, vantage)` cell set:
+//!
+//! * **compiled** — every domain's SPF tree pre-compiled to a
+//!   qualifier-tagged interval matcher ([`spf_core::compile_policy`]);
+//!   a verdict is a binary search, with residual regions falling back
+//!   to the memoized evaluator;
+//! * **cached** — `check_host_cached` over a warm subtree-verdict memo
+//!   (the PR 5 engine the compiled backend must beat);
+//! * **bare** — plain `check_host`, the semantic reference.
+//!
+//! The harness asserts the compiled backend's verdicts are identical to
+//! bare `check_host` on every cell before trusting any timing — the
+//! same identity `tests/compiler_stress.rs` pins under concurrency and
+//! zone mutation. The acceptance headline is the compiled-vs-cached
+//! speedup (≥10× on the population shape), and the report carries the
+//! population's compilability split ([`spf_core::CompilerStats`]).
+//!
+//! Quick mode for CI smoke runs: set `COMPILED_QUICK=1` (or pass
+//! `--quick`) to shrink the sweep; `BENCH_7.json` is still written so
+//! the artifact upload works.
+//!
+//! Regression gate: `quick_points` are measured with the same plain
+//! best-of-N loop in full and quick runs, so `scripts/bench_guard.sh`
+//! can compare a CI quick run against the committed BENCH_7.json; with
+//! `BENCH_GUARD_BASELINE` set, this binary fails itself on a
+//! throughput regression (`spf_bench::guard`).
+
+use std::cell::RefCell;
+use std::net::IpAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use serde::Serialize;
+use spf_analyzer::Walker;
+use spf_bench::guard::{self, GuardPoint};
+use spf_core::{
+    check_host, check_host_cached, compile_policy, CompileConfig, CompiledPolicy, CompilerStats,
+    EvalContext, EvalPolicy,
+};
+use spf_crawler::{
+    crawl, select_vantages, CrawlConfig, ProviderVantage, SpoofVerdictCache, VantagePoint,
+    SPOOF_SENDER_LOCAL,
+};
+use spf_dns::ZoneResolver;
+use spf_netsim::{build_include_heavy, build_spoof_world, Scale};
+use spf_types::DomainName;
+
+const SEED: u64 = 0x5bf1_2023;
+/// Timed passes per configuration; the recorded figure is the best of
+/// them, which damps the scheduling noise of small shared hosts.
+const RUNS: usize = 3;
+
+/// Which world a configuration evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// The calibrated population merged with the hosting case study.
+    Spoof,
+    /// The include-heavy cache stress preset.
+    IncludeHeavy,
+}
+
+impl Shape {
+    fn key(&self) -> &'static str {
+        match self {
+            Shape::Spoof => "pop",
+            Shape::IncludeHeavy => "heavy",
+        }
+    }
+}
+
+/// One crawled world with its vantage set, held out of the timed region.
+struct World {
+    resolver: ZoneResolver,
+    domains: Vec<DomainName>,
+    vantages: Vec<VantagePoint>,
+}
+
+/// Build a world and derive its vantage set from a coverage crawl (the
+/// same selection path the `repro` target uses).
+fn build_world(shape: Shape, denominator: u64) -> World {
+    let (store, domains, providers) = match shape {
+        Shape::Spoof => {
+            let world = build_spoof_world(Scale { denominator }, SEED);
+            let providers: Vec<ProviderVantage> = world
+                .providers
+                .iter()
+                .map(|p| ProviderVantage {
+                    label: format!("hosting{}", p.id),
+                    web: p.web_ip,
+                    mta: p.mta_ip,
+                })
+                .collect();
+            (world.store, world.domains, providers)
+        }
+        Shape::IncludeHeavy => {
+            let tenants = (12_823_598 / denominator) as usize;
+            let world = build_include_heavy(tenants);
+            (world.store, world.domains, Vec::new())
+        }
+    };
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&store)));
+    let out = crawl(&walker, &domains, CrawlConfig::with_workers(8));
+    let weighted = out.coverage.into_weighted();
+    let vantages = select_vantages(&weighted, &providers, 8, 4, SEED);
+    World {
+        resolver: ZoneResolver::new(store),
+        domains,
+        vantages,
+    }
+}
+
+/// The population's compiled artifacts, built once outside the timed
+/// region (the resident-service amortization: compile per domain, serve
+/// per query).
+struct CompiledWorld {
+    policies: Vec<CompiledPolicy>,
+    stats: CompilerStats,
+    compile_secs: f64,
+}
+
+fn compile_world(world: &World, policy: &EvalPolicy) -> CompiledWorld {
+    let config = CompileConfig::with_policy(*policy);
+    let started = Instant::now();
+    let mut stats = CompilerStats::default();
+    let policies: Vec<CompiledPolicy> = world
+        .domains
+        .iter()
+        .map(|d| {
+            let compiled = compile_policy(&world.resolver, d, &config);
+            stats.record(&compiled);
+            compiled
+        })
+        .collect();
+    CompiledWorld {
+        policies,
+        stats,
+        compile_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn cell_ctx(vantage: &VantagePoint, domain: &DomainName) -> EvalContext {
+    EvalContext::mail_from(IpAddr::V4(vantage.ip), SPOOF_SENDER_LOCAL, domain.clone())
+}
+
+/// One timed pass over every `(domain, vantage)` cell through the
+/// compiled tables (residues falling back to the warm memo). Returns
+/// `(secs, compiled_hits, fallbacks)`.
+fn serve_compiled(
+    world: &World,
+    compiled: &CompiledWorld,
+    vantage_count: usize,
+    policy: &EvalPolicy,
+    memo: &SpoofVerdictCache,
+) -> (f64, u64, u64) {
+    let vantages = &world.vantages[..vantage_count];
+    let mut hits = 0u64;
+    let mut fallbacks = 0u64;
+    let mut passes = 0u64;
+    let started = Instant::now();
+    for (domain, policy_compiled) in world.domains.iter().zip(&compiled.policies) {
+        for vantage in vantages {
+            // The allocation-free serving path: borrow the verdict
+            // template; only residual regions pay the live evaluator.
+            let result = match policy_compiled.verdict_ref(IpAddr::V4(vantage.ip)) {
+                Some(eval) => {
+                    hits += 1;
+                    eval.result
+                }
+                None => {
+                    fallbacks += 1;
+                    let ctx = cell_ctx(vantage, domain);
+                    check_host_cached(&world.resolver, &ctx, domain, policy, memo).result
+                }
+            };
+            passes += u64::from(result == spf_core::SpfResult::Pass);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(passes);
+    (secs, hits, fallbacks)
+}
+
+/// One timed pass over the same cells through `check_host_cached` on a
+/// warm subtree-verdict memo.
+fn serve_cached(
+    world: &World,
+    vantage_count: usize,
+    policy: &EvalPolicy,
+    memo: &SpoofVerdictCache,
+) -> f64 {
+    let vantages = &world.vantages[..vantage_count];
+    let mut passes = 0u64;
+    let started = Instant::now();
+    for domain in &world.domains {
+        for vantage in vantages {
+            let ctx = cell_ctx(vantage, domain);
+            let eval = check_host_cached(&world.resolver, &ctx, domain, policy, memo);
+            passes += u64::from(eval.result == spf_core::SpfResult::Pass);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(passes);
+    secs
+}
+
+/// The identity gate: every compiled-backend verdict must equal bare
+/// `check_host` on the same cell, field for field, before any timing is
+/// trusted.
+fn assert_identity(world: &World, compiled: &CompiledWorld, vantage_count: usize, p: &EvalPolicy) {
+    let vantages = &world.vantages[..vantage_count];
+    let memo = SpoofVerdictCache::with_default_shards();
+    for (domain, policy_compiled) in world.domains.iter().zip(&compiled.policies) {
+        for vantage in vantages {
+            let ctx = cell_ctx(vantage, domain);
+            let bare = check_host(&world.resolver, &ctx, domain, p);
+            let served = match policy_compiled.verdict(IpAddr::V4(vantage.ip)) {
+                Some(eval) => eval,
+                None => check_host_cached(&world.resolver, &ctx, domain, p, &memo),
+            };
+            assert_eq!(
+                served, bare,
+                "compiled backend diverged from check_host at ({domain}, {})",
+                vantage.ip
+            );
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SweepPoint {
+    shape: String,
+    scale_denominator: u64,
+    vantage_count: usize,
+    domains: u64,
+    cells: u64,
+    /// One-time compile cost for the whole population (amortized,
+    /// untimed in the serving columns).
+    compile_secs: f64,
+    /// Best-of-RUNS seconds serving every cell from compiled tables
+    /// (residues through the warm memo).
+    compiled_secs: f64,
+    /// Best-of-RUNS seconds serving the same cells through
+    /// `check_host_cached` on a warm memo.
+    cached_secs: f64,
+    /// Best-of-RUNS seconds through plain `check_host`.
+    bare_secs: f64,
+    /// `cached_secs / compiled_secs` — the acceptance headline.
+    speedup_vs_cached: f64,
+    /// Fraction of verdicts answered from the interval tables.
+    compiled_hit_rate: f64,
+    /// Fraction of trees that compiled fully static.
+    full_fraction: f64,
+    /// The population's compilability split and residue taxonomy.
+    compiler: CompilerStats,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    quick_mode: bool,
+    runs_per_config: usize,
+    host_parallelism: usize,
+    baseline_note: String,
+    results: Vec<SweepPoint>,
+    /// Guard points: compiled and cached serving throughput for fixed
+    /// quick configurations, measured by the same plain loop in every
+    /// mode.
+    quick_points: Vec<GuardPoint>,
+}
+
+/// Measure one configuration: identity gate first, then best-of-RUNS
+/// compiled / cached / bare serving passes over the identical cells.
+fn measure(world: &World, shape: Shape, denominator: u64, vc: usize) -> SweepPoint {
+    let policy = EvalPolicy::default();
+    let vantage_count = vc.min(world.vantages.len());
+    let compiled = compile_world(world, &policy);
+    assert_identity(world, &compiled, vantage_count, &policy);
+
+    // Warm both memos once so every timed pass sees the steady state
+    // (the resident service's shape: caches resident, queries arriving).
+    let compiled_memo = SpoofVerdictCache::with_default_shards();
+    let cached_memo = SpoofVerdictCache::with_default_shards();
+    let (_, mut hits, mut fallbacks) =
+        serve_compiled(world, &compiled, vantage_count, &policy, &compiled_memo);
+    serve_cached(world, vantage_count, &policy, &cached_memo);
+
+    let mut best_compiled = f64::INFINITY;
+    let mut best_cached = f64::INFINITY;
+    let mut best_bare = f64::INFINITY;
+    for _ in 0..RUNS {
+        let (compiled_secs, h, f) =
+            serve_compiled(world, &compiled, vantage_count, &policy, &compiled_memo);
+        best_compiled = best_compiled.min(compiled_secs);
+        hits = h;
+        fallbacks = f;
+        best_cached = best_cached.min(serve_cached(world, vantage_count, &policy, &cached_memo));
+        let bare_started = Instant::now();
+        let mut passes = 0u64;
+        for domain in &world.domains {
+            for vantage in &world.vantages[..vantage_count] {
+                let ctx = cell_ctx(vantage, domain);
+                let eval = check_host(&world.resolver, &ctx, domain, &policy);
+                passes += u64::from(eval.result == spf_core::SpfResult::Pass);
+            }
+        }
+        std::hint::black_box(passes);
+        best_bare = best_bare.min(bare_started.elapsed().as_secs_f64());
+    }
+
+    let mut stats = compiled.stats;
+    stats.compiled_verdicts = hits;
+    stats.fallback_verdicts = fallbacks;
+    let cells = (world.domains.len() * vantage_count) as u64;
+    SweepPoint {
+        shape: shape.key().to_string(),
+        scale_denominator: denominator,
+        vantage_count,
+        domains: world.domains.len() as u64,
+        cells,
+        compile_secs: compiled.compile_secs,
+        compiled_secs: best_compiled,
+        cached_secs: best_cached,
+        bare_secs: best_bare,
+        speedup_vs_cached: best_cached / best_compiled.max(f64::EPSILON),
+        compiled_hit_rate: stats.compiled_hit_rate(),
+        full_fraction: stats.full_fraction(),
+        compiler: stats,
+    }
+}
+
+/// The fixed quick matrix behind `quick_points`: `(shape, denominator,
+/// vantages, compiled)`.
+const QUICK_CONFIGS: &[(Shape, u64, usize, bool)] = &[
+    (Shape::Spoof, 5_000, 8, true),
+    (Shape::Spoof, 5_000, 8, false),
+    (Shape::IncludeHeavy, 5_000, 8, true),
+];
+
+/// Best-of-RUNS serving throughput (cells per second) over the fixed
+/// quick configurations.
+fn measure_quick_points() -> Vec<GuardPoint> {
+    let policy = EvalPolicy::default();
+    // Worlds (and their compiled artifacts) are memoized per (shape,
+    // denominator): consecutive quick configs differing only in the
+    // backend share one build.
+    let mut worlds: Vec<((Shape, u64), (World, CompiledWorld))> = Vec::new();
+    QUICK_CONFIGS
+        .iter()
+        .map(|&(shape, denom, vc, use_compiled)| {
+            if !worlds.iter().any(|(k, _)| *k == (shape, denom)) {
+                let world = build_world(shape, denom);
+                let compiled = compile_world(&world, &policy);
+                worlds.push(((shape, denom), (world, compiled)));
+            }
+            let (world, compiled) = &worlds
+                .iter()
+                .find(|(k, _)| *k == (shape, denom))
+                .expect("just inserted")
+                .1;
+            let vantage_count = vc.min(world.vantages.len());
+            let memo = SpoofVerdictCache::with_default_shards();
+            let key = format!(
+                "compiled_{}_{denom}_v{vantage_count}_{}",
+                shape.key(),
+                if use_compiled { "tables" } else { "memo" }
+            );
+            guard::quick_point(key, RUNS, || {
+                let secs = if use_compiled {
+                    serve_compiled(world, compiled, vantage_count, &policy, &memo).0
+                } else {
+                    serve_cached(world, vantage_count, &policy, &memo)
+                };
+                (world.domains.len() * vantage_count) as f64 / secs.max(f64::EPSILON)
+            })
+        })
+        .collect()
+}
+
+fn quick_mode() -> bool {
+    std::env::var("COMPILED_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let quick = quick_mode();
+    // (shape, scale, vantage count): both shapes at the bench scale,
+    // plus a wider vantage sweep on the population shape where the
+    // compile cost amortizes further.
+    let configs: &[(Shape, u64, usize)] = if quick {
+        &[(Shape::Spoof, 5_000, 8), (Shape::IncludeHeavy, 5_000, 8)]
+    } else {
+        &[
+            (Shape::Spoof, 1_000, 4),
+            (Shape::Spoof, 1_000, 8),
+            (Shape::Spoof, 1_000, 12),
+            (Shape::IncludeHeavy, 1_000, 4),
+            (Shape::IncludeHeavy, 1_000, 8),
+        ]
+    };
+
+    println!(
+        "compiled_throughput: sweeping {} configurations (seed {SEED:#x})",
+        configs.len()
+    );
+
+    let points: RefCell<Vec<SweepPoint>> = RefCell::new(Vec::new());
+    let mut criterion = Criterion::default().measurement_time(Duration::from_millis(1));
+    let mut group = criterion.benchmark_group("compiled_throughput");
+    group.measurement_time(Duration::from_millis(1));
+    for &(shape, denom, vc) in configs {
+        let id = format!("{}_{denom}_v{vc}", shape.key());
+        let points = &points;
+        group.bench_function(id, move |b| {
+            b.iter(|| {
+                let world = build_world(shape, denom);
+                let point = measure(&world, shape, denom, vc);
+                let mut points = points.borrow_mut();
+                match points
+                    .iter_mut()
+                    .find(|p| p.shape == point.shape && p.vantage_count == point.vantage_count)
+                {
+                    Some(existing) if existing.compiled_secs <= point.compiled_secs => {}
+                    Some(existing) => *existing = point,
+                    None => points.push(point),
+                }
+                vc
+            });
+        });
+    }
+    group.finish();
+
+    let quick_points = measure_quick_points();
+    let results = points.into_inner();
+    for p in &results {
+        println!(
+            "compiled_throughput: {}@1:{} v{} — compiled {:.2} ms ({:.0} cells/s, \
+             {:.1} % from tables, {:.1} % trees fully static), cached {:.2} ms, \
+             bare {:.2} ms, speedup vs cached {:.1}x (compile cost {:.1} ms once)",
+            p.shape,
+            p.scale_denominator,
+            p.vantage_count,
+            p.compiled_secs * 1e3,
+            p.cells as f64 / p.compiled_secs.max(f64::EPSILON),
+            p.compiled_hit_rate * 100.0,
+            p.full_fraction * 100.0,
+            p.cached_secs * 1e3,
+            p.bare_secs * 1e3,
+            p.speedup_vs_cached,
+            p.compile_secs * 1e3,
+        );
+        println!("compiled_throughput:   {}", p.compiler);
+    }
+    if let Some(best) = results
+        .iter()
+        .map(|p| p.speedup_vs_cached)
+        .fold(None::<f64>, |acc, s| Some(acc.map_or(s, |a| a.max(s))))
+    {
+        println!("compiled_throughput: best compiled-vs-cached speedup {best:.1}x");
+    }
+
+    let report = BenchReport {
+        bench: "compiled_throughput".to_string(),
+        quick_mode: quick,
+        runs_per_config: RUNS,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        baseline_note: "compiled, cached, and bare columns serve the identical cell set \
+                        (compiled verdicts asserted field-identical to bare check_host before \
+                        timing); compile_secs is the one-time population compile the resident \
+                        service amortizes over queries"
+            .to_string(),
+        results,
+        quick_points: quick_points.clone(),
+    };
+    let out_path = std::env::var("BENCH_7_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_7.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("BENCH_7.json is writable");
+    println!("compiled_throughput: wrote {out_path}");
+
+    // With BENCH_GUARD_BASELINE set (scripts/bench_guard.sh), fail the
+    // run on a regression against the committed artifact.
+    guard::enforce_from_env(&quick_points);
+}

@@ -917,6 +917,21 @@ pub fn overlap(r: &Repro) -> (String, Experiment) {
 /// carries internal consistency flags (sampled matrix cells recounted
 /// through plain uncached `check_host`) plus the Table 5 label replay.
 pub fn spoof_matrix(denominator: u64, seed: u64, config: CrawlConfig) -> (String, Experiment) {
+    spoof_matrix_with(denominator, seed, config, false)
+}
+
+/// [`spoof_matrix`] with the evaluation backend explicit: when
+/// `use_compiled` is set every cell is answered from the domain's
+/// compiled interval matcher (residual terms fall back to the live
+/// evaluator), the report gains the `[compiler]` compilability line,
+/// and an extra experiment flag recounts the sampled sub-population
+/// through the interpreted engine to pin backend equality in-run.
+pub fn spoof_matrix_with(
+    denominator: u64,
+    seed: u64,
+    config: CrawlConfig,
+    use_compiled: bool,
+) -> (String, Experiment) {
     let world = build_spoof_world(Scale { denominator }, seed);
     let (resolver, _wire) = build_resolver(&world.store, &config);
 
@@ -943,7 +958,7 @@ pub fn spoof_matrix(denominator: u64, seed: u64, config: CrawlConfig) -> (String
         seed,
     );
 
-    let matrix_config = SpoofMatrixConfig::with_workers(config.workers);
+    let matrix_config = SpoofMatrixConfig::with_workers(config.workers).compiled(use_compiled);
     let (matrix, stats) = run_spoof_matrix(&resolver, &world.domains, &vantages, matrix_config);
 
     let mut out = String::new();
@@ -971,6 +986,15 @@ pub fn spoof_matrix(denominator: u64, seed: u64, config: CrawlConfig) -> (String
         fmt_percent(matrix.lazy_gatekeeper_rate()),
         fmt_count(matrix.spf_domains),
     ));
+    if let Some(compiler) = &stats.compiler {
+        out.push_str(&format!("  {compiler}\n"));
+        out.push_str(&format!(
+            "  compiled backend: {} of trees fully static, {} of verdicts \
+             answered from interval tables\n\n",
+            fmt_percent(compiler.full_fraction()),
+            fmt_percent(compiler.compiled_hit_rate()),
+        ));
+    }
 
     let mut vantage_table = Table::new(
         "Verdicts by vantage",
@@ -1089,6 +1113,15 @@ pub fn spoof_matrix(denominator: u64, seed: u64, config: CrawlConfig) -> (String
         1.0,
         f64::from(cached_sample == uncached_sample),
     );
+    if use_compiled {
+        let (interpreted_sample, _) =
+            run_spoof_matrix(&resolver, &sample, &vantages, matrix_config.compiled(false));
+        exp.plain(
+            "Compiled and interpreted sample matrices identical",
+            1.0,
+            f64::from(cached_sample == interpreted_sample),
+        );
+    }
     exp.plain(
         "Uncached sample matches bare check_host recount",
         1.0,
@@ -1293,6 +1326,26 @@ mod tests {
         assert!(
             exp.worst_relative_error() < 1e-9,
             "spoof-matrix flags must hold"
+        );
+    }
+
+    #[test]
+    fn spoof_matrix_compiled_backend_reports_and_agrees() {
+        let (section, exp) =
+            spoof_matrix_with(20_000, 0x5bf1_2023, CrawlConfig::with_workers(4), true);
+        assert!(section.contains("[compiler]"));
+        assert!(section.contains("compiled backend:"));
+        // The compiled run carries every plain-run flag plus the
+        // compiled-vs-interpreted sample identity; all must hold.
+        assert!(
+            exp.rows
+                .iter()
+                .any(|c| c.label.contains("Compiled and interpreted")),
+            "compiled run must pin backend equality"
+        );
+        assert!(
+            exp.worst_relative_error() < 1e-9,
+            "compiled spoof-matrix flags must hold"
         );
     }
 

@@ -344,7 +344,7 @@ fn check_host_impl<R: Resolver + ?Sized>(
 }
 
 /// Which result a problem maps to.
-fn problem_result(p: &EvalProblem) -> SpfResult {
+pub(crate) fn problem_result(p: &EvalProblem) -> SpfResult {
     match p {
         EvalProblem::NoRecord => SpfResult::None,
         EvalProblem::DnsTransient { .. } => SpfResult::TempError,
@@ -1010,7 +1010,7 @@ enum FetchFailure {
     Syntax(SyntaxError),
 }
 
-fn qualifier_result(q: Qualifier) -> SpfResult {
+pub(crate) fn qualifier_result(q: Qualifier) -> SpfResult {
     match q {
         Qualifier::Pass => SpfResult::Pass,
         Qualifier::Fail => SpfResult::Fail,

@@ -11,11 +11,14 @@
 //!   macro expansion;
 //! * [`macroexpand`]: RFC 7208 §7 macro strings (validated against the
 //!   RFC's own examples);
+//! * [`compile`]: the population policy compiler — SPF trees flattened
+//!   to interval matchers with a typed residue for what stays dynamic;
 //! * [`dmarc`]: the RFC 7489 DMARC subset the crawler also collects.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod context;
 pub mod dmarc;
 pub mod eval;
@@ -23,6 +26,10 @@ pub mod header;
 pub mod macroexpand;
 pub mod parse;
 
+pub use compile::{
+    compile_policy, Compilability, CompileConfig, CompiledPolicy, CompilerStats, Residue,
+    ResidueKind,
+};
 pub use context::{EvalContext, SpfResult};
 pub use dmarc::{
     is_dmarc_record, parse_dmarc, query_dmarc, Alignment, DmarcError, DmarcLookup, DmarcPolicy,

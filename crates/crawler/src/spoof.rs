@@ -46,8 +46,8 @@ use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use spf_analyzer::{CacheKey, CacheStats, ShardedCache, DEFAULT_CACHE_SHARDS};
 use spf_core::{
-    check_host, check_host_cached, BudgetKey, EvalContext, EvalPolicy, Evaluation, SpfResult,
-    SubtreeVerdict, VerdictCache,
+    check_host, check_host_cached, compile_policy, BudgetKey, CompileConfig, CompilerStats,
+    EvalContext, EvalPolicy, Evaluation, SpfResult, SubtreeVerdict, VerdictCache,
 };
 use spf_dns::Resolver;
 use spf_types::{DomainName, WeightedRanges};
@@ -314,6 +314,12 @@ pub struct SpoofMatrixConfig {
     pub use_cache: bool,
     /// Verdict-cache stripe count (ignored when `use_cache` is false).
     pub cache_shards: usize,
+    /// Whether each domain's tree is compiled to an interval matcher
+    /// first, answering vantages from the tables and falling back to the
+    /// (cached) evaluator only for residual regions. The matrix stays
+    /// byte-identical — compiled verdicts equal `check_host`'s.
+    #[serde(default)]
+    pub use_compiled: bool,
     /// The `check_host()` limits and accounting mode to evaluate under.
     pub policy: EvalPolicy,
 }
@@ -325,6 +331,7 @@ impl Default for SpoofMatrixConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             use_cache: true,
             cache_shards: DEFAULT_CACHE_SHARDS,
+            use_compiled: false,
             policy: EvalPolicy::default(),
         }
     }
@@ -354,6 +361,12 @@ impl SpoofMatrixConfig {
     /// Builder-style override of [`SpoofMatrixConfig::cache_shards`].
     pub fn cache_shards(mut self, shards: usize) -> Self {
         self.cache_shards = shards;
+        self
+    }
+
+    /// Builder-style override of [`SpoofMatrixConfig::use_compiled`].
+    pub fn compiled(mut self, use_compiled: bool) -> Self {
+        self.use_compiled = use_compiled;
         self
     }
 }
@@ -484,6 +497,11 @@ pub struct SpoofMatrixStats {
     pub peak_queue_depth: usize,
     /// Batches dispatched.
     pub batches: u64,
+    /// Population compilability counters when the compiled backend ran
+    /// (`None` otherwise). Lives here rather than in [`SpoofMatrix`]: the
+    /// matrix must serialize identically across backends.
+    #[serde(default)]
+    pub compiler: Option<CompilerStats>,
 }
 
 impl SpoofMatrixStats {
@@ -515,6 +533,7 @@ struct WorkerTally {
     spoofable_shared: u64,
     spoofable_control: u64,
     lazy_gatekeepers: u64,
+    compiler: CompilerStats,
 }
 
 impl WorkerTally {
@@ -525,6 +544,7 @@ impl WorkerTally {
             spoofable_shared: 0,
             spoofable_control: 0,
             lazy_gatekeepers: 0,
+            compiler: CompilerStats::default(),
         }
     }
 }
@@ -559,6 +579,7 @@ pub fn spoof_matrix<R: Resolver>(
         let batches = &batches;
         let cache = cache.as_ref();
         let policy = &config.policy;
+        let use_compiled = config.use_compiled;
 
         std::thread::scope(|scope| {
             scope.spawn(move || {
@@ -579,7 +600,15 @@ pub fn spoof_matrix<R: Resolver>(
                     let mut tally = WorkerTally::new(vantages);
                     while let Ok(batch) = work_rx.recv() {
                         for domain in batch {
-                            evaluate_domain(resolver, &domain, vantages, policy, cache, &mut tally);
+                            evaluate_domain(
+                                resolver,
+                                &domain,
+                                vantages,
+                                policy,
+                                cache,
+                                use_compiled,
+                                &mut tally,
+                            );
                             queue_depth.fetch_sub(1, Ordering::Relaxed);
                         }
                     }
@@ -593,6 +622,7 @@ pub fn spoof_matrix<R: Resolver>(
                 merged.spoofable_shared += worker.spoofable_shared;
                 merged.spoofable_control += worker.spoofable_control;
                 merged.lazy_gatekeepers += worker.lazy_gatekeepers;
+                merged.compiler.merge(&worker.compiler);
                 for (into, from) in merged.vantages.iter_mut().zip(&worker.vantages) {
                     into.merge(from);
                 }
@@ -617,29 +647,57 @@ pub fn spoof_matrix<R: Resolver>(
         cache_misses: cache_stats.misses,
         peak_queue_depth: peak_depth.load(Ordering::Relaxed),
         batches: batches.load(Ordering::Relaxed) as u64,
+        compiler: config.use_compiled.then_some(merged.compiler),
     };
     (matrix, stats)
 }
 
 /// One domain's row of the matrix: evaluate it from every vantage and
-/// fold the results into `tally`.
+/// fold the results into `tally`. With the compiled backend, the tree is
+/// compiled once and every vantage answers from the interval tables;
+/// residual regions fall back to the same (cached) evaluator path, so
+/// the row is byte-identical either way.
 fn evaluate_domain<R: Resolver>(
     resolver: &R,
     domain: &DomainName,
     vantages: &[VantagePoint],
     policy: &EvalPolicy,
     cache: Option<&SpoofVerdictCache>,
+    use_compiled: bool,
     tally: &mut WorkerTally,
 ) {
+    let compiled = use_compiled.then(|| {
+        let compiled = compile_policy(resolver, domain, &CompileConfig::with_policy(*policy));
+        tally.compiler.record(&compiled);
+        compiled
+    });
     let mut has_record = false;
     let mut passes_shared = false;
     let mut passes_control = false;
     for (index, vantage) in vantages.iter().enumerate() {
-        let ctx =
-            EvalContext::mail_from(IpAddr::V4(vantage.ip), SPOOF_SENDER_LOCAL, domain.clone());
-        let eval = match cache {
-            Some(cache) => check_host_cached(resolver, &ctx, domain, policy, cache),
-            None => check_host(resolver, &ctx, domain, policy),
+        let fast = compiled
+            .as_ref()
+            .and_then(|c| c.verdict(IpAddr::V4(vantage.ip)));
+        if compiled.is_some() {
+            if fast.is_some() {
+                tally.compiler.compiled_verdicts += 1;
+            } else {
+                tally.compiler.fallback_verdicts += 1;
+            }
+        }
+        let eval = match fast {
+            Some(eval) => eval,
+            None => {
+                let ctx = EvalContext::mail_from(
+                    IpAddr::V4(vantage.ip),
+                    SPOOF_SENDER_LOCAL,
+                    domain.clone(),
+                );
+                match cache {
+                    Some(cache) => check_host_cached(resolver, &ctx, domain, policy, cache),
+                    None => check_host(resolver, &ctx, domain, policy),
+                }
+            }
         };
         tally.vantages[index].add(&eval);
         if eval.result != SpfResult::None {
@@ -811,6 +869,53 @@ mod tests {
             reference,
             run(SpoofMatrixConfig::with_workers(4).batch_size(1))
         );
+        // The compiled backend is the third way to the same bytes.
+        for workers in [1usize, 4] {
+            assert_eq!(
+                reference,
+                run(SpoofMatrixConfig::with_workers(workers).compiled(true)),
+                "compiled backend diverged at workers={workers}"
+            );
+        }
+        assert_eq!(
+            reference,
+            run(SpoofMatrixConfig::with_workers(4)
+                .compiled(true)
+                .cached(false))
+        );
+    }
+
+    #[test]
+    fn compiled_backend_reports_compiler_stats() {
+        let (store, domains, weighted) = build_world();
+        let resolver = ZoneResolver::new(store);
+        let vantages = vantage_set(&weighted, 1);
+        let (_, stats) = spoof_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(2).compiled(true),
+        );
+        let compiler = stats.compiler.expect("compiled backend ran");
+        assert_eq!(compiler.domains_compiled, domains.len() as u64);
+        // build_world is all-static: everything compiles fully and every
+        // verdict answers from the tables.
+        assert_eq!(compiler.full, compiler.domains_compiled);
+        assert_eq!(
+            compiler.compiled_verdicts,
+            (domains.len() * vantages.len()) as u64
+        );
+        assert_eq!(compiler.fallback_verdicts, 0);
+        assert!((compiler.compiled_hit_rate() - 1.0).abs() < 1e-12);
+
+        // The uncompiled backends report no compiler stats.
+        let (_, plain) = spoof_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(2),
+        );
+        assert!(plain.compiler.is_none());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use serde::Serialize;
 use spf_analyzer::{CacheKey, DEFAULT_CACHE_SHARDS};
-use spf_core::{BudgetKey, SubtreeVerdict, VerdictCache};
+use spf_core::{BudgetKey, CompiledPolicy, SubtreeVerdict, VerdictCache};
 use spf_dns::Clock;
 use spf_types::{DomainHashBuilder, DomainName};
 
@@ -385,6 +385,63 @@ impl VerdictCache for ServiceVerdictCache {
             },
             verdict,
         );
+    }
+}
+
+/// The compiled-backend store's key: compiled policies are per-domain
+/// (the policy and work cap are fixed per service instance).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CompiledKey(DomainName);
+
+impl CacheKey for CompiledKey {
+    fn shard_hash(&self) -> u64 {
+        let mut hasher = spf_types::DomainHasher::default();
+        std::hash::Hash::hash(self, &mut hasher);
+        std::hash::Hasher::finish(&hasher)
+    }
+}
+
+/// The service's compiled-policy store: a [`TtlLru`] over
+/// [`CompiledPolicy`] artifacts, invalidated **exactly like the verdict
+/// memo** — same TTL mechanism, same pluggable clock, stale entries
+/// removed on probe and never served. A compiled artifact is a batch of
+/// memoized DNS answers just like a subtree verdict, so it gets the same
+/// staleness bound relative to zone mutation.
+pub struct CompiledPolicyCache {
+    inner: TtlLru<CompiledKey, Arc<CompiledPolicy>>,
+}
+
+impl CompiledPolicyCache {
+    /// Build the store with `config`'s policy on `clock`.
+    pub fn new(config: TtlLruConfig, clock: Arc<dyn Clock>) -> CompiledPolicyCache {
+        CompiledPolicyCache {
+            inner: TtlLru::new(config, clock),
+        }
+    }
+
+    /// Probe for a live compiled policy.
+    pub fn get(&self, domain: &DomainName) -> Option<Arc<CompiledPolicy>> {
+        self.inner.get(&CompiledKey(domain.clone()))
+    }
+
+    /// Admit a freshly compiled policy.
+    pub fn insert(&self, domain: DomainName, compiled: Arc<CompiledPolicy>) {
+        self.inner.insert(CompiledKey(domain), compiled);
+    }
+
+    /// Aggregated store counters.
+    pub fn stats(&self) -> TtlLruStats {
+        self.inner.stats()
+    }
+
+    /// Resident compiled policies.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
     }
 }
 

@@ -34,10 +34,13 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, TrySendError};
 use serde::Serialize;
-use spf_core::{check_host, check_host_cached, EvalContext, EvalPolicy, Evaluation};
+use spf_core::{
+    check_host, check_host_cached, compile_policy, CompileConfig, CompilerStats, EvalContext,
+    EvalPolicy, Evaluation,
+};
 use spf_dns::{Clock, Resolver, SystemClock};
 
-use crate::cache::{ServiceVerdictCache, TtlLruConfig, TtlLruStats};
+use crate::cache::{CompiledPolicyCache, ServiceVerdictCache, TtlLruConfig, TtlLruStats};
 use crate::histogram::{LatencySnapshot, LogHistogram};
 use crate::proto::{
     decode_datagram, decode_payload, encode_frame, peek_query_id, split_frame, Frame, FrameError,
@@ -54,6 +57,13 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Verdict-memo policy, or `None` to evaluate every query bare.
     pub cache: Option<TtlLruConfig>,
+    /// Compiled-backend store policy, or `None` to tree-walk every
+    /// query. When set, each domain's SPF tree is compiled to an
+    /// interval matcher on first query and verdicts answer from the
+    /// tables; residual regions fall back to the (cached) evaluator.
+    /// The store expires exactly like the verdict memo — same TTL
+    /// mechanism, same clock — so stale compiled policies never serve.
+    pub compiled: Option<TtlLruConfig>,
     /// RFC 7208 limits applied to every evaluation.
     pub policy: EvalPolicy,
 }
@@ -79,6 +89,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Set (or disable, with `None`) the compiled backend.
+    pub fn compiled(mut self, compiled: Option<TtlLruConfig>) -> ServiceConfig {
+        self.compiled = compiled;
+        self
+    }
+
     /// Override the evaluation policy.
     pub fn policy(mut self, policy: EvalPolicy) -> ServiceConfig {
         self.policy = policy;
@@ -92,6 +108,7 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 1024,
             cache: Some(TtlLruConfig::default()),
+            compiled: None,
             policy: EvalPolicy::default(),
         }
     }
@@ -131,6 +148,11 @@ pub struct ServiceTelemetry {
     pub peak_queue_depth: u64,
     /// Verdict-memo counters, when a cache is configured.
     pub cache: Option<TtlLruStats>,
+    /// Compiler counters (the `[compiler]` line), when the compiled
+    /// backend is configured.
+    pub compiled: Option<CompilerStats>,
+    /// Compiled-policy store counters, when the backend is configured.
+    pub compiled_cache: Option<TtlLruStats>,
     /// Enqueue-to-reply latency distribution.
     pub latency: LatencySnapshot,
 }
@@ -162,7 +184,51 @@ impl std::fmt::Display for ServiceTelemetry {
             f,
             " lat(µs): p50={:.0} p99={:.0} p999={:.0}",
             self.latency.p50_us, self.latency.p99_us, self.latency.p999_us,
-        )
+        )?;
+        if let Some(compiled) = &self.compiled {
+            write!(f, "\n{compiled}")?;
+            if let Some(store) = &self.compiled_cache {
+                write!(
+                    f,
+                    " store: hit {:.1}% entries={} expire={}",
+                    store.hit_rate() * 100.0,
+                    store.entries,
+                    store.expirations,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The service's compiled backend: the per-domain policy store plus the
+/// counters behind the `[compiler]` telemetry line. Compiles are rare
+/// (once per domain per TTL) and go through the mutex; the per-query
+/// verdict split stays on atomics.
+struct CompiledBackend {
+    store: CompiledPolicyCache,
+    config: CompileConfig,
+    stats: Mutex<CompilerStats>,
+    compiled_verdicts: AtomicU64,
+    fallback_verdicts: AtomicU64,
+}
+
+impl CompiledBackend {
+    fn new(store_config: TtlLruConfig, policy: EvalPolicy, clock: Arc<dyn Clock>) -> Self {
+        CompiledBackend {
+            store: CompiledPolicyCache::new(store_config, clock),
+            config: CompileConfig::with_policy(policy),
+            stats: Mutex::new(CompilerStats::default()),
+            compiled_verdicts: AtomicU64::new(0),
+            fallback_verdicts: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> CompilerStats {
+        let mut stats = *self.stats.lock().unwrap();
+        stats.compiled_verdicts = self.compiled_verdicts.load(Ordering::Relaxed);
+        stats.fallback_verdicts = self.fallback_verdicts.load(Ordering::Relaxed);
+        stats
     }
 }
 
@@ -409,12 +475,19 @@ fn worker_loop(
     resolver: Arc<dyn Resolver>,
     policy: EvalPolicy,
     cache: Option<Arc<ServiceVerdictCache>>,
+    compiled: Option<Arc<CompiledBackend>>,
     counters: Arc<Counters>,
     latency: Arc<LogHistogram>,
 ) {
     while let Ok(job) = job_rx.recv() {
         counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let eval = evaluate(&resolver, &policy, cache.as_deref(), &job.query);
+        let eval = evaluate(
+            &resolver,
+            &policy,
+            cache.as_deref(),
+            compiled.as_deref(),
+            &job.query,
+        );
         let response = ResponseFrame::verdict(job.query.id, &eval);
         // Count before the reply leaves (the name-server idiom): a
         // client holding the response must never read a stale counter.
@@ -428,8 +501,33 @@ fn evaluate(
     resolver: &Arc<dyn Resolver>,
     policy: &EvalPolicy,
     cache: Option<&ServiceVerdictCache>,
+    compiled: Option<&CompiledBackend>,
     query: &QueryFrame,
 ) -> Evaluation {
+    if let Some(backend) = compiled {
+        // Probe the TTL store; an expired artifact is removed on probe
+        // (never served) and recompiled against the live zone here.
+        let policy_tables = match backend.store.get(&query.domain) {
+            Some(tables) => tables,
+            None => {
+                let tables = Arc::new(compile_policy(
+                    resolver.as_ref(),
+                    &query.domain,
+                    &backend.config,
+                ));
+                backend.stats.lock().unwrap().record(&tables);
+                backend
+                    .store
+                    .insert(query.domain.clone(), Arc::clone(&tables));
+                tables
+            }
+        };
+        if let Some(eval) = policy_tables.verdict(query.ip) {
+            backend.compiled_verdicts.fetch_add(1, Ordering::Relaxed);
+            return eval;
+        }
+        backend.fallback_verdicts.fetch_add(1, Ordering::Relaxed);
+    }
     let ctx = EvalContext::mail_from(query.ip, &query.sender_local, query.domain.clone());
     match cache {
         Some(memo) => check_host_cached(resolver.as_ref(), &ctx, &query.domain, policy, memo),
@@ -445,6 +543,7 @@ pub struct VerdictService {
     counters: Arc<Counters>,
     latency: Arc<LogHistogram>,
     cache: Option<Arc<ServiceVerdictCache>>,
+    compiled: Option<Arc<CompiledBackend>>,
     udp_handle: Option<JoinHandle<()>>,
     tcp_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -477,7 +576,11 @@ impl VerdictService {
         let cache = config
             .cache
             .clone()
-            .map(|policy| Arc::new(ServiceVerdictCache::new(policy, clock)));
+            .map(|policy| Arc::new(ServiceVerdictCache::new(policy, Arc::clone(&clock))));
+        let compiled = config
+            .compiled
+            .clone()
+            .map(|store| Arc::new(CompiledBackend::new(store, config.policy, clock)));
         let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
 
         let udp_handle = std::thread::Builder::new().name("svc-udp".into()).spawn({
@@ -502,10 +605,13 @@ impl VerdictService {
                     let job_rx = job_rx.clone();
                     let resolver = Arc::clone(&resolver);
                     let cache = cache.clone();
+                    let compiled = compiled.clone();
                     let counters = Arc::clone(&counters);
                     let latency = Arc::clone(&latency);
                     let policy = config.policy;
-                    move || worker_loop(job_rx, resolver, policy, cache, counters, latency)
+                    move || {
+                        worker_loop(job_rx, resolver, policy, cache, compiled, counters, latency)
+                    }
                 })?;
             workers.push(handle);
         }
@@ -517,6 +623,7 @@ impl VerdictService {
             counters,
             latency,
             cache,
+            compiled,
             udp_handle: Some(udp_handle),
             tcp_handle: Some(tcp_handle),
             workers,
@@ -541,6 +648,8 @@ impl VerdictService {
             queue_depth: self.counters.queue_depth.load(Ordering::Relaxed),
             peak_queue_depth: self.counters.peak_queue_depth.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|c| c.stats()),
+            compiled: self.compiled.as_ref().map(|b| b.snapshot()),
+            compiled_cache: self.compiled.as_ref().map(|b| b.store.stats()),
             latency: self.latency.snapshot(),
         }
     }

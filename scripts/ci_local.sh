@@ -3,7 +3,8 @@
 # exactly what .github/workflows/ci.yml runs, so the tier-1 verify and CI
 # cannot drift:
 #
-#   [build-and-test]  cargo build --release; cargo test -q;
+#   [build-and-test]  cargo build --release; compiler differential
+#                     suites (fail-fast); cargo test -q;
 #                     cargo build --benches --examples; docs smoke
 #   [lint]            cargo clippy --all-targets -- -D warnings;
 #                     cargo fmt --check
@@ -25,6 +26,13 @@ done
 
 echo "== [build-and-test] cargo build --release"
 cargo build --release
+
+# The compiler's fast differential suites first: a verdict-identity or
+# residue-classification regression fails here in seconds instead of
+# minutes into the full pass (compiler_stress, the socket-level grid,
+# rides inside `cargo test -q` below).
+echo "== [build-and-test] compiler differential suites"
+cargo test -q --test proptest_compiler --test rfc_conformance
 
 echo "== [build-and-test] cargo test -q"
 cargo test -q

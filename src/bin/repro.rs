@@ -55,6 +55,11 @@
 //!   clients with what per-client window, over which transport.
 //! * `--duration SECS` — how long `serve` stays up (`0`, the default,
 //!   means until the process is interrupted).
+//! * `--compiled` — use the compiled evaluation backend for
+//!   `spoof-matrix` and `serve`: each domain's SPF tree is compiled to
+//!   an interval matcher (residual terms fall back to the live
+//!   evaluator) and the `[compiler]` line reports the population's
+//!   compilability split. Verdicts are byte-identical either way.
 //! * `-h`, `--help` — usage.
 
 use std::time::Instant;
@@ -65,7 +70,9 @@ use spf_bench::{self as bench, Repro, ServiceLab};
 use spf_crawler::{CrawlConfig, CrawlMode, DEFAULT_WIRE_SERVERS};
 use spf_dns::{Resolver, ZoneResolver};
 use spf_report::ExperimentLog;
-use spf_service::{build_plan, drive, ServiceConfig, TrafficMix, Transport, VerdictService};
+use spf_service::{
+    build_plan, drive, ServiceConfig, TrafficMix, Transport, TtlLruConfig, VerdictService,
+};
 
 const DEFAULT_SCALE: u64 = 100;
 const DEFAULT_SEED: u64 = 0x5bf1_2023;
@@ -149,6 +156,7 @@ struct Args {
     window: usize,
     transport: Transport,
     duration_secs: u64,
+    compiled: bool,
 }
 
 impl Args {
@@ -176,6 +184,7 @@ fn parse_args() -> Args {
         window: 32,
         transport: Transport::Udp,
         duration_secs: 0,
+        compiled: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -253,6 +262,7 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --duration"));
             }
+            "--compiled" => args.compiled = true,
             "--no-write" => args.out_path = None,
             "--out" => {
                 args.out_path = Some(
@@ -285,14 +295,17 @@ fn usage(problem: &str) -> ! {
          usage: repro [targets...] [--scale N] [--seed S] [--workers W]\n\
          \x20             [--mode memory|wire] [--servers N] [--out PATH | --no-write]\n\
          \x20             [--queries N] [--mix hot|burst|cold] [--clients N] [--window N]\n\
-         \x20             [--transport udp|tcp] [--duration SECS]\n\n\
+         \x20             [--transport udp|tcp] [--duration SECS] [--compiled]\n\n\
          {}\n\
          scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n\
          mode:    memory resolves in-process; wire crawls over UDP/TCP against\n\
          \x20        --servers N hash-sharded authoritative name servers\n\
          service: `serve` runs the resident verdict daemon (--workers pool,\n\
          \x20        --duration 0 = until interrupted); `traffic` replays --queries\n\
-         \x20        of a --mix through --clients pipelined clients over --transport\n",
+         \x20        of a --mix through --clients pipelined clients over --transport\n\
+         compiled: `--compiled` makes `spoof-matrix`/`serve` answer from\n\
+         \x20        compiled interval matchers (verdict-identical; prints the\n\
+         \x20        [compiler] compilability line)\n",
         target_usage_line()
     );
     std::process::exit(2)
@@ -445,7 +458,8 @@ fn main() {
             "[spoof matrix] evaluating check_host() for the whole population from \
              attacker vantage addresses ..."
         );
-        let (section, exp) = bench::spoof_matrix(args.scale, args.seed, args.crawl_config());
+        let (section, exp) =
+            bench::spoof_matrix_with(args.scale, args.seed, args.crawl_config(), args.compiled);
         println!("{section}");
         log.push(exp);
     }
@@ -478,7 +492,8 @@ fn run_service(args: &Args, wants_serve: bool, wants_traffic: bool) {
     );
     let lab: ServiceLab = bench::service_lab(args.scale, args.seed, args.workers);
     let resolver: Arc<dyn Resolver> = Arc::new(ZoneResolver::new(Arc::clone(&lab.store)));
-    let config = ServiceConfig::with_workers(args.workers);
+    let config = ServiceConfig::with_workers(args.workers)
+        .compiled(args.compiled.then(TtlLruConfig::default));
     let mut service = match VerdictService::spawn(resolver, config) {
         Ok(s) => s,
         Err(e) => {

@@ -51,7 +51,10 @@ pub mod prelude {
     pub use spf_analyzer::{
         analyze_domain, recommend, CacheStats, DomainReport, ErrorClass, WalkPolicy, Walker,
     };
-    pub use spf_core::{check_host, parse, parse_lenient, EvalContext, EvalPolicy, SpfResult};
+    pub use spf_core::{
+        check_host, compile_policy, parse, parse_lenient, CompiledPolicy, CompilerStats,
+        EvalContext, EvalPolicy, SpfResult,
+    };
     pub use spf_crawler::{
         crawl, include_ecosystem, select_vantages, spoof_matrix, CrawlConfig, CrawlMode,
         CrawlStats, OverlapReport, ProviderVantage, ScanAggregates, SpoofMatrix, SpoofMatrixConfig,

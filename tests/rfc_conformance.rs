@@ -2,15 +2,45 @@
 //! extended example domain) plus the semantic corner cases the paper's
 //! findings hinge on. Every vector runs through the public API against an
 //! in-memory zone replicating the RFC's example DNS data.
+//!
+//! Since ISSUE 7 every vector also carries a *compilability column*:
+//! each evaluation additionally compiles the sender domain's tree into
+//! a [`CompiledPolicy`] and asserts the table answer (when the address
+//! compiles) is identical to bare `check_host` field for field — so
+//! the RFC vectors double as the compiler's conformance suite. The
+//! `rfc_fixture_compilability_column` table pins which fixtures are
+//! statically compilable and which residue classification the
+//! uncompilable ones carry.
 
 use std::sync::Arc;
 
-use spf_core::{check_host, EvalContext, EvalPolicy, SpfResult};
+use spf_core::{
+    check_host, compile_policy, Compilability, CompileConfig, EvalContext, EvalPolicy, Evaluation,
+    ResidueKind, SpfResult,
+};
 use spf_dns::{ZoneResolver, ZoneStore};
 use spf_types::DomainName;
 
 fn dom(s: &str) -> DomainName {
     DomainName::parse(s).unwrap()
+}
+
+/// Bare `check_host` plus ISSUE 7's differential obligation: compile
+/// the domain's tree and, wherever the tables answer the context's
+/// address, the verdict must match the live evaluation exactly.
+fn checked(zone: &Arc<ZoneStore>, ctx: &EvalContext, domain: &DomainName) -> Evaluation {
+    let resolver = ZoneResolver::new(Arc::clone(zone));
+    let bare = check_host(&resolver, ctx, domain, &EvalPolicy::default());
+    let compiled = compile_policy(&resolver, domain, &CompileConfig::default());
+    compiled.assert_invariants();
+    if let Some(eval) = compiled.verdict(ctx.ip) {
+        assert_eq!(
+            eval, bare,
+            "compiled verdict diverged from check_host for {domain} from {}",
+            ctx.ip
+        );
+    }
+    bare
 }
 
 /// RFC 7208 Appendix A: the example.com zone.
@@ -45,10 +75,9 @@ fn rfc_zone() -> Arc<ZoneStore> {
 }
 
 fn run(zone: &Arc<ZoneStore>, ip: &str, sender_domain: &str) -> SpfResult {
-    let resolver = ZoneResolver::new(Arc::clone(zone));
     let d = dom(sender_domain);
     let ctx = EvalContext::mail_from(ip.parse().unwrap(), "postmaster", d.clone());
-    check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result
+    checked(zone, &ctx, &d).result
 }
 
 #[test]
@@ -102,14 +131,10 @@ fn unknown_domain_yields_none() {
 fn null_sender_uses_postmaster_semantics() {
     // RFC 7208 §2.4: for an empty MAIL FROM, checks use postmaster@helo.
     let zone = rfc_zone();
-    let resolver = ZoneResolver::new(Arc::clone(&zone));
     let helo = dom("example.com");
     let ctx = EvalContext::mail_from("192.0.2.129".parse().unwrap(), "postmaster", helo.clone());
     assert_eq!(ctx.sender(), "postmaster@example.com");
-    assert_eq!(
-        check_host(&resolver, &ctx, &helo, &EvalPolicy::default()).result,
-        SpfResult::Pass
-    );
+    assert_eq!(checked(&zone, &ctx, &helo).result, SpfResult::Pass);
 }
 
 #[test]
@@ -160,13 +185,9 @@ fn exists_uses_a_lookup_even_for_ipv6_sender() {
     let zone = Arc::new(ZoneStore::new());
     zone.add_txt(&dom("e.example"), "v=spf1 exists:allow.e.example -all");
     zone.add_a(&dom("allow.e.example"), "127.0.0.2".parse().unwrap());
-    let resolver = ZoneResolver::new(Arc::clone(&zone));
     let d = dom("e.example");
     let ctx = EvalContext::mail_from("2001:db8::1".parse().unwrap(), "x", d.clone());
-    assert_eq!(
-        check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result,
-        SpfResult::Pass
-    );
+    assert_eq!(checked(&zone, &ctx, &d).result, SpfResult::Pass);
 }
 
 #[test]
@@ -199,16 +220,64 @@ fn macro_vectors_from_rfc_section_7() {
         &dom("strong.lp._spf.example.com"),
         "127.0.0.2".parse().unwrap(),
     );
-    let resolver = ZoneResolver::new(Arc::clone(&zone));
     let d = dom("email.example.com");
     let ctx = EvalContext::mail_from("192.0.2.3".parse().unwrap(), "strong-bad", d.clone());
-    assert_eq!(
-        check_host(&resolver, &ctx, &d, &EvalPolicy::default()).result,
-        SpfResult::Pass
-    );
+    assert_eq!(checked(&zone, &ctx, &d).result, SpfResult::Pass);
     let ctx2 = EvalContext::mail_from("192.0.2.3".parse().unwrap(), "weak-bad", d.clone());
-    assert_eq!(
-        check_host(&resolver, &ctx2, &d, &EvalPolicy::default()).result,
-        SpfResult::Fail
+    assert_eq!(checked(&zone, &ctx2, &d).result, SpfResult::Fail);
+}
+
+/// The compilability column itself: which RFC fixtures compile to pure
+/// interval tables, and exactly which residue classification the
+/// uncompilable ones carry. A reclassification in the compiler (say,
+/// `exists` starting to compile, or macros misread as static) breaks
+/// this table before it can silently shift the population stats.
+#[test]
+fn rfc_fixture_compilability_column() {
+    let zone = rfc_zone();
+    zone.add_txt(&dom("e.example"), "v=spf1 exists:allow.e.example -all");
+    zone.add_txt(
+        &dom("p.example"),
+        "v=spf1 ip4:192.0.2.4 ptr:example.com -all",
     );
+    let resolver = ZoneResolver::new(Arc::clone(&zone));
+    let column: &[(&str, Compilability, &[ResidueKind])] = &[
+        // Appendix A: a/mx/ip4 trees are fully static — every address
+        // of both families answers from the tables.
+        ("example.com", Compilability::Full, &[]),
+        ("amy.example.com", Compilability::Full, &[]),
+        ("bob.example.com", Compilability::Full, &[]),
+        ("mail-a.example.com", Compilability::Full, &[]),
+        ("mail-b.example.com", Compilability::Full, &[]),
+        // `exists` consults the session at query time — always residual,
+        // pinned as the Exists classification (not a macro residue, even
+        // when the target carries macros).
+        ("e.example", Compilability::Residual, &[ResidueKind::Exists]),
+        // `ptr` depends on the connecting address's reverse zone: the
+        // static ip4 region ahead of it compiles, the rest is a Ptr
+        // residue (first-match-wins splits the space).
+        ("p.example", Compilability::Partial, &[ResidueKind::Ptr]),
+        // No SPF record at all: the none verdict is itself static.
+        ("other.example.org", Compilability::Full, &[]),
+    ];
+    for (name, expected, residues) in column {
+        let compiled = compile_policy(&resolver, &dom(name), &CompileConfig::default());
+        compiled.assert_invariants();
+        assert_eq!(
+            compiled.compilability(),
+            *expected,
+            "compilability shifted for {name}: {:?}",
+            compiled.residues()
+        );
+        for kind in *residues {
+            assert!(
+                compiled.residues().iter().any(|r| r.kind == *kind),
+                "{name} lost its {kind:?} residue: {:?}",
+                compiled.residues()
+            );
+        }
+        if compiled.compilability() == Compilability::Full {
+            assert!(compiled.residues().is_empty(), "{name}");
+        }
+    }
 }
