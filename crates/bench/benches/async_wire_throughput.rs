@@ -1,0 +1,281 @@
+//! Async (epoll reactor) wire-engine throughput — the BENCH_8.json
+//! baseline.
+//!
+//! One `async_wire_throughput` criterion group crawls the 1:500
+//! population through every [`spf_types::Backend`] transport — the
+//! in-memory reference, the blocking socket-pool wire engine, and the
+//! epoll reactor engine — all assembled through the same
+//! `spf_bench::build_resolver` path the `repro` CLI uses. The JSON
+//! records best-of-N domains/s per configuration plus the wire
+//! telemetry, and states the measured engine-vs-engine slowdown ratios
+//! directly: on a single-core host every wire transport pays the full
+//! syscall tax with no parallelism to hide it, so the honest
+//! memory-to-wire gap is large (see DESIGN.md §11) — the figure here is
+//! the measurement, not a target.
+//!
+//! Quick mode for CI smoke runs: `ASYNC_WIRE_QUICK=1` (or `--quick`)
+//! shrinks the population to 1:20000 and the matrix to one async
+//! configuration. Regression gate: `quick_points` are measured with the
+//! same plain loop in every mode; with `BENCH_GUARD_BASELINE` set
+//! (`scripts/bench_guard.sh`), the run fails itself on a >30 %
+//! regression against the committed BENCH_8.json (`spf_bench::guard`).
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use serde::Serialize;
+use spf_analyzer::Walker;
+use spf_bench::build_resolver;
+use spf_bench::guard::{self, GuardPoint};
+use spf_crawler::{crawl, CrawlConfig};
+use spf_netsim::{Population, PopulationConfig, Scale};
+use spf_types::Backend;
+
+const SEED: u64 = 0x5bf1_2023;
+/// Crawls per configuration; the recorded figure is the best of them.
+const RUNS: usize = 3;
+/// The full-mode measurement scale (matches the reactor_stress suite).
+const FULL_SCALE: Scale = Scale { denominator: 500 };
+/// The quick/guard scale (matches the other wire benches).
+const QUICK_SCALE: Scale = Scale {
+    denominator: 20_000,
+};
+/// The guard matrix: (workers, servers) async configurations at quick
+/// scale.
+const QUICK_CONFIGS: &[(usize, usize)] = &[(4, 2)];
+
+#[derive(Debug, Clone, Serialize)]
+struct EnginePoint {
+    /// The canonical backend spelling (`memory`, `wire:4`, `wire-async:4`).
+    backend: String,
+    workers: usize,
+    best_secs: f64,
+    domains_per_sec: f64,
+    /// UDP datagrams per crawled domain (query amplification); zero for
+    /// the in-memory reference.
+    amplification: f64,
+    /// Fraction of resolver queries that joined an in-flight wire query.
+    coalesce_rate: f64,
+    /// Fraction of resolver queries served by the wire TTL cache.
+    wire_cache_hit_rate: f64,
+    wire_queries: u64,
+    tcp_fallbacks: u64,
+    retries: u64,
+    temp_errors: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    quick_mode: bool,
+    scale_denominator: u64,
+    domains: u64,
+    runs_per_config: usize,
+    host_parallelism: usize,
+    /// Best in-memory throughput measured this run (the reference every
+    /// slowdown ratio divides by).
+    in_memory_domains_per_sec: f64,
+    /// Best blocking-wire throughput measured this run.
+    blocking_domains_per_sec: f64,
+    /// Best async-wire throughput measured this run.
+    async_domains_per_sec: f64,
+    /// `in_memory / async` — the honest single-host socket tax. The
+    /// paper's infrastructure amortizes it across cores; this host
+    /// cannot, and the figure is recorded rather than gamed.
+    async_vs_memory_slowdown: f64,
+    /// `blocking / async` — engine-vs-engine on identical semantics
+    /// (>1 means the reactor is faster, <1 slower).
+    async_vs_blocking_speedup: f64,
+    results: Vec<EnginePoint>,
+    /// Guard points at quick scale, measured by the plain loop in every
+    /// mode (see `spf_bench::guard`).
+    quick_points: Vec<GuardPoint>,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("ASYNC_WIRE_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// One timed crawl through `build_resolver` — the same engine-selection
+/// path every other entry point uses.
+fn timed_crawl(population: &Population, backend: Backend, workers: usize) -> EnginePoint {
+    let (resolver, wire) = build_resolver(&population.store, backend);
+    let started = Instant::now();
+    let out = crawl(
+        &Walker::new(resolver),
+        &population.domains,
+        CrawlConfig::with_workers(workers).backend(backend),
+    );
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(out.reports.len(), population.domains.len());
+    let snap = wire.as_ref().map(|run| run.snapshot()).unwrap_or_default();
+    EnginePoint {
+        backend: backend.to_string(),
+        workers,
+        best_secs: secs,
+        domains_per_sec: out.stats.domains_per_sec(),
+        amplification: snap.amplification(out.stats.domains),
+        coalesce_rate: snap.coalesce_rate(),
+        wire_cache_hit_rate: snap.cache_hit_rate(),
+        wire_queries: snap.wire_queries,
+        tcp_fallbacks: snap.tcp_fallbacks,
+        retries: snap.retries,
+        temp_errors: snap.temp_errors,
+    }
+}
+
+/// Best-of-`RUNS` guard points over the async quick matrix.
+fn measure_quick_points(quick_population: &Population) -> Vec<GuardPoint> {
+    QUICK_CONFIGS
+        .iter()
+        .map(|&(workers, servers)| {
+            guard::quick_point(format!("async_w{workers}_v{servers}"), RUNS, || {
+                timed_crawl(quick_population, Backend::wire_async(servers), workers).domains_per_sec
+            })
+        })
+        .collect()
+}
+
+/// Best throughput among the report's points whose backend starts with
+/// `prefix`.
+fn best_for(results: &[EnginePoint], prefix: &str) -> f64 {
+    results
+        .iter()
+        .filter(|p| p.backend.starts_with(prefix))
+        .map(|p| p.domains_per_sec)
+        .fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let scale = if quick { QUICK_SCALE } else { FULL_SCALE };
+    // (backend, workers): the in-memory and blocking-wire references
+    // bracket the async worker/shard sweep.
+    let configs: Vec<(Backend, usize)> = if quick {
+        vec![
+            (Backend::memory(), 8),
+            (Backend::wire(2), 4),
+            (Backend::wire_async(2), 4),
+        ]
+    } else {
+        vec![
+            (Backend::memory(), 8),
+            (Backend::wire(4), 8),
+            // worker scaling at the default shard count…
+            (Backend::wire_async(4), 1),
+            (Backend::wire_async(4), 8),
+            (Backend::wire_async(4), 32),
+            // …and shard scaling at fixed workers.
+            (Backend::wire_async(1), 8),
+        ]
+    };
+
+    println!(
+        "async_wire_throughput: generating the 1:{} population (seed {SEED:#x}) ...",
+        scale.denominator
+    );
+    let population = Population::build(PopulationConfig { scale, seed: SEED });
+    let n = population.domains.len();
+    println!(
+        "async_wire_throughput: {n} domains, sweeping {} backend configurations",
+        configs.len()
+    );
+
+    let points: RefCell<Vec<EnginePoint>> = RefCell::new(Vec::new());
+    let mut criterion = Criterion::default().measurement_time(Duration::from_millis(1));
+    let mut group = criterion.benchmark_group("async_wire_throughput");
+    group.measurement_time(Duration::from_millis(1));
+    for (backend, workers) in &configs {
+        let (backend, workers) = (*backend, *workers);
+        let id = format!("{backend}_w{workers}").replace([':', '+'], "_");
+        let population = &population;
+        let points = &points;
+        group.bench_function(id, move |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for _ in 0..RUNS {
+                    let point = timed_crawl(population, backend, workers);
+                    total += n;
+                    let mut points = points.borrow_mut();
+                    match points
+                        .iter_mut()
+                        .find(|p| (&p.backend, p.workers) == (&point.backend, point.workers))
+                    {
+                        Some(existing) if existing.best_secs <= point.best_secs => {}
+                        Some(existing) => *existing = point,
+                        None => points.push(point),
+                    }
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+
+    let quick_population = if scale.denominator == QUICK_SCALE.denominator {
+        population
+    } else {
+        println!(
+            "async_wire_throughput: measuring guard points on the 1:{} quick population ...",
+            QUICK_SCALE.denominator
+        );
+        Population::build(PopulationConfig {
+            scale: QUICK_SCALE,
+            seed: SEED,
+        })
+    };
+    let quick_points = measure_quick_points(&quick_population);
+
+    let results = points.into_inner();
+    let in_memory = best_for(&results, "memory");
+    let blocking = best_for(&results, "wire:");
+    let best_async = best_for(&results, "wire-async");
+    let report = BenchReport {
+        bench: "async_wire_throughput".to_string(),
+        quick_mode: quick,
+        scale_denominator: scale.denominator,
+        domains: n as u64,
+        runs_per_config: RUNS,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        in_memory_domains_per_sec: in_memory,
+        blocking_domains_per_sec: blocking,
+        async_domains_per_sec: best_async,
+        async_vs_memory_slowdown: if best_async > 0.0 {
+            in_memory / best_async
+        } else {
+            0.0
+        },
+        async_vs_blocking_speedup: if blocking > 0.0 {
+            best_async / blocking
+        } else {
+            0.0
+        },
+        results,
+        quick_points: quick_points.clone(),
+    };
+
+    let out_path = std::env::var("BENCH_8_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_8.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("BENCH_8.json is writable");
+    println!("async_wire_throughput: wrote {out_path}");
+    println!(
+        "async_wire_throughput: memory {:.0} / blocking {:.0} / async {:.0} domains/s \
+         — async is {:.2}x the blocking engine, {:.1}x below in-memory",
+        report.in_memory_domains_per_sec,
+        report.blocking_domains_per_sec,
+        report.async_domains_per_sec,
+        report.async_vs_blocking_speedup,
+        report.async_vs_memory_slowdown,
+    );
+
+    // With BENCH_GUARD_BASELINE set (scripts/bench_guard.sh), fail the
+    // run on a regression against the committed artifact.
+    guard::enforce_from_env(&quick_points);
+}

@@ -29,6 +29,7 @@ use spf_bench::guard::{self, GuardPoint};
 use spf_crawler::{crawl, CrawlConfig};
 use spf_dns::{ServerConfig, WireClientConfig, WireFleet, ZoneResolver};
 use spf_netsim::{wirelab, Population, PopulationConfig, Scale};
+use spf_types::Backend;
 
 const SEED: u64 = 0x5bf1_2023;
 /// Crawls per configuration; the recorded figure is the best of them.
@@ -97,7 +98,7 @@ fn timed_wire_crawl(population: &Population, workers: usize, servers: usize) -> 
     let out = crawl(
         &Walker::new(Arc::clone(&resolver)),
         &population.domains,
-        CrawlConfig::wire(workers, servers),
+        CrawlConfig::with_workers(workers).backend(Backend::wire(servers)),
     );
     let secs = started.elapsed().as_secs_f64();
     assert_eq!(out.reports.len(), population.domains.len());

@@ -14,12 +14,12 @@ use spf_analyzer::{DomainReport, ErrorClass, NotFoundCause, Walker};
 use spf_core::{check_host, EvalContext, SpfResult};
 use spf_crawler::{
     crawl, include_ecosystem, select_vantages, spoof_matrix as run_spoof_matrix, CrawlConfig,
-    CrawlMode, CrawlStats, IncludeStats, OverlapReport, ProviderVantage, ScanAggregates,
-    SpoofMatrixConfig, VantageKind, VantagePoint, DEFAULT_CONTROLS, DEFAULT_PROVIDER_ROWS,
-    DEFAULT_TOP_COVERAGE, SPOOF_SENDER_LOCAL,
+    CrawlStats, IncludeStats, OverlapReport, ProviderVantage, ScanAggregates, SpoofMatrixConfig,
+    VantageKind, VantagePoint, DEFAULT_CONTROLS, DEFAULT_PROVIDER_ROWS, DEFAULT_TOP_COVERAGE,
+    SPOOF_SENDER_LOCAL,
 };
 use spf_dns::{
-    Resolver, ServerConfig, VirtualClock, WireClientConfig, WireFleet, WireResolver, WireSnapshot,
+    Resolver, ServerConfig, VirtualClock, WireClientConfig, WireFleet, WireSnapshot, WireTelemetry,
     ZoneResolver, ZoneStore,
 };
 use spf_netsim::{build_hosting, build_spoof_world, Population, PopulationConfig, Scale};
@@ -29,7 +29,7 @@ use spf_report::{
     Table,
 };
 use spf_smtp::{run_case_study, SpoofSuccess};
-use spf_types::WeightedRanges;
+use spf_types::{Backend, Evaluator, StatItem, Stats, Transport, WeightedRanges};
 
 /// The live wire substrate of a wire-mode scan. Dropping it shuts the
 /// server fleet down, so it rides inside [`Repro`] for the run's
@@ -37,15 +37,47 @@ use spf_types::WeightedRanges;
 pub struct WireRun {
     /// The sharded authoritative server fleet.
     pub fleet: WireFleet,
-    /// The coalescing stub resolver (shared with the walker), kept so
-    /// callers can snapshot amplification/coalescing counters.
-    pub resolver: Arc<WireResolver>,
+    /// The wire engine (shared with the walker) behind its telemetry
+    /// face — blocking socket pool or epoll reactor, the harness reads
+    /// both through the same [`WireTelemetry`] trait.
+    pub resolver: Arc<dyn WireTelemetry>,
 }
 
 impl WireRun {
-    /// Point-in-time copy of the wire resolver's counters.
+    /// Point-in-time copy of the wire engine's counters.
     pub fn snapshot(&self) -> WireSnapshot {
         self.resolver.snapshot()
+    }
+
+    /// The `[wire]` telemetry line for a crawl over `domains` domains:
+    /// the engine's counter view plus the fleet's answer counts, all
+    /// rendered through the shared [`Stats`] formatter.
+    pub fn stats(&self, domains: u64) -> WireRunStats {
+        WireRunStats {
+            view: self.snapshot().stats_view(domains),
+            fleet_udp: self.fleet.answered(),
+            fleet_tcp: self.fleet.tcp_answered(),
+        }
+    }
+}
+
+/// The `[wire]` line of one crawl: engine counters + fleet answers.
+pub struct WireRunStats {
+    view: spf_dns::WireStatsView,
+    fleet_udp: u64,
+    fleet_tcp: u64,
+}
+
+impl Stats for WireRunStats {
+    fn scope(&self) -> &'static str {
+        "wire"
+    }
+
+    fn items(&self) -> Vec<StatItem> {
+        let mut items = self.view.items();
+        items.push(StatItem::count("fleet_udp", self.fleet_udp));
+        items.push(StatItem::count("fleet_tcp", self.fleet_tcp));
+        items
     }
 }
 
@@ -54,8 +86,9 @@ pub struct Repro {
     /// The generated world.
     pub population: Population,
     /// The shared walker (memo cache holds every include analysis). The
-    /// resolver behind it is either the in-process [`ZoneResolver`] or
-    /// the wire-path [`WireResolver`], per [`CrawlConfig::mode`].
+    /// resolver behind it is the in-process [`ZoneResolver`], the
+    /// blocking wire client, or the epoll reactor engine, per the
+    /// config's [`Backend`] transport.
     pub walker: Walker<Arc<dyn Resolver>>,
     /// Per-domain reports in rank order.
     pub reports: Vec<DomainReport>,
@@ -75,8 +108,8 @@ pub struct Repro {
     pub stats: CrawlStats,
     /// The crawl configuration the scan ran under.
     pub config: CrawlConfig,
-    /// The wire substrate when [`CrawlConfig::mode`] is
-    /// [`CrawlMode::Wire`]; `None` in-memory.
+    /// The wire substrate when the backend transport runs over
+    /// sockets; `None` in-memory.
     pub wire: Option<WireRun>,
     /// Scale denominator, for rescaling counts.
     pub denom: u64,
@@ -91,23 +124,41 @@ impl Repro {
     }
 }
 
-/// Assemble the resolver stack for `config.mode` over `store`: the
-/// in-process [`ZoneResolver`], or a freshly spawned server fleet with a
-/// [`WireResolver`] client in front of it.
-fn build_resolver(
+/// Assemble the resolver stack a [`Backend`]'s transport selects over
+/// `store`: the in-process [`ZoneResolver`], or a freshly spawned
+/// server fleet fronted by the blocking wire client
+/// ([`Transport::WireBlocking`]) or the epoll reactor engine
+/// ([`Transport::WireAsync`]). Every entry point — `repro`, the spoof
+/// matrix, the verdict service, the benches — routes through here, so
+/// a backend means the same stack everywhere.
+pub fn build_resolver(
     store: &Arc<ZoneStore>,
-    config: &CrawlConfig,
+    backend: Backend,
 ) -> (Arc<dyn Resolver>, Option<WireRun>) {
-    match config.mode {
-        CrawlMode::InMemory => (Arc::new(ZoneResolver::new(Arc::clone(store))), None),
-        CrawlMode::Wire => {
-            let fleet =
-                WireFleet::spawn(store, config.wire_servers.max(1), ServerConfig::default())
-                    .expect("wire fleet spawns on loopback");
+    match backend.transport {
+        Transport::Memory => (Arc::new(ZoneResolver::new(Arc::clone(store))), None),
+        Transport::WireBlocking => {
+            let fleet = WireFleet::spawn(store, backend.servers.max(1), ServerConfig::default())
+                .expect("wire fleet spawns on loopback");
             let resolver = Arc::new(fleet.resolver(WireClientConfig::crawl()));
             (
                 Arc::clone(&resolver) as Arc<dyn Resolver>,
-                Some(WireRun { fleet, resolver }),
+                Some(WireRun {
+                    fleet,
+                    resolver: resolver as Arc<dyn WireTelemetry>,
+                }),
+            )
+        }
+        Transport::WireAsync => {
+            let fleet = WireFleet::spawn(store, backend.servers.max(1), ServerConfig::default())
+                .expect("wire fleet spawns on loopback");
+            let resolver = Arc::new(fleet.async_resolver(WireClientConfig::crawl()));
+            (
+                Arc::clone(&resolver) as Arc<dyn Resolver>,
+                Some(WireRun {
+                    fleet,
+                    resolver: resolver as Arc<dyn WireTelemetry>,
+                }),
             )
         }
     }
@@ -119,14 +170,14 @@ pub fn prepare(denominator: u64, seed: u64, workers: usize) -> Repro {
 }
 
 /// Generate the population and run the full crawl under an explicit
-/// [`CrawlConfig`] — including [`CrawlMode::Wire`], which spawns the
-/// sharded server fleet and crawls over real sockets.
+/// [`CrawlConfig`] — including the wire backends, which spawn the
+/// sharded server fleet and crawl over real sockets.
 pub fn prepare_with(denominator: u64, seed: u64, config: CrawlConfig) -> Repro {
     let population = Population::build(PopulationConfig {
         scale: Scale { denominator },
         seed,
     });
-    let (resolver, wire) = build_resolver(&population.store, &config);
+    let (resolver, wire) = build_resolver(&population.store, config.backend);
     let walker = Walker::new(resolver);
     let output = crawl(&walker, &population.domains, config);
     let all = ScanAggregates::compute(&output.reports);
@@ -397,7 +448,7 @@ pub fn table2(r: &Repro, workers: usize) -> (Table, Experiment, CampaignOutcome,
         workers,
         ..r.config
     };
-    let (resolver, _rescan_wire) = build_resolver(&r.population.store, &rescan_config);
+    let (resolver, _rescan_wire) = build_resolver(&r.population.store, rescan_config.backend);
     let walker = Walker::new(resolver);
     let rescan = crawl(&walker, &r.population.domains, rescan_config);
     let after = ScanAggregates::compute(&rescan.reports);
@@ -912,28 +963,21 @@ pub fn overlap(r: &Repro) -> (String, Experiment) {
 /// §6 at population scale — the spoofability verdict matrix: real
 /// `check_host()` verdicts for the whole population (the calibrated
 /// scan plus the Table 5 hosting customers) from attacker vantage
-/// addresses, deduplicated through the subtree verdict cache. Honors
-/// `--mode memory|wire` like every scan target. The experiment log
-/// carries internal consistency flags (sampled matrix cells recounted
-/// through plain uncached `check_host`) plus the Table 5 label replay.
-pub fn spoof_matrix(denominator: u64, seed: u64, config: CrawlConfig) -> (String, Experiment) {
-    spoof_matrix_with(denominator, seed, config, false)
-}
-
-/// [`spoof_matrix`] with the evaluation backend explicit: when
-/// `use_compiled` is set every cell is answered from the domain's
+/// addresses, deduplicated through the subtree verdict cache. The
+/// config's [`Backend`] selects both halves of the stack: its transport
+/// like every scan target, and its [`Evaluator`] for the verdicts —
+/// [`Evaluator::Compiled`] answers every cell from the domain's
 /// compiled interval matcher (residual terms fall back to the live
-/// evaluator), the report gains the `[compiler]` compilability line,
-/// and an extra experiment flag recounts the sampled sub-population
-/// through the interpreted engine to pin backend equality in-run.
-pub fn spoof_matrix_with(
-    denominator: u64,
-    seed: u64,
-    config: CrawlConfig,
-    use_compiled: bool,
-) -> (String, Experiment) {
+/// evaluator), gains the `[compiler]` compilability line, and an extra
+/// experiment flag recounts the sampled sub-population through the
+/// interpreted engine to pin backend equality in-run. The experiment
+/// log carries internal consistency flags (sampled matrix cells
+/// recounted through plain uncached `check_host`) plus the Table 5
+/// label replay.
+pub fn spoof_matrix(denominator: u64, seed: u64, config: CrawlConfig) -> (String, Experiment) {
+    let use_compiled = config.backend.is_compiled();
     let world = build_spoof_world(Scale { denominator }, seed);
-    let (resolver, _wire) = build_resolver(&world.store, &config);
+    let (resolver, _wire) = build_resolver(&world.store, config.backend);
 
     // One crawl pass for the coverage profile the vantage selection
     // needs (and the SPF-domain census).
@@ -958,7 +1002,9 @@ pub fn spoof_matrix_with(
         seed,
     );
 
-    let matrix_config = SpoofMatrixConfig::with_workers(config.workers).compiled(use_compiled);
+    let matrix_config = SpoofMatrixConfig::with_workers(config.workers)
+        .compiled(use_compiled)
+        .cached(config.backend.evaluator != Evaluator::Interpreted);
     let (matrix, stats) = run_spoof_matrix(&resolver, &world.domains, &vantages, matrix_config);
 
     let mut out = String::new();
@@ -1151,6 +1197,23 @@ pub fn spoof_matrix_with(
     (out, exp)
 }
 
+/// Pre-Backend spelling of [`spoof_matrix`]: the boolean maps onto
+/// [`Evaluator::Compiled`]. Thin deprecated shim.
+#[deprecated(note = "set Evaluator::Compiled on the config's Backend and call spoof_matrix")]
+pub fn spoof_matrix_with(
+    denominator: u64,
+    seed: u64,
+    config: CrawlConfig,
+    use_compiled: bool,
+) -> (String, Experiment) {
+    let backend = if use_compiled {
+        config.backend.evaluator(Evaluator::Compiled)
+    } else {
+        config.backend
+    };
+    spoof_matrix(denominator, seed, config.backend(backend))
+}
+
 /// Everything the verdict service needs from a prepared world: the
 /// shared zone store, the population in rank order, and the attacker
 /// vantage addresses (top-coverage first) traffic mixes target.
@@ -1288,24 +1351,39 @@ mod tests {
     #[test]
     fn wire_mode_prepare_matches_in_memory() {
         let mem = quick();
-        let wire = prepare_with(5_000, 0x5bf1_2023, CrawlConfig::wire(4, 2));
-        let run = wire.wire.as_ref().expect("wire mode carries its substrate");
-        let snap = run.snapshot();
-        assert!(
-            snap.wire_queries > 0,
-            "crawl must hit the sockets: {snap:?}"
-        );
-        assert!(run.fleet.answered() > 0);
-        // The two substrates produce byte-identical report streams.
-        assert_eq!(
-            serde_json::to_string(&mem.reports).unwrap(),
-            serde_json::to_string(&wire.reports).unwrap()
-        );
+        for backend in [Backend::wire(2), Backend::wire_async(2)] {
+            let wire = prepare_with(
+                5_000,
+                0x5bf1_2023,
+                CrawlConfig::with_workers(4).backend(backend),
+            );
+            let run = wire.wire.as_ref().expect("wire mode carries its substrate");
+            let snap = run.snapshot();
+            assert!(
+                snap.wire_queries > 0,
+                "{backend}: crawl must hit the sockets: {snap:?}"
+            );
+            assert!(run.fleet.answered() > 0);
+            // The `[wire]` line renders through the shared formatter.
+            let line = run.stats(wire.stats.domains).render();
+            assert!(line.starts_with("[wire] amplification="), "{line}");
+            assert!(line.contains("fleet_udp="), "{line}");
+            // Every substrate produces byte-identical report streams.
+            assert_eq!(
+                serde_json::to_string(&mem.reports).unwrap(),
+                serde_json::to_string(&wire.reports).unwrap(),
+                "{backend} diverged from memory"
+            );
+        }
     }
 
     #[test]
     fn table2_rescan_honors_wire_mode() {
-        let r = prepare_with(20_000, 0x5bf1_2023, CrawlConfig::wire(2, 2));
+        let r = prepare_with(
+            20_000,
+            0x5bf1_2023,
+            CrawlConfig::with_workers(2).backend(Backend::wire(2)),
+        );
         let before = r.all.total_errors();
         let (t2, _, outcome, rescan_stats) = table2(&r, 2);
         assert!(t2.render().contains("Total Errors"));
@@ -1331,8 +1409,11 @@ mod tests {
 
     #[test]
     fn spoof_matrix_compiled_backend_reports_and_agrees() {
-        let (section, exp) =
-            spoof_matrix_with(20_000, 0x5bf1_2023, CrawlConfig::with_workers(4), true);
+        let (section, exp) = spoof_matrix(
+            20_000,
+            0x5bf1_2023,
+            CrawlConfig::with_workers(4).backend(Backend::memory().evaluator(Evaluator::Compiled)),
+        );
         assert!(section.contains("[compiler]"));
         assert!(section.contains("compiled backend:"));
         // The compiled run carries every plain-run flag plus the
@@ -1351,7 +1432,11 @@ mod tests {
 
     #[test]
     fn spoof_matrix_honors_wire_mode() {
-        let (section, exp) = spoof_matrix(100_000, 0x5bf1_2023, CrawlConfig::wire(2, 2));
+        let (section, exp) = spoof_matrix(
+            100_000,
+            0x5bf1_2023,
+            CrawlConfig::with_workers(2).backend(Backend::wire(2)),
+        );
         assert!(section.contains("Spoof matrix"));
         assert!(exp.worst_relative_error() < 1e-9);
     }

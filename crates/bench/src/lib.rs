@@ -12,8 +12,10 @@
 pub mod experiments;
 pub mod guard;
 
+#[allow(deprecated)]
+pub use experiments::spoof_matrix_with;
 pub use experiments::{
-    extras, figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8, overlap,
-    prepare, prepare_with, service_lab, spoof_matrix, spoof_matrix_with, table1, table2, table3,
-    table4, table5, Repro, ServiceLab, WireRun,
+    build_resolver, extras, figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8,
+    overlap, prepare, prepare_with, service_lab, spoof_matrix, table1, table2, table3, table4,
+    table5, Repro, ServiceLab, WireRun, WireRunStats,
 };

@@ -222,21 +222,30 @@ impl CompilerStats {
     }
 }
 
+impl spf_types::Stats for CompilerStats {
+    fn scope(&self) -> &'static str {
+        "compiler"
+    }
+
+    fn items(&self) -> Vec<spf_types::StatItem> {
+        use spf_types::StatItem;
+        vec![
+            StatItem::count("domains", self.domains_compiled),
+            StatItem::count("full", self.full),
+            StatItem::count("partial", self.partial),
+            StatItem::count("residual", self.residual),
+            StatItem::count("compiled_verdicts", self.compiled_verdicts),
+            StatItem::count("fallbacks", self.fallback_verdicts),
+            StatItem::count("compile_queries", self.compile_queries),
+        ]
+    }
+}
+
 impl std::fmt::Display for CompilerStats {
-    /// The `[compiler]` telemetry line.
+    /// The `[compiler]` telemetry line (the shared [`spf_types::Stats`]
+    /// rendering).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "[compiler] domains={} full={} partial={} residual={} \
-             compiled_verdicts={} fallbacks={} compile_queries={}",
-            self.domains_compiled,
-            self.full,
-            self.partial,
-            self.residual,
-            self.compiled_verdicts,
-            self.fallback_verdicts,
-            self.compile_queries,
-        )
+        f.write_str(&spf_types::Stats::render(self))
     }
 }
 

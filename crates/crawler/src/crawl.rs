@@ -25,7 +25,7 @@ use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use spf_analyzer::{analyze_domain, DomainReport, Walker};
 use spf_dns::Resolver;
-use spf_types::{CoverageMap, DomainName};
+use spf_types::{Backend, CoverageMap, DomainName, StatItem, Stats, Transport};
 
 /// Default work-batch size; the `crawl_scaling` bench sweep (BENCH_2.json)
 /// showed throughput flat from 16 upward with the knee below 16, so 64
@@ -33,16 +33,18 @@ use spf_types::{CoverageMap, DomainName};
 /// balance at small populations.
 pub const DEFAULT_BATCH_SIZE: usize = 64;
 
-/// Default server-shard count for wire-mode crawls.
-pub const DEFAULT_WIRE_SERVERS: usize = 4;
+/// Default server-shard count for wire-mode crawls (re-exported from
+/// `spf-types`, where the [`Backend`] selection now lives).
+pub use spf_types::DEFAULT_WIRE_SERVERS;
 
 /// Which resolver substrate a crawl runs against.
 ///
-/// The crawl loop itself is transport-agnostic (it only sees a
-/// [`Resolver`] through the walker); the mode travels in [`CrawlConfig`]
-/// so the pipeline assemblers — `bench::prepare`, the `repro` CLI, the
-/// stress suites — build the right stack. Under a zero-fault profile the
-/// two modes produce byte-identical report streams.
+/// Superseded by [`Transport`] inside [`Backend`]: the old two-way
+/// memory/wire split cannot name the epoll reactor engine. Kept only so
+/// pre-Backend call sites keep compiling through the deprecated
+/// [`CrawlConfig::mode`] shim.
+#[deprecated(note = "use spf_types::Transport via CrawlConfig::backend")]
+#[allow(deprecated)] // the derives reference the deprecated variants
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CrawlMode {
     /// Resolve in-process against the `ZoneStore` (no sockets) — the
@@ -57,6 +59,12 @@ pub enum CrawlMode {
 }
 
 /// Crawl configuration.
+///
+/// The crawl loop itself is transport-agnostic (it only sees a
+/// [`Resolver`] through the walker); the [`Backend`] travels here so the
+/// pipeline assemblers — `bench::prepare`, the `repro` CLI, the stress
+/// suites — build the right stack. Under a zero-fault profile every
+/// transport produces byte-identical report streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawlConfig {
     /// Number of worker threads (the paper used 150 query endpoints; CPU
@@ -66,11 +74,9 @@ pub struct CrawlConfig {
     /// Larger batches amortize channel locking; smaller batches balance
     /// the tail better. Default [`DEFAULT_BATCH_SIZE`].
     pub batch_size: usize,
-    /// Resolver substrate the pipeline assembles for this crawl.
-    pub mode: CrawlMode,
-    /// Authoritative server shards in [`CrawlMode::Wire`] (ignored
-    /// in-memory). Default [`DEFAULT_WIRE_SERVERS`].
-    pub wire_servers: usize,
+    /// The engine selection (transport × shard count × evaluator) the
+    /// pipeline assembles for this crawl.
+    pub backend: Backend,
 }
 
 impl Default for CrawlConfig {
@@ -78,8 +84,7 @@ impl Default for CrawlConfig {
         CrawlConfig {
             workers: 8,
             batch_size: DEFAULT_BATCH_SIZE,
-            mode: CrawlMode::InMemory,
-            wire_servers: DEFAULT_WIRE_SERVERS,
+            backend: Backend::default(),
         }
     }
 }
@@ -93,11 +98,10 @@ impl CrawlConfig {
         }
     }
 
-    /// A wire-mode config with `workers` threads and `servers` shards.
-    pub fn wire(workers: usize, servers: usize) -> Self {
-        CrawlConfig::with_workers(workers)
-            .mode(CrawlMode::Wire)
-            .wire_servers(servers)
+    /// Builder-style override of [`CrawlConfig::backend`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Builder-style override of [`CrawlConfig::batch_size`].
@@ -106,16 +110,31 @@ impl CrawlConfig {
         self
     }
 
-    /// Builder-style override of [`CrawlConfig::mode`].
+    /// A blocking-wire config with `workers` threads and `servers`
+    /// shards. Thin shim over [`CrawlConfig::backend`].
+    #[deprecated(note = "use CrawlConfig::with_workers(w).backend(Backend::wire(servers))")]
+    pub fn wire(workers: usize, servers: usize) -> Self {
+        CrawlConfig::with_workers(workers).backend(Backend::wire(servers))
+    }
+
+    /// Builder-style override of the resolver substrate. Thin shim over
+    /// [`CrawlConfig::backend`]; the mode maps onto [`Transport`]
+    /// (`Wire` means the blocking engine).
+    #[deprecated(note = "use CrawlConfig::backend with a spf_types::Transport")]
+    #[allow(deprecated)]
     pub fn mode(mut self, mode: CrawlMode) -> Self {
-        self.mode = mode;
+        self.backend.transport = match mode {
+            CrawlMode::InMemory => Transport::Memory,
+            CrawlMode::Wire => Transport::WireBlocking,
+        };
         self
     }
 
-    /// Builder-style override of [`CrawlConfig::wire_servers`]
-    /// (clamped to ≥ 1 by consumers).
+    /// Builder-style override of the wire shard count. Thin shim over
+    /// [`CrawlConfig::backend`].
+    #[deprecated(note = "use CrawlConfig::backend with Backend::servers")]
     pub fn wire_servers(mut self, servers: usize) -> Self {
-        self.wire_servers = servers;
+        self.backend.servers = servers.max(1);
         self
     }
 }
@@ -158,6 +177,25 @@ impl CrawlStats {
         } else {
             self.cache_hits as f64 / probes as f64
         }
+    }
+}
+
+impl Stats for CrawlStats {
+    fn scope(&self) -> &'static str {
+        "throughput"
+    }
+
+    fn items(&self) -> Vec<StatItem> {
+        vec![
+            StatItem::per_sec("domains", self.domains_per_sec()),
+            StatItem::count("crawled", self.domains),
+            StatItem::float("elapsed_s", self.elapsed_secs),
+            StatItem::percent("cache_hit", self.cache_hit_rate()),
+            StatItem::count("hits", self.cache_hits),
+            StatItem::count("misses", self.cache_misses),
+            StatItem::count("peak_queue", self.peak_queue_depth as u64),
+            StatItem::count("batches", self.batches),
+        ]
     }
 }
 
@@ -433,6 +471,34 @@ mod tests {
         assert!(first.stats.cache_misses > 0);
         assert_eq!(second.stats.cache_misses, 0);
         assert_eq!(second.stats.cache_hits, 20);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_map_onto_backend() {
+        // The pre-Backend constructors must keep meaning exactly what
+        // they used to: wire() selects the blocking engine, mode()
+        // round-trips both CrawlMode arms, wire_servers() clamps.
+        assert_eq!(
+            CrawlConfig::wire(3, 2),
+            CrawlConfig::with_workers(3).backend(Backend::wire(2))
+        );
+        assert_eq!(
+            CrawlConfig::default()
+                .mode(CrawlMode::Wire)
+                .backend
+                .transport,
+            Transport::WireBlocking
+        );
+        assert_eq!(
+            CrawlConfig::default()
+                .mode(CrawlMode::InMemory)
+                .backend
+                .transport,
+            Transport::Memory
+        );
+        assert_eq!(CrawlConfig::default().wire_servers(0).backend.servers, 1);
+        assert_eq!(DEFAULT_WIRE_SERVERS, spf_types::DEFAULT_WIRE_SERVERS);
     }
 
     #[test]

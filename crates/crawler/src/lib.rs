@@ -42,12 +42,15 @@ pub mod overlap;
 pub mod spoof;
 
 pub use aggregate::{ScanAggregates, LARGE_RANGE_MAX_PREFIX};
+#[allow(deprecated)]
+pub use crawl::CrawlMode;
 pub use crawl::{
-    crawl, CrawlConfig, CrawlMode, CrawlOutput, CrawlStats, DEFAULT_BATCH_SIZE,
-    DEFAULT_WIRE_SERVERS,
+    crawl, CrawlConfig, CrawlOutput, CrawlStats, DEFAULT_BATCH_SIZE, DEFAULT_WIRE_SERVERS,
 };
 pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
 pub use overlap::{OverlapReport, ProviderConcentration, DEFAULT_PROVIDER_ROWS};
+/// Re-export of the engine-selection types every assembler consumes.
+pub use spf_types::{Backend, EngineBuilder, Evaluator, Transport};
 pub use spoof::{
     select_vantages, spoof_matrix, ProviderVantage, SpoofMatrix, SpoofMatrixConfig,
     SpoofMatrixStats, SpoofVerdictCache, VantageKind, VantagePoint, VantageReport,

@@ -41,7 +41,7 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
-use spf_types::DomainName;
+use spf_types::{DomainName, StatItem, Stats};
 
 use crate::clock::{Clock, SystemClock};
 use crate::record::{Question, RecordType, ResourceRecord};
@@ -66,6 +66,12 @@ pub struct WireClientConfig {
     /// Idle sockets kept per server shard; bursts beyond the cap create
     /// throwaway sockets instead of blocking.
     pub max_pooled_sockets: usize,
+    /// Reactor engine only ([`crate::reactor::AsyncWireResolver`]): the
+    /// most queries allowed in flight per shard socket before further
+    /// submissions queue for a freed DNS message id. The blocking engine
+    /// ignores this (it has one outstanding query per socket by
+    /// construction).
+    pub max_inflight_per_shard: usize,
 }
 
 impl Default for WireClientConfig {
@@ -76,6 +82,7 @@ impl Default for WireClientConfig {
             max_record_ttl: Duration::from_secs(3600),
             negative_ttl: Duration::from_secs(300),
             max_pooled_sockets: 64,
+            max_inflight_per_shard: 512,
         }
     }
 }
@@ -122,23 +129,22 @@ impl ShardBehavior {
     }
 }
 
-/// Monotonic counters of one [`WireResolver`], exposed as a
-/// [`WireSnapshot`].
+/// Monotonic counters of one wire engine, exposed as a [`WireSnapshot`].
 #[derive(Debug, Default)]
-struct WireCounters {
-    queries: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_expired: AtomicU64,
-    coalesced: AtomicU64,
-    wire_queries: AtomicU64,
-    retries: AtomicU64,
-    tcp_fallbacks: AtomicU64,
-    temp_errors: AtomicU64,
-    injected_faults: AtomicU64,
+pub(crate) struct WireCounters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_expired: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) wire_queries: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) tcp_fallbacks: AtomicU64,
+    pub(crate) temp_errors: AtomicU64,
+    pub(crate) injected_faults: AtomicU64,
 }
 
 /// Point-in-time copy of a [`WireResolver`]'s counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireSnapshot {
     /// Resolver-level queries received from the walker.
     pub queries: u64,
@@ -190,6 +196,45 @@ impl WireSnapshot {
         } else {
             self.cache_hits as f64 / self.queries as f64
         }
+    }
+
+    /// This snapshot as a [`Stats`] line: the per-domain amplification
+    /// needs the crawl's domain count, so the view binds it in.
+    pub fn stats_view(&self, domains: u64) -> WireStatsView {
+        WireStatsView {
+            snapshot: *self,
+            domains,
+        }
+    }
+}
+
+/// A [`WireSnapshot`] bound to a crawl's domain count, rendering the
+/// `[wire]` telemetry line through the shared [`Stats`] formatter.
+#[derive(Debug, Clone, Copy)]
+pub struct WireStatsView {
+    /// The counters.
+    pub snapshot: WireSnapshot,
+    /// Domains the crawl covered (denominator of the amplification).
+    pub domains: u64,
+}
+
+impl Stats for WireStatsView {
+    fn scope(&self) -> &'static str {
+        "wire"
+    }
+
+    fn items(&self) -> Vec<StatItem> {
+        let s = &self.snapshot;
+        vec![
+            StatItem::float("amplification", s.amplification(self.domains)),
+            StatItem::count("datagrams", s.wire_queries),
+            StatItem::count("tcp_fallbacks", s.tcp_fallbacks),
+            StatItem::percent("coalesced", s.coalesce_rate()),
+            StatItem::percent("cache_hit", s.cache_hit_rate()),
+            StatItem::count("retries", s.retries),
+            StatItem::count("temp_errors", s.temp_errors),
+            StatItem::count("injected", s.injected_faults),
+        ]
     }
 }
 
@@ -252,11 +297,18 @@ impl WireFleet {
     pub fn resolver(&self, config: WireClientConfig) -> WireResolver {
         WireResolver::new(self.addrs(), config)
     }
+
+    /// An epoll-reactor [`crate::reactor::AsyncWireResolver`] pointed at
+    /// this fleet, on the system clock.
+    pub fn async_resolver(&self, config: WireClientConfig) -> crate::reactor::AsyncWireResolver {
+        crate::reactor::AsyncWireResolver::new(self.addrs(), config)
+    }
 }
 
 /// In-flight state of one single-flight wire query. Followers block on
-/// the condvar until the leader publishes the shared result.
-struct Flight {
+/// the condvar until the leader (or the reactor thread) publishes the
+/// shared result.
+pub(crate) struct Flight {
     state: std::sync::Mutex<Option<Result<Vec<ResourceRecord>, DnsError>>>,
     ready: std::sync::Condvar,
 }
@@ -269,7 +321,8 @@ impl Flight {
         }
     }
 
-    fn wait(&self) -> Result<Vec<ResourceRecord>, DnsError> {
+    /// Park until the result is published, then return a clone of it.
+    pub(crate) fn wait(&self) -> Result<Vec<ResourceRecord>, DnsError> {
         let mut st = self.state.lock().expect("flight lock");
         while st.is_none() {
             st = self.ready.wait(st).expect("flight wait");
@@ -289,65 +342,41 @@ struct CacheEntry {
     expires_at: Duration,
 }
 
-/// Lazily grown pool of client sockets for one server shard.
-struct SocketPool {
-    idle: Mutex<Vec<UdpSocket>>,
+/// How a query enters the wire path — the result of [`WireCore::begin`].
+pub(crate) enum QueryStart {
+    /// Answered from the TTL cache (the hit is already counted).
+    Cached(Result<Vec<ResourceRecord>, DnsError>),
+    /// Another caller owns the in-flight wire query; wait on its flight.
+    Join(Arc<Flight>),
+    /// This caller is the leader: resolve over the wire, then publish
+    /// through [`WireCore::finish`].
+    Lead(Arc<Flight>),
 }
 
-impl SocketPool {
-    fn new() -> Self {
-        SocketPool {
-            idle: Mutex::new(Vec::new()),
-        }
-    }
-
-    fn acquire(&self, timeout: Duration) -> Result<UdpSocket, DnsError> {
-        if let Some(s) = self.idle.lock().pop() {
-            return Ok(s);
-        }
-        let s = UdpSocket::bind(("127.0.0.1", 0))
-            .map_err(|e| DnsError::Network(format!("bind: {e}")))?;
-        s.set_read_timeout(Some(timeout))
-            .map_err(|e| DnsError::Network(format!("timeout: {e}")))?;
-        Ok(s)
-    }
-
-    fn release(&self, socket: UdpSocket, cap: usize) {
-        let mut idle = self.idle.lock();
-        if idle.len() < cap {
-            idle.push(socket);
-        }
-    }
-}
-
-/// The wire-path stub resolver: hash-routed sharding, pooled sockets,
-/// single-flight coalescing, TTL caching and TCP fallback behind the
-/// plain [`Resolver`] interface, so the walker and crawler run unchanged.
-pub struct WireResolver {
-    servers: Vec<SocketAddr>,
-    pools: Vec<SocketPool>,
-    config: WireClientConfig,
-    clock: Arc<dyn Clock>,
+/// The engine-independent semantics of the wire client, shared by the
+/// blocking [`WireResolver`] and the epoll-reactor
+/// [`crate::reactor::AsyncWireResolver`]: the TTL cache, single-flight
+/// coalescing, per-shard fault injection, and the counter set behind
+/// [`WireSnapshot`]. Both engines funnel every query through
+/// [`WireCore::begin`] / [`WireCore::finish`]; only the transport between
+/// those two calls differs, which is what keeps their observable behavior
+/// byte-identical under the zero-fault profile.
+pub(crate) struct WireCore {
+    pub(crate) servers: Vec<SocketAddr>,
+    pub(crate) config: WireClientConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) counters: WireCounters,
     cache: RwLock<HashMap<Question, CacheEntry>>,
     inflight: std::sync::Mutex<HashMap<Question, Arc<Flight>>>,
     behaviors: Option<Vec<(ShardBehavior, Mutex<StdRng>)>>,
-    counters: WireCounters,
-    next_id: AtomicU64,
 }
 
-impl WireResolver {
-    /// A resolver routing to `servers` (shard `i` of the fleet at index
-    /// `i`), on the system clock.
+impl WireCore {
+    /// A core routing to `servers` on the given clock.
     ///
     /// # Panics
     /// Panics when `servers` is empty.
-    pub fn new(servers: Vec<SocketAddr>, config: WireClientConfig) -> Self {
-        Self::with_clock(servers, config, Arc::new(SystemClock::new()))
-    }
-
-    /// Like [`WireResolver::new`] with an explicit clock (cache TTLs and
-    /// injected latency run on it).
-    pub fn with_clock(
+    pub(crate) fn new(
         servers: Vec<SocketAddr>,
         config: WireClientConfig,
         clock: Arc<dyn Clock>,
@@ -356,17 +385,14 @@ impl WireResolver {
             !servers.is_empty(),
             "wire resolver needs at least one server"
         );
-        let pools = servers.iter().map(|_| SocketPool::new()).collect();
-        WireResolver {
+        WireCore {
             servers,
-            pools,
             config,
             clock,
+            counters: WireCounters::default(),
             cache: RwLock::new(HashMap::new()),
             inflight: std::sync::Mutex::new(HashMap::new()),
             behaviors: None,
-            counters: WireCounters::default(),
-            next_id: AtomicU64::new(1),
         }
     }
 
@@ -376,7 +402,7 @@ impl WireResolver {
     ///
     /// # Panics
     /// Panics when `behaviors.len()` differs from the server count.
-    pub fn with_behaviors(mut self, behaviors: Vec<ShardBehavior>, seed: u64) -> Self {
+    pub(crate) fn set_behaviors(&mut self, behaviors: Vec<ShardBehavior>, seed: u64) {
         assert_eq!(
             behaviors.len(),
             self.servers.len(),
@@ -389,21 +415,20 @@ impl WireResolver {
                 .map(|(i, b)| (b, Mutex::new(StdRng::seed_from_u64(seed ^ i as u64))))
                 .collect(),
         );
-        self
     }
 
-    /// Number of server shards this resolver routes across.
-    pub fn shard_count(&self) -> usize {
+    /// Number of server shards.
+    pub(crate) fn shard_count(&self) -> usize {
         self.servers.len()
     }
 
     /// The shard index `name` routes to.
-    pub fn shard_of(&self, name: &DomainName) -> usize {
+    pub(crate) fn shard_of(&self, name: &DomainName) -> usize {
         (name.precomputed_hash() % self.servers.len() as u64) as usize
     }
 
-    /// Point-in-time copy of the resolver's counters.
-    pub fn snapshot(&self) -> WireSnapshot {
+    /// Point-in-time copy of the counters.
+    pub(crate) fn snapshot(&self) -> WireSnapshot {
         let c = &self.counters;
         WireSnapshot {
             queries: c.queries.load(Ordering::Relaxed),
@@ -420,7 +445,7 @@ impl WireResolver {
 
     /// Number of live cache entries (expired entries still resident are
     /// not counted).
-    pub fn cache_len(&self) -> usize {
+    pub(crate) fn cache_len(&self) -> usize {
         let now = self.clock.now();
         self.cache
             .read()
@@ -429,9 +454,19 @@ impl WireResolver {
             .count()
     }
 
-    /// Drop every cached answer (used between scan rounds).
-    pub fn clear_cache(&self) {
+    /// Drop every cached answer and reset the cache-epoch counters
+    /// (`queries`, `cache_hits`, `cache_expired`, `coalesced`) so that
+    /// post-clear ratios like [`WireSnapshot::cache_hit_rate`] describe
+    /// the new epoch instead of mixing epochs. Transport-lifetime
+    /// counters (`wire_queries`, `retries`, `tcp_fallbacks`,
+    /// `temp_errors`, `injected_faults`) keep accumulating.
+    pub(crate) fn clear_cache(&self) {
         self.cache.write().clear();
+        let c = &self.counters;
+        c.queries.store(0, Ordering::Relaxed);
+        c.cache_hits.store(0, Ordering::Relaxed);
+        c.cache_expired.store(0, Ordering::Relaxed);
+        c.coalesced.store(0, Ordering::Relaxed);
     }
 
     fn cache_get(&self, q: &Question) -> Option<Result<Vec<ResourceRecord>, DnsError>> {
@@ -503,6 +538,173 @@ impl WireResolver {
         None
     }
 
+    /// [`WireCore::injected_fault`] plus counter accounting: an injected
+    /// outcome bumps `injected_faults` (and `temp_errors` for timeouts),
+    /// matching how real wire outcomes are counted.
+    pub(crate) fn try_injected(
+        &self,
+        shard: usize,
+    ) -> Option<Result<Vec<ResourceRecord>, DnsError>> {
+        let outcome = self.injected_fault(shard)?;
+        self.counters
+            .injected_faults
+            .fetch_add(1, Ordering::Relaxed);
+        if matches!(outcome, Err(DnsError::Timeout)) {
+            self.counters.temp_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(outcome)
+    }
+
+    /// Start one resolver-level query: count it, probe the cache, then
+    /// make the single-flight leader/follower decision.
+    pub(crate) fn begin(&self, q: &Question) -> QueryStart {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(result) = self.cache_get(q) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return QueryStart::Cached(result);
+        }
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        match inflight.get(q) {
+            Some(f) => {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                QueryStart::Join(Arc::clone(f))
+            }
+            None => {
+                let f = Arc::new(Flight::new());
+                inflight.insert(q.clone(), Arc::clone(&f));
+                QueryStart::Lead(f)
+            }
+        }
+    }
+
+    /// Publish the leader's (or the reactor's) outcome: cache it, retire
+    /// the flight, wake the followers, and hand the result back. The
+    /// cache is written *before* the flight is retired so a caller
+    /// arriving in between hits the cache instead of re-querying.
+    pub(crate) fn finish(
+        &self,
+        q: &Question,
+        result: Result<Vec<ResourceRecord>, DnsError>,
+    ) -> Result<Vec<ResourceRecord>, DnsError> {
+        self.cache_put(q, &result);
+        let flight = self.inflight.lock().expect("inflight lock").remove(q);
+        if let Some(f) = flight {
+            f.complete(result.clone());
+        }
+        result
+    }
+}
+
+/// Lazily grown pool of client sockets for one server shard.
+struct SocketPool {
+    idle: Mutex<Vec<UdpSocket>>,
+}
+
+impl SocketPool {
+    fn new() -> Self {
+        SocketPool {
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn acquire(&self, timeout: Duration) -> Result<UdpSocket, DnsError> {
+        if let Some(s) = self.idle.lock().pop() {
+            return Ok(s);
+        }
+        let s = UdpSocket::bind(("127.0.0.1", 0))
+            .map_err(|e| DnsError::Network(format!("bind: {e}")))?;
+        s.set_read_timeout(Some(timeout))
+            .map_err(|e| DnsError::Network(format!("timeout: {e}")))?;
+        Ok(s)
+    }
+
+    fn release(&self, socket: UdpSocket, cap: usize) {
+        let mut idle = self.idle.lock();
+        if idle.len() < cap {
+            idle.push(socket);
+        }
+    }
+}
+
+/// The blocking wire-path stub resolver: hash-routed sharding, pooled
+/// sockets, single-flight coalescing, TTL caching and TCP fallback behind
+/// the plain [`Resolver`] interface, so the walker and crawler run
+/// unchanged. One wire query occupies one pooled socket for its whole
+/// retry budget; for hundreds of concurrent flights on a few sockets see
+/// [`crate::reactor::AsyncWireResolver`].
+pub struct WireResolver {
+    core: WireCore,
+    pools: Vec<SocketPool>,
+    next_id: AtomicU64,
+}
+
+impl WireResolver {
+    /// A resolver routing to `servers` (shard `i` of the fleet at index
+    /// `i`), on the system clock.
+    ///
+    /// # Panics
+    /// Panics when `servers` is empty.
+    pub fn new(servers: Vec<SocketAddr>, config: WireClientConfig) -> Self {
+        Self::with_clock(servers, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Like [`WireResolver::new`] with an explicit clock (cache TTLs and
+    /// injected latency run on it).
+    pub fn with_clock(
+        servers: Vec<SocketAddr>,
+        config: WireClientConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let pools = servers.iter().map(|_| SocketPool::new()).collect();
+        WireResolver {
+            core: WireCore::new(servers, config, clock),
+            pools,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Attach per-shard fault/latency behaviors (one entry per server, in
+    /// routing order). Each shard rolls its own deterministic RNG stream
+    /// seeded `seed ^ shard_index`.
+    ///
+    /// # Panics
+    /// Panics when `behaviors.len()` differs from the server count.
+    pub fn with_behaviors(mut self, behaviors: Vec<ShardBehavior>, seed: u64) -> Self {
+        self.core.set_behaviors(behaviors, seed);
+        self
+    }
+
+    /// Number of server shards this resolver routes across.
+    pub fn shard_count(&self) -> usize {
+        self.core.shard_count()
+    }
+
+    /// The shard index `name` routes to.
+    pub fn shard_of(&self, name: &DomainName) -> usize {
+        self.core.shard_of(name)
+    }
+
+    /// Point-in-time copy of the resolver's counters.
+    pub fn snapshot(&self) -> WireSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Number of live cache entries (expired entries still resident are
+    /// not counted).
+    pub fn cache_len(&self) -> usize {
+        self.core.cache_len()
+    }
+
+    /// Drop every cached answer and reset the cache-epoch counters
+    /// (`queries`, `cache_hits`, `cache_expired`, `coalesced`), so rates
+    /// like [`WireSnapshot::cache_hit_rate`] describe the round after the
+    /// clear. Transport-lifetime counters (`wire_queries`, `retries`,
+    /// `tcp_fallbacks`, `temp_errors`, `injected_faults`) keep
+    /// accumulating — used between scan rounds.
+    pub fn clear_cache(&self) {
+        self.core.clear_cache()
+    }
+
     /// One UDP attempt on `socket`: send, then drain until the matching
     /// response, a garble-free timeout, or a socket error.
     fn attempt(
@@ -515,7 +717,10 @@ impl WireResolver {
     ) -> Result<Message, DnsError> {
         let msg = Message::query(id, Question::new(name.clone(), rtype));
         let bytes = wire::encode(&msg).map_err(|e| DnsError::Network(e.to_string()))?;
-        self.counters.wire_queries.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .counters
+            .wire_queries
+            .fetch_add(1, Ordering::Relaxed);
         socket
             .send_to(&bytes, server)
             .map_err(|e| DnsError::Network(e.to_string()))?;
@@ -554,29 +759,26 @@ impl WireResolver {
         rtype: RecordType,
     ) -> Result<Vec<ResourceRecord>, DnsError> {
         let shard = self.shard_of(name);
-        if let Some(outcome) = self.injected_fault(shard) {
-            self.counters
-                .injected_faults
-                .fetch_add(1, Ordering::Relaxed);
-            if matches!(outcome, Err(DnsError::Timeout)) {
-                self.counters.temp_errors.fetch_add(1, Ordering::Relaxed);
-            }
+        if let Some(outcome) = self.core.try_injected(shard) {
             return outcome;
         }
-        let server = self.servers[shard];
-        let socket = self.pools[shard].acquire(self.config.timeout)?;
+        let server = self.core.servers[shard];
+        let socket = self.pools[shard].acquire(self.core.config.timeout)?;
         let id = (self.next_id.fetch_add(1, Ordering::Relaxed) % 0xFFFF) as u16 + 1;
         let mut outcome = Err(DnsError::Timeout);
-        for attempt in 0..self.config.attempts.max(1) {
+        for attempt in 0..self.core.config.attempts.max(1) {
             if attempt > 0 {
-                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.core.counters.retries.fetch_add(1, Ordering::Relaxed);
             }
             match self.attempt(&socket, server, id, name, rtype) {
                 Ok(resp) => {
                     if resp.header.truncated {
                         // RFC 7766: retry the query over TCP.
-                        self.counters.tcp_fallbacks.fetch_add(1, Ordering::Relaxed);
-                        outcome = tcp_query(server, self.config.timeout, id, name, rtype);
+                        self.core
+                            .counters
+                            .tcp_fallbacks
+                            .fetch_add(1, Ordering::Relaxed);
+                        outcome = tcp_query(server, self.core.config.timeout, id, name, rtype);
                     } else {
                         outcome = match resp.header.rcode {
                             Rcode::NoError => Ok(resp.answers),
@@ -597,9 +799,12 @@ impl WireResolver {
                 }
             }
         }
-        self.pools[shard].release(socket, self.config.max_pooled_sockets);
+        self.pools[shard].release(socket, self.core.config.max_pooled_sockets);
         if matches!(outcome, Err(DnsError::Timeout)) {
-            self.counters.temp_errors.fetch_add(1, Ordering::Relaxed);
+            self.core
+                .counters
+                .temp_errors
+                .fetch_add(1, Ordering::Relaxed);
         }
         outcome
     }
@@ -607,36 +812,53 @@ impl WireResolver {
 
 impl Resolver for WireResolver {
     fn query(&self, name: &DomainName, rtype: RecordType) -> Result<Vec<ResourceRecord>, DnsError> {
-        self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let q = Question::new(name.clone(), rtype);
-        if let Some(result) = self.cache_get(&q) {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return result;
-        }
-        // Single flight: the first asker becomes the leader and owns the
-        // wire query; everyone else blocks on the shared flight.
-        let (flight, leader) = {
-            let mut inflight = self.inflight.lock().expect("inflight lock");
-            match inflight.get(&q) {
-                Some(f) => (Arc::clone(f), false),
-                None => {
-                    let f = Arc::new(Flight::new());
-                    inflight.insert(q.clone(), Arc::clone(&f));
-                    (f, true)
-                }
+        match self.core.begin(&q) {
+            QueryStart::Cached(result) => result,
+            QueryStart::Join(flight) => flight.wait(),
+            QueryStart::Lead(_flight) => {
+                let result = self.resolve_over_wire(name, rtype);
+                self.core.finish(&q, result)
             }
-        };
-        if !leader {
-            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-            return flight.wait();
         }
-        let result = self.resolve_over_wire(name, rtype);
-        // Publish to the cache before retiring the flight so a caller
-        // arriving in between hits the cache instead of re-querying.
-        self.cache_put(&q, &result);
-        self.inflight.lock().expect("inflight lock").remove(&q);
-        flight.complete(result.clone());
-        result
+    }
+}
+
+/// The telemetry surface shared by the wire engines ([`WireResolver`] and
+/// [`crate::reactor::AsyncWireResolver`]), so harness code can hold
+/// either behind one `Arc<dyn WireTelemetry>` and read the same counters
+/// regardless of transport.
+pub trait WireTelemetry: Resolver {
+    /// Point-in-time copy of the engine's counters.
+    fn snapshot(&self) -> WireSnapshot;
+
+    /// Drop every cached answer and reset the cache-epoch counters
+    /// (`queries`, `cache_hits`, `cache_expired`, `coalesced`);
+    /// transport-lifetime counters keep accumulating.
+    fn clear_cache(&self);
+
+    /// Number of live cache entries.
+    fn cache_len(&self) -> usize;
+
+    /// Number of server shards the engine routes across.
+    fn shard_count(&self) -> usize;
+}
+
+impl WireTelemetry for WireResolver {
+    fn snapshot(&self) -> WireSnapshot {
+        WireResolver::snapshot(self)
+    }
+
+    fn clear_cache(&self) {
+        WireResolver::clear_cache(self)
+    }
+
+    fn cache_len(&self) -> usize {
+        WireResolver::cache_len(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        WireResolver::shard_count(self)
     }
 }
 
@@ -944,6 +1166,39 @@ mod tests {
         assert_eq!(snap.temp_errors, dead);
         // Injected faults never touched the wire.
         assert_eq!(snap.wire_queries, alive);
+    }
+
+    #[test]
+    fn clear_cache_resets_cache_epoch_counters_only() {
+        let store = seeded_store(1);
+        let fleet = WireFleet::spawn(&store, 1, ServerConfig::default()).unwrap();
+        let resolver = fleet.resolver(fast_config());
+        let name = dom("d0.example");
+        for _ in 0..3 {
+            resolver.query(&name, RecordType::Txt).unwrap();
+        }
+        let before = resolver.snapshot();
+        assert_eq!((before.queries, before.cache_hits), (3, 2));
+        assert_eq!(before.wire_queries, 1);
+        resolver.clear_cache();
+        let cleared = resolver.snapshot();
+        // Cache-epoch counters reset so post-clear rates describe the new
+        // round…
+        assert_eq!(cleared.queries, 0);
+        assert_eq!(cleared.cache_hits, 0);
+        assert_eq!(cleared.cache_expired, 0);
+        assert_eq!(cleared.coalesced, 0);
+        assert_eq!(cleared.cache_hit_rate(), 0.0);
+        // …while transport-lifetime counters survive the clear.
+        assert_eq!(cleared.wire_queries, 1);
+        assert_eq!(resolver.cache_len(), 0);
+        // A fresh round computes its hit rate from the new epoch alone.
+        resolver.query(&name, RecordType::Txt).unwrap();
+        resolver.query(&name, RecordType::Txt).unwrap();
+        let after = resolver.snapshot();
+        assert_eq!((after.queries, after.cache_hits), (2, 1));
+        assert_eq!(after.wire_queries, 2);
+        assert_eq!(after.cache_hit_rate(), 0.5);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`fleet`]: the wire-path crawl substrate — a hash-sharded
 //!   authoritative server fleet plus the coalescing, TTL-caching
 //!   [`WireResolver`] client the crawler's wire mode runs on;
+//! * [`reactor`]: the epoll wire engine — the same semantics as
+//!   [`WireResolver`] driven by a single reactor thread multiplexing
+//!   hundreds of in-flight queries over a few nonblocking sockets;
 //! * [`clock`]: virtual/wall clock abstraction for the throttling layers.
 
 #![forbid(unsafe_code)]
@@ -23,6 +26,7 @@
 
 pub mod clock;
 pub mod fleet;
+pub mod reactor;
 pub mod record;
 pub mod resolver;
 pub mod udp;
@@ -30,7 +34,11 @@ pub mod wire;
 pub mod zone;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
-pub use fleet::{ShardBehavior, WireClientConfig, WireFleet, WireResolver, WireSnapshot};
+pub use fleet::{
+    ShardBehavior, WireClientConfig, WireFleet, WireResolver, WireSnapshot, WireStatsView,
+    WireTelemetry,
+};
+pub use reactor::AsyncWireResolver;
 pub use record::{Question, RecordData, RecordType, ResourceRecord, TxtData};
 pub use resolver::{
     CachingResolver, CountingResolver, DnsError, FaultInjectingResolver, FaultProfile, QueryStats,

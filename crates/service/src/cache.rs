@@ -94,6 +94,16 @@ pub struct TtlLruStats {
     pub entries: u64,
 }
 
+impl spf_types::Stats for TtlLruStats {
+    fn scope(&self) -> &'static str {
+        "cache"
+    }
+
+    fn items(&self) -> Vec<spf_types::StatItem> {
+        self.stat_items()
+    }
+}
+
 impl TtlLruStats {
     /// Total probes (`hits + misses`).
     pub fn probes(&self) -> u64 {
@@ -107,6 +117,21 @@ impl TtlLruStats {
         } else {
             self.hits as f64 / self.probes() as f64
         }
+    }
+
+    /// This snapshot as [`spf_types::Stats`] items under the `cache`
+    /// scope — the shared formatter behind every cache telemetry line.
+    pub fn stat_items(&self) -> Vec<spf_types::StatItem> {
+        use spf_types::StatItem;
+        vec![
+            StatItem::percent("hit", self.hit_rate()),
+            StatItem::count("hits", self.hits),
+            StatItem::count("misses", self.misses),
+            StatItem::count("entries", self.entries),
+            StatItem::count("evictions", self.evictions),
+            StatItem::count("expirations", self.expirations),
+            StatItem::count("inserts", self.inserts),
+        ]
     }
 
     /// The conservation law every quiescent snapshot must satisfy:

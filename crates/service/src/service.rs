@@ -39,6 +39,7 @@ use spf_core::{
     EvalPolicy, Evaluation,
 };
 use spf_dns::{Clock, Resolver, SystemClock};
+use spf_types::{render_stats, Backend, Evaluator, StatItem, Stats};
 
 use crate::cache::{CompiledPolicyCache, ServiceVerdictCache, TtlLruConfig, TtlLruStats};
 use crate::histogram::{LatencySnapshot, LogHistogram};
@@ -74,6 +75,21 @@ impl ServiceConfig {
         ServiceConfig {
             workers: workers.max(1),
             ..ServiceConfig::default()
+        }
+    }
+
+    /// Map a [`Backend`]'s evaluator onto the service's cache knobs:
+    /// `Interpreted` evaluates every query bare (no memo),
+    /// `Cached` keeps the default verdict memo, and `Compiled` adds the
+    /// compiled-policy store on top of it. The backend's transport is
+    /// the *resolver's* concern — the caller assembles that stack (see
+    /// `spf_bench::build_resolver`) and hands the resolver in.
+    pub fn from_backend(backend: Backend, workers: usize) -> ServiceConfig {
+        let base = ServiceConfig::with_workers(workers);
+        match backend.evaluator {
+            Evaluator::Interpreted => base.cache(None),
+            Evaluator::Cached => base,
+            Evaluator::Compiled => base.compiled(Some(TtlLruConfig::default())),
         }
     }
 
@@ -157,44 +173,51 @@ pub struct ServiceTelemetry {
     pub latency: LatencySnapshot,
 }
 
-impl std::fmt::Display for ServiceTelemetry {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "[service] served={} udp={} tcp={} overloaded={} bad={} queue={}/{}",
-            self.served,
-            self.udp_frames,
-            self.tcp_frames,
-            self.overloaded,
-            self.bad_frames,
-            self.queue_depth,
-            self.peak_queue_depth,
-        )?;
+impl Stats for ServiceTelemetry {
+    fn scope(&self) -> &'static str {
+        "service"
+    }
+
+    fn items(&self) -> Vec<StatItem> {
+        let mut items = vec![
+            StatItem::count("served", self.served),
+            StatItem::count("udp", self.udp_frames),
+            StatItem::count("tcp", self.tcp_frames),
+            StatItem::count("overloaded", self.overloaded),
+            StatItem::count("bad", self.bad_frames),
+            StatItem::text(
+                "queue",
+                format!("{}/{}", self.queue_depth, self.peak_queue_depth),
+            ),
+        ];
         if let Some(cache) = &self.cache {
-            write!(
-                f,
-                " cache: hit {:.1}% entries={} evict={} expire={}",
-                cache.hit_rate() * 100.0,
-                cache.entries,
-                cache.evictions,
-                cache.expirations,
-            )?;
+            items.push(StatItem::percent("cache_hit", cache.hit_rate()));
+            items.push(StatItem::count("cache_entries", cache.entries));
+            items.push(StatItem::count("cache_evict", cache.evictions));
+            items.push(StatItem::count("cache_expire", cache.expirations));
         }
-        write!(
-            f,
-            " lat(µs): p50={:.0} p99={:.0} p999={:.0}",
-            self.latency.p50_us, self.latency.p99_us, self.latency.p999_us,
-        )?;
+        items.push(StatItem::float("lat_p50_us", self.latency.p50_us));
+        items.push(StatItem::float("lat_p99_us", self.latency.p99_us));
+        items.push(StatItem::float("lat_p999_us", self.latency.p999_us));
+        items
+    }
+}
+
+impl std::fmt::Display for ServiceTelemetry {
+    /// The `[service]` line (one [`render_stats`] call), plus — when the
+    /// compiled backend is on — the `[compiler]` and `[store]` lines,
+    /// every one through the same shared formatter.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&Stats::render(self))?;
         if let Some(compiled) = &self.compiled {
             write!(f, "\n{compiled}")?;
             if let Some(store) = &self.compiled_cache {
-                write!(
-                    f,
-                    " store: hit {:.1}% entries={} expire={}",
-                    store.hit_rate() * 100.0,
-                    store.entries,
-                    store.expirations,
-                )?;
+                let items = [
+                    StatItem::percent("hit", store.hit_rate()),
+                    StatItem::count("entries", store.entries),
+                    StatItem::count("expirations", store.expirations),
+                ];
+                write!(f, " {}", render_stats("store", &items))?;
             }
         }
         Ok(())

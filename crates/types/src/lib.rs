@@ -7,7 +7,11 @@
 //! addresses (Figure 5 / Table 4), the [`CoverageMap`]/[`WeightedRanges`]
 //! cross-population overlap primitives (DESIGN.md §7), and the typed SPF
 //! record model ([`SpfRecord`], [`Mechanism`], [`Qualifier`],
-//! [`Modifier`], [`MacroString`]).
+//! [`Modifier`], [`MacroString`]), plus two cross-crate plumbing APIs:
+//! the typed engine selection ([`Backend`], [`Transport`], [`Evaluator`],
+//! [`EngineBuilder`]) every pipeline assembler consumes, and the shared
+//! telemetry formatter ([`Stats`], [`render_stats`]) every CLI counter
+//! line renders through.
 //!
 //! Reproduces the data model underlying *Lazy Gatekeepers: A Large-Scale
 //! Study on SPF Configuration in the Wild* (Czybik, Horlboge, Rieck —
@@ -16,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cidr;
 mod domain;
 mod interval;
@@ -23,8 +28,12 @@ mod ipset;
 mod ipv6set;
 mod macrostring;
 mod overlap;
+mod stats;
 mod term;
 
+pub use backend::{
+    Backend, BackendParseError, EngineBuilder, Evaluator, Transport, DEFAULT_WIRE_SERVERS,
+};
 pub use cidr::{parse_ipv4_strict, DualCidr, Ip4ParseError, Ip6ParseError, Ipv4Cidr, Ipv6Cidr};
 pub use domain::{
     DomainError, DomainHashBuilder, DomainHasher, DomainName, MAX_LABEL_LEN, MAX_NAME_LEN,
@@ -33,6 +42,7 @@ pub use ipset::Ipv4Set;
 pub use ipv6set::Ipv6Set;
 pub use macrostring::{MacroError, MacroExpand, MacroLetter, MacroString, MacroToken};
 pub use overlap::{CoverageMap, WeightedRange, WeightedRanges};
+pub use stats::{render_stats, StatItem, StatValue, Stats};
 pub use term::{Directive, Mechanism, Modifier, Qualifier, SpfRecord, Term};
 
 /// The SPF version tag every record must start with (RFC 7208 §4.5).

@@ -1,0 +1,156 @@
+//! One renderer for every telemetry line.
+//!
+//! The CLI's `[throughput]`, `[wire]`, `[service]`, `[compiler]`, and
+//! cache lines used to be five hand-rolled `format!` calls drifting
+//! apart in style. Each counter bundle now implements [`Stats`] — a
+//! scope tag plus typed [`StatItem`]s — and [`render_stats`] is the
+//! single formatter all of them share: `[scope] label=value ...` with
+//! per-type value formatting (counts plain, rates as `/s`, fractions as
+//! percentages).
+
+use std::fmt;
+
+/// A typed telemetry value; the variant picks the rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatValue {
+    /// A plain counter, rendered as its digits.
+    Count(u64),
+    /// A dimensionless number, rendered with two decimals.
+    Float(f64),
+    /// A throughput, rendered as `{:.0}/s`.
+    PerSec(f64),
+    /// A fraction in `[0, 1]`, rendered as `{:.1}%`.
+    Percent(f64),
+    /// A free-form value, rendered verbatim.
+    Text(String),
+}
+
+impl fmt::Display for StatValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatValue::Count(n) => write!(f, "{n}"),
+            StatValue::Float(v) => write!(f, "{v:.2}"),
+            StatValue::PerSec(v) => write!(f, "{v:.0}/s"),
+            StatValue::Percent(v) => write!(f, "{:.1}%", v * 100.0),
+            StatValue::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// One labeled telemetry value inside a [`Stats`] line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatItem {
+    /// The label printed before `=`.
+    pub label: &'static str,
+    /// The typed value printed after it.
+    pub value: StatValue,
+}
+
+impl StatItem {
+    /// A counter item.
+    pub fn count(label: &'static str, value: u64) -> StatItem {
+        StatItem {
+            label,
+            value: StatValue::Count(value),
+        }
+    }
+
+    /// A two-decimal number item.
+    pub fn float(label: &'static str, value: f64) -> StatItem {
+        StatItem {
+            label,
+            value: StatValue::Float(value),
+        }
+    }
+
+    /// A throughput item.
+    pub fn per_sec(label: &'static str, value: f64) -> StatItem {
+        StatItem {
+            label,
+            value: StatValue::PerSec(value),
+        }
+    }
+
+    /// A fraction-as-percentage item.
+    pub fn percent(label: &'static str, fraction: f64) -> StatItem {
+        StatItem {
+            label,
+            value: StatValue::Percent(fraction),
+        }
+    }
+
+    /// A verbatim text item.
+    pub fn text(label: &'static str, value: impl Into<String>) -> StatItem {
+        StatItem {
+            label,
+            value: StatValue::Text(value.into()),
+        }
+    }
+}
+
+/// A telemetry bundle that renders through the shared formatter.
+pub trait Stats {
+    /// The bracket tag of the line (`throughput`, `wire`, `service`, …).
+    fn scope(&self) -> &'static str;
+
+    /// The labeled values, in print order.
+    fn items(&self) -> Vec<StatItem>;
+
+    /// The rendered line — every implementor goes through
+    /// [`render_stats`], so all CLI telemetry shares one format.
+    fn render(&self) -> String {
+        render_stats(self.scope(), &self.items())
+    }
+}
+
+/// The one formatter: `[scope] label=value label=value ...`.
+pub fn render_stats(scope: &str, items: &[StatItem]) -> String {
+    let mut out = format!("[{scope}]");
+    for item in items {
+        out.push(' ');
+        out.push_str(item.label);
+        out.push('=');
+        out.push_str(&item.value.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Demo;
+    impl Stats for Demo {
+        fn scope(&self) -> &'static str {
+            "demo"
+        }
+        fn items(&self) -> Vec<StatItem> {
+            vec![
+                StatItem::count("served", 12),
+                StatItem::per_sec("rate", 1234.56),
+                StatItem::percent("hit", 0.4567),
+                StatItem::float("amp", 2.5),
+                StatItem::text("peer", "udp"),
+            ]
+        }
+    }
+
+    #[test]
+    fn renderer_formats_every_value_type() {
+        assert_eq!(
+            Demo.render(),
+            "[demo] served=12 rate=1235/s hit=45.7% amp=2.50 peer=udp"
+        );
+    }
+
+    #[test]
+    fn empty_items_render_the_scope_alone() {
+        assert_eq!(render_stats("empty", &[]), "[empty]");
+    }
+
+    #[test]
+    fn trait_objects_render_too() {
+        let dyn_stats: &dyn Stats = &Demo;
+        assert!(dyn_stats.render().starts_with("[demo] "));
+    }
+}

@@ -39,13 +39,19 @@
 //!   elapsed-time lines vary between runs).
 //! * `--workers W` — crawl worker threads (default: available
 //!   parallelism). Results are rank-ordered and identical for any W.
-//! * `--mode memory|wire` — resolver substrate (default `memory`).
-//!   `wire` shards the zone across UDP name servers and crawls over real
-//!   sockets through the coalescing, TTL-caching `WireResolver`; reports
-//!   are byte-identical to memory mode, and the CLI prints the wire
-//!   telemetry line (query amplification, coalescing, TCP fallbacks).
-//! * `--servers N` — authoritative server shards in wire mode
-//!   (default 4; ignored in memory mode).
+//! * `--backend SPEC` — the engine selection, spelled
+//!   `transport[:servers][+evaluator]` (default `memory`). Transports:
+//!   `memory` resolves in-process, `wire` crawls over real sockets
+//!   through the blocking socket-pool `WireResolver`, and `wire-async`
+//!   drives the epoll reactor engine; the wire transports shard the zone
+//!   across `:N` UDP name servers (default 4). Evaluators: `interpreted`
+//!   (bare tree-walks), `cached` (the default subtree-verdict memo), and
+//!   `compiled` (interval matchers; prints the `[compiler]` line for
+//!   `spoof-matrix`/`serve`). Reports are byte-identical across every
+//!   backend; wire transports additionally print the `[wire]` telemetry
+//!   line (query amplification, coalescing, TCP fallbacks).
+//! * `--mode memory|wire|wire-async`, `--servers N`, `--compiled` —
+//!   deprecated aliases that fold into `--backend` field by field.
 //! * `--out PATH` — where to write the paper-vs-measured experiment log
 //!   (default `EXPERIMENTS.md`).
 //! * `--no-write` — print artifacts only; skip the experiment log.
@@ -55,24 +61,15 @@
 //!   clients with what per-client window, over which transport.
 //! * `--duration SECS` — how long `serve` stays up (`0`, the default,
 //!   means until the process is interrupted).
-//! * `--compiled` — use the compiled evaluation backend for
-//!   `spoof-matrix` and `serve`: each domain's SPF tree is compiled to
-//!   an interval matcher (residual terms fall back to the live
-//!   evaluator) and the `[compiler]` line reports the population's
-//!   compilability split. Verdicts are byte-identical either way.
 //! * `-h`, `--help` — usage.
 
 use std::time::Instant;
 
-use std::sync::Arc;
-
 use spf_bench::{self as bench, Repro, ServiceLab};
-use spf_crawler::{CrawlConfig, CrawlMode, DEFAULT_WIRE_SERVERS};
-use spf_dns::{Resolver, ZoneResolver};
+use spf_crawler::CrawlConfig;
 use spf_report::ExperimentLog;
-use spf_service::{
-    build_plan, drive, ServiceConfig, TrafficMix, Transport, TtlLruConfig, VerdictService,
-};
+use spf_service::{build_plan, drive, ServiceConfig, TrafficMix, Transport, VerdictService};
+use spf_types::{Backend, Evaluator, Stats, Transport as EngineTransport};
 
 const DEFAULT_SCALE: u64 = 100;
 const DEFAULT_SEED: u64 = 0x5bf1_2023;
@@ -146,8 +143,7 @@ struct Args {
     scale: u64,
     seed: u64,
     workers: usize,
-    mode: CrawlMode,
-    servers: usize,
+    backend: Backend,
     out_path: Option<String>,
     // Service targets (`serve` / `traffic`) only:
     queries: usize,
@@ -156,14 +152,11 @@ struct Args {
     window: usize,
     transport: Transport,
     duration_secs: u64,
-    compiled: bool,
 }
 
 impl Args {
     fn crawl_config(&self) -> CrawlConfig {
-        CrawlConfig::with_workers(self.workers)
-            .mode(self.mode)
-            .wire_servers(self.servers)
+        CrawlConfig::with_workers(self.workers).backend(self.backend)
     }
 }
 
@@ -175,8 +168,7 @@ fn parse_args() -> Args {
         workers: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4),
-        mode: CrawlMode::InMemory,
-        servers: DEFAULT_WIRE_SERVERS,
+        backend: Backend::default(),
         out_path: Some("EXPERIMENTS.md".to_string()),
         queries: 20_000,
         mix: TrafficMix::HotSkew,
@@ -184,7 +176,6 @@ fn parse_args() -> Args {
         window: 32,
         transport: Transport::Udp,
         duration_secs: 0,
-        compiled: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -207,20 +198,31 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --workers"));
             }
+            "--backend" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --backend"));
+                args.backend =
+                    Backend::parse(&spec).unwrap_or_else(|e| usage(&format!("--backend: {e}")));
+            }
+            // Deprecated aliases: each folds into one `--backend` field.
             "--mode" => {
-                args.mode = match it.next().as_deref() {
-                    Some("memory") | Some("in-memory") => CrawlMode::InMemory,
-                    Some("wire") => CrawlMode::Wire,
-                    _ => usage("--mode must be `memory` or `wire`"),
-                };
+                let transport = it
+                    .next()
+                    .as_deref()
+                    .and_then(EngineTransport::parse)
+                    .unwrap_or_else(|| usage("--mode must be `memory`, `wire`, or `wire-async`"));
+                args.backend = args.backend.transport(transport);
             }
             "--servers" => {
-                args.servers = it
+                let servers: usize = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|n| *n >= 1)
                     .unwrap_or_else(|| usage("--servers must be a positive integer"));
+                args.backend = args.backend.servers(servers);
             }
+            "--compiled" => args.backend = args.backend.evaluator(Evaluator::Compiled),
             "--queries" => {
                 args.queries = it
                     .next()
@@ -262,7 +264,6 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --duration"));
             }
-            "--compiled" => args.compiled = true,
             "--no-write" => args.out_path = None,
             "--out" => {
                 args.out_path = Some(
@@ -293,19 +294,22 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [targets...] [--scale N] [--seed S] [--workers W]\n\
-         \x20             [--mode memory|wire] [--servers N] [--out PATH | --no-write]\n\
+         \x20             [--backend SPEC] [--out PATH | --no-write]\n\
          \x20             [--queries N] [--mix hot|burst|cold] [--clients N] [--window N]\n\
-         \x20             [--transport udp|tcp] [--duration SECS] [--compiled]\n\n\
+         \x20             [--transport udp|tcp] [--duration SECS]\n\n\
          {}\n\
          scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n\
-         mode:    memory resolves in-process; wire crawls over UDP/TCP against\n\
-         \x20        --servers N hash-sharded authoritative name servers\n\
+         backend: transport[:servers][+evaluator] (default `memory`) —\n\
+         \x20        transports: memory (in-process), wire (blocking socket pool),\n\
+         \x20        wire-async (epoll reactor); wire transports crawl over UDP/TCP\n\
+         \x20        against :N hash-sharded authoritative name servers;\n\
+         \x20        evaluators: interpreted, cached (default), compiled (interval\n\
+         \x20        matchers — verdict-identical, prints the [compiler] line).\n\
+         \x20        `--mode`, `--servers`, `--compiled` remain as deprecated\n\
+         \x20        aliases folding into the same selection\n\
          service: `serve` runs the resident verdict daemon (--workers pool,\n\
          \x20        --duration 0 = until interrupted); `traffic` replays --queries\n\
-         \x20        of a --mix through --clients pipelined clients over --transport\n\
-         compiled: `--compiled` makes `spoof-matrix`/`serve` answer from\n\
-         \x20        compiled interval matchers (verdict-identical; prints the\n\
-         \x20        [compiler] compilability line)\n",
+         \x20        of a --mix through --clients pipelined clients over --transport\n",
         target_usage_line()
     );
     std::process::exit(2)
@@ -328,14 +332,11 @@ fn main() {
     let needs_scan = t.iter().any(|x| !STANDALONE_TARGETS.contains(&x.as_str()));
 
     println!(
-        "Lazy Gatekeepers reproduction — scale 1:{} (≈{} domains), seed 0x{:x}, {} mode\n",
+        "Lazy Gatekeepers reproduction — scale 1:{} (≈{} domains), seed 0x{:x}, backend {}\n",
         args.scale,
         12_823_598 / args.scale,
         args.seed,
-        match args.mode {
-            CrawlMode::InMemory => "in-memory".to_string(),
-            CrawlMode::Wire => format!("wire ({} server shards)", args.servers),
-        }
+        args.backend,
     );
 
     let mut log = ExperimentLog::new(args.scale, args.seed);
@@ -350,9 +351,9 @@ fn main() {
             r.walker.cache_len(),
             started.elapsed()
         );
-        println!("{}", throughput_line(&r.stats));
+        println!("{}", r.stats.render());
         if let Some(wire) = &r.wire {
-            println!("{}", wire_line(wire, r.stats.domains));
+            println!("{}", wire.stats(r.stats.domains).render());
         }
         println!();
         Some(r)
@@ -430,7 +431,7 @@ fn main() {
         if wants(t, "table2") {
             println!("[notify] running the notification campaign and two-week rescan ...");
             let (table, exp, outcome, rescan_stats) = bench::table2(r, args.workers);
-            println!("{}", throughput_line(&rescan_stats));
+            println!("{}", rescan_stats.render());
             println!(
                 "[notify] {} eligible, {} sent, {} bounced, {} thanked, {} complaints \
                  ({} virtual send time)\n",
@@ -458,8 +459,7 @@ fn main() {
             "[spoof matrix] evaluating check_host() for the whole population from \
              attacker vantage addresses ..."
         );
-        let (section, exp) =
-            bench::spoof_matrix_with(args.scale, args.seed, args.crawl_config(), args.compiled);
+        let (section, exp) = bench::spoof_matrix(args.scale, args.seed, args.crawl_config());
         println!("{section}");
         log.push(exp);
     }
@@ -491,9 +491,8 @@ fn run_service(args: &Args, wants_serve: bool, wants_traffic: bool) {
         args.scale
     );
     let lab: ServiceLab = bench::service_lab(args.scale, args.seed, args.workers);
-    let resolver: Arc<dyn Resolver> = Arc::new(ZoneResolver::new(Arc::clone(&lab.store)));
-    let config = ServiceConfig::with_workers(args.workers)
-        .compiled(args.compiled.then(TtlLruConfig::default));
+    let (resolver, wire) = bench::build_resolver(&lab.store, args.backend);
+    let config = ServiceConfig::from_backend(args.backend, args.workers);
     let mut service = match VerdictService::spawn(resolver, config) {
         Ok(s) => s,
         Err(e) => {
@@ -542,7 +541,11 @@ fn run_service(args: &Args, wants_serve: bool, wants_traffic: bool) {
     if wants_serve {
         serve_until_done(&service, args.duration_secs);
     }
+    let served = service.telemetry().served;
     service.shutdown();
+    if let Some(run) = &wire {
+        println!("{}", run.stats(served).render());
+    }
 }
 
 /// Keep the daemon up, printing a `[service]` telemetry line every five
@@ -562,42 +565,6 @@ fn serve_until_done(service: &VerdictService, duration_secs: u64) {
             last_report = Instant::now();
         }
     }
-}
-
-/// The perf-regression canary: one line per crawl with the numbers that
-/// move when the hot path regresses, readable without running criterion.
-fn throughput_line(stats: &spf_crawler::CrawlStats) -> String {
-    format!(
-        "[throughput] {:.0} domains/s ({} domains in {:.2}s) — cache hit rate {:.1} % \
-         ({} hits / {} misses), peak queue depth {}",
-        stats.domains_per_sec(),
-        stats.domains,
-        stats.elapsed_secs,
-        stats.cache_hit_rate() * 100.0,
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.peak_queue_depth,
-    )
-}
-
-/// The wire-mode companion of [`throughput_line`]: how many packets each
-/// domain cost and how much the coalescing/caching layers absorbed.
-fn wire_line(wire: &bench::WireRun, domains: u64) -> String {
-    let snap = wire.snapshot();
-    format!(
-        "[wire] {:.2} queries/domain amplification ({} datagrams, {} TCP fallbacks) — \
-         coalesced {:.1} %, wire-cache hits {:.1} %, {} retries, {} temp errors, \
-         fleet answered {} UDP / {} TCP",
-        snap.amplification(domains),
-        snap.wire_queries,
-        snap.tcp_fallbacks,
-        snap.coalesce_rate() * 100.0,
-        snap.cache_hit_rate() * 100.0,
-        snap.retries,
-        snap.temp_errors,
-        wire.fleet.answered(),
-        wire.fleet.tcp_answered(),
-    )
 }
 
 fn humantime(d: std::time::Duration) -> String {

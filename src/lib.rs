@@ -56,13 +56,13 @@ pub mod prelude {
         EvalContext, EvalPolicy, SpfResult,
     };
     pub use spf_crawler::{
-        crawl, include_ecosystem, select_vantages, spoof_matrix, CrawlConfig, CrawlMode,
-        CrawlStats, OverlapReport, ProviderVantage, ScanAggregates, SpoofMatrix, SpoofMatrixConfig,
+        crawl, include_ecosystem, select_vantages, spoof_matrix, CrawlConfig, CrawlStats,
+        OverlapReport, ProviderVantage, ScanAggregates, SpoofMatrix, SpoofMatrixConfig,
         VantagePoint,
     };
     pub use spf_dns::{
-        Resolver, ServerConfig, WireClientConfig, WireFleet, WireResolver, WireSnapshot,
-        ZoneResolver, ZoneStore,
+        AsyncWireResolver, Resolver, ServerConfig, WireClientConfig, WireFleet, WireResolver,
+        WireSnapshot, WireTelemetry, ZoneResolver, ZoneStore,
     };
     pub use spf_netsim::{
         build_hosting, build_spoof_world, Population, PopulationConfig, Scale, SpoofWorld,
@@ -71,6 +71,7 @@ pub mod prelude {
         ServiceClient, ServiceConfig, TrafficMix, Transport, TtlLruConfig, VerdictService,
     };
     pub use spf_types::{
-        CoverageMap, DomainName, Ipv4Cidr, Ipv4Set, Ipv6Set, SpfRecord, WeightedRanges,
+        Backend, CoverageMap, DomainName, EngineBuilder, Evaluator, Ipv4Cidr, Ipv4Set, Ipv6Set,
+        SpfRecord, Stats, WeightedRanges,
     };
 }

@@ -70,7 +70,7 @@ fn wire_overlap_json(population: &Population, workers: usize, servers: usize) ->
     let out = crawl(
         &walker,
         &population.domains,
-        CrawlConfig::wire(workers, servers),
+        CrawlConfig::with_workers(workers).backend(Backend::wire(servers)),
     );
     overlap_json(&walker, out)
 }

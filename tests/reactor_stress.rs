@@ -1,0 +1,270 @@
+//! Async (epoll reactor) wire-engine determinism under stress.
+//!
+//! The reactor engine multiplexes hundreds of in-flight queries over a
+//! handful of nonblocking sockets, yet everything semantic (TTL cache,
+//! single-flight coalescing, fault injection, counters) lives in the
+//! shared wire core — so its report stream must be *byte-identical* to
+//! the in-memory crawl under a zero-fault profile, byte-identical under
+//! pure added latency, and byte-identical to the *blocking* wire engine
+//! under deterministic fault presets at workers = 1 (where both engines
+//! draw from the per-shard RNG streams in the same order).
+//!
+//! The suite also drives the reactor's datagram-discard rules through a
+//! hostile UDP proxy that prefixes every answer with garbage bytes,
+//! replays stale replies from completed flights, and duplicates every
+//! real reply — the crawl must shrug all of it off without divergence.
+
+use lazy_gatekeepers::prelude::*;
+use spf_netsim::wirelab;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x5bf1_2023;
+
+// Note on temperrors: the synthetic population deliberately contains a
+// handful of zone-faulted domains that never answer. The in-memory
+// reference reports them as DNS timeouts instantly; a wire engine burns
+// its real retry budget first and reaches the same verdict — so the
+// report streams stay byte-identical while `temp_errors` is nonzero
+// even under the zero-fault *shard* profile.
+
+fn population_at(denominator: u64) -> Population {
+    Population::build(PopulationConfig {
+        scale: Scale { denominator },
+        seed: SEED,
+    })
+}
+
+/// In-memory reference crawl, serialized.
+fn memory_reports_json(population: &Population) -> String {
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&population.store)));
+    let out = crawl(&walker, &population.domains, CrawlConfig::with_workers(4));
+    serde_json::to_string(&out.reports).expect("reports serialize")
+}
+
+/// One async-engine crawl: fresh fleet, fresh reactor, fresh walker.
+fn async_crawl(
+    population: &Population,
+    workers: usize,
+    servers: usize,
+    config: WireClientConfig,
+    behaviors: Vec<spf_dns::ShardBehavior>,
+) -> (Vec<DomainReport>, WireSnapshot) {
+    let fleet = WireFleet::spawn(&population.store, servers, ServerConfig::default())
+        .expect("fleet spawns");
+    let resolver = Arc::new(fleet.async_resolver(config).with_behaviors(behaviors, SEED));
+    let out = crawl(
+        &Walker::new(Arc::clone(&resolver)),
+        &population.domains,
+        CrawlConfig::with_workers(workers).backend(Backend::wire_async(servers)),
+    );
+    (out.reports, resolver.snapshot())
+}
+
+/// One blocking-engine crawl under the same knobs, for engine-vs-engine
+/// comparisons.
+fn blocking_crawl(
+    population: &Population,
+    workers: usize,
+    servers: usize,
+    config: WireClientConfig,
+    behaviors: Vec<spf_dns::ShardBehavior>,
+) -> (Vec<DomainReport>, WireSnapshot) {
+    let fleet = WireFleet::spawn(&population.store, servers, ServerConfig::default())
+        .expect("fleet spawns");
+    let resolver = Arc::new(fleet.resolver(config).with_behaviors(behaviors, SEED));
+    let out = crawl(
+        &Walker::new(Arc::clone(&resolver)),
+        &population.domains,
+        CrawlConfig::with_workers(workers).backend(Backend::wire(servers)),
+    );
+    (out.reports, resolver.snapshot())
+}
+
+#[test]
+fn async_reports_byte_identical_to_in_memory_across_matrix() {
+    // The acceptance matrix at the wire_stress scale (1:500, ≈25.6k
+    // domains): workers ∈ {1, 8, 32} × server shards ∈ {1, 4} under the
+    // zero-fault profile, compared through the fully serialized report
+    // stream so every field is covered.
+    let population = population_at(500);
+    let reference = memory_reports_json(&population);
+    for workers in [1usize, 8, 32] {
+        for servers in [1usize, 4] {
+            let (reports, snapshot) = async_crawl(
+                &population,
+                workers,
+                servers,
+                WireClientConfig::crawl(),
+                wirelab::zero_faults(servers),
+            );
+            let json = serde_json::to_string(&reports).expect("reports serialize");
+            assert!(
+                json == reference,
+                "async crawl diverged from in-memory at workers={workers} servers={servers}"
+            );
+            // The crawl really ran over the wire, not a cached shortcut.
+            assert!(
+                snapshot.wire_queries > population.domains.len() as u64,
+                "suspiciously few datagrams at workers={workers} servers={servers}: {snapshot:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn async_reports_survive_uniform_latency() {
+    // Pure added latency (every shard 1 ms slower) reorders completions
+    // inside the reactor but must never change a verdict: the deadline
+    // wheel retires nothing early and the report stream stays identical.
+    let population = population_at(2_000);
+    let reference = memory_reports_json(&population);
+    let servers = 4;
+    let (reports, snapshot) = async_crawl(
+        &population,
+        8,
+        servers,
+        WireClientConfig::crawl(),
+        wirelab::uniform_latency(servers, Duration::from_millis(1)),
+    );
+    let json = serde_json::to_string(&reports).expect("reports serialize");
+    assert!(
+        json == reference,
+        "latency alone changed the reports: {snapshot:?}"
+    );
+    assert!(snapshot.wire_queries > 0, "{snapshot:?}");
+}
+
+#[test]
+fn blocking_and_async_engines_agree_under_fault_presets() {
+    // At workers = 1 both engines issue wire queries in the same order,
+    // so the per-shard fault RNG streams roll identically and the two
+    // report streams — temperrors included — must match byte for byte.
+    let population = population_at(50_000);
+    let servers = 4;
+    for (name, behaviors) in [
+        ("lossy", wirelab::lossy(servers, 0.05)),
+        (
+            "degraded_shard",
+            wirelab::degraded_shard(servers, 1, Duration::ZERO),
+        ),
+    ] {
+        let (blocking_reports, blocking_snap) = blocking_crawl(
+            &population,
+            1,
+            servers,
+            WireClientConfig::crawl(),
+            behaviors.clone(),
+        );
+        let (async_reports, async_snap) = async_crawl(
+            &population,
+            1,
+            servers,
+            WireClientConfig::crawl(),
+            behaviors,
+        );
+        let blocking_json = serde_json::to_string(&blocking_reports).expect("serialize");
+        let async_json = serde_json::to_string(&async_reports).expect("serialize");
+        assert!(
+            blocking_json == async_json,
+            "engines diverged under the `{name}` preset"
+        );
+        assert!(
+            blocking_snap.injected_faults > 0,
+            "the `{name}` preset never fired: {blocking_snap:?}"
+        );
+        assert_eq!(
+            blocking_snap.injected_faults, async_snap.injected_faults,
+            "fault draws differ under `{name}`: {blocking_snap:?} vs {async_snap:?}"
+        );
+    }
+}
+
+#[test]
+fn reactor_discards_garbled_duplicate_and_stale_replies() {
+    // A hostile proxy sits between the reactor and the (single-shard)
+    // authoritative server. For every real answer it sends the client:
+    //   1. a garbled runt datagram (truncated below the DNS header),
+    //   2. a stale replay of the *previous* answer (its flight already
+    //      completed, so its id no longer maps to anything),
+    //   3. the real answer,
+    //   4. the real answer again (duplicate of a completed flight).
+    // The reactor must discard 1, 2, and 4 by its id/decode rules and
+    // still produce a report stream byte-identical to the in-memory
+    // crawl.
+    let population = population_at(50_000);
+    let reference = memory_reports_json(&population);
+
+    // A payload cap comfortably above the fattest record keeps the
+    // exchange pure UDP: the proxy has no TCP listener, so a truncated
+    // reply would otherwise drag the reactor into a refused fallback.
+    let fleet = WireFleet::spawn(&population.store, 1, ServerConfig { max_payload: 4096 })
+        .expect("fleet spawns");
+    let upstream_addr = fleet.addrs()[0];
+
+    let proxy = UdpSocket::bind("127.0.0.1:0").expect("proxy binds");
+    let proxy_addr = proxy.local_addr().expect("proxy addr");
+    proxy
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("read timeout");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+
+    let proxy_thread = std::thread::spawn(move || {
+        let upstream = UdpSocket::bind("127.0.0.1:0").expect("upstream socket binds");
+        // Short upstream wait: zone-faulted domains never answer, and a
+        // long block here would starve every other in-flight query.
+        upstream
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .expect("upstream timeout");
+        let mut buf = [0u8; 4096];
+        let mut reply = [0u8; 4096];
+        let mut prev_reply: Option<Vec<u8>> = None;
+        while !stop_flag.load(Ordering::Relaxed) {
+            let (n, client) = match proxy.recv_from(&mut buf) {
+                Ok(pair) => pair,
+                Err(_) => continue, // poll the stop flag
+            };
+            upstream
+                .send_to(&buf[..n], upstream_addr)
+                .expect("forward to upstream");
+            let Ok((rn, _)) = upstream.recv_from(&mut reply) else {
+                continue; // upstream timeout: let the client retry
+            };
+            let answer = &reply[..rn];
+            // 1. Garbled runt (shorter than a DNS header: decode error).
+            let _ = proxy.send_to(&answer[..answer.len().min(7)], client);
+            // 2. Stale replay of a completed flight's answer.
+            if let Some(stale) = &prev_reply {
+                let _ = proxy.send_to(stale, client);
+            }
+            // 3 + 4. The real answer, twice.
+            let _ = proxy.send_to(answer, client);
+            let _ = proxy.send_to(answer, client);
+            prev_reply = Some(answer.to_vec());
+        }
+    });
+
+    let resolver = Arc::new(AsyncWireResolver::new(
+        vec![proxy_addr],
+        WireClientConfig::crawl(),
+    ));
+    let out = crawl(
+        &Walker::new(Arc::clone(&resolver)),
+        &population.domains,
+        CrawlConfig::with_workers(4).backend(Backend::wire_async(1)),
+    );
+    let snapshot = resolver.snapshot();
+    stop.store(true, Ordering::Relaxed);
+    proxy_thread.join().expect("proxy thread exits");
+
+    let json = serde_json::to_string(&out.reports).expect("reports serialize");
+    assert!(
+        json == reference,
+        "hostile proxy changed the reports: {snapshot:?}"
+    );
+    assert!(snapshot.wire_queries > 0, "{snapshot:?}");
+    assert_eq!(snapshot.tcp_fallbacks, 0, "pure-UDP test: {snapshot:?}");
+}

@@ -45,7 +45,7 @@ fn wire_crawl(
     let out = crawl(
         &Walker::new(Arc::clone(&resolver)),
         &population.domains,
-        CrawlConfig::wire(workers, servers),
+        CrawlConfig::with_workers(workers).backend(Backend::wire(servers)),
     );
     let tcp_answered = fleet.tcp_answered();
     (out.reports, resolver.snapshot(), tcp_answered)
@@ -136,7 +136,7 @@ fn degraded_shard_preset_degrades_to_temperror_not_divergence() {
     let out = crawl(
         &Walker::new(Arc::clone(&resolver)),
         &population.domains,
-        CrawlConfig::wire(4, servers),
+        CrawlConfig::with_workers(4).backend(Backend::wire(servers)),
     );
     assert_eq!(out.reports.len(), population.domains.len());
     let snapshot = resolver.snapshot();

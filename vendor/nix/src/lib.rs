@@ -1,0 +1,598 @@
+//! Offline stand-in for the `nix` crate.
+//!
+//! The workspace's DNS reactor needs exactly three Linux facilities that
+//! `std` does not expose: **epoll** (level-triggered readiness for the
+//! reactor's sockets), **`sendmmsg`** (batched datagram transmit), and
+//! **`recvmmsg`** (batched datagram receive). This shim provides safe
+//! wrappers for those calls over hand-declared glibc FFI — the only
+//! `unsafe` in the workspace lives here, behind interfaces that own all
+//! pointer lifetimes for the duration of each call.
+//!
+//! Divergences from the real `nix` (documented per vendor/README.md):
+//! the epoll surface mirrors `nix::sys::epoll` closely (`Epoll::new`,
+//! `add`/`modify`/`delete`/`wait`), but `wait` takes a plain timeout in
+//! milliseconds instead of `EpollTimeout`, and the `sendmmsg`/`recvmmsg`
+//! surface is simplified to [`sys::socket::send_to_batch`] /
+//! [`sys::socket::recv_from_batch`] over IPv4 peers (the only address
+//! family the workspace's loopback fleet uses) instead of the real
+//! crate's iovec-generic `MultiHeaders` API.
+//!
+//! Layout notes (x86_64 Linux, the only supported target): glibc's
+//! `struct epoll_event` is packed (4-byte aligned, 12 bytes), while
+//! `msghdr`/`mmsghdr` follow default C layout; both are declared
+//! accordingly below and checked by the layout tests.
+
+pub mod sys {
+    //! System call wrappers, mirroring `nix::sys::*` module paths.
+
+    pub mod epoll {
+        //! Safe epoll wrapper: `epoll_create1` / `epoll_ctl` /
+        //! `epoll_wait` behind an RAII [`Epoll`] handle.
+
+        use std::ffi::c_int;
+        use std::io;
+        use std::os::fd::{AsFd, AsRawFd, RawFd};
+
+        // glibc packs epoll_event on x86_64 so the events/data pair is
+        // 12 bytes; repr(C, packed) reproduces that exactly.
+        #[repr(C, packed)]
+        #[derive(Clone, Copy)]
+        struct RawEpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: c_int) -> c_int;
+            fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEpollEvent) -> c_int;
+            fn epoll_wait(
+                epfd: c_int,
+                events: *mut RawEpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            fn close(fd: c_int) -> c_int;
+        }
+
+        const EPOLL_CLOEXEC: c_int = 0o2000000;
+        const EPOLL_CTL_ADD: c_int = 1;
+        const EPOLL_CTL_DEL: c_int = 2;
+        const EPOLL_CTL_MOD: c_int = 3;
+
+        /// Readiness interest / result flags (a subset of `EPOLL*`).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct EpollFlags(u32);
+
+        impl EpollFlags {
+            /// `EPOLLIN`: the fd is readable.
+            pub const EPOLLIN: EpollFlags = EpollFlags(0x001);
+            /// `EPOLLOUT`: the fd is writable.
+            pub const EPOLLOUT: EpollFlags = EpollFlags(0x004);
+            /// `EPOLLERR`: error condition (always reported).
+            pub const EPOLLERR: EpollFlags = EpollFlags(0x008);
+            /// `EPOLLHUP`: hangup (always reported).
+            pub const EPOLLHUP: EpollFlags = EpollFlags(0x010);
+
+            /// No flags.
+            pub fn empty() -> EpollFlags {
+                EpollFlags(0)
+            }
+
+            /// Bitwise-or of two flag sets.
+            pub fn union(self, other: EpollFlags) -> EpollFlags {
+                EpollFlags(self.0 | other.0)
+            }
+
+            /// True when every bit of `other` is set in `self`.
+            pub fn contains(self, other: EpollFlags) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// True when `self` and `other` share any bit.
+            pub fn intersects(self, other: EpollFlags) -> bool {
+                self.0 & other.0 != 0
+            }
+        }
+
+        impl std::ops::BitOr for EpollFlags {
+            type Output = EpollFlags;
+            fn bitor(self, rhs: EpollFlags) -> EpollFlags {
+                self.union(rhs)
+            }
+        }
+
+        /// One epoll event: interest flags plus a caller-chosen `u64`
+        /// token returned verbatim by [`Epoll::wait`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct EpollEvent {
+            flags: EpollFlags,
+            data: u64,
+        }
+
+        impl EpollEvent {
+            /// An event with `flags` interest and token `data`.
+            pub fn new(flags: EpollFlags, data: u64) -> EpollEvent {
+                EpollEvent { flags, data }
+            }
+
+            /// An empty slot for [`Epoll::wait`] output buffers.
+            pub fn empty() -> EpollEvent {
+                EpollEvent {
+                    flags: EpollFlags::empty(),
+                    data: 0,
+                }
+            }
+
+            /// The readiness flags reported by the kernel.
+            pub fn events(&self) -> EpollFlags {
+                self.flags
+            }
+
+            /// The token supplied at registration.
+            pub fn data(&self) -> u64 {
+                self.data
+            }
+        }
+
+        /// Flags for [`Epoll::new`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct EpollCreateFlags(c_int);
+
+        impl EpollCreateFlags {
+            /// `EPOLL_CLOEXEC`.
+            pub const EPOLL_CLOEXEC: EpollCreateFlags = EpollCreateFlags(EPOLL_CLOEXEC);
+
+            /// No flags.
+            pub fn empty() -> EpollCreateFlags {
+                EpollCreateFlags(0)
+            }
+        }
+
+        /// An owned epoll instance; the fd is closed on drop.
+        #[derive(Debug)]
+        pub struct Epoll {
+            fd: RawFd,
+        }
+
+        // The wrapped fd is just an integer handle; epoll fds are safe
+        // to use from any thread.
+        unsafe impl Send for Epoll {}
+        unsafe impl Sync for Epoll {}
+
+        impl Epoll {
+            /// Create an epoll instance (`epoll_create1`).
+            pub fn new(flags: EpollCreateFlags) -> io::Result<Epoll> {
+                // SAFETY: epoll_create1 takes no pointers.
+                let fd = unsafe { epoll_create1(flags.0) };
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(Epoll { fd })
+            }
+
+            fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+                let mut raw = event.map(|e| RawEpollEvent {
+                    events: e.flags.0,
+                    data: e.data,
+                });
+                let ptr = raw
+                    .as_mut()
+                    .map(|r| r as *mut RawEpollEvent)
+                    .unwrap_or(std::ptr::null_mut());
+                // SAFETY: `raw` outlives the call; a null event pointer
+                // is only passed for EPOLL_CTL_DEL, where the kernel
+                // ignores it.
+                let rc = unsafe { epoll_ctl(self.fd, op, fd, ptr) };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+
+            /// Register `fd` with the given interest (`EPOLL_CTL_ADD`).
+            pub fn add<F: AsFd>(&self, fd: &F, event: EpollEvent) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_ADD, fd.as_fd().as_raw_fd(), Some(event))
+            }
+
+            /// Change `fd`'s interest (`EPOLL_CTL_MOD`).
+            pub fn modify<F: AsFd>(&self, fd: &F, event: EpollEvent) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_MOD, fd.as_fd().as_raw_fd(), Some(event))
+            }
+
+            /// Deregister `fd` (`EPOLL_CTL_DEL`).
+            pub fn delete<F: AsFd>(&self, fd: &F) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_DEL, fd.as_fd().as_raw_fd(), None)
+            }
+
+            /// Wait for readiness, filling `events` and returning how
+            /// many slots were written. `timeout_ms < 0` blocks
+            /// indefinitely, `0` polls, `> 0` bounds the wait.
+            pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+                if events.is_empty() {
+                    return Ok(0);
+                }
+                let mut raw = vec![RawEpollEvent { events: 0, data: 0 }; events.len()];
+                // SAFETY: `raw` is a live buffer of exactly
+                // `events.len()` slots for the duration of the call.
+                let rc = unsafe {
+                    epoll_wait(self.fd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms)
+                };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let n = rc as usize;
+                for (slot, r) in events.iter_mut().zip(raw.iter().take(n)) {
+                    // Copy out of the packed struct field by field.
+                    let ev = RawEpollEvent { ..*r };
+                    *slot = EpollEvent {
+                        flags: EpollFlags(ev.events),
+                        data: ev.data,
+                    };
+                }
+                Ok(n)
+            }
+        }
+
+        impl Drop for Epoll {
+            fn drop(&mut self) {
+                // SAFETY: the fd is owned by this handle and closed once.
+                unsafe {
+                    close(self.fd);
+                }
+            }
+        }
+
+        #[cfg(test)]
+        mod tests {
+            use super::*;
+            use std::net::UdpSocket;
+
+            #[test]
+            fn raw_event_layout_matches_glibc() {
+                assert_eq!(std::mem::size_of::<RawEpollEvent>(), 12);
+                assert_eq!(std::mem::align_of::<RawEpollEvent>(), 1);
+            }
+
+            #[test]
+            fn wait_reports_readable_udp_socket() {
+                let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+                let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+                let epoll = Epoll::new(EpollCreateFlags::EPOLL_CLOEXEC).unwrap();
+                epoll
+                    .add(&a, EpollEvent::new(EpollFlags::EPOLLIN, 7))
+                    .unwrap();
+                let mut events = [EpollEvent::empty(); 4];
+                // Nothing pending: a zero-timeout poll returns no events.
+                assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+                b.send_to(b"x", a.local_addr().unwrap()).unwrap();
+                let n = epoll.wait(&mut events, 1000).unwrap();
+                assert_eq!(n, 1);
+                assert_eq!(events[0].data(), 7);
+                assert!(events[0].events().contains(EpollFlags::EPOLLIN));
+                // Deregister; the pending datagram no longer wakes us.
+                epoll.delete(&a).unwrap();
+                assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+            }
+
+            #[test]
+            fn modify_switches_interest() {
+                let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+                let epoll = Epoll::new(EpollCreateFlags::empty()).unwrap();
+                epoll
+                    .add(&a, EpollEvent::new(EpollFlags::EPOLLIN, 1))
+                    .unwrap();
+                // A UDP socket is immediately writable once EPOLLOUT
+                // interest is added.
+                epoll
+                    .modify(
+                        &a,
+                        EpollEvent::new(EpollFlags::EPOLLIN | EpollFlags::EPOLLOUT, 2),
+                    )
+                    .unwrap();
+                let mut events = [EpollEvent::empty(); 4];
+                let n = epoll.wait(&mut events, 1000).unwrap();
+                assert_eq!(n, 1);
+                assert_eq!(events[0].data(), 2);
+                assert!(events[0].events().contains(EpollFlags::EPOLLOUT));
+            }
+        }
+    }
+
+    pub mod socket {
+        //! Batched UDP send/receive: `sendmmsg` / `recvmmsg` behind
+        //! slice-based safe wrappers (IPv4 peers only).
+
+        use std::ffi::{c_int, c_uint};
+        use std::io;
+        use std::net::{Ipv4Addr, SocketAddrV4};
+        use std::os::fd::{AsFd, AsRawFd};
+
+        const AF_INET: u16 = 2;
+        const MSG_DONTWAIT: c_int = 0x40;
+        const MSG_WAITFORONE: c_int = 0x10000;
+
+        #[repr(C)]
+        struct IoVec {
+            base: *mut u8,
+            len: usize,
+        }
+
+        #[repr(C)]
+        #[derive(Clone, Copy, Default)]
+        struct SockAddrIn {
+            family: u16,
+            /// Big-endian port.
+            port: [u8; 2],
+            /// Big-endian address.
+            addr: [u8; 4],
+            zero: [u8; 8],
+        }
+
+        impl SockAddrIn {
+            fn from_std(a: SocketAddrV4) -> SockAddrIn {
+                SockAddrIn {
+                    family: AF_INET,
+                    port: a.port().to_be_bytes(),
+                    addr: a.ip().octets(),
+                    zero: [0; 8],
+                }
+            }
+
+            fn to_std(self) -> Option<SocketAddrV4> {
+                if self.family != AF_INET {
+                    return None;
+                }
+                Some(SocketAddrV4::new(
+                    Ipv4Addr::from(self.addr),
+                    u16::from_be_bytes(self.port),
+                ))
+            }
+        }
+
+        // Default C layout: glibc inserts 4 bytes of padding after
+        // `namelen` and after `flags`/`len`; repr(C) reproduces both.
+        #[repr(C)]
+        struct MsgHdr {
+            name: *mut SockAddrIn,
+            namelen: u32,
+            iov: *mut IoVec,
+            iovlen: usize,
+            control: *mut u8,
+            controllen: usize,
+            flags: c_int,
+        }
+
+        #[repr(C)]
+        struct MMsgHdr {
+            hdr: MsgHdr,
+            len: c_uint,
+        }
+
+        extern "C" {
+            fn sendmmsg(sockfd: c_int, msgvec: *mut MMsgHdr, vlen: c_uint, flags: c_int) -> c_int;
+            fn recvmmsg(
+                sockfd: c_int,
+                msgvec: *mut MMsgHdr,
+                vlen: c_uint,
+                flags: c_int,
+                timeout: *mut u8, // struct timespec*; always null here
+            ) -> c_int;
+        }
+
+        /// One outgoing datagram for [`send_to_batch`].
+        pub struct SendPacket<'a> {
+            /// Payload bytes.
+            pub data: &'a [u8],
+            /// Destination.
+            pub to: SocketAddrV4,
+        }
+
+        /// One receive slot for [`recv_from_batch`]: a fixed buffer the
+        /// kernel fills, plus the filled length and sender of the last
+        /// batch.
+        pub struct RecvSlot {
+            /// Backing buffer.
+            pub data: Box<[u8]>,
+            /// Bytes written by the most recent batch (0 if unused).
+            pub len: usize,
+            /// Sender of the datagram, when one was received.
+            pub peer: Option<SocketAddrV4>,
+        }
+
+        impl RecvSlot {
+            /// A slot with a `cap`-byte buffer.
+            pub fn new(cap: usize) -> RecvSlot {
+                RecvSlot {
+                    data: vec![0u8; cap].into_boxed_slice(),
+                    len: 0,
+                    peer: None,
+                }
+            }
+
+            /// The bytes of the last received datagram.
+            pub fn payload(&self) -> &[u8] {
+                &self.data[..self.len]
+            }
+        }
+
+        /// Send up to `pkts.len()` datagrams in one `sendmmsg` call;
+        /// returns how many were handed to the kernel (possibly fewer
+        /// than requested — retry with the tail). With `dontwait`, a
+        /// full socket buffer surfaces as `WouldBlock`.
+        pub fn send_to_batch<F: AsFd>(
+            fd: &F,
+            pkts: &[SendPacket<'_>],
+            dontwait: bool,
+        ) -> io::Result<usize> {
+            if pkts.is_empty() {
+                return Ok(0);
+            }
+            let mut addrs: Vec<SockAddrIn> =
+                pkts.iter().map(|p| SockAddrIn::from_std(p.to)).collect();
+            let mut iovs: Vec<IoVec> = pkts
+                .iter()
+                .map(|p| IoVec {
+                    // sendmmsg never writes through the iov; the mut cast
+                    // satisfies the shared msghdr shape.
+                    base: p.data.as_ptr() as *mut u8,
+                    len: p.data.len(),
+                })
+                .collect();
+            let mut hdrs: Vec<MMsgHdr> = (0..pkts.len())
+                .map(|i| MMsgHdr {
+                    hdr: MsgHdr {
+                        name: &mut addrs[i],
+                        namelen: std::mem::size_of::<SockAddrIn>() as u32,
+                        iov: &mut iovs[i],
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect();
+            let flags = if dontwait { MSG_DONTWAIT } else { 0 };
+            // SAFETY: addrs/iovs/hdrs (and the payloads they reference)
+            // all outlive the call; vlen matches the hdrs length.
+            let rc = unsafe {
+                sendmmsg(
+                    fd.as_fd().as_raw_fd(),
+                    hdrs.as_mut_ptr(),
+                    hdrs.len() as c_uint,
+                    flags,
+                )
+            };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(rc as usize)
+        }
+
+        /// Receive up to `slots.len()` datagrams in one `recvmmsg`
+        /// call, filling each used slot's buffer/length/peer. Returns
+        /// the number of slots filled; with `dontwait`, an empty queue
+        /// surfaces as `WouldBlock`. Without `dontwait` the call blocks
+        /// only for the *first* datagram (`MSG_WAITFORONE`), then
+        /// drains whatever else is already queued.
+        pub fn recv_from_batch<F: AsFd>(
+            fd: &F,
+            slots: &mut [RecvSlot],
+            dontwait: bool,
+        ) -> io::Result<usize> {
+            if slots.is_empty() {
+                return Ok(0);
+            }
+            let mut addrs: Vec<SockAddrIn> = vec![SockAddrIn::default(); slots.len()];
+            let mut iovs: Vec<IoVec> = slots
+                .iter_mut()
+                .map(|s| IoVec {
+                    base: s.data.as_mut_ptr(),
+                    len: s.data.len(),
+                })
+                .collect();
+            let mut hdrs: Vec<MMsgHdr> = (0..iovs.len())
+                .map(|i| MMsgHdr {
+                    hdr: MsgHdr {
+                        name: &mut addrs[i],
+                        namelen: std::mem::size_of::<SockAddrIn>() as u32,
+                        iov: &mut iovs[i],
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect();
+            let flags = if dontwait {
+                MSG_DONTWAIT
+            } else {
+                MSG_WAITFORONE
+            };
+            // SAFETY: every pointer in hdrs refers to addrs/iovs/slot
+            // buffers that outlive the call; vlen matches hdrs.len().
+            let rc = unsafe {
+                recvmmsg(
+                    fd.as_fd().as_raw_fd(),
+                    hdrs.as_mut_ptr(),
+                    hdrs.len() as c_uint,
+                    flags,
+                    std::ptr::null_mut(),
+                )
+            };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let n = rc as usize;
+            for i in 0..n {
+                slots[i].len = hdrs[i].len as usize;
+                slots[i].peer = addrs[i].to_std();
+            }
+            for slot in slots.iter_mut().skip(n) {
+                slot.len = 0;
+                slot.peer = None;
+            }
+            Ok(n)
+        }
+
+        #[cfg(test)]
+        mod tests {
+            use super::*;
+            use std::net::UdpSocket;
+
+            #[test]
+            fn layouts_match_glibc_x86_64() {
+                assert_eq!(std::mem::size_of::<SockAddrIn>(), 16);
+                assert_eq!(std::mem::size_of::<IoVec>(), 16);
+                assert_eq!(std::mem::size_of::<MsgHdr>(), 56);
+                assert_eq!(std::mem::size_of::<MMsgHdr>(), 64);
+            }
+
+            #[test]
+            fn batch_round_trip() {
+                let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+                let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+                let dst = match rx.local_addr().unwrap() {
+                    std::net::SocketAddr::V4(a) => a,
+                    other => panic!("unexpected {other:?}"),
+                };
+                let payloads: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i; (i as usize) + 1]).collect();
+                let pkts: Vec<SendPacket<'_>> = payloads
+                    .iter()
+                    .map(|p| SendPacket { data: p, to: dst })
+                    .collect();
+                let sent = send_to_batch(&tx, &pkts, false).unwrap();
+                assert_eq!(sent, 10);
+                let mut slots: Vec<RecvSlot> = (0..16).map(|_| RecvSlot::new(64)).collect();
+                let mut got = 0;
+                while got < 10 {
+                    let n = recv_from_batch(&rx, &mut slots[got..], false).unwrap();
+                    got += n;
+                }
+                assert_eq!(got, 10);
+                let from = match tx.local_addr().unwrap() {
+                    std::net::SocketAddr::V4(a) => a,
+                    other => panic!("unexpected {other:?}"),
+                };
+                let mut seen: Vec<usize> = slots[..10]
+                    .iter()
+                    .map(|s| {
+                        assert_eq!(s.peer, Some(from));
+                        s.payload().len()
+                    })
+                    .collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (1..=10).collect::<Vec<_>>());
+            }
+
+            #[test]
+            fn dontwait_reports_would_block() {
+                let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+                let mut slots = vec![RecvSlot::new(64)];
+                let err = recv_from_batch(&rx, &mut slots, true).unwrap_err();
+                assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+            }
+        }
+    }
+}
