@@ -161,6 +161,15 @@ impl<V: Clone, K: CacheKey> ShardedCache<V, K> {
             .clone()
     }
 
+    /// Drop the entry under `key`, if resident. Returns whether an entry
+    /// was removed. Probe counters are untouched — removal is a zone
+    /// change, not a probe. The churn engine evicts a re-published
+    /// domain's memoized analysis this way before its incremental
+    /// re-crawl.
+    pub fn remove(&self, key: &K) -> bool {
+        self.shard(key).map.write().remove(key).is_some()
+    }
+
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.map.read().len()).sum()

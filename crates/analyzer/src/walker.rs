@@ -254,6 +254,17 @@ impl<R: Resolver> Walker<R> {
         self.cache.clear();
     }
 
+    /// Drop the single cached analysis for `domain`, if present; returns
+    /// whether an entry was evicted. The longitudinal churn engine calls
+    /// this for every domain a zone delta touched so the incremental
+    /// re-crawl re-reads the live zone while every *unchanged* subtree
+    /// stays memoized — sound because churned records only reference
+    /// immutable infrastructure names, never other mutable roots
+    /// (DESIGN.md §12's locality contract).
+    pub fn invalidate(&self, domain: &DomainName) -> bool {
+        self.cache.remove(domain)
+    }
+
     /// Walk `domain` without probing the cache first — the caller
     /// ([`Walker::analyze`] or [`Walker::walk_include`]) has already taken
     /// the miss. Inner include targets still reuse cached subtrees.

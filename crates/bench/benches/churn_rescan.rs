@@ -1,0 +1,393 @@
+//! The longitudinal churn-rescan bench behind BENCH_9.json and
+//! DESIGN.md §12.
+//!
+//! One `churn_rescan` criterion group measures, per configuration, the
+//! cost of keeping the corpus current across churn epochs two ways:
+//!
+//! * **incremental** — the [`ChurnEngine`] path: invalidate and
+//!   re-crawl only the churned domains, folding their old coverage
+//!   contributions out and the fresh ones in (`O(delta)` per epoch);
+//! * **full rescan** — the baseline it replaces: a from-scratch walker
+//!   and a full-population crawl every epoch (`O(population)`).
+//!
+//! The harness asserts the two paths produce **byte-identical** report
+//! vectors and weighted coverage profiles at every epoch before any
+//! timing is recorded — the incremental path is delta-exact, not an
+//! approximation — and then writes the whole sweep to `BENCH_9.json`
+//! at the workspace root. The acceptance headline is the 1:200 point at
+//! 1 % monthly churn: incremental must be ≥ 5× faster than the full
+//! rescan.
+//!
+//! A second, untimed-by-criterion guard pins the *scaling shape*: two
+//! populations of 4×-different size are churned by the same **absolute**
+//! number of domains per epoch, and the larger population's incremental
+//! epoch must cost no more than [`DELTA_GUARD_FACTOR`]× the smaller's —
+//! incremental cost tracks delta size, not population size.
+//!
+//! Quick mode for CI smoke runs: set `CHURN_RESCAN_QUICK=1` (or pass
+//! `--quick`) to shrink the matrix to the 1:5000 population; the JSON is
+//! still written so the artifact upload works.
+//!
+//! Regression gate: the report's `quick_points` are measured with the
+//! same plain best-of-N loop in full and quick runs, so
+//! `scripts/bench_guard.sh` can compare a CI quick run against the
+//! committed BENCH_9.json (`spf_bench::guard`); with
+//! `BENCH_GUARD_BASELINE` set, this binary fails itself on a throughput
+//! regression.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use serde::Serialize;
+use spf_analyzer::Walker;
+use spf_bench::guard::{self, GuardPoint};
+use spf_crawler::{crawl, ChurnEngine, CrawlConfig, LongitudinalConfig, ZoneDelta};
+use spf_dns::{ZoneResolver, ZoneStore};
+use spf_netsim::{ChurnConfig, ChurnSimulator, Population, PopulationConfig, Scale};
+use spf_types::DomainName;
+
+const SEED: u64 = 0x5bf1_2023;
+/// Crawl workers for every pass (both paths use the same pool size).
+const WORKERS: usize = 4;
+/// Churn epochs per measured configuration.
+const EPOCHS: u64 = 2;
+/// One virtual month between epochs.
+const MONTH: Duration = Duration::from_secs(30 * 86_400);
+/// Domain TTLs far beyond the simulated horizon, so the due set is
+/// exactly the churn delta and the comparison isolates delta cost.
+const LONG_TTL: Duration = Duration::from_secs(10 * 365 * 86_400);
+/// The delta-size guard's absolute churn size per epoch.
+const DELTA_GUARD_DOMAINS: u64 = 32;
+/// Allowed cost growth for the same delta on a 4×-larger population.
+const DELTA_GUARD_FACTOR: f64 = 4.0;
+/// Timed single-epoch passes per guard point; best-of damps scheduler
+/// noise on small shared hosts.
+const RUNS: usize = 3;
+
+/// A prepared churn world: the zone, the population, and a live engine
+/// bootstrapped over a persistent in-memory walker.
+struct ChurnWorld {
+    store: Arc<ZoneStore>,
+    domains: Vec<DomainName>,
+    walker: Walker<ZoneResolver>,
+    engine: ChurnEngine,
+    sim: ChurnSimulator,
+}
+
+fn build_world(denominator: u64, churn_rate: f64) -> ChurnWorld {
+    let population = Population::build(PopulationConfig {
+        scale: Scale { denominator },
+        seed: SEED,
+    });
+    let store = Arc::clone(&population.store);
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&store)));
+    let config = LongitudinalConfig::default()
+        .crawl(CrawlConfig::with_workers(WORKERS))
+        .ttl(LONG_TTL, Duration::ZERO);
+    let engine = ChurnEngine::bootstrap(&walker, population.domains.clone(), config);
+    let sim = ChurnSimulator::new(
+        Arc::clone(&store),
+        population.domains.clone(),
+        ChurnConfig {
+            rate: churn_rate,
+            seed: SEED,
+            ..ChurnConfig::default()
+        },
+    );
+    ChurnWorld {
+        store,
+        domains: population.domains,
+        walker,
+        engine,
+        sim,
+    }
+}
+
+/// Advance one churn epoch: plan + apply the batch (untimed — the churn
+/// itself is the world changing, not the measured work), then time the
+/// engine's incremental step.
+fn timed_incremental_epoch(world: &mut ChurnWorld, epoch: u64) -> (f64, u64) {
+    let batch = world.sim.next_epoch();
+    batch.apply(&world.store);
+    world.engine.deliver(ZoneDelta::new(batch.domains(), || {}));
+    let started = Instant::now();
+    let report = world.engine.step(
+        &world.walker,
+        MONTH * u32::try_from(epoch).unwrap_or(u32::MAX),
+    );
+    (started.elapsed().as_secs_f64(), report.recrawled)
+}
+
+/// Time the baseline the engine replaces: a from-scratch walker and a
+/// full-population crawl of the current zone.
+fn timed_full_rescan(world: &ChurnWorld) -> (f64, spf_crawler::CrawlOutput) {
+    let started = Instant::now();
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&world.store)));
+    let output = crawl(&walker, &world.domains, CrawlConfig::with_workers(WORKERS));
+    (started.elapsed().as_secs_f64(), output)
+}
+
+/// Byte-identity of the incremental state against a full recompute —
+/// asserted every epoch before the timings are recorded.
+fn assert_identical(world: &ChurnWorld, full: &spf_crawler::CrawlOutput) {
+    let inc_reports = serde_json::to_string(&world.engine.reports()).expect("serialize");
+    let full_reports = serde_json::to_string(&full.reports).expect("serialize");
+    assert_eq!(
+        inc_reports, full_reports,
+        "incremental reports diverged from full recompute"
+    );
+    let inc_weighted = serde_json::to_string(&world.engine.weighted()).expect("serialize");
+    let full_weighted =
+        serde_json::to_string(&full.coverage.clone().into_weighted()).expect("serialize");
+    assert_eq!(
+        inc_weighted, full_weighted,
+        "incremental coverage diverged from full recompute"
+    );
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ChurnPoint {
+    scale_denominator: u64,
+    domains: u64,
+    churn_rate: f64,
+    epochs: u64,
+    recrawled_total: u64,
+    /// Summed incremental step seconds across the epochs.
+    incremental_secs: f64,
+    /// Summed from-scratch full-rescan seconds across the epochs.
+    full_secs: f64,
+    /// `full_secs / incremental_secs` — the acceptance headline.
+    speedup: f64,
+}
+
+/// Measure one configuration: every epoch's identity asserted, then the
+/// summed costs of both paths.
+fn measure(denominator: u64, churn_rate: f64) -> ChurnPoint {
+    let mut world = build_world(denominator, churn_rate);
+    let mut incremental_secs = 0.0;
+    let mut full_secs = 0.0;
+    let mut recrawled_total = 0u64;
+    for epoch in 1..=EPOCHS {
+        let (inc, recrawled) = timed_incremental_epoch(&mut world, epoch);
+        let (full, output) = timed_full_rescan(&world);
+        assert_identical(&world, &output);
+        incremental_secs += inc;
+        full_secs += full;
+        recrawled_total += recrawled;
+    }
+    ChurnPoint {
+        scale_denominator: denominator,
+        domains: world.domains.len() as u64,
+        churn_rate,
+        epochs: EPOCHS,
+        recrawled_total,
+        incremental_secs,
+        full_secs,
+        speedup: full_secs / incremental_secs.max(f64::EPSILON),
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct DeltaGuard {
+    delta_domains: u64,
+    small_population: u64,
+    large_population: u64,
+    small_epoch_secs: f64,
+    large_epoch_secs: f64,
+    /// `large / small` — must stay under [`DELTA_GUARD_FACTOR`].
+    cost_ratio: f64,
+    allowed_factor: f64,
+}
+
+/// Best incremental epoch cost for a fixed absolute delta size on a
+/// population of `denominator` scale.
+fn fixed_delta_epoch_secs(denominator: u64) -> (f64, u64) {
+    let population_len = Scale { denominator }.approx_domains();
+    let rate = DELTA_GUARD_DOMAINS as f64 / population_len as f64;
+    let mut best = f64::INFINITY;
+    let mut population = 0u64;
+    for _ in 0..RUNS {
+        let mut world = build_world(denominator, rate);
+        population = world.domains.len() as u64;
+        let (secs, recrawled) = timed_incremental_epoch(&mut world, 1);
+        assert_eq!(
+            recrawled, DELTA_GUARD_DOMAINS,
+            "fixed-delta churn rate produced the wrong delta size"
+        );
+        best = best.min(secs);
+    }
+    (best, population)
+}
+
+/// The scaling-shape pin: same absolute delta, 4× the population, at
+/// most [`DELTA_GUARD_FACTOR`]× the cost.
+fn measure_delta_guard() -> DeltaGuard {
+    let (small_epoch_secs, small_population) = fixed_delta_epoch_secs(2_000);
+    let (large_epoch_secs, large_population) = fixed_delta_epoch_secs(500);
+    let cost_ratio = large_epoch_secs / small_epoch_secs.max(f64::EPSILON);
+    assert!(
+        cost_ratio <= DELTA_GUARD_FACTOR,
+        "incremental epoch cost grew {cost_ratio:.1}x on a {}x population \
+         (same {DELTA_GUARD_DOMAINS}-domain delta) — cost must track delta \
+         size, not population size",
+        large_population / small_population.max(1),
+    );
+    DeltaGuard {
+        delta_domains: DELTA_GUARD_DOMAINS,
+        small_population,
+        large_population,
+        small_epoch_secs,
+        large_epoch_secs,
+        cost_ratio,
+        allowed_factor: DELTA_GUARD_FACTOR,
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    quick_mode: bool,
+    workers: usize,
+    epochs_per_config: u64,
+    host_parallelism: usize,
+    baseline_note: String,
+    results: Vec<ChurnPoint>,
+    delta_guard: Option<DeltaGuard>,
+    /// Guard points: incremental re-crawl throughput (churned domains
+    /// re-evaluated per second) at quick scale, measured by the same
+    /// plain best-of-N loop in every mode.
+    quick_points: Vec<GuardPoint>,
+}
+
+/// Best-of-RUNS incremental throughput at quick scale: each pass
+/// bootstraps a fresh engine and times one churn epoch.
+fn measure_quick_points() -> Vec<GuardPoint> {
+    const QUICK_DENOM: u64 = 5_000;
+    const QUICK_RATE: f64 = 0.02;
+    vec![guard::quick_point(
+        format!("churn_rescan_pop_{QUICK_DENOM}"),
+        RUNS,
+        || {
+            let mut world = build_world(QUICK_DENOM, QUICK_RATE);
+            let (secs, recrawled) = timed_incremental_epoch(&mut world, 1);
+            assert!(recrawled > 0, "quick epoch churned nothing");
+            recrawled as f64 / secs.max(f64::EPSILON)
+        },
+    )]
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CHURN_RESCAN_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let quick = quick_mode();
+    // The acceptance point is 1:200 at 1 % monthly churn; full mode adds
+    // a second scale to show the speedup grows with population size.
+    let configs: &[(u64, f64)] = if quick {
+        &[(5_000, 0.01)]
+    } else {
+        &[(1_000, 0.01), (200, 0.01)]
+    };
+
+    println!(
+        "churn_rescan: sweeping {} configurations (seed {SEED:#x}, {EPOCHS} epochs each)",
+        configs.len(),
+    );
+
+    let points: RefCell<Vec<ChurnPoint>> = RefCell::new(Vec::new());
+    let mut criterion = Criterion::default().measurement_time(Duration::from_millis(1));
+    let mut group = criterion.benchmark_group("churn_rescan");
+    group.measurement_time(Duration::from_millis(1));
+    for &(denom, rate) in configs {
+        let id = format!("pop_{denom}");
+        let points = &points;
+        group.bench_function(id, move |b| {
+            b.iter(|| {
+                let point = measure(denom, rate);
+                let mut points = points.borrow_mut();
+                match points.iter_mut().find(|p| p.scale_denominator == denom) {
+                    Some(existing) if existing.incremental_secs <= point.incremental_secs => {}
+                    Some(existing) => *existing = point,
+                    None => points.push(point),
+                }
+                denom
+            });
+        });
+    }
+    group.finish();
+
+    let delta_guard = if quick {
+        None
+    } else {
+        Some(measure_delta_guard())
+    };
+    let quick_points = measure_quick_points();
+    let results = points.into_inner();
+    for p in &results {
+        println!(
+            "churn_rescan: 1:{} — {} domains, {} churned over {} epochs; \
+             incremental {:.2} ms vs full rescan {:.2} ms, speedup {:.1}x",
+            p.scale_denominator,
+            p.domains,
+            p.recrawled_total,
+            p.epochs,
+            p.incremental_secs * 1e3,
+            p.full_secs * 1e3,
+            p.speedup,
+        );
+        // The acceptance bar rides the committed full-mode artifact.
+        if !quick && p.scale_denominator == 200 {
+            assert!(
+                p.speedup >= 5.0,
+                "1:200 incremental re-crawl must be ≥5x a full rescan, got {:.1}x",
+                p.speedup
+            );
+        }
+    }
+    if let Some(guard) = &delta_guard {
+        println!(
+            "churn_rescan: delta guard — {}-domain delta costs {:.2} ms on {} domains \
+             vs {:.2} ms on {} domains (ratio {:.2} ≤ {:.1})",
+            guard.delta_domains,
+            guard.small_epoch_secs * 1e3,
+            guard.small_population,
+            guard.large_epoch_secs * 1e3,
+            guard.large_population,
+            guard.cost_ratio,
+            guard.allowed_factor,
+        );
+    }
+
+    let report = BenchReport {
+        bench: "churn_rescan".to_string(),
+        quick_mode: quick,
+        workers: WORKERS,
+        epochs_per_config: EPOCHS,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        baseline_note: "both columns produce byte-identical report vectors and weighted \
+                        coverage (asserted every epoch before timing); the full column \
+                        rebuilds a fresh walker and re-crawls the whole population, the \
+                        incremental column re-crawls only the churned delta"
+            .to_string(),
+        results,
+        delta_guard,
+        quick_points: quick_points.clone(),
+    };
+    let out_path = std::env::var("BENCH_9_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_9.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("BENCH_9.json is writable");
+    println!("churn_rescan: wrote {out_path}");
+
+    // With BENCH_GUARD_BASELINE set (scripts/bench_guard.sh), fail the
+    // run on a regression against the committed artifact.
+    guard::enforce_from_env(&quick_points);
+}

@@ -38,6 +38,7 @@
 pub mod aggregate;
 pub mod crawl;
 pub mod ecosystem;
+pub mod longitudinal;
 pub mod overlap;
 pub mod spoof;
 
@@ -48,13 +49,14 @@ pub use crawl::{
     crawl, CrawlConfig, CrawlOutput, CrawlStats, DEFAULT_BATCH_SIZE, DEFAULT_WIRE_SERVERS,
 };
 pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
+pub use longitudinal::{ChurnEngine, EpochReport, LongitudinalConfig, ZoneDelta};
 pub use overlap::{OverlapReport, ProviderConcentration, DEFAULT_PROVIDER_ROWS};
 /// Re-export of the engine-selection types every assembler consumes.
 pub use spf_types::{Backend, EngineBuilder, Evaluator, Transport};
 pub use spoof::{
-    select_vantages, spoof_matrix, ProviderVantage, SpoofMatrix, SpoofMatrixConfig,
-    SpoofMatrixStats, SpoofVerdictCache, VantageKind, VantagePoint, VantageReport,
-    DEFAULT_CONTROLS, DEFAULT_TOP_COVERAGE, SPOOF_SENDER_LOCAL,
+    evaluate_matrix_row, select_vantages, spoof_matrix, DomainMatrixRow, ProviderVantage, RowCell,
+    SpoofMatrix, SpoofMatrixConfig, SpoofMatrixStats, SpoofVerdictCache, VantageKind, VantagePoint,
+    VantageReport, DEFAULT_CONTROLS, DEFAULT_TOP_COVERAGE, SPOOF_SENDER_LOCAL,
 };
 
 /// Re-export of the analyzer's lax-authorization threshold (100,000 IPs).

@@ -419,8 +419,8 @@ impl VantageReport {
         }
     }
 
-    fn add(&mut self, eval: &Evaluation) {
-        match eval.result {
+    fn add_cell(&mut self, cell: &RowCell) {
+        match cell.result {
             SpfResult::Pass => self.pass += 1,
             SpfResult::Fail => self.fail += 1,
             SpfResult::SoftFail => self.softfail += 1,
@@ -429,8 +429,24 @@ impl VantageReport {
             SpfResult::TempError => self.temperror += 1,
             SpfResult::PermError => self.permerror += 1,
         }
-        self.dns_lookups += eval.dns_lookups as u64;
-        self.void_lookups += eval.void_lookups as u64;
+        self.dns_lookups += cell.dns_lookups;
+        self.void_lookups += cell.void_lookups;
+    }
+
+    /// The exact inverse of [`VantageReport::add_cell`]; the caller only
+    /// retracts cells it previously folded in, so no counter underflows.
+    fn remove_cell(&mut self, cell: &RowCell) {
+        match cell.result {
+            SpfResult::Pass => self.pass -= 1,
+            SpfResult::Fail => self.fail -= 1,
+            SpfResult::SoftFail => self.softfail -= 1,
+            SpfResult::Neutral => self.neutral -= 1,
+            SpfResult::None => self.none -= 1,
+            SpfResult::TempError => self.temperror -= 1,
+            SpfResult::PermError => self.permerror -= 1,
+        }
+        self.dns_lookups -= cell.dns_lookups;
+        self.void_lookups -= cell.void_lookups;
     }
 
     fn merge(&mut self, other: &VantageReport) {
@@ -479,6 +495,90 @@ impl SpoofMatrix {
             self.lazy_gatekeepers as f64 / self.spf_domains as f64
         }
     }
+
+    /// An all-zero matrix over `domain_count` domains and `vantages` —
+    /// the starting point incremental row folding builds from.
+    pub fn empty(domain_count: u64, vantages: &[VantagePoint]) -> Self {
+        SpoofMatrix {
+            domains: domain_count,
+            spf_domains: 0,
+            vantages: vantages.iter().map(VantageReport::new).collect(),
+            spoofable_shared: 0,
+            spoofable_control: 0,
+            lazy_gatekeepers: 0,
+        }
+    }
+
+    /// Fold one domain's row into the matrix. Every matrix field is a
+    /// commutative sum of per-domain rows, so fold order never matters;
+    /// [`SpoofMatrix::fold_out`] is the exact inverse, which is what
+    /// lets the churn engine replace a re-published domain's
+    /// contribution without recomputing anyone else's. `domains` is the
+    /// population size, not a row sum — folding leaves it untouched.
+    pub fn fold_in(&mut self, row: &DomainMatrixRow) {
+        debug_assert_eq!(row.cells.len(), self.vantages.len());
+        self.spf_domains += u64::from(row.has_record);
+        self.spoofable_shared += u64::from(row.passes_shared);
+        self.spoofable_control += u64::from(row.passes_control);
+        self.lazy_gatekeepers += u64::from(row.passes_shared || row.passes_control);
+        for (report, cell) in self.vantages.iter_mut().zip(&row.cells) {
+            report.add_cell(cell);
+        }
+    }
+
+    /// Retract one domain's previously folded-in row — the exact
+    /// inverse of [`SpoofMatrix::fold_in`].
+    pub fn fold_out(&mut self, row: &DomainMatrixRow) {
+        debug_assert_eq!(row.cells.len(), self.vantages.len());
+        self.spf_domains -= u64::from(row.has_record);
+        self.spoofable_shared -= u64::from(row.passes_shared);
+        self.spoofable_control -= u64::from(row.passes_control);
+        self.lazy_gatekeepers -= u64::from(row.passes_shared || row.passes_control);
+        for (report, cell) in self.vantages.iter_mut().zip(&row.cells) {
+            report.remove_cell(cell);
+        }
+    }
+}
+
+/// One `(domain, vantage)` cell of a matrix row: the verdict plus the
+/// lookup charges the evaluation incurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowCell {
+    /// The `check_host()` verdict from this vantage.
+    pub result: SpfResult,
+    /// DNS-querying terms charged by this evaluation.
+    pub dns_lookups: u64,
+    /// Void lookups observed by this evaluation.
+    pub void_lookups: u64,
+}
+
+impl RowCell {
+    fn from_eval(eval: &Evaluation) -> Self {
+        RowCell {
+            result: eval.result,
+            dns_lookups: eval.dns_lookups as u64,
+            void_lookups: eval.void_lookups as u64,
+        }
+    }
+}
+
+/// One domain's complete row of the verdict matrix: its per-vantage
+/// cells plus the derived population-summary facts. A row is a pure
+/// function of `(zone, domain, vantages, policy)`; the matrix is the
+/// commutative sum of all rows, so retaining rows per domain is exactly
+/// what the churn engine needs to fold a re-published domain out and
+/// its replacement in (DESIGN.md §12).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainMatrixRow {
+    /// Per-vantage cells, in vantage input order.
+    pub cells: Vec<RowCell>,
+    /// Whether any vantage returned a non-`none` verdict (the domain
+    /// publishes SPF).
+    pub has_record: bool,
+    /// Whether any attacker-reachable vantage returned `pass`.
+    pub passes_shared: bool,
+    /// Whether any control vantage returned `pass`.
+    pub passes_control: bool,
 }
 
 /// Engine observability counters (worker-scheduling dependent — kept out
@@ -652,37 +752,41 @@ pub fn spoof_matrix<R: Resolver>(
     (matrix, stats)
 }
 
-/// One domain's row of the matrix: evaluate it from every vantage and
-/// fold the results into `tally`. With the compiled backend, the tree is
-/// compiled once and every vantage answers from the interval tables;
-/// residual regions fall back to the same (cached) evaluator path, so
-/// the row is byte-identical either way.
-fn evaluate_domain<R: Resolver>(
+/// Evaluate one domain's complete [`DomainMatrixRow`] from every
+/// vantage. With the compiled backend, the tree is compiled once and
+/// every vantage answers from the interval tables; residual regions
+/// fall back to the same (cached) evaluator path, so the row is
+/// byte-identical either way. This is both the batch engine's inner
+/// loop and the churn engine's per-delta re-evaluation primitive.
+pub fn evaluate_matrix_row<R: Resolver>(
     resolver: &R,
     domain: &DomainName,
     vantages: &[VantagePoint],
     policy: &EvalPolicy,
     cache: Option<&SpoofVerdictCache>,
     use_compiled: bool,
-    tally: &mut WorkerTally,
-) {
+    compiler: &mut CompilerStats,
+) -> DomainMatrixRow {
     let compiled = use_compiled.then(|| {
         let compiled = compile_policy(resolver, domain, &CompileConfig::with_policy(*policy));
-        tally.compiler.record(&compiled);
+        compiler.record(&compiled);
         compiled
     });
-    let mut has_record = false;
-    let mut passes_shared = false;
-    let mut passes_control = false;
-    for (index, vantage) in vantages.iter().enumerate() {
+    let mut row = DomainMatrixRow {
+        cells: Vec::with_capacity(vantages.len()),
+        has_record: false,
+        passes_shared: false,
+        passes_control: false,
+    };
+    for vantage in vantages {
         let fast = compiled
             .as_ref()
             .and_then(|c| c.verdict(IpAddr::V4(vantage.ip)));
         if compiled.is_some() {
             if fast.is_some() {
-                tally.compiler.compiled_verdicts += 1;
+                compiler.compiled_verdicts += 1;
             } else {
-                tally.compiler.fallback_verdicts += 1;
+                compiler.fallback_verdicts += 1;
             }
         }
         let eval = match fast {
@@ -699,29 +803,47 @@ fn evaluate_domain<R: Resolver>(
                 }
             }
         };
-        tally.vantages[index].add(&eval);
         if eval.result != SpfResult::None {
-            has_record = true;
+            row.has_record = true;
         }
         if eval.result == SpfResult::Pass {
             if vantage.kind.attacker_reachable() {
-                passes_shared = true;
+                row.passes_shared = true;
             } else {
-                passes_control = true;
+                row.passes_control = true;
             }
         }
+        row.cells.push(RowCell::from_eval(&eval));
     }
-    if has_record {
-        tally.spf_domains += 1;
-    }
-    if passes_shared {
-        tally.spoofable_shared += 1;
-    }
-    if passes_control {
-        tally.spoofable_control += 1;
-    }
-    if passes_shared || passes_control {
-        tally.lazy_gatekeepers += 1;
+    row
+}
+
+/// One domain's row of the matrix: evaluate it from every vantage and
+/// fold the results into `tally`.
+fn evaluate_domain<R: Resolver>(
+    resolver: &R,
+    domain: &DomainName,
+    vantages: &[VantagePoint],
+    policy: &EvalPolicy,
+    cache: Option<&SpoofVerdictCache>,
+    use_compiled: bool,
+    tally: &mut WorkerTally,
+) {
+    let row = evaluate_matrix_row(
+        resolver,
+        domain,
+        vantages,
+        policy,
+        cache,
+        use_compiled,
+        &mut tally.compiler,
+    );
+    tally.spf_domains += u64::from(row.has_record);
+    tally.spoofable_shared += u64::from(row.passes_shared);
+    tally.spoofable_control += u64::from(row.passes_control);
+    tally.lazy_gatekeepers += u64::from(row.passes_shared || row.passes_control);
+    for (report, cell) in tally.vantages.iter_mut().zip(&row.cells) {
+        report.add_cell(cell);
     }
 }
 
@@ -935,6 +1057,58 @@ mod tests {
             stats.cache_hits >= 5 * vantages.len() as u64,
             "hits = {}",
             stats.cache_hits
+        );
+    }
+
+    #[test]
+    fn folded_rows_reproduce_batch_matrix_and_fold_out_inverts() {
+        let (store, domains, weighted) = build_world();
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        let vantages = vantage_set(&weighted, 2);
+        let (batch, _) = spoof_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(4),
+        );
+        let mut compiler = CompilerStats::default();
+        let rows: Vec<DomainMatrixRow> = domains
+            .iter()
+            .map(|d| {
+                evaluate_matrix_row(
+                    &resolver,
+                    d,
+                    &vantages,
+                    &EvalPolicy::default(),
+                    None,
+                    false,
+                    &mut compiler,
+                )
+            })
+            .collect();
+        let mut folded = SpoofMatrix::empty(domains.len() as u64, &vantages);
+        for row in &rows {
+            folded.fold_in(row);
+        }
+        assert_eq!(
+            serde_json::to_string(&batch).unwrap(),
+            serde_json::to_string(&folded).unwrap()
+        );
+        // fold_out is the exact inverse: retract + re-fold any row and
+        // the bytes are unchanged.
+        let snapshot = serde_json::to_string(&folded).unwrap();
+        for row in &rows {
+            folded.fold_out(row);
+            folded.fold_in(row);
+        }
+        assert_eq!(snapshot, serde_json::to_string(&folded).unwrap());
+        // Retracting every row returns to the all-zero matrix.
+        for row in &rows {
+            folded.fold_out(row);
+        }
+        assert_eq!(
+            serde_json::to_string(&folded).unwrap(),
+            serde_json::to_string(&SpoofMatrix::empty(domains.len() as u64, &vantages)).unwrap()
         );
     }
 

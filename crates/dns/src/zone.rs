@@ -174,6 +174,17 @@ impl ZoneStore {
         self.inner.write().records.remove(name);
     }
 
+    /// Remove every record of one type from a name, leaving the name
+    /// (and its other RRsets, faults, or empty registration) intact.
+    /// The churn simulator's MX-failover flip swaps a domain's exchange
+    /// set this way without destroying its TXT policy.
+    pub fn remove_type(&self, name: &DomainName, rtype: RecordType) {
+        let mut inner = self.inner.write();
+        if let Some(entry) = inner.records.get_mut(name) {
+            entry.types.remove(&rtype);
+        }
+    }
+
     /// Replace the TXT records of a name with a single new text.
     pub fn replace_txt(&self, name: &DomainName, text: &str) {
         {
@@ -277,6 +288,26 @@ mod tests {
 
     fn dom(s: &str) -> DomainName {
         DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn remove_type_leaves_other_rrsets_intact() {
+        let store = ZoneStore::new();
+        let name = dom("mail.example");
+        store.add_txt(&name, "v=spf1 mx -all");
+        store.add_mx(&name, 10, &dom("mx1.example"));
+        store.add_mx(&name, 20, &dom("mx2.example"));
+        store.remove_type(&name, RecordType::Mx);
+        assert_eq!(
+            store.lookup(&name, RecordType::Mx),
+            LookupOutcome::NoRecords
+        );
+        assert_eq!(store.txt_strings(&name), vec!["v=spf1 mx -all".to_string()]);
+        // The name itself survives: still NOERROR, not NXDOMAIN.
+        assert!(store.name_exists(&name));
+        // Removing a type the name never had is a no-op.
+        store.remove_type(&dom("absent.example"), RecordType::Mx);
+        assert!(!store.name_exists(&dom("absent.example")));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`providers`] — Table 4's top-20 includes, fat includes (Figure 4),
 //!   the multi-record target, the Table 3 long tail;
 //! * [`population`] — the cohort-calibrated domain population;
+//! * [`churn`] — deterministic seeded zone churn (record add/remove,
+//!   tightenings, provider migrations, BLBFO MX failover) for the
+//!   longitudinal engine;
 //! * [`hosting`] — the five-provider case-study world (Table 5);
 //! * [`spooflab`] — the spoofability-matrix worlds: population + hosting
 //!   merged into one zone, plus the include-heavy cache stress shape;
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+pub mod churn;
 pub mod hosting;
 pub mod population;
 pub mod providers;
@@ -36,6 +40,9 @@ pub mod tenancy;
 pub mod wirelab;
 
 pub use blocks::AddressAllocator;
+pub use churn::{
+    ChurnBatch, ChurnConfig, ChurnEvent, ChurnKind, ChurnPreset, ChurnSimulator, CHURN_PROVIDERS,
+};
 pub use hosting::{
     build_hosting, build_hosting_into, HostingProvider, HostingWorld, SPOOFABLE_TOTAL_FULL,
 };

@@ -88,6 +88,9 @@ pub struct TtlLruStats {
     pub expirations: u64,
     /// Entries removed to make room at capacity.
     pub evictions: u64,
+    /// Entries removed by explicit invalidation (a churn delta told the
+    /// cache the underlying zone changed before the TTL could notice).
+    pub invalidations: u64,
     /// Entries admitted.
     pub inserts: u64,
     /// Entries currently resident.
@@ -130,16 +133,18 @@ impl TtlLruStats {
             StatItem::count("entries", self.entries),
             StatItem::count("evictions", self.evictions),
             StatItem::count("expirations", self.expirations),
+            StatItem::count("invalidations", self.invalidations),
             StatItem::count("inserts", self.inserts),
         ]
     }
 
     /// The conservation law every quiescent snapshot must satisfy:
-    /// every admitted entry is still resident, was evicted, or expired
+    /// every admitted entry is still resident, was evicted, expired
     /// (expirations are counted wherever discovered — probe or insert —
-    /// and both removal sites debit the same pool).
+    /// and both removal sites debit the same pool), or was explicitly
+    /// invalidated.
     pub fn is_consistent(&self) -> bool {
-        self.inserts == self.entries + self.evictions + self.expirations
+        self.inserts == self.entries + self.evictions + self.expirations + self.invalidations
     }
 
     /// Sum two snapshots field-wise (stripe totals → cache totals).
@@ -149,6 +154,7 @@ impl TtlLruStats {
             misses: self.misses + other.misses,
             expirations: self.expirations + other.expirations,
             evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
             inserts: self.inserts + other.inserts,
             entries: self.entries + other.entries,
         }
@@ -290,6 +296,52 @@ impl<K: CacheKey, V: Clone> TtlLru<K, V> {
         stripe.stats.entries += 1;
     }
 
+    /// Explicitly drop the entry under `key`, if resident, regardless
+    /// of its TTL. Returns whether an entry was removed.
+    ///
+    /// TTL expiry bounds staleness *in time*; this bounds it *in
+    /// causality*: when the caller knows the underlying zone changed (a
+    /// churn delta re-published the domain), the entry must go **now**,
+    /// not when its TTL happens to lapse — otherwise a churned domain
+    /// could be served a verdict computed against the old zone for up
+    /// to a full TTL.
+    pub fn invalidate(&self, key: &K) -> bool {
+        let mut stripe = self.stripe(key).lock().unwrap();
+        match stripe.map.get(key) {
+            Some(entry) => {
+                let seq = entry.seq;
+                stripe.remove(key, seq);
+                stripe.stats.invalidations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Explicitly drop every resident entry whose key matches `pred`;
+    /// returns how many were removed. This is the churn-delta path for
+    /// caches whose keys are wider than a domain (the verdict memo keys
+    /// on `(domain, ip, budget)`, so one churned domain maps to a key
+    /// *family*).
+    pub fn invalidate_where(&self, mut pred: impl FnMut(&K) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for stripe in self.stripes.iter() {
+            let mut stripe = stripe.lock().unwrap();
+            let victims: Vec<(K, u64)> = stripe
+                .map
+                .iter()
+                .filter(|(k, _)| pred(k))
+                .map(|(k, e)| (k.clone(), e.seq))
+                .collect();
+            for (key, seq) in victims {
+                stripe.remove(&key, seq);
+                stripe.stats.invalidations += 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Entries currently resident across all stripes.
     pub fn len(&self) -> usize {
         self.stripes
@@ -368,6 +420,20 @@ impl ServiceVerdictCache {
     /// Per-stripe counters (the shard-counter-sum test's view).
     pub fn stripe_stats(&self) -> Vec<TtlLruStats> {
         self.inner.stripe_stats()
+    }
+
+    /// Drop every memoized verdict involving `domain` — all `(domain,
+    /// ip, budget)` keys — so a churned domain is never served a
+    /// verdict computed against the old zone, even before its TTL
+    /// expires. Returns how many entries were dropped.
+    ///
+    /// Scope note: this removes the entries keyed *at* `domain`, which
+    /// is exactly right under the churn locality contract (a delta
+    /// rewrites only the named domain's own records); a provider-style
+    /// mutation under a domain other customers include must invalidate
+    /// each affected root (or simply not be modeled as a churn delta).
+    pub fn invalidate_domain(&self, domain: &DomainName) -> u64 {
+        self.inner.invalidate_where(|key| key.domain == *domain)
     }
 
     /// Resident entries.
@@ -452,6 +518,14 @@ impl CompiledPolicyCache {
     /// Admit a freshly compiled policy.
     pub fn insert(&self, domain: DomainName, compiled: Arc<CompiledPolicy>) {
         self.inner.insert(CompiledKey(domain), compiled);
+    }
+
+    /// Drop `domain`'s compiled artifact, if resident, regardless of
+    /// its TTL — the churn-delta path: a compiled policy is a batch of
+    /// memoized DNS answers, so a zone delta makes it wrong *now*, not
+    /// at TTL lapse. Returns whether an artifact was dropped.
+    pub fn invalidate(&self, domain: &DomainName) -> bool {
+        self.inner.invalidate(&CompiledKey(domain.clone()))
     }
 
     /// Aggregated store counters.
@@ -582,6 +656,146 @@ mod tests {
         assert!(merged.evictions > 0, "load never evicted: {merged:?}");
         assert!(merged.expirations > 0, "load never expired: {merged:?}");
         assert!(merged.hits > 0 && merged.misses > 0, "{merged:?}");
+    }
+
+    #[test]
+    fn invalidate_removes_live_entry_before_ttl_and_balances_counters() {
+        let (lru, _clock) = cache(8, 2, 1_000);
+        lru.insert(Key(1), 1);
+        lru.insert(Key(2), 2);
+        // The entry is live — no TTL has lapsed — yet invalidation
+        // removes it immediately.
+        assert!(lru.invalidate(&Key(1)));
+        assert!(!lru.invalidate(&Key(1)), "second invalidate finds nothing");
+        assert_eq!(lru.get(&Key(1)), None);
+        assert_eq!(lru.get(&Key(2)), Some(2));
+        let stats = lru.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.expirations, 0);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.is_consistent(), "{stats:?}");
+    }
+
+    #[test]
+    fn invalidate_where_removes_the_whole_key_family() {
+        let (lru, _clock) = cache(64, 4, 1_000);
+        for k in 0..32u64 {
+            lru.insert(Key(k), k);
+        }
+        let removed = lru.invalidate_where(|k| k.0 % 4 == 1);
+        assert_eq!(removed, 8);
+        for k in 0..32u64 {
+            assert_eq!(lru.get(&Key(k)).is_some(), k % 4 != 1, "key {k}");
+        }
+        let stats = lru.stats();
+        assert_eq!(stats.invalidations, 8);
+        assert!(stats.is_consistent(), "{stats:?}");
+    }
+
+    /// The churn-delta pin: a churned domain must never be served a
+    /// verdict computed against the old zone, even though its TTL has
+    /// not expired. Without explicit invalidation the stale verdict IS
+    /// served (that's the gap this path closes); with it, the next
+    /// probe re-resolves against the live zone.
+    #[test]
+    fn churned_domain_never_served_stale_verdict_before_ttl() {
+        use spf_core::{check_host_cached, EvalContext, EvalPolicy, SpfResult};
+        use spf_dns::{ZoneResolver, ZoneStore};
+
+        // The memo caches *include-subtree* verdicts, so the staleness
+        // window is a churned domain that others include: the customer's
+        // root record is always read live, but the provider subtree it
+        // includes answers from the memo.
+        let store = Arc::new(ZoneStore::new());
+        let provider = DomainName::parse("provider.example").unwrap();
+        let customer = DomainName::parse("customer.example").unwrap();
+        store.add_txt(&provider, "v=spf1 ip4:192.0.2.7 -all");
+        store.add_txt(&customer, "v=spf1 include:provider.example -all");
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        let clock = Arc::new(VirtualClock::new());
+        let cache = ServiceVerdictCache::new(
+            TtlLruConfig::new(1024, Duration::from_secs(3600)),
+            Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
+        );
+        let policy = EvalPolicy::default();
+        let ip: IpAddr = "192.0.2.7".parse().unwrap();
+        let ctx = EvalContext::mail_from(ip, "attacker", customer.clone());
+
+        let before = check_host_cached(&resolver, &ctx, &customer, &policy, &cache);
+        assert_eq!(before.result, SpfResult::Pass);
+
+        // The provider churns: the address is no longer authorized. The
+        // TTL (1h) is nowhere near expiry.
+        store.replace_txt(&provider, "v=spf1 -all");
+        clock.advance(Duration::from_secs(1));
+
+        // Demonstrate the gap explicit invalidation closes: the memo
+        // still serves the pre-churn subtree verdict…
+        let stale = check_host_cached(&resolver, &ctx, &customer, &policy, &cache);
+        assert_eq!(stale.result, SpfResult::Pass, "TTL alone cannot see churn");
+
+        // …until the churn delta invalidates the domain's key family.
+        let removed = cache.invalidate_domain(&provider);
+        assert!(removed >= 1, "expected resident verdicts for the domain");
+        let fresh = check_host_cached(&resolver, &ctx, &customer, &policy, &cache);
+        assert_eq!(fresh.result, SpfResult::Fail);
+        assert!(cache.stats().is_consistent());
+
+        // Unrelated domains' entries survive domain-scoped invalidation.
+        let steady = DomainName::parse("steady.example").unwrap();
+        store.add_txt(&steady, "v=spf1 include:steady-inc.example -all");
+        store.add_txt(
+            &DomainName::parse("steady-inc.example").unwrap(),
+            "v=spf1 ip4:192.0.2.7 -all",
+        );
+        let steady_ctx = EvalContext::mail_from(ip, "attacker", steady.clone());
+        let _ = check_host_cached(&resolver, &steady_ctx, &steady, &policy, &cache);
+        let len_before = cache.len();
+        // The fresh customer probe re-memoized the provider subtree, so
+        // exactly that one entry goes; the steady family stays resident.
+        let removed_again = cache.invalidate_domain(&provider);
+        assert_eq!(cache.len(), len_before - removed_again as usize);
+        assert_eq!(
+            cache.invalidate_domain(&DomainName::parse("steady-inc.example").unwrap()),
+            1,
+            "steady include subtree must have survived provider invalidation"
+        );
+        assert!(cache.stats().is_consistent());
+    }
+
+    /// The compiled-policy twin of the stale-verdict pin: a compiled
+    /// artifact is a batch of memoized DNS answers, so a churn delta
+    /// must evict it immediately rather than wait out the TTL.
+    #[test]
+    fn compiled_policy_invalidation_forces_recompile_before_ttl() {
+        use spf_core::{compile_policy, CompileConfig};
+        use spf_dns::{ZoneResolver, ZoneStore};
+
+        let store = Arc::new(ZoneStore::new());
+        let domain = DomainName::parse("compiled.example").unwrap();
+        store.add_txt(&domain, "v=spf1 ip4:198.51.100.0/24 -all");
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        let clock = Arc::new(VirtualClock::new());
+        let cache = CompiledPolicyCache::new(
+            TtlLruConfig::new(64, Duration::from_secs(3600)),
+            Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
+        );
+        let compiled = Arc::new(compile_policy(
+            &resolver,
+            &domain,
+            &CompileConfig::default(),
+        ));
+        cache.insert(domain.clone(), compiled);
+        assert!(cache.get(&domain).is_some());
+
+        // Zone churns; the artifact is stale NOW, TTL or not.
+        store.replace_txt(&domain, "v=spf1 -all");
+        assert!(cache.invalidate(&domain));
+        assert!(cache.get(&domain).is_none(), "stale artifact must be gone");
+        assert!(!cache.invalidate(&domain), "nothing left to invalidate");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert!(stats.is_consistent(), "{stats:?}");
     }
 
     #[test]

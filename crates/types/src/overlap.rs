@@ -81,6 +81,35 @@ impl CoverageMap {
         self.sets += 1;
     }
 
+    /// Retract one domain's flattened range set from the accumulator —
+    /// the exact inverse of [`CoverageMap::add_set`].
+    ///
+    /// Each range pushes the mirrored deltas (`−1` at `lo`, `+1` one past
+    /// `hi`), so the multiset-sum argument that makes accumulation
+    /// order-independent makes retraction exact as well: folding a set
+    /// out after folding it in restores the map (and everything swept
+    /// from it) byte-for-byte, because boundaries whose net delta
+    /// returns to zero are dropped at the next flush. This is the
+    /// churn engine's fold-out primitive (DESIGN.md §12).
+    ///
+    /// The caller must only retract sets previously folded in; removing
+    /// a set that was never added trips the sweep's non-negative-weight
+    /// debug assertion.
+    pub fn remove_set(&mut self, set: &Ipv4Set) {
+        for (lo, hi) in set.iter_ranges_u32() {
+            self.push_event(lo as u64, -1);
+            self.push_event(hi as u64 + 1, 1);
+        }
+        self.sets = self.sets.saturating_sub(1);
+    }
+
+    /// Sweep a snapshot of the accumulated boundaries into
+    /// [`WeightedRanges`] without consuming the accumulator — the
+    /// longitudinal engine re-sweeps its live map every epoch.
+    pub fn weighted(&self) -> WeightedRanges {
+        self.clone().into_weighted()
+    }
+
     /// Fold another accumulator into this one (consumes it). The sum of
     /// delta multisets is order-independent, so merging per-worker maps
     /// in any order yields the same result.
@@ -474,6 +503,94 @@ mod tests {
         let w = map.into_weighted();
         // max weight 6 → thresholds 1, 2, 4 (8 would cover nothing).
         assert_eq!(w.power_of_two_histogram(), vec![(1, 100), (2, 10), (4, 10)]);
+    }
+
+    #[test]
+    fn remove_set_is_exact_inverse_of_add_set() {
+        // Base population plus one extra domain; folding the extra
+        // domain back out must restore the base profile byte-for-byte.
+        let base_sets: Vec<Ipv4Set> = (0..10u32)
+            .map(|i| set(&[(i * 7, i * 7 + 30), (500 + i * 2, 520 + i * 2)]))
+            .collect();
+        let extra = set(&[(3, 600), (4000, 4096)]);
+        let mut base = CoverageMap::new();
+        for s in &base_sets {
+            base.add_set(s);
+        }
+        let mut churned = base.clone();
+        churned.add_set(&extra);
+        churned.remove_set(&extra);
+        assert_eq!(churned.set_count(), base.set_count());
+        let a = serde_json::to_string(&churned.into_weighted()).unwrap();
+        let b = serde_json::to_string(&base.into_weighted()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn removing_last_domain_on_boundary_cancels_delta_exactly() {
+        // Two domains share the boundary at 100; retracting the one that
+        // *ends* there must cancel its −1 without disturbing the
+        // survivor's +1 — the boundary stays, with the survivor's weight.
+        let ends_at_boundary = set(&[(0, 99)]);
+        let starts_at_boundary = set(&[(100, 199)]);
+        let mut map = CoverageMap::new();
+        map.add_set(&ends_at_boundary);
+        map.add_set(&starts_at_boundary);
+        map.remove_set(&ends_at_boundary);
+        assert_eq!(map.boundary_count(), 2);
+        let w = map.into_weighted();
+        assert_eq!(w.range_count(), 1);
+        assert_eq!(w.weight_at(Ipv4Addr::from(99u32)), 0);
+        assert_eq!(w.weight_at(Ipv4Addr::from(100u32)), 1);
+
+        // And retracting the only domain on a boundary cancels the ±1
+        // pair entirely: the map returns to empty canonical form.
+        let mut lone = CoverageMap::new();
+        lone.add_set(&ends_at_boundary);
+        lone.remove_set(&ends_at_boundary);
+        assert_eq!(lone.boundary_count(), 0);
+        assert!(lone.into_weighted().is_empty());
+    }
+
+    #[test]
+    fn fold_out_never_retains_zero_weight_ranges() {
+        // A wide set overlapping a narrow one: after the wide set folds
+        // out, the formerly covered-by-both flanks drop to zero weight
+        // and must vanish from the canonical sweep, not linger as
+        // zero-weight ranges.
+        let wide = set(&[(0, 1000)]);
+        let narrow = set(&[(400, 600)]);
+        let mut map = CoverageMap::new();
+        map.add_set(&wide);
+        map.add_set(&narrow);
+        map.remove_set(&wide);
+        let w = map.into_weighted();
+        assert!(w.iter().all(|r| r.weight > 0));
+        assert_eq!(w.range_count(), 1);
+        assert_eq!(w.total_covered(), 201);
+    }
+
+    #[test]
+    fn set_count_saturates_under_fold_out() {
+        let s = set(&[(0, 9)]);
+        let mut map = CoverageMap::new();
+        map.add_set(&s);
+        map.remove_set(&s);
+        assert_eq!(map.set_count(), 0);
+        // Over-retraction of the *count* saturates rather than wrapping;
+        // the boundary deltas themselves are the caller's contract.
+        let mut empty = CoverageMap::new();
+        empty.remove_set(&set(&[]));
+        assert_eq!(empty.set_count(), 0);
+    }
+
+    #[test]
+    fn weighted_snapshot_matches_consuming_sweep() {
+        let mut map = CoverageMap::new();
+        map.add_set(&set(&[(0, 99)]));
+        map.add_set(&set(&[(50, 149)]));
+        let snap = map.weighted();
+        assert_eq!(snap, map.into_weighted());
     }
 
     #[test]

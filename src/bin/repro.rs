@@ -15,18 +15,20 @@
 //! `table1` … `table5`, `fig1` … `fig8`, `extras` (the §5.1/§5.5
 //! additional findings), `overlap` (the cross-population address-space
 //! overlap engine: most-spoofable address, coverage histogram, provider
-//! concentration — §6 in overlap form), and `spoof-matrix` (the
+//! concentration — §6 in overlap form), `spoof-matrix` (the
 //! population-scale spoofability verdict matrix: `check_host()` verdicts
-//! for every domain from attacker vantage addresses). Two service
-//! targets must be named explicitly — `all` does not imply them:
-//! `serve` (run the resident socket-served verdict daemon until
-//! interrupted or `--duration`) and `traffic` (replay a generated load
-//! mix against it and print throughput/latency). The single source
-//! of truth for the target list is the [`TARGETS`] table — the usage
-//! string and the validity check both derive from it, and unit tests pin
-//! the two to each other. Every target except `table5`, `spoof-matrix`,
-//! `serve`, and `traffic` shares one generate-and-crawl pass; those
-//! build their own worlds.
+//! for every domain from attacker vantage addresses), and `trends` (the
+//! longitudinal churn engine: `--epochs` simulated months of `--churn`
+//! zone churn, re-crawled incrementally TTL-by-TTL with delta-exact
+//! trend reports). Two service targets must be named explicitly — `all`
+//! does not imply them: `serve` (run the resident socket-served verdict
+//! daemon until interrupted or `--duration`) and `traffic` (replay a
+//! generated load mix against it and print throughput/latency). The
+//! single source of truth for the target list is the [`TARGETS`] table —
+//! the usage string and the validity check both derive from it, and unit
+//! tests pin the two to each other. Every target except `table5`,
+//! `spoof-matrix`, `trends`, `serve`, and `traffic` shares one
+//! generate-and-crawl pass; those build their own worlds.
 //!
 //! # Flags
 //!
@@ -103,6 +105,10 @@ const TARGETS: &[(&str, &str)] = &[
         "the population-scale spoofability verdict matrix",
     ),
     (
+        "trends",
+        "longitudinal churn trends via TTL-driven incremental re-crawl",
+    ),
+    (
         "serve",
         "run the resident verdict service (not part of `all`)",
     ),
@@ -114,7 +120,7 @@ const TARGETS: &[(&str, &str)] = &[
 
 /// Targets that build their own world instead of sharing the main
 /// generate-and-crawl pass.
-const STANDALONE_TARGETS: &[&str] = &["table5", "spoof-matrix", "serve", "traffic"];
+const STANDALONE_TARGETS: &[&str] = &["table5", "spoof-matrix", "trends", "serve", "traffic"];
 
 /// Targets `all` deliberately does *not* imply: `serve` blocks until
 /// interrupted (or `--duration`), and `traffic` is a load test, not an
@@ -152,6 +158,9 @@ struct Args {
     window: usize,
     transport: Transport,
     duration_secs: u64,
+    // `trends` target only:
+    epochs: u64,
+    churn_rate: f64,
 }
 
 impl Args {
@@ -176,6 +185,8 @@ fn parse_args() -> Args {
         window: 32,
         transport: Transport::Udp,
         duration_secs: 0,
+        epochs: 6,
+        churn_rate: 0.01,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -258,6 +269,20 @@ fn parse_args() -> Args {
                     _ => usage("--transport must be `udp` or `tcp`"),
                 };
             }
+            "--epochs" => {
+                args.epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage("--epochs must be a positive integer"));
+            }
+            "--churn" => {
+                args.churn_rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage("--churn must be a rate in [0, 1]"));
+            }
             "--duration" => {
                 args.duration_secs = it
                     .next()
@@ -296,7 +321,8 @@ fn usage(problem: &str) -> ! {
          usage: repro [targets...] [--scale N] [--seed S] [--workers W]\n\
          \x20             [--backend SPEC] [--out PATH | --no-write]\n\
          \x20             [--queries N] [--mix hot|burst|cold] [--clients N] [--window N]\n\
-         \x20             [--transport udp|tcp] [--duration SECS]\n\n\
+         \x20             [--transport udp|tcp] [--duration SECS]\n\
+         \x20             [--epochs N] [--churn RATE]\n\n\
          {}\n\
          scale:   population is 12,823,598 / N domains (default N = {DEFAULT_SCALE})\n\
          backend: transport[:servers][+evaluator] (default `memory`) —\n\
@@ -309,7 +335,10 @@ fn usage(problem: &str) -> ! {
          \x20        aliases folding into the same selection\n\
          service: `serve` runs the resident verdict daemon (--workers pool,\n\
          \x20        --duration 0 = until interrupted); `traffic` replays --queries\n\
-         \x20        of a --mix through --clients pipelined clients over --transport\n",
+         \x20        of a --mix through --clients pipelined clients over --transport\n\
+         trends:  `trends` simulates --epochs virtual months (default 6) of\n\
+         \x20        --churn zone churn per month (default 0.01) and re-crawls\n\
+         \x20        incrementally, TTL-driven, folding exact deltas\n",
         target_usage_line()
     );
     std::process::exit(2)
@@ -460,6 +489,23 @@ fn main() {
              attacker vantage addresses ..."
         );
         let (section, exp) = bench::spoof_matrix(args.scale, args.seed, args.crawl_config());
+        println!("{section}");
+        log.push(exp);
+    }
+
+    if wants(t, "trends") {
+        println!(
+            "[trends] simulating {} virtual months of {:.1}% monthly zone churn ...",
+            args.epochs,
+            args.churn_rate * 100.0,
+        );
+        let (section, exp) = bench::trends(
+            args.scale,
+            args.seed,
+            args.crawl_config(),
+            args.epochs,
+            args.churn_rate,
+        );
         println!("{section}");
         log.push(exp);
     }

@@ -56,16 +56,17 @@ pub mod prelude {
         EvalContext, EvalPolicy, SpfResult,
     };
     pub use spf_crawler::{
-        crawl, include_ecosystem, select_vantages, spoof_matrix, CrawlConfig, CrawlStats,
-        OverlapReport, ProviderVantage, ScanAggregates, SpoofMatrix, SpoofMatrixConfig,
-        VantagePoint,
+        crawl, include_ecosystem, select_vantages, spoof_matrix, ChurnEngine, CrawlConfig,
+        CrawlStats, EpochReport, LongitudinalConfig, OverlapReport, ProviderVantage,
+        ScanAggregates, SpoofMatrix, SpoofMatrixConfig, VantagePoint, ZoneDelta,
     };
     pub use spf_dns::{
         AsyncWireResolver, Resolver, ServerConfig, WireClientConfig, WireFleet, WireResolver,
         WireSnapshot, WireTelemetry, ZoneResolver, ZoneStore,
     };
     pub use spf_netsim::{
-        build_hosting, build_spoof_world, Population, PopulationConfig, Scale, SpoofWorld,
+        build_hosting, build_spoof_world, ChurnBatch, ChurnConfig, ChurnPreset, ChurnSimulator,
+        Population, PopulationConfig, Scale, SpoofWorld,
     };
     pub use spf_service::{
         ServiceClient, ServiceConfig, TrafficMix, Transport, TtlLruConfig, VerdictService,
