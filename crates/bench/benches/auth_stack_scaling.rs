@@ -1,0 +1,466 @@
+//! The layered auth-stack overhead sweep behind BENCH_10.json and
+//! DESIGN.md §13.
+//!
+//! One `auth_stack_scaling` criterion group measures, per configuration
+//! on the combined population + hosting spoof world, three engines over
+//! the identical domains × vantages grid:
+//!
+//! * **v1** — the SPF-only [`spoof_matrix`] the v2 engine embeds;
+//! * **v2 cold** — [`auth_matrix_with_cache`] with a fresh
+//!   [`AuthCache`]: the SPF sub-matrix plus one DMARC and one MTA-STS
+//!   lookup per domain;
+//! * **v2 warm** — the same call again through the same cache, so every
+//!   layer lookup is memo-served and the residual cost over v1 is the
+//!   stop-attribution fold alone.
+//!
+//! The harness asserts the DESIGN.md §13 rail before trusting any
+//! timing — the v2 SPF sub-matrix serializes byte-identically to the v1
+//! report, and the warm matrix equals the cold one — then splits the
+//! headline configuration's population by [`DeploymentMix`] tier and
+//! re-times v1 vs v2 on each tier's domains, so the report carries the
+//! stack overhead *per deployment mix* (a FullStack domain pays the
+//! same two lookups as an SpfOnly one; the per-mix columns prove the
+//! overhead is flat across tiers rather than concentrated in the
+//! DMARC-publishing cohort). The whole sweep lands in `BENCH_10.json`
+//! at the workspace root, with the warm DMARC-memo hit rate as the
+//! cache-effectiveness headline.
+//!
+//! Quick mode for CI smoke runs: set `AUTH_STACK_QUICK=1` (or pass
+//! `--quick`) to shrink the matrix to the 1:5000 population; the JSON
+//! is still written so the artifact upload works.
+//!
+//! Regression gate: the report's `quick_points` are measured with the
+//! same plain best-of-N loop in full and quick runs, so
+//! `scripts/bench_guard.sh` can compare a CI quick run against the
+//! committed BENCH_10.json; with `BENCH_GUARD_BASELINE` set, this
+//! binary fails itself on a throughput regression (`spf_bench::guard`).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use serde::Serialize;
+use spf_analyzer::Walker;
+use spf_bench::guard::{self, GuardPoint};
+use spf_core::{AuthCache, CompilerStats, EvalPolicy};
+#[allow(deprecated)]
+use spf_crawler::spoof_matrix;
+use spf_crawler::{
+    auth_matrix_with_cache, crawl, evaluate_auth_row, select_vantages, CrawlConfig, DeploymentMix,
+    ProviderVantage, SpoofMatrixConfig, VantagePoint,
+};
+use spf_dns::ZoneResolver;
+use spf_netsim::{build_spoof_world, Scale};
+use spf_types::DomainName;
+
+const SEED: u64 = 0x5bf1_2023;
+/// Timed passes per configuration; the recorded figure is the best of
+/// them, which damps the scheduling noise of small shared hosts.
+const RUNS: usize = 3;
+/// Vantage budget per run (top-coverage + hosting + control mix).
+const VANTAGES: usize = 8;
+/// Full-mode acceptance ceiling: the cold stacked run may cost at most
+/// this factor of the SPF-only run at the headline configuration. Two
+/// memoized TXT lookups per domain ride on [`VANTAGES`] SPF
+/// evaluations, so the real overhead is a small slice of this — the
+/// ceiling catches the structural regressions (a layer lookup gone
+/// per-cell instead of per-domain) without gating on host jitter.
+const COLD_OVERHEAD_CEILING: f64 = 2.0;
+
+/// One crawled world with its vantage set, held out of the timed
+/// region.
+struct World {
+    resolver: ZoneResolver,
+    domains: Vec<DomainName>,
+    vantages: Vec<VantagePoint>,
+}
+
+/// Build the spoof world and derive its vantage set from a coverage
+/// crawl (the same selection path the `repro` targets use).
+fn build_world(denominator: u64) -> World {
+    let world = build_spoof_world(Scale { denominator }, SEED);
+    let providers: Vec<ProviderVantage> = world
+        .providers
+        .iter()
+        .map(|p| ProviderVantage {
+            label: format!("hosting{}", p.id),
+            web: p.web_ip,
+            mta: p.mta_ip,
+        })
+        .collect();
+    let walker = Walker::new(ZoneResolver::new(Arc::clone(&world.store)));
+    let out = crawl(&walker, &world.domains, CrawlConfig::with_workers(8));
+    let weighted = out.coverage.into_weighted();
+    let vantages = select_vantages(&weighted, &providers, VANTAGES, 4, SEED);
+    World {
+        resolver: ZoneResolver::new(world.store),
+        domains: world.domains,
+        vantages,
+    }
+}
+
+/// Time one v1 (SPF-only) matrix run over an explicit domain slice.
+fn timed_v1(world: &World, domains: &[DomainName], workers: usize) -> (f64, String) {
+    let started = Instant::now();
+    #[allow(deprecated)]
+    let (matrix, _) = spoof_matrix(
+        &world.resolver,
+        domains,
+        &world.vantages,
+        SpoofMatrixConfig::with_workers(workers),
+    );
+    let secs = started.elapsed().as_secs_f64();
+    (secs, serde_json::to_string(&matrix).expect("v1 serializes"))
+}
+
+/// Time one v2 (stacked) matrix run through `cache`; returns the
+/// seconds, the cumulative DMARC-memo hit rate after the run, the
+/// serialized matrix, and the serialized SPF sub-matrix (the §13 rail's
+/// comparand against the v1 report).
+fn timed_v2(
+    world: &World,
+    domains: &[DomainName],
+    workers: usize,
+    cache: &AuthCache,
+) -> (f64, f64, String, String) {
+    let started = Instant::now();
+    let (matrix, stats) = auth_matrix_with_cache(
+        &world.resolver,
+        domains,
+        &world.vantages,
+        SpoofMatrixConfig::with_workers(workers),
+        cache,
+    );
+    let secs = started.elapsed().as_secs_f64();
+    (
+        secs,
+        stats.auth_cache.dmarc_hit_rate(),
+        serde_json::to_string(&matrix).expect("v2 serializes"),
+        serde_json::to_string(&matrix.spf).expect("v2 SPF sub-matrix serializes"),
+    )
+}
+
+/// v2-vs-v1 overhead for one deployment-mix tier's domain subset.
+#[derive(Debug, Clone, Serialize)]
+struct MixPoint {
+    mix: String,
+    domains: u64,
+    v1_secs: f64,
+    v2_cold_secs: f64,
+    /// `v2_cold_secs / v1_secs` on this tier's domains alone.
+    overhead: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SweepPoint {
+    scale_denominator: u64,
+    workers: usize,
+    vantage_count: usize,
+    domains: u64,
+    evaluations: u64,
+    /// Best-of-RUNS seconds for the SPF-only v1 matrix.
+    v1_secs: f64,
+    /// Best-of-RUNS seconds for the stacked matrix on a fresh cache.
+    v2_cold_secs: f64,
+    /// Best-of-RUNS seconds for the stacked matrix on the warmed cache.
+    v2_warm_secs: f64,
+    /// `v2_cold_secs / v1_secs` — the stack's cold overhead.
+    cold_overhead: f64,
+    /// `v2_warm_secs / v1_secs` — the overhead once every layer lookup
+    /// is memo-served.
+    warm_overhead: f64,
+    /// Cumulative DMARC-memo hit rate after the warm run (one miss and
+    /// one hit per domain ⇒ 0.5 when the memo is working).
+    warm_dmarc_hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    quick_mode: bool,
+    runs_per_config: usize,
+    vantage_count: usize,
+    host_parallelism: usize,
+    baseline_note: String,
+    results: Vec<SweepPoint>,
+    /// Per-deployment-mix overhead at the headline configuration (full
+    /// mode) or the quick configuration (quick mode).
+    mix_points: Vec<MixPoint>,
+    /// Guard points: v1, v2-cold, and v2-warm evaluation throughput at
+    /// quick scale, measured by the same plain loop in every mode.
+    quick_points: Vec<GuardPoint>,
+}
+
+/// Measure one configuration: best-of-RUNS for all three engines, with
+/// the §13 byte-identity rail asserted on every pass before any timing
+/// is kept.
+fn measure(world: &World, denominator: u64, workers: usize) -> SweepPoint {
+    let mut best_v1 = f64::INFINITY;
+    let mut best_cold = f64::INFINITY;
+    let mut best_warm = f64::INFINITY;
+    let mut warm_rate = 0.0;
+    for _ in 0..RUNS {
+        let (v1_secs, v1_json) = timed_v1(world, &world.domains, workers);
+        let cache = AuthCache::new();
+        let (cold_secs, _, cold_json, cold_spf_json) =
+            timed_v2(world, &world.domains, workers, &cache);
+        let (warm_secs, rate, warm_json, _) = timed_v2(world, &world.domains, workers, &cache);
+        // The rail: the stacked report embeds the v1 matrix verbatim,
+        // and a warm pass changes nothing but the timing.
+        assert_eq!(
+            cold_spf_json, v1_json,
+            "v2 SPF sub-matrix diverged from v1 at 1:{denominator} w{workers}"
+        );
+        assert_eq!(
+            cold_json, warm_json,
+            "warm stacked matrix diverged from cold at 1:{denominator} w{workers}"
+        );
+        best_v1 = best_v1.min(v1_secs);
+        best_cold = best_cold.min(cold_secs);
+        if warm_secs < best_warm {
+            best_warm = warm_secs;
+            warm_rate = rate;
+        }
+    }
+    SweepPoint {
+        scale_denominator: denominator,
+        workers,
+        vantage_count: world.vantages.len(),
+        domains: world.domains.len() as u64,
+        evaluations: (world.domains.len() * world.vantages.len()) as u64,
+        v1_secs: best_v1,
+        v2_cold_secs: best_cold,
+        v2_warm_secs: best_warm,
+        cold_overhead: best_cold / best_v1.max(f64::EPSILON),
+        warm_overhead: best_warm / best_v1.max(f64::EPSILON),
+        warm_dmarc_hit_rate: warm_rate,
+    }
+}
+
+/// Partition the world's population by deployment-mix tier. The tier is
+/// a per-domain fact (layer presence, not verdicts), so a single-vantage
+/// row per domain classifies the whole population cheaply.
+fn partition_by_mix(world: &World) -> Vec<(DeploymentMix, Vec<DomainName>)> {
+    let policy = EvalPolicy::default();
+    let cache = AuthCache::new();
+    let mut compiler = CompilerStats::default();
+    let probe = &world.vantages[..1.min(world.vantages.len())];
+    let mut tiers: Vec<(DeploymentMix, Vec<DomainName>)> = DeploymentMix::ALL
+        .iter()
+        .map(|&mix| (mix, Vec::new()))
+        .collect();
+    for domain in &world.domains {
+        let row = evaluate_auth_row(
+            &world.resolver,
+            domain,
+            probe,
+            &policy,
+            None,
+            false,
+            &mut compiler,
+            Some(&cache),
+        );
+        tiers
+            .iter_mut()
+            .find(|(mix, _)| *mix == row.tier)
+            .expect("classify returns a known tier")
+            .1
+            .push(domain.clone());
+    }
+    tiers.retain(|(_, domains)| !domains.is_empty());
+    tiers
+}
+
+/// Per-mix overhead: v1 vs cold v2 on each tier's domain subset alone.
+fn measure_mix_points(world: &World, workers: usize) -> Vec<MixPoint> {
+    partition_by_mix(world)
+        .into_iter()
+        .map(|(mix, domains)| {
+            let mut best_v1 = f64::INFINITY;
+            let mut best_v2 = f64::INFINITY;
+            for _ in 0..RUNS {
+                let (v1_secs, _) = timed_v1(world, &domains, workers);
+                let (v2_secs, _, _, _) = timed_v2(world, &domains, workers, &AuthCache::new());
+                best_v1 = best_v1.min(v1_secs);
+                best_v2 = best_v2.min(v2_secs);
+            }
+            MixPoint {
+                mix: format!("{mix:?}"),
+                domains: domains.len() as u64,
+                v1_secs: best_v1,
+                v2_cold_secs: best_v2,
+                overhead: best_v2 / best_v1.max(f64::EPSILON),
+            }
+        })
+        .collect()
+}
+
+/// The fixed quick matrix behind `quick_points`: `(engine, warm)`.
+const QUICK_DENOM: u64 = 5_000;
+const QUICK_WORKERS: usize = 4;
+
+/// Best-of-RUNS evaluation throughput for the three engines at quick
+/// scale, sharing one world build.
+fn measure_quick_points(world: &World) -> Vec<GuardPoint> {
+    let evaluations = (world.domains.len() * world.vantages.len()) as f64;
+    let mut points = vec![guard::quick_point(
+        format!("auth_stack_{QUICK_DENOM}_w{QUICK_WORKERS}_v1"),
+        RUNS,
+        || {
+            let (secs, json) = timed_v1(world, &world.domains, QUICK_WORKERS);
+            assert!(!json.is_empty());
+            evaluations / secs.max(f64::EPSILON)
+        },
+    )];
+    points.push(guard::quick_point(
+        format!("auth_stack_{QUICK_DENOM}_w{QUICK_WORKERS}_v2_cold"),
+        RUNS,
+        || {
+            let (secs, _, json, _) =
+                timed_v2(world, &world.domains, QUICK_WORKERS, &AuthCache::new());
+            assert!(!json.is_empty());
+            evaluations / secs.max(f64::EPSILON)
+        },
+    ));
+    points.push(guard::quick_point(
+        format!("auth_stack_{QUICK_DENOM}_w{QUICK_WORKERS}_v2_warm"),
+        RUNS,
+        || {
+            let cache = AuthCache::new();
+            let _ = timed_v2(world, &world.domains, QUICK_WORKERS, &cache);
+            let (secs, rate, _, _) = timed_v2(world, &world.domains, QUICK_WORKERS, &cache);
+            assert!(rate > 0.0, "warm pass served no DMARC memo hits");
+            evaluations / secs.max(f64::EPSILON)
+        },
+    ));
+    points
+}
+
+fn quick_mode() -> bool {
+    std::env::var("AUTH_STACK_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let quick = quick_mode();
+    // (scale, workers): the headline is 1:1000 at 4 workers; full mode
+    // adds an 8-worker point to show the overhead is scheduling-stable.
+    let configs: &[(u64, usize)] = if quick {
+        &[(QUICK_DENOM, QUICK_WORKERS)]
+    } else {
+        &[(1_000, 4), (1_000, 8)]
+    };
+
+    println!(
+        "auth_stack_scaling: sweeping {} configurations (seed {SEED:#x}, {VANTAGES} vantages)",
+        configs.len()
+    );
+
+    let points: RefCell<Vec<SweepPoint>> = RefCell::new(Vec::new());
+    let mut criterion = Criterion::default().measurement_time(Duration::from_millis(1));
+    let mut group = criterion.benchmark_group("auth_stack_scaling");
+    group.measurement_time(Duration::from_millis(1));
+    for &(denom, workers) in configs {
+        let id = format!("pop_{denom}_w{workers}");
+        let points = &points;
+        group.bench_function(id, move |b| {
+            b.iter(|| {
+                let world = build_world(denom);
+                let point = measure(&world, denom, workers);
+                let mut points = points.borrow_mut();
+                match points
+                    .iter_mut()
+                    .find(|p| p.scale_denominator == denom && p.workers == workers)
+                {
+                    Some(existing) if existing.v2_cold_secs <= point.v2_cold_secs => {}
+                    Some(existing) => *existing = point,
+                    None => points.push(point),
+                }
+                workers
+            });
+        });
+    }
+    group.finish();
+
+    // Per-mix overhead at the headline configuration (shares the quick
+    // world in quick mode so the smoke run stays cheap).
+    let (mix_denom, mix_workers) = configs[0];
+    let mix_world = build_world(mix_denom);
+    let mix_points = measure_mix_points(&mix_world, mix_workers);
+    let quick_world = if mix_denom == QUICK_DENOM {
+        mix_world
+    } else {
+        build_world(QUICK_DENOM)
+    };
+    let quick_points = measure_quick_points(&quick_world);
+
+    let results = points.into_inner();
+    for p in &results {
+        println!(
+            "auth_stack_scaling: 1:{} w{} — {} domains × {} vantages; v1 {:.1} ms, \
+             v2 cold {:.1} ms ({:.2}x), v2 warm {:.1} ms ({:.2}x), warm DMARC hit rate {:.1} %",
+            p.scale_denominator,
+            p.workers,
+            p.domains,
+            p.vantage_count,
+            p.v1_secs * 1e3,
+            p.v2_cold_secs * 1e3,
+            p.cold_overhead,
+            p.v2_warm_secs * 1e3,
+            p.warm_overhead,
+            p.warm_dmarc_hit_rate * 100.0,
+        );
+        // The acceptance bar rides the committed full-mode artifact.
+        if !quick {
+            assert!(
+                p.cold_overhead <= COLD_OVERHEAD_CEILING,
+                "stacked matrix cost {:.2}x the SPF-only matrix at 1:{} w{} — \
+                 the layer lookups must stay per-domain, not per-cell",
+                p.cold_overhead,
+                p.scale_denominator,
+                p.workers,
+            );
+        }
+    }
+    for m in &mix_points {
+        println!(
+            "auth_stack_scaling: mix {} — {} domains; v1 {:.1} ms, v2 cold {:.1} ms ({:.2}x)",
+            m.mix,
+            m.domains,
+            m.v1_secs * 1e3,
+            m.v2_cold_secs * 1e3,
+            m.overhead,
+        );
+    }
+
+    let report = BenchReport {
+        bench: "auth_stack_scaling".to_string(),
+        quick_mode: quick,
+        runs_per_config: RUNS,
+        vantage_count: VANTAGES,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        baseline_note: "all three columns evaluate the identical domains × vantages grid; \
+                        the v2 SPF sub-matrix is asserted byte-identical to the v1 report \
+                        and the warm pass byte-identical to the cold one before any timing \
+                        is recorded; mix_points re-time both engines on each deployment \
+                        tier's domains alone"
+            .to_string(),
+        results,
+        mix_points,
+        quick_points: quick_points.clone(),
+    };
+    let out_path = std::env::var("BENCH_10_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_10.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("BENCH_10.json is writable");
+    println!("auth_stack_scaling: wrote {out_path}");
+
+    // With BENCH_GUARD_BASELINE set (scripts/bench_guard.sh), fail the
+    // run on a regression against the committed artifact.
+    guard::enforce_from_env(&quick_points);
+}

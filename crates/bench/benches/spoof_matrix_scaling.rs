@@ -32,9 +32,10 @@ use criterion::Criterion;
 use serde::Serialize;
 use spf_analyzer::Walker;
 use spf_bench::guard::{self, GuardPoint};
+#[allow(deprecated)]
+use spf_crawler::spoof_matrix;
 use spf_crawler::{
-    crawl, select_vantages, spoof_matrix, CrawlConfig, ProviderVantage, SpoofMatrixConfig,
-    VantagePoint,
+    crawl, select_vantages, CrawlConfig, ProviderVantage, SpoofMatrixConfig, VantagePoint,
 };
 use spf_dns::ZoneResolver;
 use spf_netsim::{build_include_heavy, build_spoof_world, Scale};
@@ -140,6 +141,7 @@ struct BenchReport {
 fn timed_run(world: &World, vantage_count: usize, config: SpoofMatrixConfig) -> (f64, f64, String) {
     let vantages = &world.vantages[..vantage_count.min(world.vantages.len())];
     let started = Instant::now();
+    #[allow(deprecated)]
     let (matrix, stats) = spoof_matrix(&world.resolver, &world.domains, vantages, config);
     let secs = started.elapsed().as_secs_f64();
     (

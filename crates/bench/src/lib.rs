@@ -16,6 +16,6 @@ pub mod guard;
 pub use experiments::spoof_matrix_with;
 pub use experiments::{
     build_resolver, extras, figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8,
-    overlap, prepare, prepare_with, service_lab, spoof_matrix, table1, table2, table3, table4,
-    table5, trends, Repro, ServiceLab, WireRun, WireRunStats,
+    overlap, prepare, prepare_with, service_lab, spoof_matrix, spoof_matrix_stacked, table1,
+    table2, table3, table4, table5, trends, Repro, ServiceLab, WireRun, WireRunStats,
 };

@@ -1,0 +1,759 @@
+//! The layered auth-stack pipeline: SPF × DMARC × MTA-STS.
+//!
+//! The paper's "lazy gatekeeper" question asks whether SPF *alone*
+//! stops a spoof; real-world spoofability depends on the whole stack
+//! (Hu et al., PAPERS.md). This module composes the unchanged SPF
+//! `check_host` verdict with a per-domain DMARC disposition and an
+//! MTA-STS mode into one [`AuthOutcome`], and names the first layer
+//! that blocks a `(vantage, victim)` pair with [`StopLayer`].
+//!
+//! **Aligned-attacker model.** The spoof scenario mails as
+//! `attacker@victim` with the RFC 5322 `From:` header set to the same
+//! victim domain, so SPF and the From domain are always aligned: an SPF
+//! `Pass` from the attacker's vantage implies a DMARC pass (DKIM is not
+//! modeled — the attacker never holds the victim's signing key, and
+//! DMARC needs only one aligned pass). The layer order is therefore:
+//!
+//! ```text
+//! SPF Fail ──────────────────────────▶ StopLayer::Spf
+//! SPF Pass ──────────────────────────▶ StopLayer::None   (spoof lands)
+//! otherwise, DMARC quarantine/reject ▶ StopLayer::Dmarc
+//! otherwise, MTA-STS mode=enforce ───▶ StopLayer::MtaSts
+//! otherwise ─────────────────────────▶ StopLayer::None   (spoof lands)
+//! ```
+//!
+//! MTA-STS is modeled as delivery-path protection for the residual
+//! direct-to-MX spoof (the netsim publishes the discovery TXT with the
+//! policy mode inlined — DESIGN.md §13 records the approximation).
+//!
+//! **Byte-identity rail.** The SPF component of an [`AuthOutcome`] is
+//! the `Evaluation` the existing path produces — `evaluate_auth` calls
+//! the same `check_host` / `check_host_cached` / [`CompiledPolicy`]
+//! machinery and stores the result unmodified, so serializing
+//! `outcome.spf` is byte-identical to the bare verdict
+//! (`tests/proptest_auth.rs` pins this across random worlds × cache ×
+//! compiled configs).
+//!
+//! **DMARC-aware cache key.** SPF subtree memos ([`VerdictCache`]) are
+//! keyed by `(domain, ip, BudgetKey)` and stay valid across DMARC
+//! churn — DMARC never influences SPF evaluation. Any memo of the
+//! *stacked* outcome, however, must fold the non-SPF layers into its
+//! key, or a DMARC/MTA-STS record change would be served stale through
+//! a still-valid SPF memo. [`stack_fingerprint`] is that key component;
+//! the verdict service and the matrix-v2 row memo both use it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use spf_dns::{DnsError, RecordData, RecordType, Resolver};
+use spf_types::DomainName;
+
+use crate::compile::CompiledPolicy;
+use crate::context::{EvalContext, SpfResult};
+use crate::dmarc::{query_dmarc, DmarcLookup, DmarcPolicy};
+use crate::eval::{check_host, check_host_cached, EvalPolicy, Evaluation, VerdictCache};
+
+/// Which layer of the auth stack blocks a spoof attempt first.
+///
+/// Ordered by pipeline position; `None` means every layer let the
+/// spoof through — the residual spoofable set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StopLayer {
+    /// No layer blocked the attempt: the pair is spoofable.
+    None,
+    /// SPF returned `Fail` and the receiver rejects on hard fail.
+    Spf,
+    /// SPF was inconclusive but the domain publishes an enforced DMARC
+    /// policy (`quarantine`/`reject`) the aligned attacker cannot pass.
+    Dmarc,
+    /// The residual direct-to-MX path is closed by an enforce-mode
+    /// MTA-STS policy.
+    MtaSts,
+}
+
+impl StopLayer {
+    /// Every variant, in pipeline order — histogram iteration order.
+    pub const ALL: [StopLayer; 4] = [
+        StopLayer::None,
+        StopLayer::Spf,
+        StopLayer::Dmarc,
+        StopLayer::MtaSts,
+    ];
+}
+
+impl fmt::Display for StopLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopLayer::None => "none",
+            StopLayer::Spf => "spf",
+            StopLayer::Dmarc => "dmarc",
+            StopLayer::MtaSts => "mta-sts",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A per-layer stop histogram: commutative counts, so per-worker
+/// tallies merge and churn deltas fold in/out exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StopCounts {
+    /// Pairs blocked by SPF `Fail`.
+    pub spf: u64,
+    /// Pairs blocked by an enforced DMARC policy.
+    pub dmarc: u64,
+    /// Pairs blocked by enforce-mode MTA-STS.
+    pub mta_sts: u64,
+    /// Residual spoofable pairs — no layer blocked them.
+    pub none: u64,
+}
+
+impl StopCounts {
+    /// Count one outcome.
+    pub fn add(&mut self, layer: StopLayer) {
+        match layer {
+            StopLayer::None => self.none += 1,
+            StopLayer::Spf => self.spf += 1,
+            StopLayer::Dmarc => self.dmarc += 1,
+            StopLayer::MtaSts => self.mta_sts += 1,
+        }
+    }
+
+    /// Remove one previously-counted outcome (churn fold-out).
+    pub fn remove(&mut self, layer: StopLayer) {
+        match layer {
+            StopLayer::None => self.none -= 1,
+            StopLayer::Spf => self.spf -= 1,
+            StopLayer::Dmarc => self.dmarc -= 1,
+            StopLayer::MtaSts => self.mta_sts -= 1,
+        }
+    }
+
+    /// Merge another tally in (worker-merge path).
+    pub fn merge(&mut self, other: &StopCounts) {
+        self.spf += other.spf;
+        self.dmarc += other.dmarc;
+        self.mta_sts += other.mta_sts;
+        self.none += other.none;
+    }
+
+    /// All pairs counted.
+    pub fn total(&self) -> u64 {
+        self.spf + self.dmarc + self.mta_sts + self.none
+    }
+
+    /// The count for one layer.
+    pub fn get(&self, layer: StopLayer) -> u64 {
+        match layer {
+            StopLayer::None => self.none,
+            StopLayer::Spf => self.spf,
+            StopLayer::Dmarc => self.dmarc,
+            StopLayer::MtaSts => self.mta_sts,
+        }
+    }
+}
+
+/// The per-domain DMARC layer, distilled from a [`DmarcLookup`] to the
+/// fields the stop decision and the cache fingerprint need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DmarcDisposition {
+    /// No `_dmarc` record at the domain or its organizational domain.
+    Absent,
+    /// A record exists but failed to parse — receivers ignore it.
+    Invalid,
+    /// The lookup failed transiently; treated as absent for the stop
+    /// decision (fail-open, as receivers do) but fingerprinted apart.
+    TempError,
+    /// `p=none`: monitoring only, nothing is blocked.
+    Monitor,
+    /// `p=quarantine` or `p=reject` with its sampling percentage.
+    Enforced {
+        /// The published policy (never `None` here).
+        policy: DmarcPolicy,
+        /// `pct=` sampling percentage (100 = always enforced).
+        percent: u8,
+    },
+}
+
+impl DmarcDisposition {
+    /// Distill a lookup result.
+    pub fn from_lookup(lookup: &DmarcLookup) -> DmarcDisposition {
+        match lookup {
+            DmarcLookup::NotFound => DmarcDisposition::Absent,
+            DmarcLookup::Invalid(_) => DmarcDisposition::Invalid,
+            DmarcLookup::TempError => DmarcDisposition::TempError,
+            DmarcLookup::Found(record) => match record.policy {
+                DmarcPolicy::None => DmarcDisposition::Monitor,
+                policy => DmarcDisposition::Enforced {
+                    policy,
+                    percent: record.percent,
+                },
+            },
+        }
+    }
+
+    /// Does this disposition block an aligned attacker whose SPF result
+    /// is inconclusive? `pct=0` publishes an enforced policy that
+    /// samples nothing, so it does not block.
+    pub fn is_enforced(&self) -> bool {
+        matches!(self, DmarcDisposition::Enforced { percent, .. } if *percent > 0)
+    }
+
+    /// A small stable code for fingerprinting.
+    fn code(&self) -> u64 {
+        match self {
+            DmarcDisposition::Absent => 0,
+            DmarcDisposition::Invalid => 1,
+            DmarcDisposition::TempError => 2,
+            DmarcDisposition::Monitor => 3,
+            DmarcDisposition::Enforced { policy, percent } => {
+                let p = match policy {
+                    DmarcPolicy::None => 0u64,
+                    DmarcPolicy::Quarantine => 1,
+                    DmarcPolicy::Reject => 2,
+                };
+                4 | (p << 8) | ((*percent as u64) << 16)
+            }
+        }
+    }
+}
+
+impl fmt::Display for DmarcDisposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmarcDisposition::Absent => f.write_str("absent"),
+            DmarcDisposition::Invalid => f.write_str("invalid"),
+            DmarcDisposition::TempError => f.write_str("temperror"),
+            DmarcDisposition::Monitor => f.write_str("p=none"),
+            DmarcDisposition::Enforced { policy, percent } => {
+                write!(f, "p={policy} pct={percent}")
+            }
+        }
+    }
+}
+
+/// The MTA-STS layer as the netsim models it: the `_mta-sts.<domain>`
+/// discovery TXT carries the policy mode inline (`mode=enforce` /
+/// `mode=testing`) instead of requiring the HTTPS policy fetch —
+/// DESIGN.md §13 records the approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MtaStsMode {
+    /// No `_mta-sts` TXT record.
+    Absent,
+    /// A policy exists but is not enforcing (testing / none / no mode).
+    Testing,
+    /// `mode=enforce`: the direct-to-MX residual path is closed.
+    Enforce,
+}
+
+impl MtaStsMode {
+    fn code(&self) -> u64 {
+        match self {
+            MtaStsMode::Absent => 0,
+            MtaStsMode::Testing => 1,
+            MtaStsMode::Enforce => 2,
+        }
+    }
+}
+
+impl fmt::Display for MtaStsMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MtaStsMode::Absent => "absent",
+            MtaStsMode::Testing => "testing",
+            MtaStsMode::Enforce => "enforce",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Query the `_mta-sts.<domain>` discovery TXT. Charges the resolver
+/// like any other wire query; a transient DNS failure degrades to
+/// [`MtaStsMode::Absent`] (fail-open, like receivers without a cached
+/// policy).
+pub fn query_mta_sts<R: Resolver + ?Sized>(resolver: &R, domain: &DomainName) -> MtaStsMode {
+    let Ok(name) = domain.prepend_label("_mta-sts") else {
+        return MtaStsMode::Absent;
+    };
+    let answers = match resolver.query(&name, RecordType::Txt) {
+        Ok(a) => a,
+        Err(DnsError::NxDomain) | Err(_) => return MtaStsMode::Absent,
+    };
+    for rr in answers.iter() {
+        if let RecordData::Txt(t) = &rr.data {
+            let joined = t.joined();
+            let trimmed = joined.trim_start();
+            if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("v=STSv1") {
+                let enforcing = joined
+                    .split(';')
+                    .any(|part| part.trim().eq_ignore_ascii_case("mode=enforce"));
+                return if enforcing {
+                    MtaStsMode::Enforce
+                } else {
+                    MtaStsMode::Testing
+                };
+            }
+        }
+    }
+    MtaStsMode::Absent
+}
+
+/// The first layer that blocks an aligned spoof attempt, given the
+/// three per-layer facts. Pure and total — the whole pipeline's
+/// determinism reduces to this function plus the determinism of its
+/// inputs.
+pub fn stop_layer(spf: SpfResult, dmarc: &DmarcDisposition, mta_sts: MtaStsMode) -> StopLayer {
+    match spf {
+        // The receiver rejects on hard fail — SPF did its job.
+        SpfResult::Fail => StopLayer::Spf,
+        // The attacker's vantage is authorized: every aligned layer
+        // passes with it. The lazy gatekeeper in full.
+        SpfResult::Pass => StopLayer::None,
+        // Inconclusive SPF: DMARC is the layer that turns "no answer"
+        // into a disposition the aligned attacker cannot satisfy.
+        _ if dmarc.is_enforced() => StopLayer::Dmarc,
+        _ if mta_sts == MtaStsMode::Enforce => StopLayer::MtaSts,
+        _ => StopLayer::None,
+    }
+}
+
+/// The key component that makes stacked-outcome memos DMARC-aware: any
+/// cache entry holding an [`AuthOutcome`] (as opposed to a pure SPF
+/// subtree verdict) must mix this into its key, so a DMARC or MTA-STS
+/// record change can never be served stale through a still-valid SPF
+/// memo. FNV-1a over the two layer codes.
+pub fn stack_fingerprint(dmarc: &DmarcDisposition, mta_sts: MtaStsMode) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in dmarc
+        .code()
+        .to_le_bytes()
+        .iter()
+        .chain(mta_sts.code().to_le_bytes().iter())
+    {
+        h ^= *byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A domain's auth-stack deployment tier — the five-preset mix the
+/// netsim models per-domain and matrix v2 reports per-layer stop rates
+/// against. Classified from *observed* DNS (the crawler never trusts
+/// generator metadata), so the same enum describes both synthetic
+/// presets and measured populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeploymentMix {
+    /// No SPF record at all.
+    NoAuth,
+    /// SPF only — no usable DMARC.
+    SpfOnly,
+    /// SPF plus a monitoring-only DMARC (`p=none`).
+    SpfDmarcNone,
+    /// SPF plus an enforced DMARC (`quarantine`/`reject`, `pct>0`).
+    SpfDmarcEnforced,
+    /// The full stack: enforced DMARC plus enforce-mode MTA-STS.
+    FullStack,
+}
+
+impl DeploymentMix {
+    /// Every tier, in stack-depth order.
+    pub const ALL: [DeploymentMix; 5] = [
+        DeploymentMix::NoAuth,
+        DeploymentMix::SpfOnly,
+        DeploymentMix::SpfDmarcNone,
+        DeploymentMix::SpfDmarcEnforced,
+        DeploymentMix::FullStack,
+    ];
+
+    /// Classify a domain from its observed layer facts.
+    pub fn classify(has_spf: bool, dmarc: &DmarcDisposition, mta_sts: MtaStsMode) -> DeploymentMix {
+        if !has_spf {
+            return DeploymentMix::NoAuth;
+        }
+        match (dmarc, mta_sts) {
+            (d, MtaStsMode::Enforce) if d.is_enforced() => DeploymentMix::FullStack,
+            (d, _) if d.is_enforced() => DeploymentMix::SpfDmarcEnforced,
+            (DmarcDisposition::Monitor, _) => DeploymentMix::SpfDmarcNone,
+            // Invalid/absent/temperror/pct=0 DMARC all behave as no
+            // usable DMARC layer.
+            _ => DeploymentMix::SpfOnly,
+        }
+    }
+}
+
+impl fmt::Display for DeploymentMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeploymentMix::NoAuth => "no-auth",
+            DeploymentMix::SpfOnly => "spf-only",
+            DeploymentMix::SpfDmarcNone => "spf+dmarc-none",
+            DeploymentMix::SpfDmarcEnforced => "spf+dmarc-enforced",
+            DeploymentMix::FullStack => "spf+dmarc+mta-sts",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The stacked verdict for one `(vantage ip, victim domain)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuthOutcome {
+    /// The SPF component — byte-identical to what the bare path
+    /// produces for the same inputs (the safety rail).
+    pub spf: Evaluation,
+    /// The victim domain's DMARC layer.
+    pub dmarc: DmarcDisposition,
+    /// The victim domain's MTA-STS layer.
+    pub mta_sts: MtaStsMode,
+    /// The first layer that blocks the attempt.
+    pub stop: StopLayer,
+}
+
+impl AuthOutcome {
+    /// Compose an outcome from already-evaluated layers.
+    pub fn compose(spf: Evaluation, dmarc: DmarcDisposition, mta_sts: MtaStsMode) -> AuthOutcome {
+        let stop = stop_layer(spf.result, &dmarc, mta_sts);
+        AuthOutcome {
+            spf,
+            dmarc,
+            mta_sts,
+            stop,
+        }
+    }
+}
+
+/// Number of lock stripes in the [`AuthCache`]; matches the sharded
+/// caches elsewhere in the workspace.
+const AUTH_CACHE_SHARDS: usize = 16;
+
+/// A lock-striped per-domain memo for the DMARC and MTA-STS layers.
+///
+/// DMARC and MTA-STS facts are per *victim domain* while the matrix
+/// evaluates per `(vantage, victim)` pair, so without this memo every
+/// extra vantage re-pays the `_dmarc` (and fallback) lookups. Hit
+/// rates are exported for BENCH_10.
+#[derive(Debug)]
+pub struct AuthCache {
+    dmarc: Vec<Mutex<HashMap<DomainName, DmarcDisposition>>>,
+    sts: Vec<Mutex<HashMap<DomainName, MtaStsMode>>>,
+    dmarc_hits: AtomicU64,
+    dmarc_misses: AtomicU64,
+    sts_hits: AtomicU64,
+    sts_misses: AtomicU64,
+}
+
+/// Counter snapshot from an [`AuthCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuthCacheStats {
+    /// DMARC lookups served from the memo.
+    pub dmarc_hits: u64,
+    /// DMARC lookups that went to the resolver.
+    pub dmarc_misses: u64,
+    /// MTA-STS lookups served from the memo.
+    pub sts_hits: u64,
+    /// MTA-STS lookups that went to the resolver.
+    pub sts_misses: u64,
+}
+
+impl AuthCacheStats {
+    /// Fraction of DMARC lookups served from the memo.
+    pub fn dmarc_hit_rate(&self) -> f64 {
+        let total = self.dmarc_hits + self.dmarc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dmarc_hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for AuthCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AuthCache {
+    /// An empty cache.
+    pub fn new() -> AuthCache {
+        AuthCache {
+            dmarc: (0..AUTH_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            sts: (0..AUTH_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            dmarc_hits: AtomicU64::new(0),
+            dmarc_misses: AtomicU64::new(0),
+            sts_hits: AtomicU64::new(0),
+            sts_misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(domain: &DomainName) -> usize {
+        (domain.precomputed_hash() % AUTH_CACHE_SHARDS as u64) as usize
+    }
+
+    /// The domain's DMARC disposition, querying through `resolver` on a
+    /// miss.
+    pub fn dmarc<R: Resolver + ?Sized>(
+        &self,
+        resolver: &R,
+        domain: &DomainName,
+    ) -> DmarcDisposition {
+        let shard = &self.dmarc[Self::shard(domain)];
+        if let Some(hit) = shard.lock().expect("auth cache lock").get(domain) {
+            self.dmarc_hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        // Query outside the lock: the worst case is a duplicated lookup
+        // racing another worker, never a lock held across the wire.
+        let fresh = DmarcDisposition::from_lookup(&query_dmarc(resolver, domain));
+        self.dmarc_misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .lock()
+            .expect("auth cache lock")
+            .insert(domain.clone(), fresh);
+        fresh
+    }
+
+    /// The domain's MTA-STS mode, querying through `resolver` on a miss.
+    pub fn mta_sts<R: Resolver + ?Sized>(&self, resolver: &R, domain: &DomainName) -> MtaStsMode {
+        let shard = &self.sts[Self::shard(domain)];
+        if let Some(hit) = shard.lock().expect("auth cache lock").get(domain) {
+            self.sts_hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        let fresh = query_mta_sts(resolver, domain);
+        self.sts_misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .lock()
+            .expect("auth cache lock")
+            .insert(domain.clone(), fresh);
+        fresh
+    }
+
+    /// Drop every memoized domain (churn invalidation), keeping the
+    /// counters.
+    pub fn invalidate(&self, domain: &DomainName) {
+        self.dmarc[Self::shard(domain)]
+            .lock()
+            .expect("auth cache lock")
+            .remove(domain);
+        self.sts[Self::shard(domain)]
+            .lock()
+            .expect("auth cache lock")
+            .remove(domain);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AuthCacheStats {
+        AuthCacheStats {
+            dmarc_hits: self.dmarc_hits.load(Ordering::Relaxed),
+            dmarc_misses: self.dmarc_misses.load(Ordering::Relaxed),
+            sts_hits: self.sts_hits.load(Ordering::Relaxed),
+            sts_misses: self.sts_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Evaluate the full auth stack for one `(ip, domain)` pair.
+///
+/// The SPF component routes through exactly the machinery the caller
+/// selects — `compiled` first (falling back on a residue miss), then
+/// `spf_cache` (the subtree memo), then bare [`check_host`] — and is
+/// stored unmodified, which is what keeps it byte-identical to the v1
+/// path. DMARC and MTA-STS lookups go through `auth_cache` when given,
+/// straight to the resolver otherwise.
+pub fn evaluate_auth<R: Resolver + ?Sized>(
+    resolver: &R,
+    ctx: &EvalContext,
+    domain: &DomainName,
+    policy: &EvalPolicy,
+    compiled: Option<&CompiledPolicy>,
+    spf_cache: Option<&dyn VerdictCache>,
+    auth_cache: Option<&AuthCache>,
+) -> AuthOutcome {
+    let spf = match compiled.and_then(|c| c.verdict(ctx.ip)) {
+        Some(eval) => eval,
+        None => match spf_cache {
+            Some(cache) => check_host_cached(resolver, ctx, domain, policy, cache),
+            None => check_host(resolver, ctx, domain, policy),
+        },
+    };
+    let (dmarc, mta_sts) = match auth_cache {
+        Some(cache) => (
+            cache.dmarc(resolver, domain),
+            cache.mta_sts(resolver, domain),
+        ),
+        None => (
+            DmarcDisposition::from_lookup(&query_dmarc(resolver, domain)),
+            query_mta_sts(resolver, domain),
+        ),
+    };
+    AuthOutcome::compose(spf, dmarc, mta_sts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_dns::{ZoneResolver, ZoneStore};
+    use std::net::IpAddr;
+    use std::sync::Arc;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn world() -> (Arc<ZoneStore>, ZoneResolver) {
+        let store = Arc::new(ZoneStore::new());
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        (store, resolver)
+    }
+
+    #[test]
+    fn stop_layer_order_is_spf_dmarc_sts_none() {
+        let enforced = DmarcDisposition::Enforced {
+            policy: DmarcPolicy::Reject,
+            percent: 100,
+        };
+        let monitor = DmarcDisposition::Monitor;
+        assert_eq!(
+            stop_layer(SpfResult::Fail, &enforced, MtaStsMode::Enforce),
+            StopLayer::Spf
+        );
+        assert_eq!(
+            stop_layer(SpfResult::Pass, &enforced, MtaStsMode::Enforce),
+            StopLayer::None,
+            "an authorized attacker vantage passes every aligned layer"
+        );
+        assert_eq!(
+            stop_layer(SpfResult::SoftFail, &enforced, MtaStsMode::Absent),
+            StopLayer::Dmarc
+        );
+        assert_eq!(
+            stop_layer(SpfResult::None, &monitor, MtaStsMode::Enforce),
+            StopLayer::MtaSts
+        );
+        assert_eq!(
+            stop_layer(SpfResult::Neutral, &monitor, MtaStsMode::Testing),
+            StopLayer::None
+        );
+    }
+
+    #[test]
+    fn pct_zero_does_not_enforce() {
+        let sampled_out = DmarcDisposition::Enforced {
+            policy: DmarcPolicy::Reject,
+            percent: 0,
+        };
+        assert!(!sampled_out.is_enforced());
+        assert_eq!(
+            stop_layer(SpfResult::None, &sampled_out, MtaStsMode::Absent),
+            StopLayer::None
+        );
+    }
+
+    #[test]
+    fn mta_sts_modes_parse_from_discovery_txt() {
+        let (store, resolver) = world();
+        let enforce = dom("enforce.example");
+        let testing = dom("testing.example");
+        let bare = dom("bare.example");
+        store.add_txt(
+            &enforce.prepend_label("_mta-sts").unwrap(),
+            "v=STSv1; id=20230101; mode=enforce",
+        );
+        store.add_txt(
+            &testing.prepend_label("_mta-sts").unwrap(),
+            "v=STSv1; id=20230101; mode=testing",
+        );
+        store.add_txt(&bare.prepend_label("_mta-sts").unwrap(), "v=STSv1; id=1");
+        assert_eq!(query_mta_sts(&resolver, &enforce), MtaStsMode::Enforce);
+        assert_eq!(query_mta_sts(&resolver, &testing), MtaStsMode::Testing);
+        assert_eq!(query_mta_sts(&resolver, &bare), MtaStsMode::Testing);
+        assert_eq!(
+            query_mta_sts(&resolver, &dom("nothing.example")),
+            MtaStsMode::Absent
+        );
+    }
+
+    #[test]
+    fn stack_fingerprint_separates_layer_states() {
+        let mut seen = std::collections::HashSet::new();
+        let dispositions = [
+            DmarcDisposition::Absent,
+            DmarcDisposition::Invalid,
+            DmarcDisposition::TempError,
+            DmarcDisposition::Monitor,
+            DmarcDisposition::Enforced {
+                policy: DmarcPolicy::Quarantine,
+                percent: 100,
+            },
+            DmarcDisposition::Enforced {
+                policy: DmarcPolicy::Reject,
+                percent: 100,
+            },
+            DmarcDisposition::Enforced {
+                policy: DmarcPolicy::Reject,
+                percent: 50,
+            },
+        ];
+        for d in &dispositions {
+            for sts in [MtaStsMode::Absent, MtaStsMode::Testing, MtaStsMode::Enforce] {
+                assert!(
+                    seen.insert(stack_fingerprint(d, sts)),
+                    "fingerprint collision at {d:?} × {sts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auth_cache_memoizes_and_invalidates() {
+        let (store, resolver) = world();
+        let d = dom("victim.example");
+        store.add_txt(&d.prepend_label("_dmarc").unwrap(), "v=DMARC1; p=reject");
+        let cache = AuthCache::new();
+        let first = cache.dmarc(&resolver, &d);
+        let second = cache.dmarc(&resolver, &d);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.dmarc_hits, stats.dmarc_misses), (1, 1));
+        assert!((stats.dmarc_hit_rate() - 0.5).abs() < 1e-9);
+        // Churn the record; the stale memo survives until invalidated.
+        store.replace_txt(&d.prepend_label("_dmarc").unwrap(), "v=DMARC1; p=none");
+        assert_eq!(cache.dmarc(&resolver, &d), first);
+        cache.invalidate(&d);
+        assert_eq!(cache.dmarc(&resolver, &d), DmarcDisposition::Monitor);
+    }
+
+    #[test]
+    fn evaluate_auth_spf_component_matches_bare_check_host() {
+        let (store, resolver) = world();
+        let d = dom("victim.example");
+        store.add_txt(&d, "v=spf1 ip4:192.0.2.0/24 -all");
+        store.add_txt(
+            &d.prepend_label("_dmarc").unwrap(),
+            "v=DMARC1; p=quarantine",
+        );
+        let policy = EvalPolicy::default();
+        for ip in ["192.0.2.5", "198.51.100.9"] {
+            let ip: IpAddr = ip.parse().unwrap();
+            let ctx = EvalContext::mail_from(ip, "attacker", d.clone());
+            let bare = check_host(&resolver, &ctx, &d, &policy);
+            let outcome = evaluate_auth(&resolver, &ctx, &d, &policy, None, None, None);
+            assert_eq!(
+                serde_json::to_string(&outcome.spf).unwrap(),
+                serde_json::to_string(&bare).unwrap()
+            );
+            let expected = if bare.result == SpfResult::Pass {
+                StopLayer::None
+            } else {
+                StopLayer::Spf
+            };
+            assert_eq!(outcome.stop, expected);
+        }
+    }
+}

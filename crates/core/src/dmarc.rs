@@ -9,7 +9,7 @@ use spf_dns::{DnsError, RecordData, RecordType, Resolver};
 use spf_types::DomainName;
 
 /// The `p=`/`sp=` policy values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DmarcPolicy {
     /// Take no action on failure.
     None,
@@ -74,10 +74,25 @@ pub struct DmarcRecord {
 /// DMARC parse failures.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DmarcError {
-    /// Does not start with `v=DMARC1`.
+    /// No `v=DMARC1` tag anywhere in the record.
     MissingVersionTag,
+    /// A `v=DMARC1` tag exists but is not the first tag — RFC 7489 §6.4
+    /// requires the version tag in first position, and receivers discard
+    /// records that merely contain it elsewhere.
+    VersionNotFirst,
     /// The required `p=` tag is absent or invalid.
     MissingPolicy,
+    /// The same tag appears more than once; last-wins silently changes
+    /// the effective policy, so duplicates are rejected as ambiguous.
+    DuplicateTag {
+        /// The repeated tag name.
+        tag: String,
+    },
+    /// `pct=` parsed as a number but is outside 0..=100.
+    PercentOutOfRange {
+        /// The parsed out-of-range value.
+        value: u16,
+    },
     /// A tag has a malformed value.
     BadTagValue {
         /// The tag name.
@@ -90,8 +105,15 @@ pub enum DmarcError {
 impl fmt::Display for DmarcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DmarcError::MissingVersionTag => write!(f, "record does not start with v=DMARC1"),
+            DmarcError::MissingVersionTag => write!(f, "record has no v=DMARC1 tag"),
+            DmarcError::VersionNotFirst => {
+                write!(f, "v=DMARC1 tag present but not in first position")
+            }
             DmarcError::MissingPolicy => write!(f, "required p= tag missing or invalid"),
+            DmarcError::DuplicateTag { tag } => write!(f, "tag {tag} appears more than once"),
+            DmarcError::PercentOutOfRange { value } => {
+                write!(f, "pct={value} outside 0..=100")
+            }
             DmarcError::BadTagValue { tag, value } => {
                 write!(f, "bad value {value:?} for tag {tag}")
             }
@@ -110,8 +132,21 @@ pub fn is_dmarc_record(text: &str) -> bool {
 /// Parse a DMARC record ("v=DMARC1; p=reject; rua=mailto:...").
 pub fn parse_dmarc(text: &str) -> Result<DmarcRecord, DmarcError> {
     if !is_dmarc_record(text) {
-        return Err(DmarcError::MissingVersionTag);
+        // Distinguish "no version tag at all" from "version tag buried
+        // mid-record": the latter is a positional error receivers treat
+        // as not-a-DMARC-record, and fuzzing the auth pipeline showed it
+        // is a distinct misconfiguration class worth naming.
+        let buried = text.split(';').skip(1).any(|part| {
+            let part = part.trim();
+            part.len() >= 8 && part[..8].eq_ignore_ascii_case("v=DMARC1")
+        });
+        return Err(if buried {
+            DmarcError::VersionNotFirst
+        } else {
+            DmarcError::MissingVersionTag
+        });
     }
+    let mut seen: Vec<String> = Vec::new();
     let mut policy = None;
     let mut record = DmarcRecord {
         policy: DmarcPolicy::None,
@@ -133,6 +168,17 @@ pub fn parse_dmarc(text: &str) -> Result<DmarcRecord, DmarcError> {
         };
         let tag = tag.trim().to_ascii_lowercase();
         let value = value.trim();
+        // Known tags may appear at most once: last-wins would silently
+        // change the effective policy, so duplicates are ambiguous.
+        if matches!(
+            tag.as_str(),
+            "p" | "sp" | "rua" | "ruf" | "pct" | "adkim" | "aspf"
+        ) {
+            if seen.iter().any(|s| s == &tag) {
+                return Err(DmarcError::DuplicateTag { tag });
+            }
+            seen.push(tag.clone());
+        }
         match tag.as_str() {
             "p" => {
                 policy = Some(DmarcPolicy::parse(value).ok_or(DmarcError::MissingPolicy)?);
@@ -149,16 +195,16 @@ pub fn parse_dmarc(text: &str) -> Result<DmarcRecord, DmarcError> {
             "rua" => record.rua = value.split(',').map(|s| s.trim().to_string()).collect(),
             "ruf" => record.ruf = value.split(',').map(|s| s.trim().to_string()).collect(),
             "pct" => {
-                record.percent = value.parse::<u8>().map_err(|_| DmarcError::BadTagValue {
+                // Parse wide so 150 and 400 both classify as
+                // out-of-range rather than as unparseable-u8 noise.
+                let pct = value.parse::<u16>().map_err(|_| DmarcError::BadTagValue {
                     tag: tag.clone(),
                     value: value.to_string(),
                 })?;
-                if record.percent > 100 {
-                    return Err(DmarcError::BadTagValue {
-                        tag,
-                        value: value.to_string(),
-                    });
+                if pct > 100 {
+                    return Err(DmarcError::PercentOutOfRange { value: pct });
                 }
+                record.percent = pct as u8;
             }
             "adkim" | "aspf" => {
                 let a = match value.to_ascii_lowercase().as_str() {
@@ -197,8 +243,45 @@ pub enum DmarcLookup {
     TempError,
 }
 
-/// Query `_dmarc.<domain>` the way `query_dmarc_record()` does.
-pub fn query_dmarc<R: Resolver + ?Sized>(resolver: &R, domain: &DomainName) -> DmarcLookup {
+/// Multi-label public suffixes the organizational-domain approximation
+/// recognizes beyond plain TLDs. A deliberately small, unit-tested
+/// subset of the PSL: the population worlds never mint names under
+/// suffixes outside this list, and the approximation errs toward "one
+/// extra fallback query", never toward crossing a registry boundary
+/// *within* this list.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "com.br", "co.jp", "or.jp",
+    "ne.jp", "co.nz", "co.za", "com.cn", "com.tw", "com.mx", "co.in", "com.sg",
+];
+
+/// The organizational domain of `domain` under the public-suffix
+/// approximation: the public suffix (one label, or two when the last
+/// two labels appear in the built-in multi-label suffix table) plus one registrant
+/// label. Domains at or below that boundary are their own
+/// organizational domain.
+pub fn organizational_domain(domain: &DomainName) -> DomainName {
+    let labels: Vec<&str> = domain.labels().collect();
+    if labels.len() <= 2 {
+        return domain.clone();
+    }
+    let last_two = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
+    let keep = if MULTI_LABEL_SUFFIXES
+        .iter()
+        .any(|s| s.eq_ignore_ascii_case(&last_two))
+    {
+        3
+    } else {
+        2
+    };
+    if labels.len() <= keep {
+        return domain.clone();
+    }
+    let org = labels[labels.len() - keep..].join(".");
+    DomainName::parse(&org).unwrap_or_else(|_| domain.clone())
+}
+
+/// One `_dmarc.<name>` TXT lookup, no fallback.
+fn query_dmarc_at<R: Resolver + ?Sized>(resolver: &R, domain: &DomainName) -> DmarcLookup {
     let Ok(name) = domain.prepend_label("_dmarc") else {
         return DmarcLookup::NotFound;
     };
@@ -223,6 +306,34 @@ pub fn query_dmarc<R: Resolver + ?Sized>(resolver: &R, domain: &DomainName) -> D
             Ok(r) => DmarcLookup::Found(r),
             Err(e) => DmarcLookup::Invalid(e),
         },
+    }
+}
+
+/// Query `_dmarc.<domain>` the way `query_dmarc_record()` does, with the
+/// RFC 7489 §6.6.3 organizational-domain fallback: when the exact name
+/// publishes nothing, retry at `_dmarc.<org-domain>`. Both lookups go
+/// through `resolver` and charge it like any other wire query, so the
+/// fallback is visible in `WireSnapshot` amplification. The effective
+/// policy for a fallback hit is the org record's `sp=` (subdomain
+/// policy) when present, folded into the returned record's `policy`.
+pub fn query_dmarc<R: Resolver + ?Sized>(resolver: &R, domain: &DomainName) -> DmarcLookup {
+    let direct = query_dmarc_at(resolver, domain);
+    if !matches!(direct, DmarcLookup::NotFound) {
+        return direct;
+    }
+    let org = organizational_domain(domain);
+    if org == *domain {
+        return direct;
+    }
+    match query_dmarc_at(resolver, &org) {
+        // A fallback hit governs the subdomain through sp= when set.
+        DmarcLookup::Found(mut record) => {
+            if let Some(sp) = record.subdomain_policy {
+                record.policy = sp;
+            }
+            DmarcLookup::Found(record)
+        }
+        other => other,
     }
 }
 
@@ -276,10 +387,87 @@ mod tests {
             parse_dmarc("v=DMARC1; p=none; pct=abc"),
             Err(DmarcError::BadTagValue { .. })
         ));
-        assert!(matches!(
+        assert_eq!(
             parse_dmarc("v=DMARC1; p=none; pct=150"),
-            Err(DmarcError::BadTagValue { .. })
-        ));
+            Err(DmarcError::PercentOutOfRange { value: 150 })
+        );
+        assert_eq!(
+            parse_dmarc("v=DMARC1; p=none; pct=400"),
+            Err(DmarcError::PercentOutOfRange { value: 400 })
+        );
+        // pct=100 is the inclusive boundary.
+        assert_eq!(
+            parse_dmarc("v=DMARC1; p=none; pct=100").unwrap().percent,
+            100
+        );
+    }
+
+    #[test]
+    fn duplicate_tags_rejected() {
+        assert_eq!(
+            parse_dmarc("v=DMARC1; p=none; p=reject"),
+            Err(DmarcError::DuplicateTag { tag: "p".into() })
+        );
+        assert_eq!(
+            parse_dmarc("v=DMARC1; p=none; pct=50; pct=50"),
+            Err(DmarcError::DuplicateTag { tag: "pct".into() })
+        );
+        // Unknown tags may legitimately repeat (fo=0; fo=1 in the wild).
+        assert!(parse_dmarc("v=DMARC1; p=none; fo=0; fo=1").is_ok());
+    }
+
+    #[test]
+    fn buried_version_tag_is_positional_error() {
+        assert_eq!(
+            parse_dmarc("p=none; v=DMARC1"),
+            Err(DmarcError::VersionNotFirst)
+        );
+        assert_eq!(
+            parse_dmarc("p=none; rua=mailto:x@y.z"),
+            Err(DmarcError::MissingVersionTag)
+        );
+    }
+
+    #[test]
+    fn organizational_domain_approximation() {
+        let org = |s: &str| organizational_domain(&DomainName::parse(s).unwrap()).to_string();
+        assert_eq!(org("example.com"), "example.com");
+        assert_eq!(org("mail.example.com"), "example.com");
+        assert_eq!(org("a.b.mail.example.com"), "example.com");
+        // Multi-label public suffixes keep one extra label.
+        assert_eq!(org("example.co.uk"), "example.co.uk");
+        assert_eq!(org("mail.example.co.uk"), "example.co.uk");
+        assert_eq!(org("deep.mail.example.com.au"), "example.com.au");
+        // Single labels are their own org domain.
+        assert_eq!(org("localhost"), "localhost");
+    }
+
+    #[test]
+    fn query_falls_back_to_org_domain() {
+        let store = Arc::new(ZoneStore::new());
+        let org = DomainName::parse("example.com").unwrap();
+        let sub = DomainName::parse("mail.example.com").unwrap();
+        store.add_txt(
+            &org.prepend_label("_dmarc").unwrap(),
+            "v=DMARC1; p=reject; sp=quarantine",
+        );
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        // Subdomain without its own record inherits via sp=.
+        match query_dmarc(&resolver, &sub) {
+            DmarcLookup::Found(r) => assert_eq!(r.policy, DmarcPolicy::Quarantine),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The org domain itself keeps p=.
+        match query_dmarc(&resolver, &org) {
+            DmarcLookup::Found(r) => assert_eq!(r.policy, DmarcPolicy::Reject),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A direct record shadows the org fallback entirely.
+        store.add_txt(&sub.prepend_label("_dmarc").unwrap(), "v=DMARC1; p=none");
+        match query_dmarc(&resolver, &sub) {
+            DmarcLookup::Found(r) => assert_eq!(r.policy, DmarcPolicy::None),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod compile;
 pub mod context;
 pub mod dmarc;
@@ -26,14 +27,18 @@ pub mod header;
 pub mod macroexpand;
 pub mod parse;
 
+pub use auth::{
+    evaluate_auth, query_mta_sts, stack_fingerprint, stop_layer, AuthCache, AuthCacheStats,
+    AuthOutcome, DeploymentMix, DmarcDisposition, MtaStsMode, StopCounts, StopLayer,
+};
 pub use compile::{
     compile_policy, Compilability, CompileConfig, CompiledPolicy, CompilerStats, Residue,
     ResidueKind,
 };
 pub use context::{EvalContext, SpfResult};
 pub use dmarc::{
-    is_dmarc_record, parse_dmarc, query_dmarc, Alignment, DmarcError, DmarcLookup, DmarcPolicy,
-    DmarcRecord,
+    is_dmarc_record, organizational_domain, parse_dmarc, query_dmarc, Alignment, DmarcError,
+    DmarcLookup, DmarcPolicy, DmarcRecord,
 };
 pub use eval::{
     check_host, check_host_cached, check_host_dyn, BudgetKey, EvalPolicy, EvalProblem, Evaluation,

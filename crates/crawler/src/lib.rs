@@ -11,7 +11,9 @@
 //! crawl accumulates as it goes. [`spoof_matrix`] closes the §6 loop:
 //! real `check_host()` verdicts for the whole population from attacker
 //! vantage addresses, deduplicated through a lock-striped subtree
-//! verdict cache (see [`mod@spoof`]).
+//! verdict cache (see [`mod@spoof`]); [`auth_matrix`] is its layered
+//! successor, composing DMARC and MTA-STS stop attribution on top of
+//! the byte-identical SPF sub-matrix (matrix v2, DESIGN.md §13).
 //!
 //! # Crawl engine invariants
 //!
@@ -51,12 +53,19 @@ pub use crawl::{
 pub use ecosystem::{include_ecosystem, includes_exceeding_limit, top_includes, IncludeStats};
 pub use longitudinal::{ChurnEngine, EpochReport, LongitudinalConfig, ZoneDelta};
 pub use overlap::{OverlapReport, ProviderConcentration, DEFAULT_PROVIDER_ROWS};
+/// Re-export of the auth-stack layer types the v2 matrix reports in.
+pub use spf_core::{
+    AuthCacheStats, DeploymentMix, DmarcDisposition, MtaStsMode, StopCounts, StopLayer,
+};
 /// Re-export of the engine-selection types every assembler consumes.
 pub use spf_types::{Backend, EngineBuilder, Evaluator, Transport};
+#[allow(deprecated)]
+pub use spoof::spoof_matrix;
 pub use spoof::{
-    evaluate_matrix_row, select_vantages, spoof_matrix, DomainMatrixRow, ProviderVantage, RowCell,
-    SpoofMatrix, SpoofMatrixConfig, SpoofMatrixStats, SpoofVerdictCache, VantageKind, VantagePoint,
-    VantageReport, DEFAULT_CONTROLS, DEFAULT_TOP_COVERAGE, SPOOF_SENDER_LOCAL,
+    auth_matrix, auth_matrix_with_cache, evaluate_auth_row, evaluate_matrix_row, select_vantages,
+    AuthMatrix, AuthMatrixRow, AuthMatrixStats, DomainMatrixRow, ProviderVantage, RowCell,
+    SpoofMatrix, SpoofMatrixConfig, SpoofMatrixStats, SpoofVerdictCache, TierReport, VantageKind,
+    VantagePoint, VantageReport, DEFAULT_CONTROLS, DEFAULT_TOP_COVERAGE, SPOOF_SENDER_LOCAL,
 };
 
 /// Re-export of the analyzer's lax-authorization threshold (100,000 IPs).

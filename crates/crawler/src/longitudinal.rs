@@ -686,6 +686,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn matrix_rows_fold_identically_to_fresh_matrix() {
         use crate::spoof::{select_vantages, spoof_matrix};
         let (store, domains) = world();

@@ -36,6 +36,19 @@
 //! from per-worker accumulators — so the serialized report is identical
 //! across worker counts, batch sizes, cache shard counts, cache on/off,
 //! and resolver substrates (in-memory vs wire under zero faults).
+//!
+//! # Matrix v2: the layered auth stack
+//!
+//! [`auth_matrix`] is the layered successor (DESIGN.md §13): the same
+//! engine shape evaluates each domain's SPF row through the *identical*
+//! [`evaluate_matrix_row`] primitive (the byte-identity rail — the v2
+//! report embeds a [`SpoofMatrix`] that serializes byte-for-byte like
+//! the v1 engine's), then composes the domain's DMARC disposition and
+//! MTA-STS mode into a per-cell [`StopLayer`] naming which layer blocks
+//! each `(vantage, victim)` pair. The report buckets per-layer stop
+//! rates by observed [`DeploymentMix`] tier and carries the residual
+//! spoofable set no layer stops. The v1 [`spoof_matrix`] entry point is
+//! deprecated in favor of it.
 
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,8 +59,10 @@ use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use spf_analyzer::{CacheKey, CacheStats, ShardedCache, DEFAULT_CACHE_SHARDS};
 use spf_core::{
-    check_host, check_host_cached, compile_policy, BudgetKey, CompileConfig, CompilerStats,
-    EvalContext, EvalPolicy, Evaluation, SpfResult, SubtreeVerdict, VerdictCache,
+    check_host, check_host_cached, compile_policy, query_mta_sts, stop_layer, AuthCache,
+    AuthCacheStats, BudgetKey, CompileConfig, CompilerStats, DeploymentMix, DmarcDisposition,
+    EvalContext, EvalPolicy, Evaluation, MtaStsMode, SpfResult, StopCounts, StopLayer,
+    SubtreeVerdict, VerdictCache,
 };
 use spf_dns::Resolver;
 use spf_types::{DomainName, WeightedRanges};
@@ -538,6 +553,19 @@ impl SpoofMatrix {
             report.remove_cell(cell);
         }
     }
+
+    /// Sum another matrix's row-derived counts into this one (worker
+    /// merge). `domains` is population metadata, not a row sum — left
+    /// untouched.
+    fn merge_counts(&mut self, other: &SpoofMatrix) {
+        self.spf_domains += other.spf_domains;
+        self.spoofable_shared += other.spoofable_shared;
+        self.spoofable_control += other.spoofable_control;
+        self.lazy_gatekeepers += other.lazy_gatekeepers;
+        for (into, from) in self.vantages.iter_mut().zip(&other.vantages) {
+            into.merge(from);
+        }
+    }
 }
 
 /// One `(domain, vantage)` cell of a matrix row: the verdict plus the
@@ -653,6 +681,13 @@ impl WorkerTally {
 /// `resolver`, through a bounded batched worker pool (the crawl engine's
 /// dispatch shape). Returns the deterministic [`SpoofMatrix`] and the
 /// run's scheduling-dependent [`SpoofMatrixStats`].
+///
+/// Deprecated: [`auth_matrix`] runs the same SPF engine (its embedded
+/// `.spf` report is byte-identical to this one) and layers DMARC /
+/// MTA-STS stop attribution on top. The body is intentionally *not* a
+/// delegating shim so v2-vs-v1 comparisons stay a genuine differential
+/// test.
+#[deprecated(note = "use `auth_matrix`; its `.spf` component is byte-identical to this report")]
 pub fn spoof_matrix<R: Resolver>(
     resolver: &R,
     domains: &[DomainName],
@@ -847,7 +882,421 @@ fn evaluate_domain<R: Resolver>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Matrix v2: the layered auth stack (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// One domain's layered row: the *unchanged* v1 SPF row (the
+/// byte-identity rail) plus the domain-level DMARC / MTA-STS facts,
+/// the [`DeploymentMix`] tier they classify into, and the per-vantage
+/// [`StopLayer`] each cell's SPF verdict composes to. Like
+/// [`DomainMatrixRow`], a row is a pure function of
+/// `(zone, domain, vantages, policy)` and the matrix is the commutative
+/// sum of rows, so the churn engine folds layered rows in and out the
+/// same way.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthMatrixRow {
+    /// The SPF sub-row, byte-identical to [`evaluate_matrix_row`]'s.
+    pub spf: DomainMatrixRow,
+    /// The domain's DMARC layer (org-domain fallback included).
+    pub dmarc: DmarcDisposition,
+    /// The domain's MTA-STS layer.
+    pub mta_sts: MtaStsMode,
+    /// The deployment tier the observed layers classify into.
+    pub tier: DeploymentMix,
+    /// Which layer stops each vantage's attempt, in vantage input order.
+    pub stops: Vec<StopLayer>,
+}
+
+impl AuthMatrixRow {
+    /// Whether any attacker-reachable vantage reaches [`StopLayer::None`]
+    /// — the domain belongs to the residual spoofable set.
+    pub fn residual_spoofable(&self, vantages: &[VantageReport]) -> bool {
+        self.stops
+            .iter()
+            .zip(vantages)
+            .any(|(stop, v)| v.kind.attacker_reachable() && *stop == StopLayer::None)
+    }
+}
+
+/// Per-[`DeploymentMix`] tier bucket: how many domains landed in the
+/// tier and which layer stopped their attacker-reachable pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierReport {
+    /// The tier.
+    pub tier: DeploymentMix,
+    /// Domains classified into this tier.
+    pub domains: u64,
+    /// Per-layer stop histogram over this tier's attacker-reachable
+    /// `(vantage, domain)` pairs.
+    pub stops: StopCounts,
+    /// Domains in this tier with at least one attacker-reachable pair
+    /// no layer stops.
+    pub residual_spoofable: u64,
+}
+
+impl TierReport {
+    fn new(tier: DeploymentMix) -> Self {
+        TierReport {
+            tier,
+            domains: 0,
+            stops: StopCounts::default(),
+            residual_spoofable: 0,
+        }
+    }
+
+    /// Stopped-by-`layer` pairs as a fraction of the tier's
+    /// attacker-reachable pairs.
+    pub fn stop_rate(&self, layer: StopLayer) -> f64 {
+        let total = self.stops.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.stops.get(layer) as f64 / total as f64
+        }
+    }
+}
+
+fn tier_index(tier: DeploymentMix) -> usize {
+    DeploymentMix::ALL
+        .iter()
+        .position(|t| *t == tier)
+        .expect("tier in ALL")
+}
+
+/// The layered spoof matrix (v2). Embeds the v1 [`SpoofMatrix`] —
+/// serialized byte-identically to what the deprecated [`spoof_matrix`]
+/// engine reports for the same inputs — and layers per-vantage /
+/// per-tier stop histograms plus the residual spoofable set on top.
+/// Every field is a commutative sum of [`AuthMatrixRow`]s, preserving
+/// the determinism contract across workers, batches, shards, caches,
+/// and resolver substrates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthMatrix {
+    /// The SPF sub-matrix (the v1 report, byte-identical).
+    pub spf: SpoofMatrix,
+    /// Per-vantage stop histograms over all domains, in vantage input
+    /// order (parallel to `spf.vantages`).
+    pub vantage_stops: Vec<StopCounts>,
+    /// Per-deployment-tier buckets, in [`DeploymentMix::ALL`] order —
+    /// every preset is present even at zero domains.
+    pub tiers: Vec<TierReport>,
+    /// Domains with at least one attacker-reachable pair no layer stops.
+    pub residual_spoofable: u64,
+    /// Domains publishing a *usable* DMARC record (monitor or enforced).
+    pub dmarc_domains: u64,
+    /// Domains whose DMARC is enforced (`quarantine`/`reject`, `pct>0`).
+    pub dmarc_enforced_domains: u64,
+    /// Domains publishing an enforce-mode MTA-STS policy.
+    pub mta_sts_enforced_domains: u64,
+}
+
+impl AuthMatrix {
+    /// An all-zero layered matrix over `domain_count` domains and
+    /// `vantages` — the starting point incremental row folding builds
+    /// from.
+    pub fn empty(domain_count: u64, vantages: &[VantagePoint]) -> Self {
+        AuthMatrix {
+            spf: SpoofMatrix::empty(domain_count, vantages),
+            vantage_stops: vec![StopCounts::default(); vantages.len()],
+            tiers: DeploymentMix::ALL
+                .iter()
+                .copied()
+                .map(TierReport::new)
+                .collect(),
+            residual_spoofable: 0,
+            dmarc_domains: 0,
+            dmarc_enforced_domains: 0,
+            mta_sts_enforced_domains: 0,
+        }
+    }
+
+    /// The bucket for one tier.
+    pub fn tier(&self, tier: DeploymentMix) -> &TierReport {
+        &self.tiers[tier_index(tier)]
+    }
+
+    /// Residual spoofable domains as a fraction of the population.
+    pub fn residual_rate(&self) -> f64 {
+        if self.spf.domains == 0 {
+            0.0
+        } else {
+            self.residual_spoofable as f64 / self.spf.domains as f64
+        }
+    }
+
+    fn layer_facts(row: &AuthMatrixRow) -> (u64, u64, u64) {
+        let usable = matches!(
+            row.dmarc,
+            DmarcDisposition::Monitor | DmarcDisposition::Enforced { .. }
+        );
+        (
+            u64::from(usable),
+            u64::from(row.dmarc.is_enforced()),
+            u64::from(row.mta_sts == MtaStsMode::Enforce),
+        )
+    }
+
+    /// Fold one domain's layered row in. Commutative like
+    /// [`SpoofMatrix::fold_in`]; [`AuthMatrix::fold_out`] is the exact
+    /// inverse.
+    pub fn fold_in(&mut self, row: &AuthMatrixRow) {
+        debug_assert_eq!(row.stops.len(), self.vantage_stops.len());
+        self.spf.fold_in(&row.spf);
+        for (counts, stop) in self.vantage_stops.iter_mut().zip(&row.stops) {
+            counts.add(*stop);
+        }
+        let tier = &mut self.tiers[tier_index(row.tier)];
+        tier.domains += 1;
+        let mut residual = false;
+        for (stop, vantage) in row.stops.iter().zip(&self.spf.vantages) {
+            if vantage.kind.attacker_reachable() {
+                tier.stops.add(*stop);
+                residual |= *stop == StopLayer::None;
+            }
+        }
+        tier.residual_spoofable += u64::from(residual);
+        self.residual_spoofable += u64::from(residual);
+        let (usable, enforced, sts) = Self::layer_facts(row);
+        self.dmarc_domains += usable;
+        self.dmarc_enforced_domains += enforced;
+        self.mta_sts_enforced_domains += sts;
+    }
+
+    /// Retract one previously folded-in layered row — the exact inverse
+    /// of [`AuthMatrix::fold_in`].
+    pub fn fold_out(&mut self, row: &AuthMatrixRow) {
+        debug_assert_eq!(row.stops.len(), self.vantage_stops.len());
+        self.spf.fold_out(&row.spf);
+        for (counts, stop) in self.vantage_stops.iter_mut().zip(&row.stops) {
+            counts.remove(*stop);
+        }
+        let tier = &mut self.tiers[tier_index(row.tier)];
+        tier.domains -= 1;
+        let mut residual = false;
+        for (stop, vantage) in row.stops.iter().zip(&self.spf.vantages) {
+            if vantage.kind.attacker_reachable() {
+                tier.stops.remove(*stop);
+                residual |= *stop == StopLayer::None;
+            }
+        }
+        tier.residual_spoofable -= u64::from(residual);
+        self.residual_spoofable -= u64::from(residual);
+        let (usable, enforced, sts) = Self::layer_facts(row);
+        self.dmarc_domains -= usable;
+        self.dmarc_enforced_domains -= enforced;
+        self.mta_sts_enforced_domains -= sts;
+    }
+
+    /// Sum another layered matrix's row-derived counts in (worker
+    /// merge).
+    fn merge_counts(&mut self, other: &AuthMatrix) {
+        self.spf.merge_counts(&other.spf);
+        for (into, from) in self.vantage_stops.iter_mut().zip(&other.vantage_stops) {
+            into.merge(from);
+        }
+        for (into, from) in self.tiers.iter_mut().zip(&other.tiers) {
+            into.domains += from.domains;
+            into.stops.merge(&from.stops);
+            into.residual_spoofable += from.residual_spoofable;
+        }
+        self.residual_spoofable += other.residual_spoofable;
+        self.dmarc_domains += other.dmarc_domains;
+        self.dmarc_enforced_domains += other.dmarc_enforced_domains;
+        self.mta_sts_enforced_domains += other.mta_sts_enforced_domains;
+    }
+}
+
+/// v2 engine observability: the v1 scheduling stats plus the DMARC /
+/// MTA-STS lookup-cache counters. Worker-scheduling dependent — kept
+/// out of [`AuthMatrix`] so the report stays byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuthMatrixStats {
+    /// The SPF engine's scheduling stats.
+    pub engine: SpoofMatrixStats,
+    /// DMARC / MTA-STS lookup-cache counters.
+    pub auth_cache: AuthCacheStats,
+}
+
+/// Evaluate one domain's complete [`AuthMatrixRow`]: the SPF sub-row
+/// through the *identical* [`evaluate_matrix_row`] primitive (the
+/// byte-identity rail), then the domain's DMARC disposition and
+/// MTA-STS mode — through `auth_cache` when given, straight to the
+/// resolver otherwise — composed into per-vantage stop layers.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_auth_row<R: Resolver>(
+    resolver: &R,
+    domain: &DomainName,
+    vantages: &[VantagePoint],
+    policy: &EvalPolicy,
+    cache: Option<&SpoofVerdictCache>,
+    use_compiled: bool,
+    compiler: &mut CompilerStats,
+    auth_cache: Option<&AuthCache>,
+) -> AuthMatrixRow {
+    let spf = evaluate_matrix_row(
+        resolver,
+        domain,
+        vantages,
+        policy,
+        cache,
+        use_compiled,
+        compiler,
+    );
+    let (dmarc, mta_sts) = match auth_cache {
+        Some(cache) => (
+            cache.dmarc(resolver, domain),
+            cache.mta_sts(resolver, domain),
+        ),
+        None => (
+            DmarcDisposition::from_lookup(&spf_core::query_dmarc(resolver, domain)),
+            query_mta_sts(resolver, domain),
+        ),
+    };
+    let tier = DeploymentMix::classify(spf.has_record, &dmarc, mta_sts);
+    let stops = spf
+        .cells
+        .iter()
+        .map(|cell| stop_layer(cell.result, &dmarc, mta_sts))
+        .collect();
+    AuthMatrixRow {
+        spf,
+        dmarc,
+        mta_sts,
+        tier,
+        stops,
+    }
+}
+
+/// Per-worker v2 accumulator: a zero-`domains` [`AuthMatrix`] rows fold
+/// into, merged commutatively on the way out.
+struct AuthWorkerTally {
+    matrix: AuthMatrix,
+    compiler: CompilerStats,
+}
+
+/// Evaluate the layered verdict matrix for `domains` × `vantages` over
+/// `resolver` — the matrix-v2 engine. Same bounded batched worker-pool
+/// dispatch as the deprecated v1 [`spoof_matrix`]; the SPF sub-matrix
+/// it embeds serializes byte-identically to the v1 report, and the
+/// DMARC / MTA-STS layers ride a shared [`AuthCache`] whose hit rate
+/// lands in [`AuthMatrixStats`].
+pub fn auth_matrix<R: Resolver>(
+    resolver: &R,
+    domains: &[DomainName],
+    vantages: &[VantagePoint],
+    config: SpoofMatrixConfig,
+) -> (AuthMatrix, AuthMatrixStats) {
+    auth_matrix_with_cache(resolver, domains, vantages, config, &AuthCache::new())
+}
+
+/// [`auth_matrix`] with a caller-owned [`AuthCache`]: reusing the cache
+/// across runs (epoch re-crawls, repeated benches) is what makes the
+/// DMARC / MTA-STS hit rate non-trivial — within one cold run each
+/// domain is looked up exactly once. The returned
+/// [`AuthMatrixStats::auth_cache`] snapshot is the cache's *cumulative*
+/// counters.
+pub fn auth_matrix_with_cache<R: Resolver>(
+    resolver: &R,
+    domains: &[DomainName],
+    vantages: &[VantagePoint],
+    config: SpoofMatrixConfig,
+    auth_cache: &AuthCache,
+) -> (AuthMatrix, AuthMatrixStats) {
+    let started = Instant::now();
+    let workers = config.workers.max(1);
+    let batch_size = config.batch_size.max(1);
+    let cache = config
+        .use_cache
+        .then(|| SpoofVerdictCache::new(config.cache_shards));
+
+    let queue_depth = AtomicUsize::new(0);
+    let peak_depth = AtomicUsize::new(0);
+    let batches = AtomicUsize::new(0);
+
+    let mut merged = AuthWorkerTally {
+        matrix: AuthMatrix::empty(0, vantages),
+        compiler: CompilerStats::default(),
+    };
+    {
+        let (work_tx, work_rx) = channel::bounded::<Vec<DomainName>>(workers * 2);
+        let (tally_tx, tally_rx) = channel::unbounded::<AuthWorkerTally>();
+        let queue_depth = &queue_depth;
+        let peak_depth = &peak_depth;
+        let batches = &batches;
+        let cache = cache.as_ref();
+        let policy = &config.policy;
+        let use_compiled = config.use_compiled;
+
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for chunk in domains.chunks(batch_size) {
+                    let batch: Vec<DomainName> = chunk.to_vec();
+                    let depth = queue_depth.fetch_add(batch.len(), Ordering::Relaxed) + batch.len();
+                    peak_depth.fetch_max(depth, Ordering::Relaxed);
+                    batches.fetch_add(1, Ordering::Relaxed);
+                    if work_tx.send(batch).is_err() {
+                        return;
+                    }
+                }
+            });
+            for _ in 0..workers {
+                let work_rx = work_rx.clone();
+                let tally_tx = tally_tx.clone();
+                scope.spawn(move || {
+                    let mut tally = AuthWorkerTally {
+                        matrix: AuthMatrix::empty(0, vantages),
+                        compiler: CompilerStats::default(),
+                    };
+                    while let Ok(batch) = work_rx.recv() {
+                        for domain in batch {
+                            let row = evaluate_auth_row(
+                                resolver,
+                                &domain,
+                                vantages,
+                                policy,
+                                cache,
+                                use_compiled,
+                                &mut tally.compiler,
+                                Some(auth_cache),
+                            );
+                            tally.matrix.fold_in(&row);
+                            queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _ = tally_tx.send(tally);
+                });
+            }
+            drop(work_rx);
+            drop(tally_tx);
+            for worker in tally_rx.iter() {
+                merged.matrix.merge_counts(&worker.matrix);
+                merged.compiler.merge(&worker.compiler);
+            }
+        });
+    }
+
+    let elapsed = started.elapsed();
+    let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+    let mut matrix = merged.matrix;
+    matrix.spf.domains = domains.len() as u64;
+    let stats = AuthMatrixStats {
+        engine: SpoofMatrixStats {
+            evaluations: (domains.len() * vantages.len()) as u64,
+            elapsed_secs: elapsed.as_secs_f64(),
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
+            peak_queue_depth: peak_depth.load(Ordering::Relaxed),
+            batches: batches.load(Ordering::Relaxed) as u64,
+            compiler: config.use_compiled.then_some(merged.compiler),
+        },
+        auth_cache: auth_cache.stats(),
+    };
+    (matrix, stats)
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use spf_dns::{ZoneResolver, ZoneStore};
@@ -1121,5 +1570,211 @@ mod tests {
         assert_eq!(matrix.spf_domains, 0);
         assert!(matrix.vantages.is_empty());
         assert_eq!(stats.evaluations, 0);
+    }
+
+    /// build_world plus a DMARC / MTA-STS layer: two customers enforce
+    /// DMARC (one with enforce-mode MTA-STS on top), one monitors, the
+    /// tight domain enforces, the rest publish nothing above SPF.
+    fn layer_world(store: &ZoneStore) {
+        store.add_txt(
+            &dom("_dmarc.c0.example"),
+            "v=DMARC1; p=reject; rua=mailto:agg@c0.example",
+        );
+        store.add_txt(
+            &dom("_mta-sts.c0.example"),
+            "v=STSv1; id=20230801T000000; mode=enforce",
+        );
+        store.add_txt(&dom("_dmarc.c1.example"), "v=DMARC1; p=quarantine");
+        store.add_txt(&dom("_dmarc.c2.example"), "v=DMARC1; p=none");
+        store.add_txt(&dom("_dmarc.tight.example"), "v=DMARC1; p=reject");
+        // Testing-mode MTA-STS does not close the residual path.
+        store.add_txt(
+            &dom("_mta-sts.c1.example"),
+            "v=STSv1; id=20230801T000000; mode=testing",
+        );
+    }
+
+    #[test]
+    fn auth_matrix_spf_component_is_byte_identical_to_v1() {
+        let (store, domains, weighted) = build_world();
+        layer_world(&store);
+        let vantages = vantage_set(&weighted, 2);
+        let v1 = |config: SpoofMatrixConfig| {
+            let resolver = ZoneResolver::new(Arc::clone(&store));
+            let (matrix, _) = spoof_matrix(&resolver, &domains, &vantages, config);
+            serde_json::to_string(&matrix).unwrap()
+        };
+        let v2 = |config: SpoofMatrixConfig| {
+            let resolver = ZoneResolver::new(Arc::clone(&store));
+            let (matrix, _) = auth_matrix(&resolver, &domains, &vantages, config);
+            serde_json::to_string(&matrix.spf).unwrap()
+        };
+        let reference = v1(SpoofMatrixConfig::with_workers(1).cached(false));
+        for workers in [1usize, 4] {
+            for compiled in [false, true] {
+                for cached in [false, true] {
+                    let config = SpoofMatrixConfig::with_workers(workers)
+                        .compiled(compiled)
+                        .cached(cached);
+                    assert_eq!(
+                        reference,
+                        v2(config),
+                        "v2 SPF sub-matrix diverged at workers={workers} \
+                         compiled={compiled} cached={cached}"
+                    );
+                }
+            }
+        }
+        // And the full v2 report itself is config-independent.
+        let full = |config: SpoofMatrixConfig| {
+            let resolver = ZoneResolver::new(Arc::clone(&store));
+            let (matrix, _) = auth_matrix(&resolver, &domains, &vantages, config);
+            serde_json::to_string(&matrix).unwrap()
+        };
+        let full_ref = full(SpoofMatrixConfig::with_workers(1).cached(false));
+        for workers in [1usize, 4] {
+            assert_eq!(
+                full_ref,
+                full(SpoofMatrixConfig::with_workers(workers).compiled(true)),
+                "full v2 report diverged at workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn auth_matrix_buckets_tiers_and_attributes_stops() {
+        let (store, domains, weighted) = build_world();
+        layer_world(&store);
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        let vantages = vantage_set(&weighted, 1);
+        let (matrix, stats) = auth_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(4),
+        );
+        // Every preset bucket is present, in ALL order, even when empty.
+        assert_eq!(matrix.tiers.len(), DeploymentMix::ALL.len());
+        for (bucket, tier) in matrix.tiers.iter().zip(DeploymentMix::ALL) {
+            assert_eq!(bucket.tier, tier);
+        }
+        // norecord.example is the only no-auth domain.
+        assert_eq!(matrix.tier(DeploymentMix::NoAuth).domains, 1);
+        // c3..c5 + open publish SPF only.
+        assert_eq!(matrix.tier(DeploymentMix::SpfOnly).domains, 4);
+        // c2 monitors.
+        assert_eq!(matrix.tier(DeploymentMix::SpfDmarcNone).domains, 1);
+        // c1 (quarantine + testing-mode STS) and tight enforce DMARC.
+        assert_eq!(matrix.tier(DeploymentMix::SpfDmarcEnforced).domains, 2);
+        // c0 runs the full stack.
+        assert_eq!(matrix.tier(DeploymentMix::FullStack).domains, 1);
+        // Layer adoption counters: c0 + c1 + c2 + tight publish DMARC,
+        // of which all but the monitoring c2 enforce.
+        assert_eq!(matrix.dmarc_domains, 4);
+        assert_eq!(matrix.dmarc_enforced_domains, 3);
+        assert_eq!(matrix.mta_sts_enforced_domains, 1);
+        // Per-domain sums reconcile with the population.
+        let tier_total: u64 = matrix.tiers.iter().map(|t| t.domains).sum();
+        assert_eq!(tier_total, matrix.spf.domains);
+        // Stop attribution: from the in-cloud shared vantage every
+        // customer passes SPF, so DMARC never gets to stop those pairs —
+        // the lazy-gatekeeper story — while tight.example's -all is an
+        // SPF stop from everywhere in this vantage set.
+        let shared_stops = &matrix.vantage_stops[0];
+        assert!(shared_stops.none >= 1, "open.example stays spoofable");
+        assert!(shared_stops.spf >= 1, "tight.example hard-fails");
+        // c0 passes SPF from the shared vantage (StopLayer::None on an
+        // attacker-reachable pair) — the full stack does NOT rescue an
+        // SPF pass, so it stays residual-spoofable.
+        assert!(matrix.tier(DeploymentMix::FullStack).residual_spoofable >= 1);
+        assert!(matrix.residual_spoofable >= 2);
+        assert_eq!(
+            matrix.residual_rate(),
+            matrix.residual_spoofable as f64 / 9.0
+        );
+        // Per-tier stop histograms cover exactly the attacker-reachable
+        // pairs of that tier.
+        let attacker_vantages = vantages
+            .iter()
+            .filter(|v| v.kind.attacker_reachable())
+            .count() as u64;
+        for bucket in &matrix.tiers {
+            assert_eq!(bucket.stops.total(), bucket.domains * attacker_vantages);
+        }
+        // A cold engine cache resolves each domain exactly once.
+        assert_eq!(stats.auth_cache.dmarc_misses, 9);
+        assert_eq!(stats.auth_cache.dmarc_hits, 0);
+        // SPF engine stats are still reported.
+        assert_eq!(stats.engine.evaluations, 9 * 5);
+    }
+
+    #[test]
+    fn warm_auth_cache_shows_hit_rate() {
+        let (store, domains, weighted) = build_world();
+        layer_world(&store);
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        let vantages = vantage_set(&weighted, 1);
+        let cache = AuthCache::new();
+        let config = SpoofMatrixConfig::with_workers(2);
+        let (cold, _) = auth_matrix_with_cache(&resolver, &domains, &vantages, config, &cache);
+        let (warm, stats) = auth_matrix_with_cache(&resolver, &domains, &vantages, config, &cache);
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap()
+        );
+        assert_eq!(stats.auth_cache.dmarc_hits, 9);
+        assert_eq!(stats.auth_cache.dmarc_misses, 9);
+        assert!((stats.auth_cache.dmarc_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auth_rows_fold_identically_to_batch_and_invert() {
+        let (store, domains, weighted) = build_world();
+        layer_world(&store);
+        let resolver = ZoneResolver::new(Arc::clone(&store));
+        let vantages = vantage_set(&weighted, 2);
+        let (batch, _) = auth_matrix(
+            &resolver,
+            &domains,
+            &vantages,
+            SpoofMatrixConfig::with_workers(4),
+        );
+        let mut compiler = CompilerStats::default();
+        let rows: Vec<AuthMatrixRow> = domains
+            .iter()
+            .map(|d| {
+                evaluate_auth_row(
+                    &resolver,
+                    d,
+                    &vantages,
+                    &EvalPolicy::default(),
+                    None,
+                    false,
+                    &mut compiler,
+                    None,
+                )
+            })
+            .collect();
+        let mut folded = AuthMatrix::empty(domains.len() as u64, &vantages);
+        for row in &rows {
+            folded.fold_in(row);
+        }
+        assert_eq!(
+            serde_json::to_string(&batch).unwrap(),
+            serde_json::to_string(&folded).unwrap()
+        );
+        let snapshot = serde_json::to_string(&folded).unwrap();
+        for row in &rows {
+            folded.fold_out(row);
+            folded.fold_in(row);
+        }
+        assert_eq!(snapshot, serde_json::to_string(&folded).unwrap());
+        for row in &rows {
+            folded.fold_out(row);
+        }
+        assert_eq!(
+            serde_json::to_string(&folded).unwrap(),
+            serde_json::to_string(&AuthMatrix::empty(domains.len() as u64, &vantages)).unwrap()
+        );
     }
 }

@@ -53,6 +53,14 @@ pub enum ChurnKind {
     /// The domain's MX exchange set flipped between its primary and its
     /// BLBFO-style backup host.
     MxFailover,
+    /// The domain published (or tightened to) an enforced DMARC policy
+    /// at `_dmarc.<domain>`.
+    DmarcAdopted,
+    /// The domain deleted its `_dmarc` record.
+    DmarcDropped,
+    /// The domain's `_mta-sts` policy toggled: published enforce-mode
+    /// when absent, removed when present.
+    MtaStsFlipped,
 }
 
 /// The concrete zone mutation an event performs when applied.
@@ -64,6 +72,14 @@ enum ZoneChange {
     RemoveTxt,
     /// Replace the domain's MX RRset with this single exchange.
     SetMx(DomainName),
+    /// Replace the `_dmarc.<domain>` TXT RRset with this record.
+    SetDmarc(String),
+    /// Remove the `_dmarc.<domain>` TXT RRset.
+    RemoveDmarc,
+    /// Replace the `_mta-sts.<domain>` TXT RRset with this record.
+    SetMtaSts(String),
+    /// Remove the `_mta-sts.<domain>` TXT RRset.
+    RemoveMtaSts,
 }
 
 /// One domain's change in one epoch: the classification plus the exact
@@ -114,6 +130,26 @@ impl ChurnBatch {
                     store.remove_type(&ev.domain, RecordType::Mx);
                     store.add_mx(&ev.domain, 10, exchange);
                 }
+                ZoneChange::SetDmarc(text) => {
+                    if let Ok(name) = ev.domain.prepend_label("_dmarc") {
+                        store.replace_txt(&name, text);
+                    }
+                }
+                ZoneChange::RemoveDmarc => {
+                    if let Ok(name) = ev.domain.prepend_label("_dmarc") {
+                        store.remove_type(&name, RecordType::Txt);
+                    }
+                }
+                ZoneChange::SetMtaSts(text) => {
+                    if let Ok(name) = ev.domain.prepend_label("_mta-sts") {
+                        store.replace_txt(&name, text);
+                    }
+                }
+                ZoneChange::RemoveMtaSts => {
+                    if let Ok(name) = ev.domain.prepend_label("_mta-sts") {
+                        store.remove_type(&name, RecordType::Txt);
+                    }
+                }
             }
         }
     }
@@ -132,6 +168,10 @@ pub enum ChurnPreset {
     ProviderShuffle,
     /// BLBFO failover flapping: MX exchange sets flip, policies stay.
     FailoverFlap,
+    /// Auth-stack adoption wave: domains adopt or tighten DMARC and
+    /// toggle MTA-STS; SPF records stay put (the deployment-mix axis
+    /// of DESIGN.md §13 moving over time).
+    AuthStackWave,
 }
 
 /// Simulator configuration.
@@ -252,6 +292,14 @@ impl ChurnSimulator {
         let h = domain.precomputed_hash() ^ roll;
         let kind = match self.config.preset {
             ChurnPreset::FailoverFlap => ChurnKind::MxFailover,
+            ChurnPreset::AuthStackWave => {
+                match current_auth_layer(&self.store, domain) {
+                    // No DMARC yet, or monitoring-only: adopt/tighten.
+                    AuthLayerState::NoDmarc | AuthLayerState::Monitoring => ChurnKind::DmarcAdopted,
+                    // Enforced already: the wave reaches MTA-STS.
+                    AuthLayerState::Enforced => ChurnKind::MtaStsFlipped,
+                }
+            }
             ChurnPreset::ProviderShuffle => match spf {
                 Some(_) => ChurnKind::ProviderMigration,
                 None => ChurnKind::RecordAdded,
@@ -262,7 +310,13 @@ impl ChurnSimulator {
                 None => ChurnKind::RecordAdded,
             },
             ChurnPreset::Mixed => {
-                let mut applicable = vec![ChurnKind::MxFailover];
+                let mut applicable = vec![ChurnKind::MxFailover, ChurnKind::MtaStsFlipped];
+                match current_auth_layer(&self.store, domain) {
+                    AuthLayerState::NoDmarc | AuthLayerState::Monitoring => {
+                        applicable.push(ChurnKind::DmarcAdopted)
+                    }
+                    AuthLayerState::Enforced => applicable.push(ChurnKind::DmarcDropped),
+                }
                 match &spf {
                     None => applicable.push(ChurnKind::RecordAdded),
                     Some(record) => {
@@ -309,9 +363,54 @@ impl ChurnSimulator {
                     ZoneChange::SetMx(self.primary_mx.clone())
                 }
             }
+            ChurnKind::DmarcAdopted => {
+                let policy = if h & 4 == 0 { "reject" } else { "quarantine" };
+                ZoneChange::SetDmarc(format!("v=DMARC1; p={policy}"))
+            }
+            ChurnKind::DmarcDropped => ZoneChange::RemoveDmarc,
+            ChurnKind::MtaStsFlipped => {
+                if has_mta_sts(&self.store, domain) {
+                    ZoneChange::RemoveMtaSts
+                } else {
+                    ZoneChange::SetMtaSts(crate::deployment::mta_sts_record("enforce"))
+                }
+            }
         };
         (kind, change)
     }
+}
+
+/// The domain's current DMARC layer, summarized for churn planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AuthLayerState {
+    NoDmarc,
+    Monitoring,
+    Enforced,
+}
+
+fn current_auth_layer(store: &ZoneStore, domain: &DomainName) -> AuthLayerState {
+    let Ok(name) = domain.prepend_label("_dmarc") else {
+        return AuthLayerState::NoDmarc;
+    };
+    let Some(text) = store
+        .txt_strings(&name)
+        .into_iter()
+        .find(|t| spf_core::is_dmarc_record(t))
+    else {
+        return AuthLayerState::NoDmarc;
+    };
+    match spf_core::parse_dmarc(&text) {
+        Ok(record) if record.policy != spf_core::DmarcPolicy::None => AuthLayerState::Enforced,
+        Ok(_) => AuthLayerState::Monitoring,
+        Err(_) => AuthLayerState::NoDmarc,
+    }
+}
+
+fn has_mta_sts(store: &ZoneStore, domain: &DomainName) -> bool {
+    domain
+        .prepend_label("_mta-sts")
+        .map(|name| !store.txt_strings(&name).is_empty())
+        .unwrap_or(false)
 }
 
 /// The domain's current SPF record text, if it publishes exactly the
@@ -445,10 +544,78 @@ mod tests {
         assert_eq!(infra, after);
     }
 
-    /// MX failover keeps the TXT policy untouched, so the original
-    /// record (which may include real providers) legitimately survives.
+    /// MX failover and the auth-stack events keep the domain's own TXT
+    /// policy untouched (DMARC/MTA-STS live at `_dmarc`/`_mta-sts`
+    /// child names), so the original record legitimately survives.
     fn ev_kept_original_record(ev: &ChurnEvent) -> bool {
-        ev.kind == ChurnKind::MxFailover
+        matches!(
+            ev.kind,
+            ChurnKind::MxFailover
+                | ChurnKind::DmarcAdopted
+                | ChurnKind::DmarcDropped
+                | ChurnKind::MtaStsFlipped
+        )
+    }
+
+    #[test]
+    fn auth_stack_wave_moves_domains_up_the_stack() {
+        let world = tiny_world();
+        let mut sim = ChurnSimulator::new(
+            Arc::clone(&world.store),
+            world.domains.clone(),
+            ChurnConfig {
+                rate: 0.10,
+                seed: 21,
+                preset: ChurnPreset::AuthStackWave,
+            },
+        );
+        let batch = sim.next_epoch();
+        assert!(!batch.events.is_empty());
+        assert!(batch
+            .events
+            .iter()
+            .all(|ev| matches!(ev.kind, ChurnKind::DmarcAdopted | ChurnKind::MtaStsFlipped)));
+        batch.apply(&world.store);
+        for ev in &batch.events {
+            match ev.kind {
+                ChurnKind::DmarcAdopted => {
+                    assert_eq!(
+                        current_auth_layer(&world.store, &ev.domain),
+                        AuthLayerState::Enforced,
+                        "{} did not end enforced",
+                        ev.domain
+                    );
+                }
+                ChurnKind::MtaStsFlipped => {
+                    // The wave only reaches MTA-STS on already-enforced
+                    // domains, and a flip toggles presence.
+                    assert_eq!(
+                        current_auth_layer(&world.store, &ev.domain),
+                        AuthLayerState::Enforced
+                    );
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+        // Re-waving the same domains climbs further: every event in the
+        // second epoch over the same picks is MTA-STS once DMARC is
+        // enforced everywhere it touched.
+        let domains: Vec<DomainName> = batch.domains();
+        let mut again = ChurnSimulator::new(
+            Arc::clone(&world.store),
+            domains,
+            ChurnConfig {
+                rate: 1.0,
+                seed: 22,
+                preset: ChurnPreset::AuthStackWave,
+            },
+        );
+        let second = again.next_epoch();
+        second.apply(&world.store);
+        assert!(second
+            .events
+            .iter()
+            .all(|ev| ev.kind == ChurnKind::MtaStsFlipped));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod blocks;
 pub mod churn;
+pub mod deployment;
 pub mod hosting;
 pub mod population;
 pub mod providers;
@@ -43,6 +44,7 @@ pub use blocks::AddressAllocator;
 pub use churn::{
     ChurnBatch, ChurnConfig, ChurnEvent, ChurnKind, ChurnPreset, ChurnSimulator, CHURN_PROVIDERS,
 };
+pub use deployment::{assign_mta_sts, mta_sts_record, MTA_STS_ENFORCED_STRIDE};
 pub use hosting::{
     build_hosting, build_hosting_into, HostingProvider, HostingWorld, SPOOFABLE_TOTAL_FULL,
 };
@@ -55,6 +57,8 @@ pub use providers::{
     TABLE3_INCLUDE_COLUMN, TABLE4,
 };
 pub use scale::{apportion, Scale};
+/// Re-export of the deployment-tier enum the presets model.
+pub use spf_core::DeploymentMix;
 pub use spooflab::{
     build_include_heavy, build_spoof_world, IncludeHeavyWorld, SpoofWorld, INCLUDE_HEAVY_CHAINS,
     INCLUDE_HEAVY_DEPTH,

@@ -485,6 +485,10 @@ impl Builder {
         };
         let name = domain.prepend_label("_dmarc").expect("short label");
         self.store.add_txt(&name, &format!("v=DMARC1; p={policy}"));
+        // The MTA-STS layer rides the domain hash, not the rng stream,
+        // so adding it leaves every pre-existing population byte
+        // untouched (crate::deployment has the stride arithmetic).
+        crate::deployment::assign_mta_sts(&self.store, domain, policy != "none");
     }
 
     fn maybe_deprecated_rr(&mut self, domain: &DomainName, record: &str) {

@@ -51,6 +51,9 @@ pub struct QuerySpec {
     pub domain: DomainName,
     /// MAIL FROM localpart.
     pub sender_local: String,
+    /// Request the stacked SPF × DMARC × MTA-STS verdict instead of the
+    /// plain SPF evaluation (matrix v2; see [`crate::proto`]).
+    pub stack: bool,
 }
 
 /// Per-attempt receive timeout before a UDP retransmit (or a TCP poll
@@ -114,6 +117,26 @@ impl ServiceClient {
             ip,
             domain: domain.clone(),
             sender_local: sender_local.to_string(),
+            stack: false,
+        };
+        let mut responses = self.run(std::slice::from_ref(&spec), 1, None)?;
+        Ok(responses.pop().expect("one response per query"))
+    }
+
+    /// One synchronous stacked query: the response's `Ok` body is the
+    /// layered [`spf_core::AuthOutcome`] (decode with
+    /// [`ResponseFrame::auth_outcome`]).
+    pub fn query_stacked(
+        &mut self,
+        ip: IpAddr,
+        domain: &DomainName,
+        sender_local: &str,
+    ) -> std::io::Result<ResponseFrame> {
+        let spec = QuerySpec {
+            ip,
+            domain: domain.clone(),
+            sender_local: sender_local.to_string(),
+            stack: true,
         };
         let mut responses = self.run(std::slice::from_ref(&spec), 1, None)?;
         Ok(responses.pop().expect("one response per query"))
@@ -148,6 +171,7 @@ fn encode_query(spec: &QuerySpec, id: u64) -> Vec<u8> {
         ip: spec.ip,
         domain: spec.domain.clone(),
         sender_local: spec.sender_local.clone(),
+        stack: spec.stack,
     }))
 }
 

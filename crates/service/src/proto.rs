@@ -15,11 +15,12 @@
 //! id        = 8OCTET                 ; caller-chosen correlation id
 //! rest      =/ query-rest            ; when kind = 0
 //! rest      =/ response-rest         ; when kind = 1
-//! query-rest    = ip-tag ip-octets domain sender
+//! query-rest    = ip-tag ip-octets domain sender [stack]
 //! ip-tag        = %x04 / %x06
 //! ip-octets     = 4OCTET / 16OCTET   ; per ip-tag
 //! domain        = len16 *OCTET       ; presentation-form domain name
 //! sender        = len16 *OCTET       ; UTF-8 MAIL FROM localpart
+//! stack         = %x00 / %x01        ; absent = %x00 (plain SPF query)
 //! response-rest = status len16 *OCTET
 //! status        = %x00 (ok) / %x01 (overloaded) / %x02 (bad-request)
 //!               / %x03 (shutting-down)
@@ -31,6 +32,15 @@
 //! what lets the stress suite byte-compare served verdicts against bare
 //! evaluations. Error-status bodies are a human-readable UTF-8 message.
 //!
+//! **Stacked queries (matrix v2, DESIGN.md §13).** A query may append a
+//! single `stack` flag octet after `sender`; when it is `%x01` the `ok`
+//! body is the canonical JSON of an [`AuthOutcome`] — the layered
+//! SPF × DMARC × MTA-STS verdict — instead of a bare [`Evaluation`].
+//! The flag octet is *omitted* (not zero-padded) for plain queries, so
+//! every v1 frame is bit-identical under the v2 encoder and a v1 client
+//! never sees a byte it does not expect. An absent flag decodes as
+//! `%x00`, which is how a v2 service accepts v1 clients unchanged.
+//!
 //! Decoding never panics: every malformed input maps to a typed
 //! [`FrameError`], and the service answers garbage with a `bad-request`
 //! response rather than dropping the socket.
@@ -38,7 +48,7 @@
 use std::fmt;
 use std::net::IpAddr;
 
-use spf_core::Evaluation;
+use spf_core::{AuthOutcome, Evaluation};
 use spf_types::DomainName;
 
 /// Protocol version carried in every frame.
@@ -136,6 +146,8 @@ pub enum FrameError {
     BadSender,
     /// Unknown response status byte.
     BadStatus(u8),
+    /// The optional stack-flag octet was neither 0 nor 1.
+    BadStackFlag(u8),
     /// Bytes remained after the complete structure.
     TrailingBytes {
         /// How many bytes were left over.
@@ -160,6 +172,7 @@ impl fmt::Display for FrameError {
             FrameError::BadDomain => write!(f, "invalid domain name"),
             FrameError::BadSender => write!(f, "sender localpart is not UTF-8"),
             FrameError::BadStatus(s) => write!(f, "unknown response status {s}"),
+            FrameError::BadStackFlag(b) => write!(f, "stack flag must be 0 or 1, got {b}"),
             FrameError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after frame")
             }
@@ -182,6 +195,11 @@ pub struct QueryFrame {
     pub domain: DomainName,
     /// The MAIL FROM localpart (for macro expansion).
     pub sender_local: String,
+    /// When set, the `ok` response body is a stacked [`AuthOutcome`]
+    /// (SPF × DMARC × MTA-STS) instead of a bare [`Evaluation`].
+    /// Encoded as an optional trailing flag octet so plain queries stay
+    /// bit-identical to protocol v1.
+    pub stack: bool,
 }
 
 /// A verdict response: the echoed id, a [`Status`], and a body whose
@@ -211,6 +229,19 @@ impl ResponseFrame {
         }
     }
 
+    /// An `Ok` response to a stacked query, carrying the layered
+    /// [`AuthOutcome`] as canonical JSON.
+    pub fn stacked(id: u64, outcome: &AuthOutcome) -> ResponseFrame {
+        let body = serde_json::to_string(outcome)
+            .expect("AuthOutcome serializes")
+            .into_bytes();
+        ResponseFrame {
+            id,
+            status: Status::Ok,
+            body,
+        }
+    }
+
     /// An error response with a human-readable message body.
     pub fn error(id: u64, status: Status, message: &str) -> ResponseFrame {
         ResponseFrame {
@@ -224,6 +255,19 @@ impl ResponseFrame {
     /// [`FrameError::BadBody`] unless the status is [`Status::Ok`] and
     /// the body is valid verdict JSON.
     pub fn evaluation(&self) -> Result<Evaluation, FrameError> {
+        if self.status != Status::Ok {
+            return Err(FrameError::BadBody);
+        }
+        let text = std::str::from_utf8(&self.body).map_err(|_| FrameError::BadBody)?;
+        serde_json::from_str(text).map_err(|_| FrameError::BadBody)
+    }
+
+    /// Parse the body of a stacked response back into an
+    /// [`AuthOutcome`]. Fails with [`FrameError::BadBody`] unless the
+    /// status is [`Status::Ok`] and the body is valid stacked-verdict
+    /// JSON (a plain-verdict body fails here, and vice versa — the two
+    /// JSON shapes are disjoint).
+    pub fn auth_outcome(&self) -> Result<AuthOutcome, FrameError> {
         if self.status != Status::Ok {
             return Err(FrameError::BadBody);
         }
@@ -272,6 +316,11 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             let sender = q.sender_local.as_bytes();
             push_u16(out, sender.len() as u16);
             out.extend_from_slice(sender);
+            // The stack flag is omitted (not written as zero) for plain
+            // queries so v1 frames stay bit-identical.
+            if q.stack {
+                out.push(1);
+            }
         }
         Frame::Response(r) => {
             out.push(KIND_RESPONSE);
@@ -391,11 +440,23 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
             let sender_local = std::str::from_utf8(sender)
                 .map_err(|_| FrameError::BadSender)?
                 .to_string();
+            // Optional trailing stack flag: absent means a plain v1
+            // query; anything beyond one octet is still trailing junk.
+            let stack = if cur.pos < cur.buf.len() {
+                match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(FrameError::BadStackFlag(other)),
+                }
+            } else {
+                false
+            };
             Frame::Query(QueryFrame {
                 id,
                 ip,
                 domain,
                 sender_local,
+                stack,
             })
         }
         KIND_RESPONSE => {
@@ -484,6 +545,7 @@ mod tests {
             ip: IpAddr::from([192, 0, 2, 7]),
             domain: dom("example.com"),
             sender_local: "attacker".into(),
+            stack: false,
         })
     }
 
@@ -501,9 +563,69 @@ mod tests {
             ip: "2001:db8::25".parse().unwrap(),
             domain: dom("mail.example.org"),
             sender_local: String::new(),
+            stack: false,
         });
         let wire = encode_frame(&frame);
         assert_eq!(decode_datagram(&wire).unwrap(), frame);
+    }
+
+    #[test]
+    fn stacked_query_round_trips_and_plain_wire_is_v1_identical() {
+        let Frame::Query(plain) = sample_query() else {
+            unreachable!()
+        };
+        let mut stacked = plain.clone();
+        stacked.stack = true;
+        let stacked_wire = encode_frame(&Frame::Query(stacked.clone()));
+        assert_eq!(
+            decode_datagram(&stacked_wire).unwrap(),
+            Frame::Query(stacked)
+        );
+        // A plain query must not grow a zero flag octet: its wire form
+        // is exactly the stacked form minus the final flag byte (plus
+        // the two-byte length delta in the prefix).
+        let plain_wire = encode_frame(&Frame::Query(plain));
+        assert_eq!(plain_wire.len() + 1, stacked_wire.len());
+        assert_eq!(
+            plain_wire[LEN_PREFIX..],
+            stacked_wire[LEN_PREFIX..stacked_wire.len() - 1]
+        );
+        assert_eq!(stacked_wire[stacked_wire.len() - 1], 1);
+    }
+
+    #[test]
+    fn explicit_zero_stack_flag_decodes_as_plain() {
+        // A v2 peer may spell "plain" as an explicit %x00 flag octet;
+        // accept it even though our encoder always omits it.
+        let mut wire = encode_frame(&sample_query());
+        wire.push(0);
+        let len = u16::from_be_bytes([wire[0], wire[1]]) + 1;
+        wire[..LEN_PREFIX].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(decode_datagram(&wire).unwrap(), sample_query());
+    }
+
+    #[test]
+    fn bad_stack_flag_is_typed() {
+        let mut wire = encode_frame(&sample_query());
+        wire.push(7);
+        let len = u16::from_be_bytes([wire[0], wire[1]]) + 1;
+        wire[..LEN_PREFIX].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(
+            decode_datagram(&wire).unwrap_err(),
+            FrameError::BadStackFlag(7)
+        );
+    }
+
+    #[test]
+    fn two_trailing_bytes_after_flag_are_still_trailing() {
+        let mut wire = encode_frame(&sample_query());
+        wire.extend_from_slice(&[1, 0]);
+        let len = u16::from_be_bytes([wire[0], wire[1]]) + 2;
+        wire[..LEN_PREFIX].copy_from_slice(&len.to_be_bytes());
+        assert!(matches!(
+            decode_datagram(&wire).unwrap_err(),
+            FrameError::TrailingBytes { extra: 1 }
+        ));
     }
 
     #[test]

@@ -35,8 +35,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, TrySendError};
 use serde::Serialize;
 use spf_core::{
-    check_host, check_host_cached, compile_policy, CompileConfig, CompilerStats, EvalContext,
-    EvalPolicy, Evaluation,
+    check_host, check_host_cached, compile_policy, AuthCache, AuthCacheStats, AuthOutcome,
+    CompileConfig, CompilerStats, EvalContext, EvalPolicy, Evaluation,
 };
 use spf_dns::{Clock, Resolver, SystemClock};
 use spf_types::{render_stats, Backend, Evaluator, StatItem, Stats};
@@ -133,6 +133,7 @@ impl Default for ServiceConfig {
 #[derive(Default)]
 struct Counters {
     served: AtomicU64,
+    stacked_served: AtomicU64,
     udp_frames: AtomicU64,
     tcp_frames: AtomicU64,
     overloaded: AtomicU64,
@@ -148,6 +149,8 @@ struct Counters {
 pub struct ServiceTelemetry {
     /// Queries evaluated and answered `ok`.
     pub served: u64,
+    /// Of those, stacked (SPF × DMARC × MTA-STS) queries.
+    pub stacked_served: u64,
     /// Frames received over UDP.
     pub udp_frames: u64,
     /// Frames received over TCP.
@@ -169,6 +172,9 @@ pub struct ServiceTelemetry {
     pub compiled: Option<CompilerStats>,
     /// Compiled-policy store counters, when the backend is configured.
     pub compiled_cache: Option<TtlLruStats>,
+    /// DMARC/MTA-STS layer-memo counters (only stacked queries touch
+    /// the memo, so all-zero means no client asked for the stack).
+    pub auth_cache: AuthCacheStats,
     /// Enqueue-to-reply latency distribution.
     pub latency: LatencySnapshot,
 }
@@ -181,6 +187,7 @@ impl Stats for ServiceTelemetry {
     fn items(&self) -> Vec<StatItem> {
         let mut items = vec![
             StatItem::count("served", self.served),
+            StatItem::count("stacked", self.stacked_served),
             StatItem::count("udp", self.udp_frames),
             StatItem::count("tcp", self.tcp_frames),
             StatItem::count("overloaded", self.overloaded),
@@ -195,6 +202,12 @@ impl Stats for ServiceTelemetry {
             items.push(StatItem::count("cache_entries", cache.entries));
             items.push(StatItem::count("cache_evict", cache.evictions));
             items.push(StatItem::count("cache_expire", cache.expirations));
+        }
+        if self.stacked_served > 0 {
+            items.push(StatItem::percent(
+                "dmarc_hit",
+                self.auth_cache.dmarc_hit_rate(),
+            ));
         }
         items.push(StatItem::float("lat_p50_us", self.latency.p50_us));
         items.push(StatItem::float("lat_p99_us", self.latency.p99_us));
@@ -499,11 +512,16 @@ fn worker_loop(
     policy: EvalPolicy,
     cache: Option<Arc<ServiceVerdictCache>>,
     compiled: Option<Arc<CompiledBackend>>,
+    auth: Arc<AuthCache>,
     counters: Arc<Counters>,
     latency: Arc<LogHistogram>,
 ) {
     while let Ok(job) = job_rx.recv() {
         counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // The SPF sub-verdict always routes through `evaluate` — the
+        // same compiled/memo/bare ladder a plain query takes — so the
+        // `spf` component of a stacked body is byte-identical to the
+        // plain body for the same query (the DESIGN.md §13 rail).
         let eval = evaluate(
             &resolver,
             &policy,
@@ -511,7 +529,14 @@ fn worker_loop(
             compiled.as_deref(),
             &job.query,
         );
-        let response = ResponseFrame::verdict(job.query.id, &eval);
+        let response = if job.query.stack {
+            let dmarc = auth.dmarc(resolver.as_ref(), &job.query.domain);
+            let mta_sts = auth.mta_sts(resolver.as_ref(), &job.query.domain);
+            counters.stacked_served.fetch_add(1, Ordering::Relaxed);
+            ResponseFrame::stacked(job.query.id, &AuthOutcome::compose(eval, dmarc, mta_sts))
+        } else {
+            ResponseFrame::verdict(job.query.id, &eval)
+        };
         // Count before the reply leaves (the name-server idiom): a
         // client holding the response must never read a stale counter.
         counters.served.fetch_add(1, Ordering::Relaxed);
@@ -567,6 +592,7 @@ pub struct VerdictService {
     latency: Arc<LogHistogram>,
     cache: Option<Arc<ServiceVerdictCache>>,
     compiled: Option<Arc<CompiledBackend>>,
+    auth: Arc<AuthCache>,
     udp_handle: Option<JoinHandle<()>>,
     tcp_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -604,6 +630,7 @@ impl VerdictService {
             .compiled
             .clone()
             .map(|store| Arc::new(CompiledBackend::new(store, config.policy, clock)));
+        let auth = Arc::new(AuthCache::new());
         let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
 
         let udp_handle = std::thread::Builder::new().name("svc-udp".into()).spawn({
@@ -629,11 +656,14 @@ impl VerdictService {
                     let resolver = Arc::clone(&resolver);
                     let cache = cache.clone();
                     let compiled = compiled.clone();
+                    let auth = Arc::clone(&auth);
                     let counters = Arc::clone(&counters);
                     let latency = Arc::clone(&latency);
                     let policy = config.policy;
                     move || {
-                        worker_loop(job_rx, resolver, policy, cache, compiled, counters, latency)
+                        worker_loop(
+                            job_rx, resolver, policy, cache, compiled, auth, counters, latency,
+                        )
                     }
                 })?;
             workers.push(handle);
@@ -647,6 +677,7 @@ impl VerdictService {
             latency,
             cache,
             compiled,
+            auth,
             udp_handle: Some(udp_handle),
             tcp_handle: Some(tcp_handle),
             workers,
@@ -663,6 +694,7 @@ impl VerdictService {
     pub fn telemetry(&self) -> ServiceTelemetry {
         ServiceTelemetry {
             served: self.counters.served.load(Ordering::Relaxed),
+            stacked_served: self.counters.stacked_served.load(Ordering::Relaxed),
             udp_frames: self.counters.udp_frames.load(Ordering::Relaxed),
             tcp_frames: self.counters.tcp_frames.load(Ordering::Relaxed),
             overloaded: self.counters.overloaded.load(Ordering::Relaxed),
@@ -673,6 +705,7 @@ impl VerdictService {
             cache: self.cache.as_ref().map(|c| c.stats()),
             compiled: self.compiled.as_ref().map(|b| b.snapshot()),
             compiled_cache: self.compiled.as_ref().map(|b| b.store.stats()),
+            auth_cache: self.auth.stats(),
             latency: self.latency.snapshot(),
         }
     }

@@ -134,6 +134,7 @@ pub fn build_plan(
                     ip: vantage_ips[i % vantage_ips.len()],
                     domain: domains[rank.min(domains.len() - 1)].clone(),
                     sender_local: TRAFFIC_SENDER_LOCAL.to_string(),
+                    stack: false,
                 });
             }
         }
@@ -149,6 +150,7 @@ pub fn build_plan(
                     ip: burst_ip,
                     domain: domain.clone(),
                     sender_local: TRAFFIC_SENDER_LOCAL.to_string(),
+                    stack: false,
                 });
             }
         }
@@ -158,6 +160,7 @@ pub fn build_plan(
                     ip: random_background_ip(&mut state),
                     domain: domains[i % domains.len()].clone(),
                     sender_local: TRAFFIC_SENDER_LOCAL.to_string(),
+                    stack: false,
                 });
             }
         }

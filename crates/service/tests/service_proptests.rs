@@ -50,12 +50,14 @@ fn arb_query() -> impl Strategy<Value = QueryFrame> {
         arb_ip(),
         arb_domain(),
         "[a-zA-Z0-9._=-]{0,24}",
+        any::<bool>(),
     )
-        .prop_map(|(id, ip, domain, sender_local)| QueryFrame {
+        .prop_map(|(id, ip, domain, sender_local, stack)| QueryFrame {
             id,
             ip,
             domain,
             sender_local,
+            stack,
         })
 }
 

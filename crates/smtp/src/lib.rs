@@ -17,5 +17,7 @@ pub mod spoof;
 
 pub use client::{ClientError, SmtpClient};
 pub use codec::{Command, Reply};
-pub use server::{MtaConfig, ReceivedMessage, SmtpServer, SpfEnforcement};
+pub use server::{DmarcResult, MtaConfig, ReceivedMessage, SmtpServer, SpfEnforcement};
+/// Re-export of the layer the spoof harness attributes stops to.
+pub use spf_core::StopLayer;
 pub use spoof::{run_case_study, total_spoofable, CaseStudyRow, SpoofSuccess};

@@ -1,11 +1,17 @@
-//! A receiving MTA with an SPF gate at `MAIL FROM`.
+//! A receiving MTA with an SPF gate at `MAIL FROM` and a DMARC gate at
+//! `DATA`.
 //!
 //! This is the "our site" end of the case study: the paper sent spoofed
 //! mails to themselves and "examined how the emails are received on our
 //! site and whether they pass the SPF checks". The server runs real
 //! `check_host()` against its resolver for every `MAIL FROM`, stamps the
 //! result into the stored message (Received-SPF style) and — depending on
-//! policy — rejects on `fail`.
+//! policy — rejects on `fail`. On top of the SPF gate, the layered
+//! pipeline (DESIGN.md §13) checks DMARC at end-of-data: the `From:`
+//! header domain is aligned against the envelope sender under relaxed
+//! (organizational-domain) alignment, DMARC passes only for an aligned
+//! SPF `pass`, and an enforced policy (`quarantine`/`reject`) on the
+//! From domain rejects failing mail.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
@@ -16,7 +22,10 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use spf_core::{check_host, received_spf_header, EvalContext, EvalPolicy, SpfResult};
+use spf_core::{
+    check_host, organizational_domain, query_dmarc, received_spf_header, DmarcDisposition,
+    EvalContext, EvalPolicy, SpfResult,
+};
 use spf_dns::Resolver;
 use spf_types::DomainName;
 
@@ -38,6 +47,10 @@ pub struct MtaConfig {
     pub hostname: String,
     /// SPF enforcement policy.
     pub enforcement: SpfEnforcement,
+    /// Honour the From-header domain's enforced DMARC policy at
+    /// end-of-data (reject failing mail under `p=quarantine`/`reject`).
+    /// When `false` the DMARC verdict is only annotated.
+    pub enforce_dmarc: bool,
     /// Honour `XCLIENT ADDR=` from connecting clients. The spoofing
     /// harness needs this to carry the simulated source address across a
     /// loopback socket; production servers only enable it for trusted
@@ -50,8 +63,33 @@ impl Default for MtaConfig {
         MtaConfig {
             hostname: "mx.receiver.example".into(),
             enforcement: SpfEnforcement::RejectFail,
+            enforce_dmarc: true,
             trust_xclient: true,
         }
+    }
+}
+
+/// The receiver's DMARC verdict for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmarcResult {
+    /// An aligned identifier authenticated (here: SPF `pass` with the
+    /// `From:` domain org-aligned to the envelope sender).
+    Pass,
+    /// The From domain publishes a usable DMARC record and no aligned
+    /// identifier authenticated.
+    Fail,
+    /// No usable DMARC record on the From domain (or no From domain).
+    None,
+}
+
+impl std::fmt::Display for DmarcResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DmarcResult::Pass => "pass",
+            DmarcResult::Fail => "fail",
+            DmarcResult::None => "none",
+        };
+        f.write_str(s)
     }
 }
 
@@ -68,6 +106,11 @@ pub struct ReceivedMessage {
     pub client_ip: IpAddr,
     /// The SPF verdict computed at MAIL FROM.
     pub spf_result: SpfResult,
+    /// The `From:` header domain the DMARC check evaluated (absent when
+    /// the message carries no parsable From header).
+    pub from_domain: Option<String>,
+    /// The DMARC verdict computed at end-of-data.
+    pub dmarc_result: DmarcResult,
 }
 
 /// A running receiving MTA.
@@ -154,9 +197,64 @@ struct SessionState {
     client_ip: IpAddr,
     helo: Option<String>,
     mail_from: Option<String>,
+    mail_from_domain: Option<DomainName>,
     spf_result: Option<SpfResult>,
     spf_header: Option<String>,
     rcpt_to: Vec<String>,
+}
+
+/// Extract the domain of the first `From:` header in `body` (the
+/// RFC 5322 identifier DMARC aligns). Handles `Name <a@b>` and bare
+/// `a@b` shapes; header scanning stops at the first empty line.
+fn from_header_domain(body: &str) -> Option<DomainName> {
+    for line in body.lines() {
+        if line.is_empty() {
+            break;
+        }
+        let Some(value) = line
+            .get(..5)
+            .filter(|p| p.eq_ignore_ascii_case("from:"))
+            .map(|_| line[5..].trim())
+        else {
+            continue;
+        };
+        let addr = match (value.find('<'), value.find('>')) {
+            (Some(open), Some(close)) if open < close => &value[open + 1..close],
+            _ => value,
+        };
+        return addr
+            .rsplit_once('@')
+            .and_then(|(_, domain)| DomainName::parse(domain).ok());
+    }
+    None
+}
+
+/// The receiver-side DMARC check (DESIGN.md §13): relaxed alignment of
+/// the From domain against the envelope sender, SPF `pass` as the only
+/// authenticating mechanism (the replay world has no DKIM), enforced
+/// dispositions rejecting failures.
+fn dmarc_verdict<R: Resolver>(
+    resolver: &R,
+    spf: SpfResult,
+    mail_from_domain: Option<&DomainName>,
+    from_domain: &DomainName,
+) -> (DmarcResult, DmarcDisposition) {
+    let disposition = DmarcDisposition::from_lookup(&query_dmarc(resolver, from_domain));
+    let usable = matches!(
+        disposition,
+        DmarcDisposition::Monitor | DmarcDisposition::Enforced { .. }
+    );
+    if !usable {
+        return (DmarcResult::None, disposition);
+    }
+    let aligned = mail_from_domain
+        .is_some_and(|mf| organizational_domain(mf) == organizational_domain(from_domain));
+    let result = if aligned && spf == SpfResult::Pass {
+        DmarcResult::Pass
+    } else {
+        DmarcResult::Fail
+    };
+    (result, disposition)
 }
 
 fn serve_session<R: Resolver>(
@@ -182,6 +280,7 @@ fn serve_session<R: Resolver>(
         client_ip: peer.ip(),
         helo: None,
         mail_from: None,
+        mail_from_domain: None,
         spf_result: None,
         spf_header: None,
         rcpt_to: Vec::new(),
@@ -210,7 +309,7 @@ fn serve_session<R: Resolver>(
                 let Command::MailFrom { path } = &cmd else {
                     unreachable!()
                 };
-                let (verdict, header) = match cmd.sender_parts() {
+                let (verdict, header, sender_domain) = match cmd.sender_parts() {
                     Some((local, domain)) => {
                         let helo = state
                             .helo
@@ -227,10 +326,10 @@ fn serve_session<R: Resolver>(
                         let eval =
                             check_host(resolver.as_ref(), &ctx, &domain, &EvalPolicy::default());
                         let header = received_spf_header(&eval, &ctx);
-                        (eval.result, Some(header))
+                        (eval.result, Some(header), Some(domain))
                     }
                     // Null sender / unparsable domain → none.
-                    None => (SpfResult::None, None),
+                    None => (SpfResult::None, None, None),
                 };
                 if verdict == SpfResult::Fail && config.enforcement == SpfEnforcement::RejectFail {
                     send(
@@ -240,6 +339,7 @@ fn serve_session<R: Resolver>(
                     continue;
                 }
                 state.mail_from = Some(path.clone());
+                state.mail_from_domain = sender_domain;
                 state.spf_result = Some(verdict);
                 state.spf_header = header;
                 state.rcpt_to.clear();
@@ -273,25 +373,70 @@ fn serve_session<R: Resolver>(
                     body.push_str(stripped.strip_prefix('.').unwrap_or(stripped));
                     body.push('\n');
                 }
-                // Prepend the Received-SPF header the way an MTA stamps
-                // accepted mail (RFC 7208 §9.1).
-                let stored_body = match &state.spf_header {
-                    Some(h) => format!("{h}\n{body}"),
-                    None => body,
+                // The DMARC gate: evaluated against the From header at
+                // end-of-data, where real receivers apply it.
+                let spf_result = state.spf_result.unwrap_or(SpfResult::None);
+                let from_domain = from_header_domain(&body);
+                let (dmarc_result, disposition) = match &from_domain {
+                    Some(fd) => dmarc_verdict(
+                        resolver.as_ref(),
+                        spf_result,
+                        state.mail_from_domain.as_ref(),
+                        fd,
+                    ),
+                    None => (DmarcResult::None, DmarcDisposition::Absent),
                 };
+                if config.enforce_dmarc
+                    && dmarc_result == DmarcResult::Fail
+                    && disposition.is_enforced()
+                {
+                    send(
+                        &mut writer,
+                        Reply::new(550, "5.7.1 rejected by DMARC policy".to_string()),
+                    )?;
+                    state.mail_from = None;
+                    state.mail_from_domain = None;
+                    state.rcpt_to.clear();
+                    continue;
+                }
+                // Prepend the Received-SPF header the way an MTA stamps
+                // accepted mail (RFC 7208 §9.1), then the combined
+                // Authentication-Results line (RFC 8601).
+                let auth_results = format!(
+                    "Authentication-Results: {}; spf={}; dmarc={}{}",
+                    config.hostname,
+                    spf_result,
+                    dmarc_result,
+                    from_domain
+                        .as_ref()
+                        .map(|d| format!(" header.from={}", d.as_str()))
+                        .unwrap_or_default(),
+                );
+                let mut stored_body = String::new();
+                if let Some(h) = &state.spf_header {
+                    stored_body.push_str(h);
+                    stored_body.push('\n');
+                }
+                stored_body.push_str(&auth_results);
+                stored_body.push('\n');
+                stored_body.push_str(&body);
                 received.lock().push(ReceivedMessage {
                     mail_from: state.mail_from.clone().unwrap_or_default(),
                     rcpt_to: state.rcpt_to.clone(),
                     body: stored_body,
                     client_ip: state.client_ip,
-                    spf_result: state.spf_result.unwrap_or(SpfResult::None),
+                    spf_result,
+                    from_domain: from_domain.map(|d| d.as_str().to_string()),
+                    dmarc_result,
                 });
                 state.mail_from = None;
+                state.mail_from_domain = None;
                 state.rcpt_to.clear();
                 send(&mut writer, Reply::new(250, "OK message accepted"))?;
             }
             Command::Rset => {
                 state.mail_from = None;
+                state.mail_from_domain = None;
                 state.spf_result = None;
                 state.rcpt_to.clear();
                 send(&mut writer, Reply::new(250, "OK"))?;
@@ -433,9 +578,123 @@ mod tests {
         client.rcpt_to("v@r.example").unwrap();
         client.data("line one\n.leading dot\nlast").unwrap();
         let msgs = server.received();
-        // The stored body carries the stamped Received-SPF header first.
-        let (header, body) = msgs[0].body.split_once('\n').unwrap();
+        // The stored body carries the stamped Received-SPF header first,
+        // then the combined Authentication-Results line.
+        let (header, rest) = msgs[0].body.split_once('\n').unwrap();
         assert!(header.starts_with("Received-SPF: pass"));
+        let (auth, body) = rest.split_once('\n').unwrap();
+        assert!(auth.starts_with("Authentication-Results:"), "{auth}");
+        assert!(auth.contains("spf=pass"));
         assert_eq!(body, "line one\n.leading dot\nlast\n");
+    }
+
+    fn dmarc_world() -> Arc<ZoneStore> {
+        let store = world();
+        // victim.example: permissive SPF (the lazy-gatekeeper shape) but
+        // an enforced DMARC policy on top.
+        store.add_txt(&dom("victim.example"), "v=spf1 ?all");
+        store.add_txt(&dom("_dmarc.victim.example"), "v=DMARC1; p=reject");
+        store.add_txt(&dom("_dmarc.good.example"), "v=DMARC1; p=reject");
+        store
+    }
+
+    #[test]
+    fn dmarc_gate_rejects_unaligned_spoof_at_data() {
+        let store = dmarc_world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("attacker.example").unwrap();
+        client
+            .xclient(Ipv4Addr::new(203, 0, 113, 99).into())
+            .unwrap();
+        // The envelope claims the attacker's own (recordless) domain, so
+        // SPF is `none` and the MAIL FROM gate lets it through…
+        let reply = client.mail_from("ceo@attacker.example").unwrap();
+        assert!(reply.is_positive());
+        client.rcpt_to("victim@receiver.example").unwrap();
+        // …but the From header spoofs the DMARC-enforced victim.
+        let reply = client
+            .data("From: CEO <ceo@victim.example>\nSubject: wire\n\npay up")
+            .unwrap();
+        assert_eq!(reply.code, 550, "{reply}");
+        assert!(reply.text.contains("DMARC"));
+        assert!(server.received().is_empty());
+    }
+
+    #[test]
+    fn aligned_spf_pass_yields_dmarc_pass() {
+        let store = dmarc_world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("webhost.example").unwrap();
+        client
+            .xclient(Ipv4Addr::new(198, 51, 100, 7).into())
+            .unwrap();
+        client.mail_from("ceo@good.example").unwrap();
+        client.rcpt_to("victim@receiver.example").unwrap();
+        let reply = client
+            .data("From: ceo@good.example\nSubject: hi\n\nhello")
+            .unwrap();
+        assert!(reply.is_positive(), "{reply}");
+        let msgs = server.received();
+        assert_eq!(msgs[0].dmarc_result, DmarcResult::Pass);
+        assert_eq!(msgs[0].from_domain.as_deref(), Some("good.example"));
+        assert!(msgs[0].body.contains("dmarc=pass header.from=good.example"));
+    }
+
+    #[test]
+    fn dmarc_mark_only_annotates_failures() {
+        let store = dmarc_world();
+        let server = SmtpServer::spawn(
+            Arc::new(ZoneResolver::new(Arc::clone(&store))),
+            MtaConfig {
+                enforce_dmarc: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("attacker.example").unwrap();
+        client
+            .xclient(Ipv4Addr::new(203, 0, 113, 99).into())
+            .unwrap();
+        client.mail_from("ceo@attacker.example").unwrap();
+        client.rcpt_to("victim@receiver.example").unwrap();
+        let reply = client.data("From: ceo@victim.example\n\nspoofed").unwrap();
+        assert!(reply.is_positive());
+        let msgs = server.received();
+        assert_eq!(msgs[0].dmarc_result, DmarcResult::Fail);
+        assert!(msgs[0].body.contains("dmarc=fail"));
+    }
+
+    #[test]
+    fn no_dmarc_record_yields_dmarc_none() {
+        let store = world();
+        let server = server(&store);
+        let mut client = SmtpClient::connect(server.addr()).unwrap();
+        client.ehlo("webhost.example").unwrap();
+        client
+            .xclient(Ipv4Addr::new(198, 51, 100, 7).into())
+            .unwrap();
+        client.mail_from("ceo@good.example").unwrap();
+        client.rcpt_to("v@r.example").unwrap();
+        client.data("From: ceo@good.example\n\nhi").unwrap();
+        let msgs = server.received();
+        assert_eq!(msgs[0].dmarc_result, DmarcResult::None);
+    }
+
+    #[test]
+    fn from_header_domain_parses_both_shapes() {
+        assert_eq!(
+            from_header_domain("From: CEO <ceo@victim.example>\n\nbody"),
+            Some(dom("victim.example"))
+        );
+        assert_eq!(
+            from_header_domain("Subject: x\nfrom: ceo@victim.example\n\nbody"),
+            Some(dom("victim.example"))
+        );
+        // Headers stop at the first empty line.
+        assert_eq!(from_header_domain("Subject: x\n\nFrom: a@b.example"), None);
+        assert_eq!(from_header_domain("no headers here"), None);
     }
 }

@@ -18,6 +18,7 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use spf_core::StopLayer;
 use spf_dns::Resolver;
 use spf_netsim::{HostingProvider, HostingWorld};
 
@@ -42,6 +43,7 @@ impl SpoofSuccess {
     /// SMTP from the web space, and relay through the provider MTA. The
     /// spoofability-matrix engine reuses this to label per-provider
     /// verdict pairs exactly like the live case study does.
+    #[deprecated(note = "use `from_stops`; the layered pipeline reports which layer closed a path")]
     pub fn from_paths(smtp_ok: bool, mta_ok: bool) -> SpoofSuccess {
         match (smtp_ok, mta_ok) {
             (true, true) => SpoofSuccess::SmtpAndMta,
@@ -49,6 +51,17 @@ impl SpoofSuccess {
             (true, false) => SpoofSuccess::SmtpOnly,
             (false, false) => SpoofSuccess::None,
         }
+    }
+
+    /// The Table 5 label from per-path stop layers (the layered
+    /// pipeline's spelling of [`SpoofSuccess::from_paths`]): `None`
+    /// means the delivery path is unavailable at the infrastructure
+    /// level (outbound port 25 filtered, MTA sender auth), and a path
+    /// only counts as open when no auth layer stopped it —
+    /// [`StopLayer::None`].
+    pub fn from_stops(smtp: Option<StopLayer>, mta: Option<StopLayer>) -> SpoofSuccess {
+        #[allow(deprecated)]
+        SpoofSuccess::from_paths(smtp == Some(StopLayer::None), mta == Some(StopLayer::None))
     }
 
     /// True when at least one delivery path produced an SPF-passing
@@ -98,29 +111,29 @@ pub fn run_case_study<R: Resolver + 'static>(
             .customers
             .first()
             .expect("providers have customers");
-        let smtp_ok = if provider.blocks_port25 {
+        let smtp_stop = if provider.blocks_port25 {
             // The web space cannot reach port 25 at all.
-            false
+            None
         } else {
-            attempt(
+            Some(attempt(
                 server.addr(),
                 provider,
                 victim.as_str(),
                 provider.web_ip.into(),
-            )?
+            )?)
         };
-        let mta_ok = if provider.mta_requires_auth {
+        let mta_stop = if provider.mta_requires_auth {
             // The MTA refuses to relay for domains the account does not own.
-            false
+            None
         } else {
-            attempt(
+            Some(attempt(
                 server.addr(),
                 provider,
                 victim.as_str(),
                 provider.mta_ip.into(),
-            )?
+            )?)
         };
-        let success = SpoofSuccess::from_paths(smtp_ok, mta_ok);
+        let success = SpoofSuccess::from_stops(smtp_stop, mta_stop);
         let domains = if success.any() {
             provider.customers.len() as u64
         } else {
@@ -136,31 +149,57 @@ pub fn run_case_study<R: Resolver + 'static>(
     Ok(rows)
 }
 
-/// One spoofed delivery attempt from `source_ip` claiming `spoofed_domain`.
+/// One spoofed delivery attempt from `source_ip` claiming
+/// `spoofed_domain`, reporting which auth layer stopped it:
+///
+/// * rejected at `MAIL FROM` → [`StopLayer::Spf`];
+/// * rejected at end-of-data by the From domain's enforced DMARC policy
+///   → [`StopLayer::Dmarc`];
+/// * delivered with an SPF `pass` → [`StopLayer::None`] (a successful
+///   spoof);
+/// * delivered *without* a pass (a tolerated `neutral`/`softfail`) —
+///   the spoof does not count in Table 5's terms because SPF denied
+///   the authorization, so it is attributed to [`StopLayer::Spf`].
+///
+/// The message carries a `From:` header aligned with the spoofed
+/// envelope (the aligned-attacker model of DESIGN.md §13), so the
+/// receiver's DMARC gate evaluates the same identifier pair the matrix
+/// engine models.
 fn attempt(
     server: std::net::SocketAddr,
     provider: &HostingProvider,
     spoofed_domain: &str,
     source_ip: std::net::IpAddr,
-) -> std::io::Result<bool> {
-    let run = || -> Result<bool, crate::client::ClientError> {
+) -> std::io::Result<StopLayer> {
+    let run = || -> Result<StopLayer, crate::client::ClientError> {
         let mut client = SmtpClient::connect(server)?;
         client.ehlo(&format!("web.hosting{}.example", provider.id))?;
         client.xclient(source_ip)?;
         let reply = client.mail_from(&format!("ceo@{spoofed_domain}"))?;
         if !reply.is_positive() {
             let _ = client.quit();
-            return Ok(false);
+            return Ok(StopLayer::Spf);
         }
         // The spoof only counts when it passes SPF, not merely when the
         // server tolerates a neutral result.
         let passed = reply.text.contains("spf=pass");
         client.rcpt_to("victim@receiver.example")?;
-        let sent = client
-            .data("Subject: urgent wire transfer\n\nplease")?
-            .is_positive();
+        let data = client.data(&format!(
+            "From: CEO <ceo@{spoofed_domain}>\nSubject: urgent wire transfer\n\nplease"
+        ))?;
         let _ = client.quit();
-        Ok(passed && sent)
+        if !data.is_positive() {
+            return Ok(if data.text.contains("DMARC") {
+                StopLayer::Dmarc
+            } else {
+                StopLayer::Spf
+            });
+        }
+        Ok(if passed {
+            StopLayer::None
+        } else {
+            StopLayer::Spf
+        })
     };
     run().map_err(|e| std::io::Error::other(e.to_string()))
 }

@@ -2,7 +2,8 @@
 # Bench-regression gate (CI `bench-smoke` job, and part of ci_local.sh):
 # re-run the quick-mode benches and compare their guard points against
 # the committed BENCH_2.json / BENCH_3.json / BENCH_4.json / BENCH_5.json
-# / BENCH_6.json / BENCH_7.json / BENCH_8.json / BENCH_9.json baselines.
+# / BENCH_6.json / BENCH_7.json / BENCH_8.json / BENCH_9.json /
+# BENCH_10.json baselines.
 #
 # Every bench report carries `quick_points` — a small fixed configuration
 # matrix measured at quick scale with the same plain best-of-N loop in
@@ -58,5 +59,10 @@ echo "== bench_guard: quick churn_rescan vs committed BENCH_9.json"
 BENCH_9_OUT="$GUARD_DIR/BENCH_9.json" \
 BENCH_GUARD_BASELINE="$ROOT/BENCH_9.json" \
 CHURN_RESCAN_QUICK=1 cargo bench --bench churn_rescan
+
+echo "== bench_guard: quick auth_stack_scaling vs committed BENCH_10.json"
+BENCH_10_OUT="$GUARD_DIR/BENCH_10.json" \
+BENCH_GUARD_BASELINE="$ROOT/BENCH_10.json" \
+AUTH_STACK_QUICK=1 cargo bench --bench auth_stack_scaling
 
 echo "OK: quick throughput within tolerance of the committed baselines"

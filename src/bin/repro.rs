@@ -161,6 +161,8 @@ struct Args {
     // `trends` target only:
     epochs: u64,
     churn_rate: f64,
+    // `spoof-matrix` target only:
+    stack: bool,
 }
 
 impl Args {
@@ -187,6 +189,7 @@ fn parse_args() -> Args {
         duration_secs: 0,
         epochs: 6,
         churn_rate: 0.01,
+        stack: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -234,6 +237,7 @@ fn parse_args() -> Args {
                 args.backend = args.backend.servers(servers);
             }
             "--compiled" => args.backend = args.backend.evaluator(Evaluator::Compiled),
+            "--stack" => args.stack = true,
             "--queries" => {
                 args.queries = it
                     .next()
@@ -338,7 +342,10 @@ fn usage(problem: &str) -> ! {
          \x20        of a --mix through --clients pipelined clients over --transport\n\
          trends:  `trends` simulates --epochs virtual months (default 6) of\n\
          \x20        --churn zone churn per month (default 0.01) and re-crawls\n\
-         \x20        incrementally, TTL-driven, folding exact deltas\n",
+         \x20        incrementally, TTL-driven, folding exact deltas\n\
+         stack:   `spoof-matrix --stack` layers DMARC and MTA-STS on the SPF\n\
+         \x20        matrix (matrix v2): per-layer stop rates by deployment-mix\n\
+         \x20        preset and the residual spoofable set\n",
         target_usage_line()
     );
     std::process::exit(2)
@@ -484,13 +491,24 @@ fn main() {
     }
 
     if wants(t, "spoof-matrix") {
-        println!(
-            "[spoof matrix] evaluating check_host() for the whole population from \
-             attacker vantage addresses ..."
-        );
-        let (section, exp) = bench::spoof_matrix(args.scale, args.seed, args.crawl_config());
-        println!("{section}");
-        log.push(exp);
+        if args.stack {
+            println!(
+                "[spoof matrix] evaluating the layered auth stack (SPF × DMARC × \
+                 MTA-STS) for the whole population from attacker vantage addresses ..."
+            );
+            let (section, exp) =
+                bench::spoof_matrix_stacked(args.scale, args.seed, args.crawl_config());
+            println!("{section}");
+            log.push(exp);
+        } else {
+            println!(
+                "[spoof matrix] evaluating check_host() for the whole population from \
+                 attacker vantage addresses ..."
+            );
+            let (section, exp) = bench::spoof_matrix(args.scale, args.seed, args.crawl_config());
+            println!("{section}");
+            log.push(exp);
+        }
     }
 
     if wants(t, "trends") {

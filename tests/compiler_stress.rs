@@ -60,6 +60,7 @@ fn matrix_json<R: Resolver>(
     vantages: &[VantagePoint],
     config: SpoofMatrixConfig,
 ) -> String {
+    #[allow(deprecated)]
     let (matrix, _) = spoof_matrix(resolver, &world.domains, vantages, config);
     serde_json::to_string(&matrix).expect("matrix serializes")
 }
@@ -108,6 +109,7 @@ fn compiled_matrix_byte_identical_across_memory_grid() {
     // The compiled run must actually exercise the fast path (a backend
     // that silently fell back everywhere would pass the identity grid
     // vacuously) and classify every domain.
+    #[allow(deprecated)]
     let (_, stats) = spoof_matrix(
         &resolver,
         &world.domains,
@@ -180,6 +182,7 @@ fn pairs_with_reference(
                     ip: *ip,
                     domain: domain.clone(),
                     sender_local: SENDER.to_string(),
+                    stack: false,
                 },
                 json,
             ));

@@ -112,6 +112,7 @@ proptest! {
                 "overlap report diverged at epoch {}", epoch
             );
 
+            #[allow(deprecated)]
             let (fresh_matrix, _) = spoof_matrix(
                 fresh_walker.resolver(),
                 &population.domains,

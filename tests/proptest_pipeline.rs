@@ -211,7 +211,9 @@ proptest! {
         world in proptest::collection::vec(arb_pop_domain(6), 6),
         vantage_bits in proptest::collection::vec(any::<u32>(), 2),
     ) {
-        use spf_crawler::{spoof_matrix, SpoofMatrixConfig, VantageKind, VantagePoint};
+        #[allow(deprecated)]
+        use spf_crawler::spoof_matrix;
+        use spf_crawler::{SpoofMatrixConfig, VantageKind, VantagePoint};
 
         let store = Arc::new(ZoneStore::new());
         let mut domains = Vec::new();
@@ -253,6 +255,7 @@ proptest! {
         }
 
         let resolver = ZoneResolver::new(Arc::clone(&store));
+        #[allow(deprecated)]
         let (matrix, _) = spoof_matrix(
             &resolver,
             &domains,

@@ -51,6 +51,7 @@ fn pairs_with_reference(lab: &ServiceLab, vantage_ips: &[IpAddr]) -> Vec<Expecte
                     ip: *ip,
                     domain: domain.clone(),
                     sender_local: SENDER.to_string(),
+                    stack: false,
                 },
                 json,
             ));
@@ -233,6 +234,7 @@ fn send_query(socket: &UdpSocket, addr: std::net::SocketAddr, id: u64, d: &Domai
         ip,
         domain: d.clone(),
         sender_local: SENDER.to_string(),
+        stack: false,
     }));
     socket.send_to(&frame, addr).expect("send_to");
 }
@@ -519,5 +521,92 @@ fn ttl_expiry_revalidates_against_the_mutated_zone() {
     let stats = service.telemetry().cache.expect("cache configured");
     assert!(stats.expirations >= 1, "{stats:?}");
     assert!(stats.is_consistent(), "{stats:?}");
+    service.shutdown();
+}
+
+#[test]
+fn stacked_queries_compose_layers_and_keep_spf_byte_identical() {
+    use lazy_gatekeepers::core::{DmarcDisposition, MtaStsMode, StopLayer};
+
+    // Three deployment mixes: a hard-fail SPF domain (stopped at SPF
+    // regardless of the upper layers), a softfail domain whose enforced
+    // DMARC closes the gap, and a softfail domain with nothing above
+    // SPF (residually spoofable).
+    let store = Arc::new(ZoneStore::new());
+    let bank = DomainName::parse("bank.example").expect("parses");
+    store.add_txt(&bank, "v=spf1 ip4:192.0.2.0/24 -all");
+    store.add_txt(
+        &DomainName::parse("_dmarc.bank.example").expect("parses"),
+        "v=DMARC1; p=reject",
+    );
+    store.add_txt(
+        &DomainName::parse("_mta-sts.bank.example").expect("parses"),
+        "v=STSv1; id=20230801; mode=enforce",
+    );
+    let mail = DomainName::parse("mail.example").expect("parses");
+    store.add_txt(&mail, "v=spf1 ip4:192.0.2.0/24 ~all");
+    store.add_txt(
+        &DomainName::parse("_dmarc.mail.example").expect("parses"),
+        "v=DMARC1; p=quarantine",
+    );
+    let shop = DomainName::parse("shop.example").expect("parses");
+    store.add_txt(&shop, "v=spf1 ip4:192.0.2.0/24 ~all");
+
+    let resolver: Arc<dyn Resolver> = Arc::new(ZoneResolver::new(Arc::clone(&store)));
+    let mut service =
+        VerdictService::spawn(resolver, ServiceConfig::with_workers(2)).expect("service spawns");
+    let mut client =
+        ServiceClient::connect(service.addr(), Transport::Tcp).expect("client connects");
+    let attacker: IpAddr = "203.0.113.9".parse().expect("ip parses");
+
+    // bank: hard fail — SPF is the stopping layer even with the full
+    // stack deployed above it.
+    let stacked = client
+        .query_stacked(attacker, &bank, SENDER)
+        .expect("stacked query");
+    assert_eq!(stacked.status, Status::Ok);
+    let outcome = stacked.auth_outcome().expect("stacked body decodes");
+    assert_eq!(outcome.stop, StopLayer::Spf);
+    assert!(matches!(outcome.dmarc, DmarcDisposition::Enforced { .. }));
+    assert_eq!(outcome.mta_sts, MtaStsMode::Enforce);
+    // A stacked body is not a plain verdict, and vice versa.
+    assert!(stacked.evaluation().is_err());
+    let plain = client.query(attacker, &bank, SENDER).expect("plain query");
+    assert!(plain.auth_outcome().is_err());
+    // The SPF component of the stacked body is byte-identical to the
+    // plain response for the same query.
+    let eval = plain.evaluation().expect("plain body decodes");
+    assert_eq!(
+        serde_json::to_string(&outcome.spf).expect("serializes"),
+        serde_json::to_string(&eval).expect("serializes"),
+    );
+
+    // mail: softfail is inconclusive; the enforced DMARC policy is what
+    // stops the aligned attacker.
+    let outcome = client
+        .query_stacked(attacker, &mail, SENDER)
+        .expect("stacked query")
+        .auth_outcome()
+        .expect("decodes");
+    assert_eq!(outcome.stop, StopLayer::Dmarc);
+
+    // shop: softfail and nothing above it — no layer stops the spoof.
+    let outcome = client
+        .query_stacked(attacker, &shop, SENDER)
+        .expect("stacked query")
+        .auth_outcome()
+        .expect("decodes");
+    assert_eq!(outcome.stop, StopLayer::None);
+    assert_eq!(outcome.dmarc, DmarcDisposition::Absent);
+
+    // Re-query bank: the layer memo serves the DMARC/STS facts.
+    let _ = client
+        .query_stacked(attacker, &bank, SENDER)
+        .expect("stacked query");
+    let telemetry = service.telemetry();
+    assert_eq!(telemetry.stacked_served, 4, "{telemetry:?}");
+    assert_eq!(telemetry.served, 5, "{telemetry:?}");
+    assert_eq!(telemetry.auth_cache.dmarc_misses, 3, "{telemetry:?}");
+    assert_eq!(telemetry.auth_cache.dmarc_hits, 1, "{telemetry:?}");
     service.shutdown();
 }

@@ -48,6 +48,7 @@ fn matrix_json<R: Resolver>(
     vantages: &[VantagePoint],
     config: SpoofMatrixConfig,
 ) -> String {
+    #[allow(deprecated)]
     let (matrix, _) = spoof_matrix(resolver, &world.domains, vantages, config);
     serde_json::to_string(&matrix).expect("matrix serializes")
 }
@@ -144,6 +145,7 @@ fn queue_depth_stays_bounded() {
     let (world, vantages) = world_at(2_000);
     let resolver = ZoneResolver::new(Arc::clone(&world.store));
     let config = SpoofMatrixConfig::with_workers(4).batch_size(16);
+    #[allow(deprecated)]
     let (_, stats) = spoof_matrix(&resolver, &world.domains, &vantages, config);
     // 2×workers queued batches + workers in-hand + the feeder's one
     // in-flight batch — the crawl engine's dispatch bound.
